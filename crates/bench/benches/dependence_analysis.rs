@@ -1,0 +1,53 @@
+//! Criterion benchmark: software dependence analysis (the Nanos++
+//! algorithm) vs the Picos hardware model, per-task processing cost of the
+//! simulator itself. This measures the *reproduction's* speed, not the
+//! modelled cycle counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use picos_core::{FinishedReq, PicosConfig, PicosSystem};
+use picos_runtime::SoftwareDeps;
+use picos_trace::{gen, TaskId};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let trace = gen::cholesky(gen::CholeskyConfig::paper(128));
+    let mut group = c.benchmark_group("dependence_analysis");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("software_depmap", trace.len()), &(), |b, _| {
+        b.iter(|| {
+            let mut sw = SoftwareDeps::new(trace.len());
+            let mut ready: Vec<TaskId> = Vec::new();
+            for t in trace.iter() {
+                if sw.submit(black_box(t)) {
+                    ready.push(t.id);
+                }
+            }
+            let mut i = 0;
+            while i < ready.len() {
+                let more = sw.finish(ready[i]);
+                ready.extend(more);
+                i += 1;
+            }
+            black_box(ready.len())
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("picos_engine", trace.len()), &(), |b, _| {
+        b.iter(|| {
+            let mut sys = PicosSystem::new(PicosConfig::balanced());
+            for t in trace.iter() {
+                sys.submit(t.id, t.deps.clone());
+            }
+            sys.run_to_quiescence(1_000_000_000, |r| {
+                Some(FinishedReq { task: r.task, slot: r.slot })
+            })
+            .expect("completes");
+            black_box(sys.stats().tasks_completed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

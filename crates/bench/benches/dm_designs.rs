@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the three DM designs: compare/insert/delete
+//! throughput under clustered (power-of-two strided) and heap-like address
+//! streams. The hardware question behind Table II, asked of the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use picos_core::{Dm, DmAccess, DmDesign, VmRef};
+use std::hint::black_box;
+
+fn address_stream(clustered: bool, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            if clustered {
+                0x4000_0000 + i * 32 * 1024 // block stride: low bits constant
+            } else {
+                0x5555_0000_0000 + i * 32_784 // heap-like stride
+            }
+        })
+        .collect()
+}
+
+fn bench_dm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_insert_delete");
+    for design in DmDesign::ALL {
+        for (label, clustered) in [("clustered", true), ("heap", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(design.name(), label),
+                &clustered,
+                |b, &clustered| {
+                    let addrs = address_stream(clustered, 256);
+                    b.iter(|| {
+                        let mut dm = Dm::new(design, 64);
+                        let mut inserted = Vec::new();
+                        let mut conflicts = 0u64;
+                        for (i, &a) in addrs.iter().enumerate() {
+                            match dm.access(black_box(a), false) {
+                                DmAccess::Inserted(slot) => {
+                                    dm.bind(slot, VmRef::new(0, i as u16));
+                                    inserted.push(slot);
+                                }
+                                DmAccess::Conflict => conflicts += 1,
+                                DmAccess::Hit(_) => {}
+                            }
+                        }
+                        for slot in inserted {
+                            dm.pop_version(slot, None);
+                        }
+                        black_box(conflicts)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dm);
+criterion_main!(benches);

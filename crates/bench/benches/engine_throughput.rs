@@ -1,0 +1,26 @@
+//! Criterion benchmark: end-to-end HIL simulation throughput (simulated
+//! tasks per wall-clock second) for each operational mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use picos_hil::{run_hil, HilConfig, HilMode};
+use picos_trace::gen;
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let trace = gen::sparselu(gen::SparseLuConfig::paper(128));
+    let mut group = c.benchmark_group("hil_modes");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for mode in HilMode::ALL {
+        group.bench_with_input(BenchmarkId::new("sparselu128", mode.name()), &mode, |b, &m| {
+            let cfg = HilConfig::balanced(12);
+            b.iter(|| {
+                let r = run_hil(black_box(&trace), m, &cfg).expect("completes");
+                black_box(r.makespan)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

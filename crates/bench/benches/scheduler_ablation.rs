@@ -1,0 +1,41 @@
+//! Criterion benchmark: design ablations of the Picos core — FIFO vs LIFO
+//! task scheduler and single vs multi TRS/DCT instances — measured as
+//! simulator wall-clock cost per run (the modelled speedups are reported by
+//! the `fig09_lu_corner` and `ablation_future_arch` experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use picos_core::{DmDesign, PicosConfig, TsPolicy};
+use picos_hil::{run_hil, HilConfig, HilMode};
+use picos_trace::gen;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = gen::lu(gen::LuConfig::paper(64));
+    let mut group = c.benchmark_group("scheduler_ablation");
+    for policy in [TsPolicy::Fifo, TsPolicy::Lifo] {
+        group.bench_with_input(
+            BenchmarkId::new("ts_policy", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                let cfg = HilConfig {
+                    picos: PicosConfig::balanced().with_ts_policy(p),
+                    ..HilConfig::balanced(12)
+                };
+                b.iter(|| black_box(run_hil(&trace, HilMode::HwOnly, &cfg).unwrap().makespan));
+            },
+        );
+    }
+    for n in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("instances", n), &n, |b, &n| {
+            let cfg = HilConfig {
+                picos: PicosConfig::future(n, DmDesign::PearsonEightWay),
+                ..HilConfig::balanced(12)
+            };
+            b.iter(|| black_box(run_hil(&trace, HilMode::HwOnly, &cfg).unwrap().makespan));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

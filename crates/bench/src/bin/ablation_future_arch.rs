@@ -1,0 +1,41 @@
+//! Ablation beyond the paper's prototype: the **future architecture** of
+//! Figure 3a with N TRS and N DCT instances behind the Arbiter.
+//!
+//! The paper argues a 4-instance design can manage up to 256 cores and that
+//! larger configurations would close the gap to the Perfect Simulator that
+//! opens for very fine-grained workloads (Section V-D). This ablation
+//! measures that claim on the finest-grained traces.
+
+use picos_bench::{f2, perfect_speedup, picos_speedup, Table};
+use picos_core::{DmDesign, PicosConfig};
+use picos_hil::HilMode;
+use picos_trace::gen::App;
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: 1/2/4 TRS+DCT instances (HW-only, fine-grained traces)",
+        &["App", "BlockSize", "Workers", "1x1", "2x2", "4x4", "perfect"],
+    );
+    for (app, bs) in [
+        (App::Cholesky, 32),
+        (App::Heat, 32),
+        (App::H264dec, 2),
+    ] {
+        let tr = app.generate(bs);
+        for w in [12usize, 24, 48] {
+            let mut cells = vec![app.name().to_string(), bs.to_string(), w.to_string()];
+            for n in [1usize, 2, 4] {
+                cells.push(f2(picos_speedup(
+                    &tr,
+                    w,
+                    PicosConfig::future(n, DmDesign::PearsonEightWay),
+                    HilMode::HwOnly,
+                )));
+            }
+            cells.push(f2(perfect_speedup(&tr, w)));
+            t.row(cells);
+            eprintln!("future-arch: {} bs {} w {} done", app.name(), bs, w);
+        }
+    }
+    t.emit("ablation_future_arch");
+}

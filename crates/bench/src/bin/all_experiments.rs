@@ -1,0 +1,34 @@
+//! Runs every experiment of the reproduction in sequence, writing
+//! `results/*.txt` and `results/*.csv` (the inputs to `EXPERIMENTS.md`).
+//!
+//! Run with `--release`; the Figure 11 sweep alone simulates roughly 400
+//! full application runs.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_benchmarks",
+    "table2_dm_conflicts",
+    "table3_resources",
+    "table4_synthetic",
+    "fig01_granularity",
+    "fig08_dm_designs",
+    "fig09_lu_corner",
+    "fig10_nanos_overhead",
+    "fig11_scalability",
+    "ablation_future_arch",
+    "ablation_capacity",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for exp in EXPERIMENTS {
+        eprintln!("=== running {exp} ===");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+    eprintln!("all experiments complete; see results/");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Figure 1**: speedup vs task granularity for the Nanos++
+//! software-only runtime with 12 cores.
+//!
+//! Problem sizes stay constant while block sizes shrink: the speedup first
+//! rises with the new parallelism, then collapses once the per-task runtime
+//! overhead outweighs the gain.
+
+use picos_bench::{f2, nanos_speedup, Table};
+use picos_trace::gen::App;
+
+fn main() {
+    let apps = [App::Heat, App::Lu, App::SparseLu, App::Cholesky];
+    let mut t = Table::new(
+        "Figure 1: Nanos++ speedup vs task granularity (12 workers)",
+        &["BlockSize", "heat", "lu", "sparselu", "cholesky"],
+    );
+    for bs in [256u64, 128, 64, 32] {
+        let mut cells = vec![bs.to_string()];
+        for app in apps {
+            let tr = app.generate(bs);
+            cells.push(f2(nanos_speedup(&tr, 12)));
+        }
+        t.row(cells);
+    }
+    t.emit("fig01_granularity");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 8**: speedup of the three Picos DM designs on four
+//! real benchmarks (two block sizes each), HIL HW-only mode, 2-12 workers.
+
+use picos_bench::{f2, picos_speedup, Table};
+use picos_core::{DmDesign, PicosConfig};
+use picos_hil::HilMode;
+use picos_trace::gen::App;
+
+/// The benchmark/block-size pairs of Figure 8 (same set as Table II).
+const PAIRS: &[(&str, [u64; 2])] = &[
+    ("heat", [128, 64]),
+    ("cholesky", [256, 128]),
+    ("lu", [64, 32]),
+    ("sparselu", [128, 64]),
+];
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 8: speedup of different Picos configurations (HW-only)",
+        &["Benchmark", "BlockSize", "Design", "w2", "w4", "w6", "w8", "w10", "w12"],
+    );
+    for &(name, sizes) in PAIRS {
+        let app = App::ALL.into_iter().find(|a| a.name() == name).unwrap();
+        for bs in sizes {
+            let tr = app.generate(bs);
+            for dm in DmDesign::ALL {
+                let mut cells = vec![name.to_string(), bs.to_string(), dm.name().to_string()];
+                for w in [2usize, 4, 6, 8, 10, 12] {
+                    cells.push(f2(picos_speedup(
+                        &tr,
+                        w,
+                        PicosConfig::baseline(dm),
+                        HilMode::HwOnly,
+                    )));
+                }
+                t.row(cells);
+            }
+        }
+    }
+    t.emit("fig08_dm_designs");
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Figure 10**: Nanos++ task creation and submission
+//! overhead per task, in cycles, as a function of the thread count.
+//!
+//! "Creation" is the per-task creation overhead (independent of the number
+//! of dependences); "x DEPs" is the submission overhead of a single task
+//! with x dependences.
+
+use picos_bench::Table;
+use picos_runtime::NanosCostModel;
+
+fn main() {
+    let m = NanosCostModel::default();
+    let mut t = Table::new(
+        "Figure 10: Nanos++ RTS overhead for a single task (cycles)",
+        &["Threads", "Creation", "1 DEP", "2 DEPs", "4 DEPs", "8 DEPs", "15 DEPs"],
+    );
+    for threads in [1usize, 2, 4, 6, 8, 10, 12, 16, 20, 24] {
+        t.row(vec![
+            threads.to_string(),
+            m.creation(threads).to_string(),
+            m.submission(1, threads).to_string(),
+            m.submission(2, threads).to_string(),
+            m.submission(4, threads).to_string(),
+            m.submission(8, threads).to_string(),
+            m.submission(15, threads).to_string(),
+        ]);
+    }
+    t.emit("fig10_nanos_overhead");
+}

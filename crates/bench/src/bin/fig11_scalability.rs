@@ -1,0 +1,41 @@
+//! Regenerates **Figure 11**: scalability of the five real benchmarks with
+//! up to 24 workers — Picos Full-system vs Perfect Simulator vs Nanos++.
+
+use picos_bench::{f2, nanos_speedup, perfect_speedup, picos_speedup, Table};
+use picos_core::PicosConfig;
+use picos_hil::HilMode;
+use picos_trace::gen::App;
+
+const WORKERS: [usize; 7] = [2, 4, 8, 12, 16, 20, 24];
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 11: scalability (speedup) — Picos Full-system / Perfect / Nanos++",
+        &[
+            "App", "BlockSize", "Engine", "w2", "w4", "w8", "w12", "w16", "w20", "w24",
+        ],
+    );
+    for app in App::ALL {
+        for bs in app.paper_block_sizes() {
+            let tr = app.generate(bs);
+            let mut picos = vec![app.name().to_string(), bs.to_string(), "picos".to_string()];
+            let mut perfect = vec![app.name().to_string(), bs.to_string(), "perfect".to_string()];
+            let mut nanos = vec![app.name().to_string(), bs.to_string(), "nanos".to_string()];
+            for w in WORKERS {
+                picos.push(f2(picos_speedup(
+                    &tr,
+                    w,
+                    PicosConfig::balanced(),
+                    HilMode::FullSystem,
+                )));
+                perfect.push(f2(perfect_speedup(&tr, w)));
+                nanos.push(f2(nanos_speedup(&tr, w)));
+            }
+            t.row(picos);
+            t.row(perfect);
+            t.row(nanos);
+            eprintln!("fig11: {} bs {} done", app.name(), bs);
+        }
+    }
+    t.emit("fig11_scalability");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Table I**: real benchmark characteristics.
+//!
+//! Prints, for each application and block size, the task count, the
+//! dependence range, the average task size and the sequential execution
+//! time of the generated trace, next to the paper's reported values.
+
+use picos_bench::Table;
+use picos_trace::gen::{table1_row, App};
+
+fn main() {
+    let mut t = Table::new(
+        "Table I: real benchmarks (generated vs paper)",
+        &[
+            "Name", "P/Block", "#Tasks", "paper", "#Dep", "paper", "AveTSize", "paper",
+            "SeqExec", "paper",
+        ],
+    );
+    for app in App::ALL {
+        for bs in app.paper_block_sizes() {
+            let tr = app.generate(bs);
+            let s = tr.stats();
+            let p = table1_row(app.name(), bs).expect("paper row exists");
+            let problem = if app == App::H264dec {
+                format!("10f/{bs}")
+            } else {
+                format!("2048/{bs}")
+            };
+            t.row(vec![
+                app.name().to_string(),
+                problem,
+                s.num_tasks.to_string(),
+                p.tasks.to_string(),
+                s.dep_range(),
+                if p.deps.0 == p.deps.1 {
+                    p.deps.0.to_string()
+                } else {
+                    format!("{}-{}", p.deps.0, p.deps.1)
+                },
+                format!("{:.2e}", s.avg_task_size),
+                format!("{:.2e}", p.avg_task_size),
+                format!("{:.2e}", s.sequential_time as f64),
+                format!("{:.2e}", p.seq_exec as f64),
+            ]);
+        }
+    }
+    t.emit("table1_benchmarks");
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Table II**: number of DM conflicts in the three Picos
+//! designs, 12 workers, HIL HW-only mode.
+
+use picos_bench::{picos_report_with_stats, Table};
+use picos_core::{DmDesign, PicosConfig};
+use picos_hil::HilMode;
+use picos_trace::gen::App;
+
+/// Paper Table II reference values, in row order.
+const PAPER: &[(&str, u64, [u64; 3])] = &[
+    ("heat", 128, [254, 252, 65]),
+    ("heat", 64, [1022, 1020, 757]),
+    ("sparselu", 128, [189, 166, 0]),
+    ("sparselu", 64, [239, 0, 0]),
+    ("lu", 64, [491, 392, 0]),
+    ("lu", 32, [2039, 1937, 0]),
+    ("cholesky", 256, [108, 79, 0]),
+    ("cholesky", 128, [807, 792, 0]),
+];
+
+fn main() {
+    let mut t = Table::new(
+        "Table II: #DM conflicts (12 workers, HW-only) — measured (paper)",
+        &["Name", "BlockSize", "DM 8way", "DM 16way", "DM P+8way"],
+    );
+    for &(name, bs, paper) in PAPER {
+        let app = App::ALL.into_iter().find(|a| a.name() == name).unwrap();
+        let tr = app.generate(bs);
+        let mut cells = vec![name.to_string(), bs.to_string()];
+        for (i, dm) in DmDesign::ALL.into_iter().enumerate() {
+            let (_, stats) =
+                picos_report_with_stats(&tr, 12, PicosConfig::baseline(dm), HilMode::HwOnly);
+            cells.push(format!("{} ({})", stats.dm_conflicts, paper[i]));
+        }
+        t.row(cells);
+    }
+    t.emit("table2_dm_conflicts");
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table III**: hardware resource consumption.
+//!
+//! Prints the analytic LUT/FF/BRAM estimates of every memory and module as
+//! percentages of the XC7Z020, next to the paper's synthesis percentages.
+
+use picos_bench::Table;
+use picos_resources::{table3, XC7Z020};
+
+/// Paper Table III reference percentages: (name, LUT%, FF%, BRAM%).
+const PAPER: &[(&str, f64, f64, f64)] = &[
+    ("TM", 0.4, 0.01, 6.0),
+    ("VM for 8way/P+8way", 0.4, 0.01, 1.0),
+    ("VM for 16way", 0.4, 0.01, 2.0),
+    ("DM 8way", 1.1, 0.1, 9.0),
+    ("DM 16way", 3.1, 0.1, 17.0),
+    ("DM P+8way", 1.7, 0.1, 10.0),
+    ("TRS", 1.6, 0.6, 6.0),
+    ("DCT (DM P+8way)", 2.9, 0.3, 11.0),
+    ("GW+ARB+TS", 1.3, 0.4, 0.0),
+    ("Full Picos (DM P+8way)", 5.8, 1.2, 17.0),
+];
+
+fn main() {
+    let mut t = Table::new(
+        "Table III: resource consumption on XC7Z020 — measured% (paper%)",
+        &["Design", "LUTs", "FFs", "BRAM(36Kb)"],
+    );
+    for row in table3() {
+        let (lut, ff, bram) = row.est.percent_of(XC7Z020);
+        let paper = PAPER.iter().find(|(n, ..)| *n == row.name);
+        let fmt = |v: f64, p: Option<f64>| match p {
+            Some(p) => format!("{v:.1}% ({p}%)"),
+            None => format!("{v:.1}%"),
+        };
+        t.row(vec![
+            row.name.clone(),
+            fmt(lut, paper.map(|p| p.1)),
+            fmt(ff, paper.map(|p| p.2)),
+            fmt(bram, paper.map(|p| p.3)),
+        ]);
+    }
+    t.emit("table3_resources");
+}

@@ -1,0 +1,130 @@
+//! Minimal argument parsing for the `picos` CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments and `--key
+/// value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no subcommand is present or a `--key` misses
+    /// its value.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let command = argv.next().ok_or_else(usage)?;
+        let mut positional = Vec::new();
+        let mut options = HashMap::new();
+        while let Some(a) = argv.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = argv
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                options.insert(key.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { command, positional, options })
+    }
+
+    /// An option parsed to a type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// A required positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the argument when missing.
+    pub fn pos(&self, idx: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing argument <{name}>\n{}", usage()))
+    }
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "\
+usage: picos <command> [args] [--key value ...]
+
+commands:
+  gen <app> --block <bs> [--out trace.json]     generate a paper workload
+  stats <trace.json>                            print a Table-I style row
+  run <trace.json> --engine <e> --workers <w>   run one engine
+       engines: hw-only | hw-comm | full | nanos | perfect
+       options: --dm <8way|16way|p8way>  --ts <fifo|lifo>  --instances <n>
+  sweep <trace.json> --engine <e>               speedup vs workers (2..24)
+  resources [--dm <design>] [--instances <n>]   FPGA cost estimate
+  apps                                          list available generators
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, String> {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positional_options() {
+        let a = parse(&["run", "t.json", "--workers", "8", "--engine", "nanos"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.pos(0, "trace").unwrap(), "t.json");
+        assert_eq!(a.opt("workers", 1usize).unwrap(), 8);
+        assert_eq!(a.options["engine"], "nanos");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["gen", "heat"]).unwrap();
+        assert_eq!(a.opt("block", 64u64).unwrap(), 64);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&["run", "--workers"]).is_err());
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_value_is_error() {
+        let a = parse(&["run", "--workers", "lots"]).unwrap();
+        assert!(a.opt("workers", 1usize).is_err());
+    }
+
+    #[test]
+    fn missing_positional_is_error() {
+        let a = parse(&["stats"]).unwrap();
+        assert!(a.pos(0, "trace").is_err());
+    }
+}

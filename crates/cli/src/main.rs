@@ -1,0 +1,181 @@
+//! `picos` — command-line interface for the Picos reproduction.
+//!
+//! Generate the paper's workloads, run them through any execution engine,
+//! sweep worker counts and estimate FPGA resource budgets. Run `picos`
+//! without arguments for usage.
+
+mod args;
+
+use args::{usage, Args};
+use picos_core::{DmDesign, PicosConfig, TsPolicy};
+use picos_hil::{run_hil_with_stats, HilConfig, HilMode};
+use picos_resources::{full_picos_resources, XC7Z020};
+use picos_runtime::{perfect_schedule, run_software, ExecReport, SwRuntimeConfig};
+use picos_trace::{gen, Trace};
+
+fn main() {
+    let argv = std::env::args().skip(1);
+    match Args::parse(argv).and_then(|a| dispatch(&a)) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn dispatch(a: &Args) -> Result<(), String> {
+    match a.command.as_str() {
+        "gen" => cmd_gen(a),
+        "stats" => cmd_stats(a),
+        "run" => cmd_run(a),
+        "sweep" => cmd_sweep(a),
+        "resources" => cmd_resources(a),
+        "apps" => {
+            for app in gen::App::ALL {
+                println!("{app}  (block sizes: {:?})", app.paper_block_sizes());
+            }
+            println!("case1..case7  (synthetic testcases)");
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn generate(name: &str, block: u64) -> Result<Trace, String> {
+    if let Some(app) = gen::App::ALL.into_iter().find(|x| x.name() == name) {
+        return Ok(app.generate(block));
+    }
+    if let Some(case) = gen::Case::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
+    {
+        return Ok(gen::synthetic(case));
+    }
+    Err(format!("unknown app {name}; try `picos apps`"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Trace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_gen(a: &Args) -> Result<(), String> {
+    let app = a.pos(0, "app")?;
+    let block = a.opt("block", 64u64)?;
+    let trace = generate(app, block)?;
+    let out = a
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("{app}-{block}.json"));
+    let json = trace.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}: {} tasks", trace.len());
+    Ok(())
+}
+
+fn cmd_stats(a: &Args) -> Result<(), String> {
+    let trace = load_trace(a.pos(0, "trace")?)?;
+    let s = trace.stats();
+    let graph = picos_trace::TaskGraph::build(&trace);
+    let p = graph.parallelism();
+    println!("name:            {}", s.name);
+    println!("tasks:           {}", s.num_tasks);
+    println!("deps/task:       {}", s.dep_range());
+    println!("avg task size:   {:.3e} cycles", s.avg_task_size);
+    println!("sequential:      {:.3e} cycles", s.sequential_time as f64);
+    println!("edges:           {}", graph.num_edges());
+    println!("critical path:   {:.3e} cycles", p.critical_path as f64);
+    println!("avg parallelism: {:.1}", p.avg_parallelism);
+    println!("max width:       {}", p.max_width);
+    println!("taskwaits:       {}", trace.barriers().len());
+    Ok(())
+}
+
+fn picos_config(a: &Args) -> Result<PicosConfig, String> {
+    let dm = match a.opt("dm", "p8way".to_string())?.as_str() {
+        "8way" => DmDesign::EightWay,
+        "16way" => DmDesign::SixteenWay,
+        "p8way" => DmDesign::PearsonEightWay,
+        other => return Err(format!("unknown DM design {other}")),
+    };
+    let instances = a.opt("instances", 1usize)?;
+    let ts = match a.opt("ts", "fifo".to_string())?.as_str() {
+        "fifo" => TsPolicy::Fifo,
+        "lifo" => TsPolicy::Lifo,
+        other => return Err(format!("unknown TS policy {other}")),
+    };
+    Ok(PicosConfig::future(instances, dm).with_ts_policy(ts))
+}
+
+fn run_engine(a: &Args, trace: &Trace, engine: &str, workers: usize) -> Result<ExecReport, String> {
+    let mode = match engine {
+        "hw-only" => Some(HilMode::HwOnly),
+        "hw-comm" => Some(HilMode::HwComm),
+        "full" => Some(HilMode::FullSystem),
+        _ => None,
+    };
+    if let Some(mode) = mode {
+        let cfg = HilConfig { picos: picos_config(a)?, ..HilConfig::balanced(workers) };
+        let (report, stats) = run_hil_with_stats(trace, mode, &cfg).map_err(|e| e.to_string())?;
+        if stats.dm_conflicts > 0 || stats.vm_stalls > 0 {
+            eprintln!(
+                "note: {} DM conflicts, {} VM stalls",
+                stats.dm_conflicts, stats.vm_stalls
+            );
+        }
+        return Ok(report);
+    }
+    match engine {
+        "nanos" => run_software(trace, SwRuntimeConfig::with_workers(workers))
+            .map_err(|e| e.to_string()),
+        "perfect" => Ok(perfect_schedule(trace, workers)),
+        other => Err(format!("unknown engine {other}\n{}", usage())),
+    }
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let trace = load_trace(a.pos(0, "trace")?)?;
+    let engine = a.opt("engine", "full".to_string())?;
+    let workers = a.opt("workers", 12usize)?;
+    let report = run_engine(a, &trace, &engine, workers)?;
+    report.validate(&trace)?;
+    println!(
+        "{}: makespan {} cycles, speedup {:.2} with {} workers",
+        report.engine,
+        report.makespan,
+        report.speedup(),
+        workers
+    );
+    Ok(())
+}
+
+fn cmd_sweep(a: &Args) -> Result<(), String> {
+    let trace = load_trace(a.pos(0, "trace")?)?;
+    let engine = a.opt("engine", "full".to_string())?;
+    println!("workers  speedup");
+    for w in [2usize, 4, 8, 12, 16, 20, 24] {
+        let report = run_engine(a, &trace, &engine, w)?;
+        println!("{w:>7}  {:>7.2}", report.speedup());
+    }
+    Ok(())
+}
+
+fn cmd_resources(a: &Args) -> Result<(), String> {
+    let cfg = picos_config(a)?;
+    let est = full_picos_resources(&cfg);
+    let (lut, ff, bram) = est.percent_of(XC7Z020);
+    println!(
+        "full Picos ({}, {} TRS + {} DCT) on XC7Z020:",
+        cfg.dm_design, cfg.num_trs, cfg.num_dct
+    );
+    println!("  LUTs:   {:>6}  ({lut:.1}%)", est.luts);
+    println!("  FFs:    {:>6}  ({ff:.1}%)", est.ffs);
+    println!("  BRAM36: {:>6}  ({bram:.1}%)", est.bram36);
+    Ok(())
+}

@@ -1,0 +1,304 @@
+//! Configuration of the Picos hardware model.
+//!
+//! [`PicosConfig`] captures the design space the paper explores: the DM
+//! organisation (Section III-C), the memory geometries (Section III-A) and
+//! the number of TRS/DCT instances (the "future architecture" of Figure 3a).
+//! [`Timing`] holds the per-operation service times of each unit, calibrated
+//! against the paper's Table IV (see `DESIGN.md`, "Calibration targets").
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in clock cycles of the accelerator.
+pub type Cycle = u64;
+
+/// Organisation of the Dependence Memory (paper, Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DmDesign {
+    /// 64-set, 8-way cache-like memory with direct hash (address LSBs).
+    EightWay,
+    /// 64-set, 16-way cache-like memory with direct hash.
+    SixteenWay,
+    /// 64-set, 8-way cache-like memory with Pearson hashing.
+    PearsonEightWay,
+}
+
+impl DmDesign {
+    /// The three designs in paper order.
+    pub const ALL: [DmDesign; 3] = [
+        DmDesign::EightWay,
+        DmDesign::SixteenWay,
+        DmDesign::PearsonEightWay,
+    ];
+
+    /// Associativity of the design.
+    pub fn ways(self) -> usize {
+        match self {
+            DmDesign::EightWay | DmDesign::PearsonEightWay => 8,
+            DmDesign::SixteenWay => 16,
+        }
+    }
+
+    /// Whether the index function applies Pearson hashing.
+    pub fn uses_pearson(self) -> bool {
+        matches!(self, DmDesign::PearsonEightWay)
+    }
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DmDesign::EightWay => "DM 8way",
+            DmDesign::SixteenWay => "DM 16way",
+            DmDesign::PearsonEightWay => "DM P+8way",
+        }
+    }
+
+    /// Version Memory entries paired with this design.
+    ///
+    /// The paper doubles the VM from 512 to 1024 entries for the 16-way DM
+    /// "to keep it coherent with the DM size" (Section V-B).
+    pub fn default_vm_entries(self) -> usize {
+        match self {
+            DmDesign::SixteenWay => 1024,
+            _ => 512,
+        }
+    }
+}
+
+impl std::fmt::Display for DmDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ready-task ordering of the Task Scheduler unit (paper, Figure 9 right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TsPolicy {
+    /// First-in first-out (the prototype's default).
+    #[default]
+    Fifo,
+    /// Last-in first-out.
+    Lifo,
+}
+
+/// Per-operation service times of the hardware units, in cycles.
+///
+/// Defaults reproduce the magnitudes of the paper's Table IV HW-only mode:
+/// the Gateway sustains one dependence-free task every ~15 cycles, the DCT
+/// pipeline accepts one dependence every ~16 cycles, and the first-task
+/// latency lands near 45 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Wire/FIFO hop latency between units.
+    pub wire: Cycle,
+    /// Gateway: read one new task's meta-data and dispatch it to a TRS.
+    pub gw_task: Cycle,
+    /// Gateway: forward one dependence to a DCT.
+    pub gw_dep: Cycle,
+    /// Gateway: read one finished task and distribute it to its TRS.
+    pub gw_fin: Cycle,
+    /// TRS: store a new task into TM0.
+    pub trs_new: Cycle,
+    /// TRS: record a ready/dependent packet from the DCT.
+    pub trs_resolve: Cycle,
+    /// TRS: process a wake-up (including following one chain link).
+    pub trs_wake: Cycle,
+    /// TRS: base cost of processing a finished task.
+    pub trs_fin: Cycle,
+    /// TRS: additional cost per dependence of a finished task.
+    pub trs_fin_dep: Cycle,
+    /// DCT: per-dependence compare/insert pipeline interval.
+    pub dct_dep: Cycle,
+    /// DCT: extra pipeline-fill cost for the first dependence of a task.
+    pub dct_task_sync: Cycle,
+    /// DCT: release one dependence of a finished task.
+    pub dct_fin: Cycle,
+    /// Arbiter: route one packet between TRS and DCT.
+    pub arb: Cycle,
+    /// TS: enqueue one ready task.
+    pub ts: Cycle,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            wire: 1,
+            gw_task: 15,
+            gw_dep: 1,
+            gw_fin: 1,
+            trs_new: 12,
+            trs_resolve: 4,
+            trs_wake: 1,
+            trs_fin: 1,
+            trs_fin_dep: 1,
+            dct_dep: 16,
+            dct_task_sync: 8,
+            dct_fin: 2,
+            arb: 1,
+            ts: 4,
+        }
+    }
+}
+
+/// Complete configuration of a Picos instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PicosConfig {
+    /// Dependence Memory organisation.
+    pub dm_design: DmDesign,
+    /// Number of DM sets (paper: 64, indexed by 6 bits).
+    pub dm_sets: usize,
+    /// Number of Task Reservation Station instances.
+    pub num_trs: usize,
+    /// Number of Dependence Chain Tracker instances.
+    pub num_dct: usize,
+    /// Task Memory entries per TRS (paper: 256 in-flight tasks).
+    pub tm_entries: usize,
+    /// Version Memory entries per DCT (paper: 512; 1024 for 16-way).
+    pub vm_entries: usize,
+    /// Maximum dependences per task (paper: 15).
+    pub max_deps_per_task: usize,
+    /// Ready-queue policy of the TS unit.
+    pub ts_policy: TsPolicy,
+    /// Unit service times.
+    pub timing: Timing,
+}
+
+impl PicosConfig {
+    /// The paper's baseline configuration (one TRS, one DCT) with the given
+    /// DM design.
+    pub fn baseline(dm: DmDesign) -> Self {
+        PicosConfig {
+            dm_design: dm,
+            dm_sets: 64,
+            num_trs: 1,
+            num_dct: 1,
+            tm_entries: 256,
+            vm_entries: dm.default_vm_entries(),
+            max_deps_per_task: 15,
+            ts_policy: TsPolicy::Fifo,
+            timing: Timing::default(),
+        }
+    }
+
+    /// The most balanced design of the paper's evaluation: Pearson-hashed
+    /// 8-way DM (Section V-B).
+    pub fn balanced() -> Self {
+        PicosConfig::baseline(DmDesign::PearsonEightWay)
+    }
+
+    /// The "future architecture" (paper, Figure 3a): `n` TRS and `n` DCT
+    /// instances behind the Arbiter.
+    pub fn future(n: usize, dm: DmDesign) -> Self {
+        PicosConfig {
+            num_trs: n,
+            num_dct: n,
+            ..PicosConfig::baseline(dm)
+        }
+    }
+
+    /// Sets the TS policy (builder style).
+    pub fn with_ts_policy(mut self, policy: TsPolicy) -> Self {
+        self.ts_policy = policy;
+        self
+    }
+
+    /// Total in-flight task capacity (TM entries over all TRS instances).
+    pub fn in_flight_capacity(&self) -> usize {
+        self.num_trs * self.tm_entries
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint: all
+    /// counts must be positive, TM entries at most 65536 (slot ids are
+    /// 16-bit), instance counts at most 256 (ids are 8-bit), and
+    /// `max_deps_per_task` at most 15 (TMX capacity).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dm_sets == 0 {
+            return Err("dm_sets must be positive".into());
+        }
+        if self.num_trs == 0 || self.num_dct == 0 {
+            return Err("need at least one TRS and one DCT".into());
+        }
+        if self.num_trs > 256 || self.num_dct > 256 {
+            return Err("at most 256 TRS/DCT instances (8-bit ids)".into());
+        }
+        if self.tm_entries == 0 || self.tm_entries > 65536 {
+            return Err("tm_entries must be in 1..=65536 (16-bit slot ids)".into());
+        }
+        if self.vm_entries == 0 || self.vm_entries > 65536 {
+            return Err("vm_entries must be in 1..=65536 (16-bit ids)".into());
+        }
+        if self.max_deps_per_task == 0 || self.max_deps_per_task > 15 {
+            return Err("max_deps_per_task must be in 1..=15 (TMX capacity)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PicosConfig {
+    fn default() -> Self {
+        PicosConfig::balanced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dm_design_properties() {
+        assert_eq!(DmDesign::EightWay.ways(), 8);
+        assert_eq!(DmDesign::SixteenWay.ways(), 16);
+        assert_eq!(DmDesign::PearsonEightWay.ways(), 8);
+        assert!(DmDesign::PearsonEightWay.uses_pearson());
+        assert!(!DmDesign::EightWay.uses_pearson());
+        assert_eq!(DmDesign::SixteenWay.default_vm_entries(), 1024);
+        assert_eq!(DmDesign::EightWay.default_vm_entries(), 512);
+        assert_eq!(DmDesign::PearsonEightWay.to_string(), "DM P+8way");
+    }
+
+    #[test]
+    fn baseline_validates() {
+        for dm in DmDesign::ALL {
+            let c = PicosConfig::baseline(dm);
+            assert!(c.validate().is_ok());
+            assert_eq!(c.in_flight_capacity(), 256);
+        }
+    }
+
+    #[test]
+    fn future_architecture() {
+        let c = PicosConfig::future(4, DmDesign::PearsonEightWay);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_trs, 4);
+        assert_eq!(c.in_flight_capacity(), 1024);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = PicosConfig::balanced();
+        c.num_trs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = PicosConfig::balanced();
+        c.max_deps_per_task = 16;
+        assert!(c.validate().is_err());
+
+        let mut c = PicosConfig::balanced();
+        c.tm_entries = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = PicosConfig::balanced();
+        c.dm_sets = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ts_policy_builder() {
+        let c = PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo);
+        assert_eq!(c.ts_policy, TsPolicy::Lifo);
+        assert_eq!(TsPolicy::default(), TsPolicy::Fifo);
+    }
+}

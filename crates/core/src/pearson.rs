@@ -1,0 +1,131 @@
+//! Pearson hashing for the DM P+8way design (paper, Section III-C and
+//! Figure 4).
+//!
+//! The hardware applies a Pearson byte-substitution to each of the four
+//! bytes of the 32 LSBs of a dependence address, xors the four hashed bytes
+//! together and takes the low 6 bits as the DM set index. Pearson hashing
+//! (Pearson, CACM 1990) is a table-driven permutation of byte values, which
+//! is what lets it break the power-of-two address clustering that direct
+//! indexing suffers from.
+
+/// A 256-entry permutation table (a fixed, bijective shuffle of 0..=255).
+///
+/// Generated once with a linear-congruential Fisher-Yates shuffle; the exact
+/// permutation is irrelevant as long as it is a bijection with no obvious
+/// arithmetic structure, which the unit tests check.
+pub const PEARSON_TABLE: [u8; 256] = build_table();
+
+const fn build_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = i as u8;
+        i += 1;
+    }
+    // Fisher-Yates with a deterministic LCG (numerical recipes constants).
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut j = 255;
+    while j > 0 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let k = (state >> 33) as usize % (j + 1);
+        let tmp = t[j];
+        t[j] = t[k];
+        t[k] = tmp;
+        j -= 1;
+    }
+    t
+}
+
+/// Pearson hash of a single byte: one table substitution.
+#[inline]
+pub fn pearson_byte(b: u8) -> u8 {
+    PEARSON_TABLE[b as usize]
+}
+
+/// The DM P+8way index function: substitute each byte of the 32 LSBs,
+/// xor-fold, and take the low 6 bits (paper, Figure 4).
+#[inline]
+pub fn pearson_index(addr: u64, sets: usize) -> usize {
+    let lsb = addr as u32;
+    let h = pearson_byte(lsb as u8)
+        ^ pearson_byte((lsb >> 8) as u8)
+        ^ pearson_byte((lsb >> 16) as u8)
+        ^ pearson_byte((lsb >> 24) as u8);
+    h as usize % sets
+}
+
+/// The direct index function of DM 8way / 16way: the low address bits.
+#[inline]
+pub fn direct_index(addr: u64, sets: usize) -> usize {
+    (addr as usize) % sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in PEARSON_TABLE.iter() {
+            assert!(!seen[v as usize], "duplicate value {v}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn table_is_not_identity() {
+        let moved = (0..256).filter(|&i| PEARSON_TABLE[i] != i as u8).count();
+        assert!(moved > 200, "only {moved} entries moved");
+    }
+
+    #[test]
+    fn pearson_spreads_power_of_two_strides() {
+        // Addresses with stride 32768 (a 64x64 f64 block) collapse onto one
+        // set under direct indexing but spread under Pearson.
+        let addrs: Vec<u64> = (0..256).map(|i| 0x4000_0000 + i * 32768).collect();
+        let direct: std::collections::HashSet<_> =
+            addrs.iter().map(|&a| direct_index(a, 64)).collect();
+        let pearson: std::collections::HashSet<_> =
+            addrs.iter().map(|&a| pearson_index(a, 64)).collect();
+        assert_eq!(direct.len(), 1);
+        assert!(pearson.len() > 32, "pearson used {} sets", pearson.len());
+    }
+
+    #[test]
+    fn pearson_index_in_range() {
+        for a in [0u64, 1, 0xdead_beef, u64::MAX, 0x5555_0000_1234] {
+            assert!(pearson_index(a, 64) < 64);
+            assert!(direct_index(a, 64) < 64);
+        }
+    }
+
+    #[test]
+    fn pearson_is_deterministic() {
+        assert_eq!(pearson_index(0x1234_5678, 64), pearson_index(0x1234_5678, 64));
+    }
+
+    #[test]
+    fn pearson_uses_only_lsb32() {
+        // The hardware hashes the LSB 32 bits only.
+        assert_eq!(
+            pearson_index(0xFFFF_0000_1234_5678, 64),
+            pearson_index(0x1234_5678, 64)
+        );
+    }
+
+    #[test]
+    fn balanced_distribution_on_sequential_blocks() {
+        // Chi-square-ish check: 4096 sequential block addresses should fill
+        // all 64 sets reasonably evenly (no set more than 4x the mean).
+        let mut counts = [0usize; 64];
+        for i in 0..4096u64 {
+            counts[pearson_index(0x4000_0000 + i * 8192, 64)] += 1;
+        }
+        let mean = 4096 / 64;
+        assert!(counts.iter().all(|&c| c > 0), "empty set");
+        assert!(counts.iter().all(|&c| c < 4 * mean), "hot set: {counts:?}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Aggregate statistics of a Picos run.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and high-water marks collected by the engine.
+///
+/// `dm_conflicts` is the paper's Table II metric: the number of dependences
+/// that found their DM set full and had to stall.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Tasks accepted by the Gateway.
+    pub tasks_submitted: u64,
+    /// Tasks whose finish was fully processed.
+    pub tasks_completed: u64,
+    /// Dependences registered by all DCTs.
+    pub deps_processed: u64,
+    /// Dependences that stalled on a full DM set (Table II).
+    pub dm_conflicts: u64,
+    /// Dependences that stalled on a full VM.
+    pub vm_stalls: u64,
+    /// New tasks the GW could not take because no TM slot was free.
+    pub tm_stalls: u64,
+    /// Wake packets sent by DCTs.
+    pub wakes_sent: u64,
+    /// Chain wake-ups forwarded backwards by TRS units.
+    pub chain_wakes: u64,
+    /// Peak in-flight tasks over all TRS instances.
+    pub peak_in_flight: usize,
+    /// Peak live DM entries over all DCT instances.
+    pub peak_dm_live: usize,
+    /// Peak live VM entries over all DCT instances.
+    pub peak_vm_live: usize,
+    /// Peak occupancy of the ready-task output buffer.
+    pub peak_ready: usize,
+    /// Busy cycles of the Gateway (new-task + finished ports).
+    pub busy_gw: u64,
+    /// Busy cycles summed over all TRS instances.
+    pub busy_trs: u64,
+    /// Busy cycles summed over all DCT instances (both ports).
+    pub busy_dct: u64,
+    /// Busy cycles of the Arbiter.
+    pub busy_arb: u64,
+    /// Busy cycles of the Task Scheduler.
+    pub busy_ts: u64,
+}
+
+impl Stats {
+    /// Utilization of a unit class over a run of `makespan` cycles,
+    /// normalized per instance.
+    pub fn utilization(busy: u64, makespan: u64, instances: usize) -> f64 {
+        if makespan == 0 || instances == 0 {
+            0.0
+        } else {
+            busy as f64 / makespan as f64 / instances as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = Stats::default();
+        assert_eq!(s.tasks_submitted, 0);
+        assert_eq!(s.dm_conflicts, 0);
+        assert_eq!(s.peak_ready, 0);
+        assert_eq!(s.busy_gw, 0);
+    }
+
+    #[test]
+    fn utilization_math() {
+        assert_eq!(Stats::utilization(50, 100, 1), 0.5);
+        assert_eq!(Stats::utilization(100, 100, 2), 0.5);
+        assert_eq!(Stats::utilization(10, 0, 1), 0.0);
+    }
+}

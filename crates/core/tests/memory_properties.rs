@@ -1,0 +1,117 @@
+//! Property-based tests of the Picos memories: the DM and VM must never
+//! lose or duplicate capacity under arbitrary allocate/free interleavings,
+//! and the index functions must stay within bounds for any address.
+
+use picos_core::{Dm, DmAccess, DmDesign, SlotRef, Vm, VmEntry, VmRef};
+use proptest::prelude::*;
+
+fn arb_design() -> impl Strategy<Value = DmDesign> {
+    prop_oneof![
+        Just(DmDesign::EightWay),
+        Just(DmDesign::SixteenWay),
+        Just(DmDesign::PearsonEightWay),
+    ]
+}
+
+fn entry() -> VmEntry {
+    VmEntry {
+        producer: Some(SlotRef::new(0, 0)),
+        producer_finished: false,
+        last_consumer: None,
+        consumers_total: 0,
+        consumers_finished: 0,
+        next: None,
+        dm_slot: picos_core::DmSlot { set: 0, way: 0 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert-then-free round trips restore full DM capacity; live counts
+    /// never exceed capacity; the same address always hits after insert.
+    #[test]
+    fn dm_capacity_conserved(design in arb_design(), addrs in prop::collection::vec(0u64..1u64 << 40, 1..300)) {
+        let mut dm = Dm::new(design, 64);
+        let mut live: Vec<(u64, picos_core::DmSlot)> = Vec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            match dm.access(a, false) {
+                DmAccess::Inserted(slot) => {
+                    dm.bind(slot, VmRef::new(0, i as u16));
+                    prop_assert!(dm.lookup(a) == Some(slot));
+                    live.push((a, slot));
+                }
+                DmAccess::Hit(slot) => {
+                    prop_assert!(live.iter().any(|&(la, ls)| la == a && ls == slot));
+                }
+                DmAccess::Conflict => {
+                    // The set must really be full of other addresses.
+                    prop_assert!(dm.lookup(a).is_none());
+                }
+            }
+            prop_assert!(dm.live() <= dm.capacity());
+            prop_assert_eq!(dm.live(), live.len());
+        }
+        // Free everything: capacity restored.
+        for (_, slot) in live.drain(..) {
+            dm.pop_version(slot, None);
+        }
+        prop_assert_eq!(dm.live(), 0);
+    }
+
+    /// Index functions stay in range and are deterministic for any address.
+    #[test]
+    fn index_in_range(design in arb_design(), addr in any::<u64>()) {
+        let dm = Dm::new(design, 64);
+        let i1 = dm.index(addr);
+        let i2 = dm.index(addr);
+        prop_assert!(i1 < 64);
+        prop_assert_eq!(i1, i2);
+    }
+
+    /// The VM slab never double-allocates, never loses entries, and serves
+    /// exactly `capacity` concurrent allocations.
+    #[test]
+    fn vm_slab_invariants(ops in prop::collection::vec(any::<bool>(), 1..400)) {
+        let mut vm = Vm::new(32);
+        let mut live: Vec<u16> = Vec::new();
+        for alloc in ops {
+            if alloc {
+                match vm.alloc(entry()) {
+                    Some(idx) => {
+                        prop_assert!(!live.contains(&idx), "double allocation of {}", idx);
+                        live.push(idx);
+                    }
+                    None => prop_assert_eq!(live.len(), 32, "alloc failed below capacity"),
+                }
+            } else if let Some(idx) = live.pop() {
+                vm.free(idx);
+            }
+            prop_assert_eq!(vm.live(), live.len());
+            prop_assert!(vm.peak_live() <= 32);
+        }
+    }
+
+    /// DCT routing covers all instances and never goes out of range.
+    #[test]
+    fn dct_routing(addr in any::<u64>(), n in 1usize..8) {
+        let d = picos_core::dct_for_addr(addr, n);
+        prop_assert!(usize::from(d) < n);
+    }
+}
+
+/// The router must not funnel stride-aligned block addresses to one DCT
+/// (the pathology of hashing into the low bits).
+#[test]
+fn dct_routing_spreads_block_strides() {
+    for stride in [256u64, 4096, 32768, 524288] {
+        let mut used = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            used.insert(picos_core::dct_for_addr(0x4000_0000 + i * stride, 4));
+        }
+        assert!(
+            used.len() >= 3,
+            "stride {stride}: only DCTs {used:?} used"
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! The three operational modes of the HIL platform (paper, Section IV-B).
+//!
+//! * [`HilMode::HwOnly`] — all tasks are pre-loaded into Picos and workers
+//!   live in the programmable logic: measures the raw hardware.
+//! * [`HilMode::HwComm`] — adds the AXI Stream bus: every new task, ready
+//!   task and finish notification crosses the serializing bus.
+//! * [`HilMode::FullSystem`] — the closed loop: the ARM core creates each
+//!   task, submits it over the bus, retrieves ready tasks, dispatches them
+//!   to workers and forwards finishes.
+
+use crate::cost::HilCostModel;
+use crate::pool::{Bus, BusMsg, Workers};
+use picos_core::{FinishedReq, PicosConfig, PicosSystem, SlotRef};
+use picos_runtime::ExecReport;
+use picos_trace::{TaskId, Trace};
+use std::collections::VecDeque;
+
+/// Operational mode of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HilMode {
+    /// Raw hardware: no communication or software costs.
+    HwOnly,
+    /// Hardware plus AXI communication.
+    HwComm,
+    /// Closed loop through the ARM core (communication + task creation).
+    FullSystem,
+}
+
+impl HilMode {
+    /// The three modes in paper order (Table IV's row groups).
+    pub const ALL: [HilMode; 3] = [HilMode::HwOnly, HilMode::HwComm, HilMode::FullSystem];
+
+    /// Paper-style label.
+    pub fn name(self) -> &'static str {
+        match self {
+            HilMode::HwOnly => "HW-only",
+            HilMode::HwComm => "HW+comm.",
+            HilMode::FullSystem => "Full-system",
+        }
+    }
+}
+
+impl std::fmt::Display for HilMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a HIL run.
+#[derive(Debug, Clone)]
+pub struct HilConfig {
+    /// The Picos core configuration.
+    pub picos: PicosConfig,
+    /// Number of workers executing tasks.
+    pub workers: usize,
+    /// Platform cost model.
+    pub cost: HilCostModel,
+}
+
+impl HilConfig {
+    /// The paper's balanced configuration with `workers` workers.
+    pub fn balanced(workers: usize) -> Self {
+        HilConfig {
+            picos: PicosConfig::balanced(),
+            workers,
+            cost: HilCostModel::default(),
+        }
+    }
+}
+
+/// Errors from a HIL run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HilError {
+    /// The platform stopped with unfinished work.
+    Stalled {
+        /// Tasks executed before the stall.
+        executed: usize,
+        /// Total tasks in the trace.
+        total: usize,
+        /// Time of the stall.
+        at: u64,
+    },
+}
+
+impl std::fmt::Display for HilError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HilError::Stalled { executed, total, at } => {
+                write!(f, "platform stalled at cycle {at} after {executed}/{total} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HilError {}
+
+/// Runs a trace through the platform in the given mode; returns the
+/// schedule and, in the report's `engine` field, a label like
+/// `"picos-hw-only"`.
+///
+/// # Errors
+///
+/// Returns [`HilError::Stalled`] if the run cannot complete (this would
+/// indicate an engine bug; the configuration itself is validated by
+/// [`PicosSystem::new`]).
+pub fn run_hil(trace: &Trace, mode: HilMode, cfg: &HilConfig) -> Result<ExecReport, HilError> {
+    match mode {
+        HilMode::HwOnly => run_hw_only(trace, cfg),
+        HilMode::HwComm => run_hw_comm(trace, cfg),
+        HilMode::FullSystem => run_full_system(trace, cfg),
+    }
+}
+
+/// Collects the per-run Picos statistics alongside the report.
+///
+/// Same as [`run_hil`] but also returns the core's counters (DM conflicts
+/// for Table II, stalls, peaks).
+///
+/// # Errors
+///
+/// See [`run_hil`].
+pub fn run_hil_with_stats(
+    trace: &Trace,
+    mode: HilMode,
+    cfg: &HilConfig,
+) -> Result<(ExecReport, picos_core::Stats), HilError> {
+    // The drivers below each build their own system; rebuild here with the
+    // same deterministic behaviour to expose the stats.
+    match mode {
+        HilMode::HwOnly => run_hw_only_impl(trace, cfg).map(|(r, s)| (r, s)),
+        HilMode::HwComm => run_hw_comm_impl(trace, cfg).map(|(r, s)| (r, s)),
+        HilMode::FullSystem => run_full_system_impl(trace, cfg).map(|(r, s)| (r, s)),
+    }
+}
+
+fn run_hw_only(trace: &Trace, cfg: &HilConfig) -> Result<ExecReport, HilError> {
+    run_hw_only_impl(trace, cfg).map(|(r, _)| r)
+}
+
+fn run_hw_comm(trace: &Trace, cfg: &HilConfig) -> Result<ExecReport, HilError> {
+    run_hw_comm_impl(trace, cfg).map(|(r, _)| r)
+}
+
+fn run_full_system(trace: &Trace, cfg: &HilConfig) -> Result<ExecReport, HilError> {
+    run_full_system_impl(trace, cfg).map(|(r, _)| r)
+}
+
+struct RunLog {
+    start: Vec<u64>,
+    end: Vec<u64>,
+    order: Vec<u32>,
+}
+
+impl RunLog {
+    fn new(n: usize) -> Self {
+        RunLog {
+            start: vec![0; n],
+            end: vec![0; n],
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    fn begin(&mut self, task: u32, at: u64, dur: u64) -> u64 {
+        self.start[task as usize] = at;
+        self.end[task as usize] = at + dur;
+        self.order.push(task);
+        at + dur
+    }
+
+    fn into_report(self, engine: &str, workers: usize, trace: &Trace) -> ExecReport {
+        ExecReport {
+            engine: engine.into(),
+            workers,
+            makespan: self.end.iter().copied().max().unwrap_or(0),
+            sequential: trace.sequential_time(),
+            order: self.order,
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+fn min_next(cands: &[Option<u64>]) -> Option<u64> {
+    cands.iter().flatten().copied().min()
+}
+
+fn run_hw_only_impl(
+    trace: &Trace,
+    cfg: &HilConfig,
+) -> Result<(ExecReport, picos_core::Stats), HilError> {
+    let mut sys = PicosSystem::new(cfg.picos.clone());
+    let n = trace.len();
+    let mut workers = Workers::new(cfg.workers);
+    let mut log = RunLog::new(n);
+    let mut next_submit = 0usize;
+    let mut done_count = 0usize;
+    let mut t = 0u64;
+    loop {
+        sys.advance_to(t);
+        let mut touched = false;
+        while let Some((task, slot)) = workers.pop_done_at(t) {
+            sys.notify_finished(FinishedReq { task: TaskId::new(task), slot });
+            done_count += 1;
+            touched = true;
+        }
+        // Pre-load every task the taskwait structure allows (all of them
+        // when the trace has no barriers).
+        while next_submit < trace.creation_limit(done_count) {
+            let task = &trace.tasks()[next_submit];
+            sys.submit(task.id, task.deps.clone());
+            next_submit += 1;
+            touched = true;
+        }
+        if touched {
+            sys.advance_to(t);
+        }
+        while workers.idle() > 0 {
+            let Some(r) = sys.pop_ready() else { break };
+            let st = t + cfg.cost.dispatch;
+            let dur = trace.tasks()[r.task.index()].duration;
+            let end = log.begin(r.task.raw(), st, dur);
+            workers.start(end, r.task.raw(), r.slot);
+        }
+        match min_next(&[sys.next_event_time(), workers.next_done()]) {
+            Some(tn) => t = tn,
+            None => break,
+        }
+    }
+    if log.order.len() != n || sys.in_flight() != 0 || workers.busy() {
+        return Err(HilError::Stalled { executed: log.order.len(), total: n, at: t });
+    }
+    let stats = sys.stats();
+    Ok((log.into_report("picos-hw-only", cfg.workers, trace), stats))
+}
+
+fn run_hw_comm_impl(
+    trace: &Trace,
+    cfg: &HilConfig,
+) -> Result<(ExecReport, picos_core::Stats), HilError> {
+    let mut sys = PicosSystem::new(cfg.picos.clone());
+    let n = trace.len();
+    let mut workers = Workers::new(cfg.workers);
+    let mut bus = Bus::new(cfg.cost.axi_occupancy, cfg.cost.axi_latency, cfg.cost.axi_setup);
+    let mut log = RunLog::new(n);
+    let mut next_send = 0usize;
+    let mut newtasks_in_bus = 0usize;
+    let mut inflight_ready = 0usize;
+    let mut done_count = 0usize;
+    let mut t = 0u64;
+    loop {
+        sys.advance_to(t);
+        let mut touched = false;
+        while let Some((task, slot)) = workers.pop_done_at(t) {
+            bus.send(t, BusMsg::Finish(task, slot));
+            done_count += 1;
+            touched = true;
+        }
+        while let Some(msg) = bus.pop_delivery_at(t) {
+            touched = true;
+            match msg {
+                BusMsg::NewTask(i) => {
+                    let task = &trace.tasks()[i as usize];
+                    sys.submit(task.id, task.deps.clone());
+                    newtasks_in_bus -= 1;
+                }
+                BusMsg::Ready(task, slot) => {
+                    let dur = trace.tasks()[task as usize].duration;
+                    let end = log.begin(task, t, dur);
+                    workers.start(end, task, slot);
+                    inflight_ready -= 1;
+                }
+                BusMsg::Finish(task, slot) => {
+                    sys.notify_finished(FinishedReq { task: TaskId::new(task), slot });
+                }
+            }
+        }
+        if touched {
+            sys.advance_to(t);
+        }
+        // Feed new tasks while the SR0 FIFO has room and the taskwait
+        // structure allows.
+        while next_send < trace.creation_limit(done_count)
+            && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue
+        {
+            bus.send(t, BusMsg::NewTask(next_send as u32));
+            newtasks_in_bus += 1;
+            next_send += 1;
+        }
+        // Retrieve ready tasks for free workers.
+        while sys.ready_len() > 0 && workers.idle() > inflight_ready {
+            let r = sys.pop_ready().expect("ready_len checked");
+            bus.send(t, BusMsg::Ready(r.task.raw(), r.slot));
+            inflight_ready += 1;
+        }
+        match min_next(&[sys.next_event_time(), workers.next_done(), bus.next_delivery()]) {
+            Some(tn) => t = tn,
+            None => break,
+        }
+    }
+    if log.order.len() != n || sys.in_flight() != 0 || bus.in_flight() != 0 || workers.busy() {
+        return Err(HilError::Stalled { executed: log.order.len(), total: n, at: t });
+    }
+    let stats = sys.stats();
+    Ok((log.into_report("picos-hw-comm", cfg.workers, trace), stats))
+}
+
+fn run_full_system_impl(
+    trace: &Trace,
+    cfg: &HilConfig,
+) -> Result<(ExecReport, picos_core::Stats), HilError> {
+    let mut sys = PicosSystem::new(cfg.picos.clone());
+    let n = trace.len();
+    let mut workers = Workers::new(cfg.workers);
+    let mut bus = Bus::new(cfg.cost.axi_occupancy, cfg.cost.axi_latency, cfg.cost.axi_setup);
+    let mut log = RunLog::new(n);
+    let mut finish_q: VecDeque<(u32, SlotRef)> = VecDeque::new();
+    let mut next_create = 0usize;
+    let mut newtasks_in_bus = 0usize;
+    let mut inflight_ready = 0usize;
+    let mut done_count = 0usize;
+    let mut arm_free = cfg.cost.arm_startup;
+    let mut t = 0u64;
+    loop {
+        sys.advance_to(t);
+        let mut touched = false;
+        while let Some((task, slot)) = workers.pop_done_at(t) {
+            finish_q.push_back((task, slot));
+            done_count += 1;
+            touched = true;
+        }
+        while let Some(msg) = bus.pop_delivery_at(t) {
+            touched = true;
+            match msg {
+                BusMsg::NewTask(i) => {
+                    let task = &trace.tasks()[i as usize];
+                    sys.submit(task.id, task.deps.clone());
+                    newtasks_in_bus -= 1;
+                }
+                BusMsg::Ready(task, slot) => {
+                    let dur = trace.tasks()[task as usize].duration;
+                    let end = log.begin(task, t, dur);
+                    workers.start(end, task, slot);
+                    inflight_ready -= 1;
+                }
+                BusMsg::Finish(task, slot) => {
+                    sys.notify_finished(FinishedReq { task: TaskId::new(task), slot });
+                }
+            }
+        }
+        if touched {
+            sys.advance_to(t);
+        }
+        // The ARM core is a serial resource; one action per free slot, with
+        // finish forwarding first (it releases downstream resources), then
+        // ready retrieval, then creation of the next task.
+        while arm_free <= t {
+            if let Some((task, slot)) = finish_q.pop_front() {
+                let done = t + cfg.cost.arm_finish;
+                arm_free = bus.send(done, BusMsg::Finish(task, slot));
+            } else if sys.ready_len() > 0 && workers.idle() > inflight_ready {
+                let r = sys.pop_ready().expect("ready_len checked");
+                let done = t + cfg.cost.arm_retrieve;
+                let slot_end = bus.send(done, BusMsg::Ready(r.task.raw(), r.slot));
+                arm_free = slot_end + cfg.cost.arm_dispatch;
+                inflight_ready += 1;
+            } else if next_create < trace.creation_limit(done_count)
+                && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue
+            {
+                let task = &trace.tasks()[next_create];
+                let done = t + cfg.cost.arm_create + cfg.cost.arm_submit(task.num_deps());
+                arm_free = bus.send(done, BusMsg::NewTask(next_create as u32));
+                newtasks_in_bus += 1;
+                next_create += 1;
+            } else {
+                break;
+            }
+        }
+        let arm_pending = !finish_q.is_empty()
+            || (sys.ready_len() > 0 && workers.idle() > inflight_ready)
+            || (next_create < trace.creation_limit(done_count)
+                && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue);
+        let arm_cand = if arm_pending && arm_free > t { Some(arm_free) } else { None };
+        match min_next(&[
+            sys.next_event_time(),
+            workers.next_done(),
+            bus.next_delivery(),
+            arm_cand,
+        ]) {
+            Some(tn) => t = tn,
+            None => break,
+        }
+    }
+    if log.order.len() != n
+        || sys.in_flight() != 0
+        || bus.in_flight() != 0
+        || !finish_q.is_empty()
+        || workers.busy()
+    {
+        return Err(HilError::Stalled { executed: log.order.len(), total: n, at: t });
+    }
+    let stats = sys.stats();
+    Ok((log.into_report("picos-full", cfg.workers, trace), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_core::{DmDesign, TsPolicy};
+    use picos_trace::gen;
+
+    #[test]
+    fn all_modes_complete_and_validate_on_synthetics() {
+        for case in gen::Case::ALL {
+            let tr = gen::synthetic(case);
+            for mode in HilMode::ALL {
+                let cfg = HilConfig::balanced(12);
+                let r = run_hil(&tr, mode, &cfg)
+                    .unwrap_or_else(|e| panic!("{case:?} {mode}: {e}"));
+                r.validate(&tr).unwrap_or_else(|e| panic!("{case:?} {mode}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_overheads_are_ordered() {
+        // HW-only < HW+comm < Full-system makespan on the same trace.
+        let tr = gen::synthetic(gen::Case::Case2);
+        let cfg = HilConfig::balanced(12);
+        let hw = run_hil(&tr, HilMode::HwOnly, &cfg).unwrap().makespan;
+        let comm = run_hil(&tr, HilMode::HwComm, &cfg).unwrap().makespan;
+        let full = run_hil(&tr, HilMode::FullSystem, &cfg).unwrap().makespan;
+        assert!(hw < comm, "{hw} !< {comm}");
+        assert!(comm < full, "{comm} !< {full}");
+    }
+
+    #[test]
+    fn real_app_completes_in_full_system() {
+        let tr = gen::cholesky(gen::CholeskyConfig::paper(256));
+        let cfg = HilConfig::balanced(8);
+        let r = run_hil(&tr, HilMode::FullSystem, &cfg).unwrap();
+        r.validate(&tr).unwrap();
+        assert!(r.speedup() > 1.0, "speedup {}", r.speedup());
+    }
+
+    #[test]
+    fn speedup_grows_with_workers_on_parallel_app() {
+        let tr = gen::cholesky(gen::CholeskyConfig::paper(128));
+        let s2 = run_hil(&tr, HilMode::FullSystem, &HilConfig::balanced(2))
+            .unwrap()
+            .speedup();
+        let s8 = run_hil(&tr, HilMode::FullSystem, &HilConfig::balanced(8))
+            .unwrap()
+            .speedup();
+        assert!(s8 > s2 * 1.5, "s2={s2} s8={s8}");
+    }
+
+    #[test]
+    fn dm_designs_rank_on_clustered_heat() {
+        // Heat's contiguous blocks: Pearson must beat the direct designs
+        // (paper, Figure 8 first row).
+        let tr = gen::heat(gen::HeatConfig::paper(64));
+        let mut speeds = std::collections::HashMap::new();
+        for dm in DmDesign::ALL {
+            let cfg = HilConfig {
+                picos: PicosConfig::baseline(dm),
+                ..HilConfig::balanced(12)
+            };
+            let (r, stats) = run_hil_with_stats(&tr, HilMode::HwOnly, &cfg).unwrap();
+            r.validate(&tr).unwrap();
+            speeds.insert(dm, (r.speedup(), stats.dm_conflicts));
+        }
+        let (sp, cp) = speeds[&DmDesign::PearsonEightWay];
+        let (s8, c8) = speeds[&DmDesign::EightWay];
+        assert!(cp < c8, "pearson conflicts {cp} !< 8way {c8}");
+        assert!(sp >= s8 * 0.95, "pearson {sp} worse than 8way {s8}");
+    }
+
+    #[test]
+    fn lifo_policy_runs_and_validates() {
+        let tr = gen::lu(gen::LuConfig::paper(128));
+        let cfg = HilConfig {
+            picos: PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo),
+            ..HilConfig::balanced(8)
+        };
+        let r = run_hil(&tr, HilMode::FullSystem, &cfg).unwrap();
+        r.validate(&tr).unwrap();
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let cfg = HilConfig::balanced(16);
+        let a = run_hil(&tr, HilMode::FullSystem, &cfg).unwrap();
+        let b = run_hil(&tr, HilMode::FullSystem, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(HilMode::HwOnly.to_string(), "HW-only");
+        assert_eq!(HilMode::FullSystem.name(), "Full-system");
+    }
+}

@@ -1,0 +1,177 @@
+//! Worker pool and AXI bus helpers for the HIL drivers.
+
+use picos_core::SlotRef;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pool of workers executing tasks for their trace duration.
+#[derive(Debug)]
+pub(crate) struct Workers {
+    heap: BinaryHeap<Reverse<(u64, u32, SlotRef)>>,
+    idle: usize,
+    total: usize,
+}
+
+impl Workers {
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "need at least one worker");
+        Workers {
+            heap: BinaryHeap::new(),
+            idle: total,
+            total,
+        }
+    }
+
+    /// Free workers right now.
+    pub fn idle(&self) -> usize {
+        self.idle
+    }
+
+    /// Whether any task is currently executing.
+    pub fn busy(&self) -> bool {
+        self.idle < self.total
+    }
+
+    /// Starts a task that will complete at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker is free.
+    pub fn start(&mut self, end: u64, task: u32, slot: SlotRef) {
+        assert!(self.idle > 0, "no free worker");
+        self.idle -= 1;
+        self.heap.push(Reverse((end, task, slot)));
+    }
+
+    /// Earliest completion time among running tasks.
+    pub fn next_done(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops a task completing exactly at `t`, freeing its worker.
+    pub fn pop_done_at(&mut self, t: u64) -> Option<(u32, SlotRef)> {
+        match self.heap.peek() {
+            Some(Reverse((d, _, _))) if *d == t => {
+                let Reverse((_, task, slot)) = self.heap.pop().expect("peeked");
+                self.idle += 1;
+                Some((task, slot))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Messages crossing the AXI bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum BusMsg {
+    /// A new task travelling to the Picos GW.
+    NewTask(u32),
+    /// A ready task travelling to a worker.
+    Ready(u32, SlotRef),
+    /// A finished-task notification travelling to the Picos GW.
+    Finish(u32, SlotRef),
+}
+
+/// A serializing bus: one message at a time, each occupying the bus for
+/// `occupancy` cycles and arriving `latency` cycles after its slot ends.
+#[derive(Debug)]
+pub(crate) struct Bus {
+    occupancy: u64,
+    latency: u64,
+    free_at: u64,
+    deliveries: BinaryHeap<Reverse<(u64, u64, BusMsg)>>,
+    seq: u64,
+}
+
+impl Bus {
+    pub fn new(occupancy: u64, latency: u64, setup: u64) -> Self {
+        Bus {
+            occupancy,
+            latency,
+            free_at: setup,
+            deliveries: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Queues a message at time `t`; returns the time its bus slot ends.
+    pub fn send(&mut self, t: u64, msg: BusMsg) -> u64 {
+        let s = self.free_at.max(t);
+        self.free_at = s + self.occupancy;
+        self.seq += 1;
+        self.deliveries
+            .push(Reverse((self.free_at + self.latency, self.seq, msg)));
+        self.free_at
+    }
+
+    /// Earliest pending delivery time.
+    pub fn next_delivery(&self) -> Option<u64> {
+        self.deliveries.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops a message delivered exactly at `t`.
+    pub fn pop_delivery_at(&mut self, t: u64) -> Option<BusMsg> {
+        match self.deliveries.peek() {
+            Some(Reverse((d, _, _))) if *d == t => {
+                let Reverse((_, _, m)) = self.deliveries.pop().expect("peeked");
+                Some(m)
+            }
+            _ => None,
+        }
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.deliveries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_lifecycle() {
+        let mut w = Workers::new(2);
+        assert_eq!(w.idle(), 2);
+        w.start(10, 0, SlotRef::new(0, 0));
+        w.start(5, 1, SlotRef::new(0, 1));
+        assert_eq!(w.idle(), 0);
+        assert!(w.busy());
+        assert_eq!(w.next_done(), Some(5));
+        assert!(w.pop_done_at(4).is_none());
+        assert_eq!(w.pop_done_at(5), Some((1, SlotRef::new(0, 1))));
+        assert_eq!(w.idle(), 1);
+        assert_eq!(w.next_done(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no free worker")]
+    fn workers_overcommit_panics() {
+        let mut w = Workers::new(1);
+        w.start(10, 0, SlotRef::new(0, 0));
+        w.start(20, 1, SlotRef::new(0, 1));
+    }
+
+    #[test]
+    fn bus_serializes_messages() {
+        let mut b = Bus::new(100, 10, 0);
+        let e1 = b.send(0, BusMsg::NewTask(0));
+        let e2 = b.send(0, BusMsg::NewTask(1));
+        assert_eq!(e1, 100);
+        assert_eq!(e2, 200, "second message waits for the first slot");
+        assert_eq!(b.next_delivery(), Some(110));
+        assert_eq!(b.pop_delivery_at(110), Some(BusMsg::NewTask(0)));
+        assert_eq!(b.pop_delivery_at(110), None);
+        assert_eq!(b.next_delivery(), Some(210));
+        assert_eq!(b.in_flight(), 1);
+    }
+
+    #[test]
+    fn bus_idle_gap_does_not_accumulate() {
+        let mut b = Bus::new(100, 0, 0);
+        b.send(0, BusMsg::NewTask(0));
+        let end = b.send(1_000, BusMsg::NewTask(1));
+        assert_eq!(end, 1_100, "bus restarts from the request time");
+    }
+}

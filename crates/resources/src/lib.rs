@@ -1,0 +1,303 @@
+//! Analytic FPGA resource model for the Picos prototype (Table III).
+//!
+//! The paper reports LUT/FF/BRAM consumption of every memory and module on
+//! the Zynq XC7Z020. Synthesis cannot be reproduced in software, but the
+//! dominant terms are analytic: block-RAM count follows from memory
+//! geometry and the RAMB36 aspect-ratio modes, comparator/control LUTs
+//! scale with associativity and tag width. This crate models those terms,
+//! parametrized by the same [`PicosConfig`] the simulator uses, so design
+//! ablations (e.g. a 32-way DM) report resource costs consistently with the
+//! paper's methodology (Section V-B).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use picos_core::{DmDesign, PicosConfig};
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device's resource totals (Table III header row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Total 6-input LUTs.
+    pub luts: u64,
+    /// Total flip-flops.
+    pub ffs: u64,
+    /// Total 36Kb block RAMs.
+    pub bram36: u64,
+}
+
+/// The paper's device: XC7Z020-CLG484 on the Zedboard.
+pub const XC7Z020: Device = Device {
+    luts: 53_200,
+    ffs: 106_400,
+    bram36: 140,
+};
+
+/// A resource estimate in absolute units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36Kb block RAMs.
+    pub bram36: u64,
+}
+
+impl ResourceEstimate {
+    /// Percentage of the device, per resource class: `(luts%, ffs%, bram%)`.
+    pub fn percent_of(&self, dev: Device) -> (f64, f64, f64) {
+        (
+            100.0 * self.luts as f64 / dev.luts as f64,
+            100.0 * self.ffs as f64 / dev.ffs as f64,
+            100.0 * self.bram36 as f64 / dev.bram36 as f64,
+        )
+    }
+}
+
+impl std::ops::Add for ResourceEstimate {
+    type Output = ResourceEstimate;
+    fn add(self, o: ResourceEstimate) -> ResourceEstimate {
+        ResourceEstimate {
+            luts: self.luts + o.luts,
+            ffs: self.ffs + o.ffs,
+            bram36: self.bram36 + o.bram36,
+        }
+    }
+}
+
+impl std::iter::Sum for ResourceEstimate {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(ResourceEstimate::default(), |a, b| a + b)
+    }
+}
+
+/// RAMB36 blocks needed for a memory of `entries` x `width_bits`.
+///
+/// Models the Xilinx aspect-ratio modes: a RAMB36 provides 72x512, 36x1024,
+/// 18x2048, 9x4096 (and narrower). The synthesizer splits wide memories
+/// across blocks; every memory takes at least one block.
+pub fn bram_blocks(entries: u64, width_bits: u64) -> u64 {
+    if entries == 0 || width_bits == 0 {
+        return 0;
+    }
+    let width_mode: u64 = match entries {
+        0..=512 => 72,
+        513..=1024 => 36,
+        1025..=2048 => 18,
+        2049..=4096 => 9,
+        _ => 4,
+    };
+    let splits = width_bits.div_ceil(width_mode);
+    let depth_blocks: u64 = if entries <= 4096 {
+        1
+    } else {
+        entries.div_ceil(4096)
+    };
+    (splits * depth_blocks).max(1)
+}
+
+/// Task Memory (TM0 + five TMX memories) of one TRS instance.
+///
+/// TM0 holds task id, dependence count and ready count; each TMX entry
+/// holds three dependence records (VM address, chain slot, flags — 24 bits
+/// each), the layout of Figure 3b.
+pub fn tm_resources(tm_entries: u64) -> ResourceEstimate {
+    let tm0 = bram_blocks(tm_entries, 44);
+    let tmx = 5 * bram_blocks(tm_entries, 3 * 24);
+    ResourceEstimate {
+        luts: 180 + tm_entries / 8, // address decode + free-list encode
+        ffs: 12,
+        bram36: tm0 + tmx,
+    }
+}
+
+/// Version Memory of one DCT instance.
+pub fn vm_resources(vm_entries: u64) -> ResourceEstimate {
+    // producer slot + consumer slot + counters + next link + flags.
+    ResourceEstimate {
+        luts: 160 + vm_entries / 16,
+        ffs: 12,
+        bram36: bram_blocks(vm_entries, 56),
+    }
+}
+
+/// Dependence Memory of one DCT instance.
+///
+/// Each way keeps its 64-bit tags in its own block for parallel compare;
+/// data fields (VM pointer, counters) are packed two ways per block. The
+/// Pearson variant adds the substitution tables and the xor-fold logic.
+pub fn dm_resources(design: DmDesign, sets: u64) -> ResourceEstimate {
+    let ways = design.ways() as u64;
+    let tag_brams = ways * bram_blocks(sets, 64);
+    let data_brams = ways.div_ceil(2) * bram_blocks(sets, 2 * 20);
+    let pearson_brams = if design.uses_pearson() { 2 } else { 0 };
+    // Parallel 64-bit comparators + way-select priority mux + control.
+    let luts = ways * 64 + ways * ways * 2 + 150 + if design.uses_pearson() { 200 } else { 0 };
+    ResourceEstimate {
+        luts,
+        ffs: 40 + ways * 4,
+        bram36: tag_brams + data_brams + pearson_brams,
+    }
+}
+
+/// The full TRS module (TM plus readiness/chain control).
+pub fn trs_resources(cfg: &PicosConfig) -> ResourceEstimate {
+    let tm = tm_resources(cfg.tm_entries as u64);
+    tm + ResourceEstimate {
+        luts: 620,
+        ffs: 610,
+        bram36: 0,
+    }
+}
+
+/// The full DCT module (DM + VM plus chain-tracking control).
+pub fn dct_resources(cfg: &PicosConfig) -> ResourceEstimate {
+    let dm = dm_resources(cfg.dm_design, cfg.dm_sets as u64);
+    let vm = vm_resources(cfg.vm_entries as u64);
+    dm + vm
+        + ResourceEstimate {
+            luts: 420,
+            ffs: 240,
+            bram36: 0,
+        }
+}
+
+/// Gateway + Arbiter + Task Scheduler (simple control, no memories).
+pub fn gw_arb_ts_resources(cfg: &PicosConfig) -> ResourceEstimate {
+    // The arbiter crossbar grows with the instance counts.
+    let lanes = (cfg.num_trs + cfg.num_dct) as u64;
+    ResourceEstimate {
+        luts: 600 + 45 * lanes,
+        ffs: 380 + 22 * lanes,
+        bram36: 0,
+    }
+}
+
+/// The complete Picos design for a configuration.
+pub fn full_picos_resources(cfg: &PicosConfig) -> ResourceEstimate {
+    let trs: ResourceEstimate = (0..cfg.num_trs).map(|_| trs_resources(cfg)).sum();
+    let dct: ResourceEstimate = (0..cfg.num_dct).map(|_| dct_resources(cfg)).sum();
+    trs + dct + gw_arb_ts_resources(cfg)
+}
+
+/// One row of the Table III reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Row label as in the paper.
+    pub name: String,
+    /// Estimated resources.
+    pub est: ResourceEstimate,
+}
+
+/// Regenerates the rows of the paper's Table III.
+pub fn table3() -> Vec<Table3Row> {
+    let base = PicosConfig::balanced();
+    let cfg8 = PicosConfig::baseline(DmDesign::EightWay);
+    let cfg16 = PicosConfig::baseline(DmDesign::SixteenWay);
+    let row = |name: &str, est: ResourceEstimate| Table3Row { name: name.into(), est };
+    vec![
+        row("TM", tm_resources(base.tm_entries as u64)),
+        row("VM for 8way/P+8way", vm_resources(512)),
+        row("VM for 16way", vm_resources(1024)),
+        row("DM 8way", dm_resources(DmDesign::EightWay, 64)),
+        row("DM 16way", dm_resources(DmDesign::SixteenWay, 64)),
+        row("DM P+8way", dm_resources(DmDesign::PearsonEightWay, 64)),
+        row("TRS", trs_resources(&cfg8)),
+        row("DCT (DM P+8way)", dct_resources(&base)),
+        row("GW+ARB+TS", gw_arb_ts_resources(&base)),
+        row("Full Picos (DM P+8way)", full_picos_resources(&base)),
+        // For completeness: the direct-hash alternatives.
+        row("Full Picos (DM 8way)", full_picos_resources(&cfg8)),
+        row("Full Picos (DM 16way)", full_picos_resources(&cfg16)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_quantization() {
+        assert_eq!(bram_blocks(256, 44), 1);
+        assert_eq!(bram_blocks(512, 72), 1);
+        assert_eq!(bram_blocks(512, 73), 2);
+        assert_eq!(bram_blocks(1024, 56), 2);
+        assert_eq!(bram_blocks(64, 64), 1);
+        assert_eq!(bram_blocks(0, 10), 0);
+    }
+
+    #[test]
+    fn dm_designs_rank_as_paper() {
+        // Table III: 8way < P+8way < 16way in BRAM.
+        let b8 = dm_resources(DmDesign::EightWay, 64).bram36;
+        let bp = dm_resources(DmDesign::PearsonEightWay, 64).bram36;
+        let b16 = dm_resources(DmDesign::SixteenWay, 64).bram36;
+        assert!(b8 < bp, "{b8} !< {bp}");
+        assert!(bp < b16, "{bp} !< {b16}");
+        // 16way roughly doubles 8way (paper: 9% -> 17%).
+        assert!(b16 >= 2 * b8 - 2, "{b16} vs {b8}");
+    }
+
+    #[test]
+    fn percentages_in_paper_ballpark() {
+        // Loose windows around the paper's Table III percentages.
+        let (lut, _, bram) = dm_resources(DmDesign::EightWay, 64).percent_of(XC7Z020);
+        assert!((0.5..2.5).contains(&lut), "DM 8way LUT% {lut}");
+        assert!((5.0..13.0).contains(&bram), "DM 8way BRAM% {bram}");
+
+        let (lut, _, bram) = dm_resources(DmDesign::SixteenWay, 64).percent_of(XC7Z020);
+        assert!((2.0..4.5).contains(&lut), "DM 16way LUT% {lut}");
+        assert!((13.0..21.0).contains(&bram), "DM 16way BRAM% {bram}");
+
+        let full = full_picos_resources(&PicosConfig::balanced());
+        let (lut, ff, bram) = full.percent_of(XC7Z020);
+        assert!((4.0..8.0).contains(&lut), "full LUT% {lut}");
+        assert!((0.8..2.0).contains(&ff), "full FF% {ff}");
+        assert!((12.0..22.0).contains(&bram), "full BRAM% {bram}");
+    }
+
+    #[test]
+    fn full_is_sum_of_modules() {
+        let cfg = PicosConfig::balanced();
+        let sum = trs_resources(&cfg) + dct_resources(&cfg) + gw_arb_ts_resources(&cfg);
+        assert_eq!(full_picos_resources(&cfg), sum);
+    }
+
+    #[test]
+    fn future_architecture_scales_instances() {
+        let one = full_picos_resources(&PicosConfig::balanced());
+        let four = full_picos_resources(&PicosConfig::future(4, DmDesign::PearsonEightWay));
+        assert!(four.bram36 > 3 * one.bram36, "{} vs {}", four.bram36, one.bram36);
+        assert!(four.luts > 3 * one.luts);
+    }
+
+    #[test]
+    fn table3_has_paper_rows() {
+        let t = table3();
+        assert!(t.len() >= 10);
+        assert!(t.iter().any(|r| r.name == "TM"));
+        assert!(t.iter().any(|r| r.name == "Full Picos (DM P+8way)"));
+    }
+
+    #[test]
+    fn estimates_fit_the_device() {
+        // Even the 16-way variant fits the XC7Z020, as the paper built it.
+        for cfg in [
+            PicosConfig::baseline(DmDesign::SixteenWay),
+            PicosConfig::balanced(),
+        ] {
+            let full = full_picos_resources(&cfg);
+            assert!(full.luts < XC7Z020.luts);
+            assert!(full.bram36 < XC7Z020.bram36);
+        }
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let a = ResourceEstimate { luts: 1, ffs: 2, bram36: 3 };
+        let b = ResourceEstimate { luts: 10, ffs: 20, bram36: 30 };
+        let s: ResourceEstimate = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+    }
+}

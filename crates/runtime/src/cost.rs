@@ -1,0 +1,122 @@
+//! Cost model of the Nanos++ software runtime.
+//!
+//! The paper's Figure 10 measures the per-task creation and submission
+//! overhead of Nanos++ as a function of the number of threads: creation
+//! costs thousands of cycles, submission adds thousands more per dependence,
+//! and both grow with the thread count (shared runtime structures bounce
+//! between caches, allocators and locks contend). This module captures those
+//! magnitudes in a linear model the software-runtime simulation charges per
+//! operation.
+//!
+//! Defaults are chosen so the reproduction lands in the paper's regimes:
+//! single-task overhead of roughly 10k-30k cycles at 8-12 threads — the
+//! scale that makes Nanos++ collapse below block size 64 in Figure 1 while
+//! Picos (tens of cycles per task) keeps scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation costs of the software runtime, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NanosCostModel {
+    /// Task creation: allocator + descriptor initialisation, base cost.
+    pub create_base: u64,
+    /// Task creation: additional cost per active thread (allocator and
+    /// runtime-structure contention).
+    pub create_per_thread: u64,
+    /// Dependence submission: address-map lookup/insert, base cost per
+    /// dependence.
+    pub dep_base: u64,
+    /// Dependence submission: additional cost per dependence per active
+    /// thread (dependence-module lock contention).
+    pub dep_per_thread: u64,
+    /// Enqueueing one ready task into the scheduler queue.
+    pub enqueue: u64,
+    /// Dequeueing a task: scheduler lock + pop, base cost. The lock
+    /// serializes all workers.
+    pub dequeue_base: u64,
+    /// Additional dequeue cost per active thread (lock line ping-pong).
+    pub dequeue_per_thread: u64,
+    /// Releasing one successor at task completion (decrement + wake-up).
+    pub release_per_succ: u64,
+}
+
+impl Default for NanosCostModel {
+    fn default() -> Self {
+        NanosCostModel {
+            create_base: 7_000,
+            create_per_thread: 150,
+            dep_base: 2_600,
+            dep_per_thread: 180,
+            enqueue: 300,
+            dequeue_base: 600,
+            dequeue_per_thread: 150,
+            release_per_succ: 700,
+        }
+    }
+}
+
+impl NanosCostModel {
+    /// Task-creation overhead with `threads` active threads (Figure 10's
+    /// "Creation" series).
+    pub fn creation(&self, threads: usize) -> u64 {
+        self.create_base + self.create_per_thread * threads as u64
+    }
+
+    /// Submission overhead of one task with `ndeps` dependences (Figure
+    /// 10's "x DEPs" series).
+    pub fn submission(&self, ndeps: usize, threads: usize) -> u64 {
+        (self.dep_base + self.dep_per_thread * threads as u64) * ndeps as u64
+    }
+
+    /// Creation + submission: the full master-side overhead per task.
+    pub fn per_task(&self, ndeps: usize, threads: usize) -> u64 {
+        self.creation(threads) + self.submission(ndeps, threads)
+    }
+
+    /// Scheduler dequeue cost (serialized across workers).
+    pub fn dequeue(&self, threads: usize) -> u64 {
+        self.dequeue_base + self.dequeue_per_thread * threads as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_grow_with_threads() {
+        let m = NanosCostModel::default();
+        assert!(m.creation(12) > m.creation(1));
+        assert!(m.submission(4, 12) > m.submission(4, 1));
+        assert!(m.dequeue(24) > m.dequeue(2));
+    }
+
+    #[test]
+    fn submission_scales_with_deps() {
+        let m = NanosCostModel::default();
+        assert_eq!(m.submission(0, 8), 0);
+        assert_eq!(m.submission(4, 8), 4 * m.submission(1, 8));
+    }
+
+    #[test]
+    fn magnitudes_match_figure10_regime() {
+        // Single task with a few dependences at 8-12 threads: 10k-40k
+        // cycles of runtime overhead (the regime of the paper's Fig. 10).
+        let m = NanosCostModel::default();
+        for threads in [8, 12] {
+            for ndeps in [1usize, 4, 8] {
+                let total = m.per_task(ndeps, threads);
+                assert!(
+                    (9_000..60_000).contains(&total),
+                    "threads {threads} deps {ndeps}: {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_task_is_create_plus_submit() {
+        let m = NanosCostModel::default();
+        assert_eq!(m.per_task(3, 6), m.creation(6) + m.submission(3, 6));
+    }
+}

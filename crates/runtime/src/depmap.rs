@@ -1,0 +1,206 @@
+//! Software dependence analysis, as the Nanos++ runtime performs it.
+//!
+//! This is the data structure Picos replaces with hardware: a hash map from
+//! dependence address to the last writer and the readers since that write.
+//! Task submission walks the map to discover the task's direct predecessors
+//! (RAW/WAR/WAW); task completion decrements successor counters and reports
+//! the newly ready tasks. The software-runtime simulation charges cycle
+//! costs per operation performed here.
+
+use picos_trace::{TaskDescriptor, TaskId};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct AddrState {
+    last_writer: Option<u32>,
+    readers: Vec<u32>,
+}
+
+/// Incremental software dependence tracker.
+#[derive(Debug, Default)]
+pub struct SoftwareDeps {
+    addr: HashMap<u64, AddrState>,
+    succs: Vec<Vec<u32>>,
+    pred_remaining: Vec<u32>,
+    finished: Vec<bool>,
+    submitted: Vec<bool>,
+    map_ops: u64,
+}
+
+impl SoftwareDeps {
+    /// Creates an empty tracker with capacity for `num_tasks` tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        SoftwareDeps {
+            addr: HashMap::new(),
+            succs: vec![Vec::new(); num_tasks],
+            pred_remaining: vec![0; num_tasks],
+            finished: vec![false; num_tasks],
+            submitted: vec![false; num_tasks],
+            map_ops: 0,
+        }
+    }
+
+    /// Number of address-map operations performed so far (cost accounting).
+    pub fn map_ops(&self) -> u64 {
+        self.map_ops
+    }
+
+    /// Registers a task's dependences; returns `true` when the task is
+    /// ready to run immediately (no unfinished predecessor).
+    ///
+    /// Must be called in creation order, as the runtime does.
+    pub fn submit(&mut self, task: &TaskDescriptor) -> bool {
+        let me = task.id.raw();
+        debug_assert!(!self.submitted[me as usize], "double submit of {me}");
+        self.submitted[me as usize] = true;
+        for dep in &task.deps {
+            self.map_ops += 1;
+            let st = self.addr.entry(dep.addr).or_default();
+            let mut preds: Vec<u32> = Vec::new();
+            if dep.dir.reads() {
+                if let Some(w) = st.last_writer {
+                    preds.push(w);
+                }
+            }
+            if dep.dir.writes() {
+                if let Some(w) = st.last_writer {
+                    preds.push(w);
+                }
+                preds.extend(st.readers.iter().copied());
+                st.last_writer = Some(me);
+                st.readers.clear();
+            }
+            if dep.dir.reads() && !dep.dir.writes() {
+                st.readers.push(me);
+            }
+            for p in preds {
+                if p != me && !self.finished[p as usize] && !self.succs[p as usize].contains(&me)
+                {
+                    self.succs[p as usize].push(me);
+                    self.pred_remaining[me as usize] += 1;
+                }
+            }
+        }
+        self.pred_remaining[me as usize] == 0
+    }
+
+    /// Marks a task finished; returns the tasks that became ready.
+    pub fn finish(&mut self, task: TaskId) -> Vec<TaskId> {
+        let me = task.index();
+        debug_assert!(self.submitted[me], "finish before submit");
+        debug_assert!(!self.finished[me], "double finish");
+        self.finished[me] = true;
+        let mut ready = Vec::new();
+        for i in 0..self.succs[me].len() {
+            let s = self.succs[me][i];
+            self.map_ops += 1;
+            self.pred_remaining[s as usize] -= 1;
+            if self.pred_remaining[s as usize] == 0 {
+                ready.push(TaskId::new(s));
+            }
+        }
+        ready
+    }
+
+    /// Successors discovered for a task so far.
+    pub fn successors(&self, task: TaskId) -> &[u32] {
+        &self.succs[task.index()]
+    }
+
+    /// Unfinished-predecessor count of a submitted task.
+    pub fn pending_preds(&self, task: TaskId) -> u32 {
+        self.pred_remaining[task.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_trace::{gen, Dependence, KernelClass, TaskGraph, Trace};
+
+    fn k() -> KernelClass {
+        KernelClass::GENERIC
+    }
+
+    #[test]
+    fn chain_readiness() {
+        let mut tr = Trace::new("t");
+        for _ in 0..3 {
+            tr.push(k(), [Dependence::inout(0xA)], 1);
+        }
+        let mut sw = SoftwareDeps::new(3);
+        assert!(sw.submit(&tr.tasks()[0]));
+        assert!(!sw.submit(&tr.tasks()[1]));
+        assert!(!sw.submit(&tr.tasks()[2]));
+        assert_eq!(sw.finish(TaskId::new(0)), vec![TaskId::new(1)]);
+        assert_eq!(sw.finish(TaskId::new(1)), vec![TaskId::new(2)]);
+        assert_eq!(sw.finish(TaskId::new(2)), vec![]);
+    }
+
+    #[test]
+    fn finished_predecessors_do_not_block() {
+        let mut tr = Trace::new("t");
+        tr.push(k(), [Dependence::output(0xA)], 1);
+        tr.push(k(), [Dependence::input(0xA)], 1);
+        let mut sw = SoftwareDeps::new(2);
+        assert!(sw.submit(&tr.tasks()[0]));
+        sw.finish(TaskId::new(0));
+        // Reader submitted after the writer finished: ready at once.
+        assert!(sw.submit(&tr.tasks()[1]));
+    }
+
+    #[test]
+    fn matches_task_graph_when_all_submitted_first() {
+        // When every task is submitted before any finishes, the discovered
+        // predecessor counts must equal the ground-truth graph's.
+        for seed in 0..5 {
+            let tr = gen::random_trace(
+                gen::RandomConfig {
+                    tasks: 120,
+                    addr_pool: 12,
+                    write_fraction: 0.5,
+                    ..gen::RandomConfig::default()
+                },
+                seed,
+            );
+            let g = TaskGraph::build(&tr);
+            let mut sw = SoftwareDeps::new(tr.len());
+            for t in tr.iter() {
+                sw.submit(t);
+            }
+            for t in tr.iter() {
+                assert_eq!(
+                    sw.pending_preds(t.id) as usize,
+                    g.preds(t.id).len(),
+                    "seed {seed} task {}",
+                    t.id
+                );
+                let mut a = sw.successors(t.id).to_vec();
+                let mut b = g.succs(t.id).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "seed {seed} task {} successors", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn war_edge_blocks_writer() {
+        let mut tr = Trace::new("t");
+        tr.push(k(), [Dependence::input(0xB)], 1);
+        tr.push(k(), [Dependence::output(0xB)], 1);
+        let mut sw = SoftwareDeps::new(2);
+        assert!(sw.submit(&tr.tasks()[0]), "reader of untouched data is ready");
+        assert!(!sw.submit(&tr.tasks()[1]), "writer waits for reader (WAR)");
+        assert_eq!(sw.finish(TaskId::new(0)), vec![TaskId::new(1)]);
+    }
+
+    #[test]
+    fn map_ops_counted() {
+        let mut tr = Trace::new("t");
+        tr.push(k(), [Dependence::input(1), Dependence::input(2)], 1);
+        let mut sw = SoftwareDeps::new(1);
+        sw.submit(&tr.tasks()[0]);
+        assert_eq!(sw.map_ops(), 2);
+    }
+}

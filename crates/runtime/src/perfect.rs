@@ -1,0 +1,171 @@
+//! The Perfect Simulator: zero-overhead list scheduling.
+//!
+//! The paper feeds the same traces to a "Perfect Simulator which measures
+//! critical-path task execution to show the roofline speedup of each OmpSs
+//! application" (Section IV-A). This module implements it: tasks start the
+//! moment a worker is free and every predecessor has finished; scheduling,
+//! dependence management and communication cost nothing.
+
+use crate::report::ExecReport;
+use picos_trace::{TaskGraph, TaskId, Trace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Runs the zero-overhead list scheduler with `workers` workers.
+///
+/// Ready tasks are started in creation order (the same tie-break the
+/// runtime's FIFO queue would produce).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn perfect_schedule(trace: &Trace, workers: usize) -> ExecReport {
+    assert!(workers > 0, "need at least one worker");
+    let graph = TaskGraph::build(trace);
+    let n = trace.len();
+    let mut pred_remaining: Vec<u32> = (0..n)
+        .map(|i| graph.preds(TaskId::new(i as u32)).len() as u32)
+        .collect();
+    let mut start = vec![0u64; n];
+    let mut end = vec![0u64; n];
+    let mut order = Vec::with_capacity(n);
+    // Taskwait segments schedule one after another; the offset of each
+    // segment is the completion time of everything before it.
+    let mut offset = 0u64;
+
+    for segment in trace.segments() {
+        // Min-heaps: ready tasks by creation order; completions by time.
+        let mut ready: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        let mut completions: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let seg_len = segment.len();
+        for i in segment.clone() {
+            // Cross-segment predecessors finished before `offset` by
+            // construction, so only in-segment edges can still be pending.
+            let pending = graph
+                .preds(TaskId::new(i as u32))
+                .iter()
+                .filter(|&&p| segment.contains(&(p as usize)))
+                .count() as u32;
+            pred_remaining[i] = pending;
+            if pending == 0 {
+                ready.push(Reverse(i as u32));
+            }
+        }
+        let mut idle = workers;
+        let mut now = offset;
+        let mut done = 0usize;
+        while done < seg_len {
+            while idle > 0 {
+                let Some(Reverse(t)) = ready.pop() else {
+                    break;
+                };
+                start[t as usize] = now;
+                order.push(t);
+                let fin = now + trace.tasks()[t as usize].duration;
+                end[t as usize] = fin;
+                completions.push(Reverse((fin, t)));
+                idle -= 1;
+            }
+            let Some(Reverse((t_fin, task))) = completions.pop() else {
+                unreachable!("tasks remain but nothing is running: cyclic graph?");
+            };
+            now = t_fin;
+            idle += 1;
+            done += 1;
+            for &s in graph.succs(TaskId::new(task)) {
+                if !segment.contains(&(s as usize)) {
+                    continue; // satisfied by the barrier itself
+                }
+                pred_remaining[s as usize] -= 1;
+                if pred_remaining[s as usize] == 0 {
+                    ready.push(Reverse(s));
+                }
+            }
+            offset = offset.max(t_fin);
+        }
+    }
+
+    ExecReport {
+        engine: "perfect".into(),
+        workers,
+        makespan: end.iter().copied().max().unwrap_or(0),
+        sequential: trace.sequential_time(),
+        order,
+        start,
+        end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_trace::{gen, Dependence, KernelClass, Trace};
+
+    #[test]
+    fn independent_tasks_scale_linearly() {
+        let mut tr = Trace::new("ind");
+        for _ in 0..8 {
+            tr.push(KernelClass::GENERIC, [], 100);
+        }
+        for w in [1, 2, 4, 8] {
+            let r = perfect_schedule(&tr, w);
+            assert_eq!(r.makespan, 800 / w as u64);
+            assert!((r.speedup() - w as f64).abs() < 1e-9);
+            r.validate(&tr).unwrap();
+        }
+    }
+
+    #[test]
+    fn chain_never_speeds_up() {
+        let mut tr = Trace::new("chain");
+        for _ in 0..10 {
+            tr.push(KernelClass::GENERIC, [Dependence::inout(0xA)], 50);
+        }
+        let r = perfect_schedule(&tr, 8);
+        assert_eq!(r.makespan, 500);
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_work() {
+        for seed in 0..5 {
+            let tr = gen::random_trace(gen::RandomConfig::default(), seed);
+            let g = picos_trace::TaskGraph::build(&tr);
+            let cp = g.critical_path();
+            let work = tr.sequential_time();
+            for w in [1usize, 3, 7] {
+                let r = perfect_schedule(&tr, w);
+                assert!(r.makespan >= cp, "seed {seed} w {w}");
+                assert!(r.makespan >= work.div_ceil(w as u64), "seed {seed} w {w}");
+                assert!(r.makespan <= work, "seed {seed} w {w}");
+                r.validate(&tr).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_workers_hit_critical_path() {
+        let tr = gen::cholesky(gen::CholeskyConfig::paper(256));
+        let g = picos_trace::TaskGraph::build(&tr);
+        let r = perfect_schedule(&tr, tr.len());
+        assert_eq!(r.makespan, g.critical_path());
+    }
+
+    #[test]
+    fn speedup_monotone_in_workers() {
+        let tr = gen::heat(gen::HeatConfig::paper(128));
+        let mut prev = 0.0;
+        for w in [1, 2, 4, 8, 16] {
+            let s = perfect_schedule(&tr, w).speedup();
+            assert!(s + 1e-9 >= prev, "w {w}: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(256));
+        let r = perfect_schedule(&tr, 1);
+        assert_eq!(r.makespan, tr.sequential_time());
+    }
+}

@@ -1,0 +1,153 @@
+//! Execution reports shared by all execution engines.
+
+use picos_trace::{TaskGraph, Trace};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running a trace on some engine with a worker count.
+///
+/// All speedups in the reproduction are computed exactly as in the paper:
+/// against the sequential execution time of the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Engine label (e.g. `"perfect"`, `"nanos"`, `"picos-full"`).
+    pub engine: String,
+    /// Number of workers used.
+    pub workers: usize,
+    /// Total simulated time from first submission to last completion.
+    pub makespan: u64,
+    /// Sequential execution time of the trace.
+    pub sequential: u64,
+    /// Task indices in execution (start-time) order.
+    pub order: Vec<u32>,
+    /// Per-task start times, indexed by task id.
+    pub start: Vec<u64>,
+    /// Per-task end times, indexed by task id.
+    pub end: Vec<u64>,
+}
+
+impl ExecReport {
+    /// Speedup against the sequential execution (paper's y-axes).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.sequential as f64 / self.makespan as f64
+        }
+    }
+
+    /// Checks the schedule against the ground-truth dataflow graph: every
+    /// edge must satisfy `end(pred) <= start(succ)`, and the execution
+    /// order must be a topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self, trace: &Trace) -> Result<(), String> {
+        let graph = TaskGraph::build(trace);
+        if self.order.len() != trace.len() {
+            return Err(format!(
+                "executed {} of {} tasks",
+                self.order.len(),
+                trace.len()
+            ));
+        }
+        if !graph.is_topological(&self.order) {
+            return Err("execution order is not a topological order".into());
+        }
+        for t in 0..trace.len() {
+            for &p in graph.preds(picos_trace::TaskId::new(t as u32)) {
+                if self.end[p as usize] > self.start[t] {
+                    return Err(format!(
+                        "task {t} started at {} before predecessor {p} ended at {}",
+                        self.start[t], self.end[p as usize]
+                    ));
+                }
+            }
+        }
+        for &b in graph.barriers() {
+            let b = b as usize;
+            let before_end = self.end[..b].iter().copied().max().unwrap_or(0);
+            let after_start = self.start[b..].iter().copied().min().unwrap_or(u64::MAX);
+            if before_end > after_start {
+                return Err(format!(
+                    "taskwait at {b} violated: a later task started at {after_start} \
+                     before an earlier one ended at {before_end}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_trace::{Dependence, KernelClass};
+
+    fn chain2() -> Trace {
+        let mut tr = Trace::new("t");
+        tr.push(KernelClass::GENERIC, [Dependence::inout(1)], 10);
+        tr.push(KernelClass::GENERIC, [Dependence::inout(1)], 10);
+        tr
+    }
+
+    #[test]
+    fn speedup_computation() {
+        let r = ExecReport {
+            engine: "x".into(),
+            workers: 2,
+            makespan: 50,
+            sequential: 100,
+            order: vec![],
+            start: vec![],
+            end: vec![],
+        };
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_legal_schedule() {
+        let tr = chain2();
+        let r = ExecReport {
+            engine: "x".into(),
+            workers: 1,
+            makespan: 20,
+            sequential: 20,
+            order: vec![0, 1],
+            start: vec![0, 10],
+            end: vec![10, 20],
+        };
+        assert!(r.validate(&tr).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlap_on_edge() {
+        let tr = chain2();
+        let r = ExecReport {
+            engine: "x".into(),
+            workers: 2,
+            makespan: 15,
+            sequential: 20,
+            order: vec![0, 1],
+            start: vec![0, 5],
+            end: vec![10, 15],
+        };
+        let err = r.validate(&tr).unwrap_err();
+        assert!(err.contains("before predecessor"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_order() {
+        let tr = chain2();
+        let r = ExecReport {
+            engine: "x".into(),
+            workers: 1,
+            makespan: 20,
+            sequential: 20,
+            order: vec![1, 0],
+            start: vec![10, 0],
+            end: vec![20, 10],
+        };
+        assert!(r.validate(&tr).is_err());
+    }
+}

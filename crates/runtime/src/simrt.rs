@@ -1,0 +1,346 @@
+//! Discrete-event model of the Nanos++ software-only runtime.
+//!
+//! One master thread creates and submits tasks serially, paying the
+//! [`NanosCostModel`] overheads that the paper's Figure 10 measures; worker
+//! threads dequeue ready tasks through a serializing scheduler lock, execute
+//! them for their trace duration, and release successors on completion. The
+//! dependence analysis itself is the real algorithm
+//! ([`crate::SoftwareDeps`]), so the schedule is always a legal topological
+//! order of the dataflow graph — only its *timing* reflects the software
+//! overheads.
+//!
+//! This is the reproduction's stand-in for the paper's Nanos++ baseline: its
+//! throughput is bounded by the master (creation + submission per task) and
+//! by scheduler-lock contention that grows with the thread count, which is
+//! what makes it collapse for fine-grained tasks (Figures 1 and 11).
+
+use crate::cost::NanosCostModel;
+use crate::depmap::SoftwareDeps;
+use crate::report::ExecReport;
+use picos_trace::{TaskId, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of the software runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct SwRuntimeConfig {
+    /// Total threads, master included (the paper's "workers").
+    pub workers: usize,
+    /// Whether the master joins execution once all tasks are created
+    /// (OmpSs behaviour at the final taskwait).
+    pub master_executes: bool,
+    /// Per-operation overheads.
+    pub cost: NanosCostModel,
+}
+
+impl SwRuntimeConfig {
+    /// `workers` threads with default costs.
+    pub fn with_workers(workers: usize) -> Self {
+        SwRuntimeConfig {
+            workers,
+            master_executes: true,
+            cost: NanosCostModel::default(),
+        }
+    }
+}
+
+/// Errors from the software-runtime simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwError {
+    /// Invalid configuration.
+    Config(String),
+    /// The event loop stopped with unfinished tasks (would indicate a bug
+    /// in the dependence tracker).
+    Stuck {
+        /// Tasks completed before the stall.
+        finished: usize,
+        /// Total tasks.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwError::Config(m) => write!(f, "invalid configuration: {m}"),
+            SwError::Stuck { finished, total } => {
+                write!(f, "runtime stuck after {finished}/{total} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Creation + submission of task `i` completes.
+    MasterDone(u32),
+    /// Worker `w` looks for work.
+    TryDequeue(usize),
+    /// Worker `w` finished task `t`.
+    TaskDone(usize, u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    Parked,
+    Scheduled,
+    Running,
+}
+
+/// Runs a trace on the software runtime model.
+///
+/// # Errors
+///
+/// Returns [`SwError::Config`] for a zero worker count (or one worker with
+/// `master_executes` disabled) and [`SwError::Stuck`] if the simulation
+/// cannot finish (which would indicate an internal bug).
+pub fn run_software(trace: &Trace, cfg: SwRuntimeConfig) -> Result<ExecReport, SwError> {
+    if cfg.workers == 0 {
+        return Err(SwError::Config("need at least one thread".into()));
+    }
+    if cfg.workers == 1 && !cfg.master_executes {
+        return Err(SwError::Config(
+            "a single thread must execute tasks (enable master_executes)".into(),
+        ));
+    }
+    let n = trace.len();
+    let w_total = cfg.workers;
+    let threads = w_total;
+    let mut deps = SoftwareDeps::new(n);
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, t: u64, e: Ev| {
+        seq += 1;
+        heap.push(Reverse((t, seq, e)));
+    };
+
+    let mut ready_q: VecDeque<u32> = VecDeque::new();
+    // Worker 0 is the master; it participates only after creation.
+    let mut state = vec![WorkerState::Parked; w_total];
+    let mut lock_free = 0u64;
+    let mut start = vec![0u64; n];
+    let mut end = vec![0u64; n];
+    let mut order = Vec::with_capacity(n);
+    let mut finished = 0usize;
+
+    // The scheduler lock: serializes enqueues, dequeues and releases.
+    let acquire = |lock_free: &mut u64, at: u64, hold: u64| -> u64 {
+        let s = (*lock_free).max(at);
+        *lock_free = s + hold;
+        s + hold
+    };
+
+    if n > 0 {
+        let first_cost = cfg.cost.per_task(trace.tasks()[0].num_deps(), threads);
+        push(&mut heap, first_cost, Ev::MasterDone(0));
+    }
+
+    let mut master_done = n == 0;
+
+    // Wakes one parked worker for a task enqueued at time `at`.
+    macro_rules! wake_one {
+        ($at:expr) => {
+            if let Some(w) = state
+                .iter()
+                .enumerate()
+                .filter(|&(w, s)| *s == WorkerState::Parked && (w != 0 || master_done))
+                .map(|(w, _)| w)
+                .next()
+            {
+                state[w] = WorkerState::Scheduled;
+                push(&mut heap, $at, Ev::TryDequeue(w));
+            }
+        };
+    }
+
+    // Master parked at a taskwait: waiting for `j` tasks to finish before
+    // creating task `j`.
+    let mut master_parked_at: Option<u32> = None;
+
+    while let Some(Reverse((now, _, ev))) = heap.pop() {
+        match ev {
+            Ev::MasterDone(i) => {
+                let task = &trace.tasks()[i as usize];
+                let is_ready = deps.submit(task);
+                let mut master_free = now;
+                if is_ready {
+                    let t_enq = acquire(&mut lock_free, now, cfg.cost.enqueue);
+                    ready_q.push_back(i);
+                    wake_one!(t_enq);
+                    master_free = t_enq;
+                }
+                let j = i + 1;
+                if (j as usize) < n {
+                    if trace.barriers().contains(&j) && finished < j as usize {
+                        // taskwait: the master blocks until every earlier
+                        // task finished (paper, Section II-A).
+                        master_parked_at = Some(j);
+                    } else {
+                        let next = &trace.tasks()[j as usize];
+                        let cost = cfg.cost.per_task(next.num_deps(), threads);
+                        push(&mut heap, master_free + cost, Ev::MasterDone(j));
+                    }
+                } else {
+                    master_done = true;
+                    if cfg.master_executes {
+                        state[0] = WorkerState::Scheduled;
+                        push(&mut heap, master_free, Ev::TryDequeue(0));
+                    }
+                }
+            }
+            Ev::TryDequeue(w) => {
+                if ready_q.is_empty() {
+                    state[w] = WorkerState::Parked;
+                } else {
+                    let t_got = acquire(&mut lock_free, now, cfg.cost.dequeue(threads));
+                    let task = ready_q.pop_front().expect("checked non-empty");
+                    state[w] = WorkerState::Running;
+                    start[task as usize] = t_got;
+                    order.push(task);
+                    let t_end = t_got + trace.tasks()[task as usize].duration;
+                    end[task as usize] = t_end;
+                    push(&mut heap, t_end, Ev::TaskDone(w, task));
+                }
+            }
+            Ev::TaskDone(w, task) => {
+                finished += 1;
+                let newly = deps.finish(TaskId::new(task));
+                let mut cur = now;
+                for s in newly {
+                    cur = acquire(&mut lock_free, cur, cfg.cost.release_per_succ);
+                    ready_q.push_back(s.raw());
+                    wake_one!(cur);
+                }
+                // A completed taskwait releases the parked master.
+                if master_parked_at == Some(finished as u32) {
+                    master_parked_at = None;
+                    let next = &trace.tasks()[finished];
+                    let cost = cfg.cost.per_task(next.num_deps(), threads);
+                    push(&mut heap, cur + cost, Ev::MasterDone(finished as u32));
+                }
+                state[w] = WorkerState::Scheduled;
+                push(&mut heap, cur, Ev::TryDequeue(w));
+            }
+        }
+    }
+
+    if finished != n {
+        return Err(SwError::Stuck { finished, total: n });
+    }
+    Ok(ExecReport {
+        engine: "nanos".into(),
+        workers: w_total,
+        makespan: end.iter().copied().max().unwrap_or(0),
+        sequential: trace.sequential_time(),
+        order,
+        start,
+        end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_trace::gen;
+
+    #[test]
+    fn completes_and_validates_on_all_apps_coarse() {
+        for app in gen::App::ALL {
+            let bs = app.paper_block_sizes()[0];
+            let tr = app.generate(bs);
+            let r = run_software(&tr, SwRuntimeConfig::with_workers(4)).unwrap();
+            r.validate(&tr).unwrap_or_else(|e| panic!("{app}: {e}"));
+            assert!(r.speedup() > 0.5, "{app}: {}", r.speedup());
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_workers() {
+        let tr = gen::cholesky(gen::CholeskyConfig::paper(128));
+        for w in [2, 4, 8] {
+            let r = run_software(&tr, SwRuntimeConfig::with_workers(w)).unwrap();
+            assert!(
+                r.speedup() <= w as f64 + 1e-9,
+                "w {w}: {}",
+                r.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_tasks_scale_fine_tasks_collapse() {
+        // The Figure 1 phenomenon: with constant problem size, decreasing
+        // block size first helps then hurts.
+        let s256 = run_software(
+            &gen::cholesky(gen::CholeskyConfig::paper(256)),
+            SwRuntimeConfig::with_workers(12),
+        )
+        .unwrap()
+        .speedup();
+        let s64 = run_software(
+            &gen::cholesky(gen::CholeskyConfig::paper(64)),
+            SwRuntimeConfig::with_workers(12),
+        )
+        .unwrap()
+        .speedup();
+        let s32 = run_software(
+            &gen::cholesky(gen::CholeskyConfig::paper(32)),
+            SwRuntimeConfig::with_workers(12),
+        )
+        .unwrap()
+        .speedup();
+        assert!(s64 > s256 * 0.8, "bs 64 ({s64}) should be near/above bs 256 ({s256})");
+        assert!(s32 < s64 * 0.6, "bs 32 ({s32}) must collapse vs bs 64 ({s64})");
+        assert!(s32 < 3.0, "bs 32 must be master-bound: {s32}");
+    }
+
+    #[test]
+    fn master_overhead_bounds_throughput() {
+        // With tiny tasks the makespan approaches N * per-task overhead.
+        let tr = gen::synthetic(gen::Case::Case2);
+        let cfg = SwRuntimeConfig::with_workers(4);
+        let r = run_software(&tr, cfg).unwrap();
+        let per_task = cfg.cost.per_task(1, 4);
+        let lower = tr.len() as u64 * per_task;
+        assert!(r.makespan >= lower, "{} < {lower}", r.makespan);
+        assert!(r.makespan < lower * 2, "{} too slow", r.makespan);
+    }
+
+    #[test]
+    fn deterministic() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let a = run_software(&tr, SwRuntimeConfig::with_workers(8)).unwrap();
+        let b = run_software(&tr, SwRuntimeConfig::with_workers(8)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let tr = gen::synthetic(gen::Case::Case1);
+        assert!(matches!(
+            run_software(&tr, SwRuntimeConfig { workers: 0, ..SwRuntimeConfig::with_workers(1) }),
+            Err(SwError::Config(_))
+        ));
+        let mut cfg = SwRuntimeConfig::with_workers(1);
+        cfg.master_executes = false;
+        assert!(matches!(run_software(&tr, cfg), Err(SwError::Config(_))));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = picos_trace::Trace::new("empty");
+        let r = run_software(&tr, SwRuntimeConfig::with_workers(2)).unwrap();
+        assert_eq!(r.makespan, 0);
+        assert!(r.order.is_empty());
+    }
+
+    #[test]
+    fn single_worker_executes_everything() {
+        let tr = gen::synthetic(gen::Case::Case4);
+        let r = run_software(&tr, SwRuntimeConfig::with_workers(1)).unwrap();
+        r.validate(&tr).unwrap();
+        assert_eq!(r.order.len(), 100);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cholesky factorization trace generator (right-looking blocked variant).
+//!
+//! Computes `A = L * L'` over an `nb x nb` grid of blocks with the four
+//! classic kernels:
+//!
+//! * `potrf(k)`    — `inout A[k][k]`                                  (1 dep)
+//! * `trsm(k,i)`   — `in A[k][k]`, `inout A[i][k]`                    (2 deps)
+//! * `syrk(k,i)`   — `in A[i][k]`, `inout A[i][i]`                    (2 deps)
+//! * `gemm(k,i,j)` — `in A[i][k]`, `in A[j][k]`, `inout A[i][j]`      (3 deps)
+//!
+//! Task counts reproduce the paper's Table I exactly:
+//! `nb + 2*C(nb,2) + C(nb,3)` kernel invocations give 120 / 816 / 5984 /
+//! 45760 tasks for block sizes 256 / 128 / 64 / 32 at problem size 2048.
+//! This is also the workload of the paper's Figure 2.
+
+use crate::gen::calibration::seq_exec_target;
+use crate::gen::layout::HeapLayout;
+use crate::task::Dependence;
+use crate::trace::Trace;
+
+/// Configuration for the Cholesky generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CholeskyConfig {
+    /// Matrix dimension in elements (paper: 2048).
+    pub problem_size: u64,
+    /// Block dimension in elements (paper: 256, 128, 64, 32).
+    pub block_size: u64,
+    /// Calibrate durations against the paper's Table I totals.
+    pub calibrate: bool,
+}
+
+impl CholeskyConfig {
+    /// The paper's configuration for a given block size.
+    pub fn paper(block_size: u64) -> Self {
+        CholeskyConfig {
+            problem_size: 2048,
+            block_size,
+            calibrate: true,
+        }
+    }
+
+    /// Number of blocks per matrix dimension.
+    pub fn blocks_per_dim(&self) -> u64 {
+        self.problem_size / self.block_size
+    }
+}
+
+/// Generates the Cholesky trace.
+///
+/// # Panics
+///
+/// Panics if `block_size` does not divide `problem_size` or is zero.
+pub fn cholesky(cfg: CholeskyConfig) -> Trace {
+    assert!(
+        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        "block size must divide problem size"
+    );
+    let nb = cfg.blocks_per_dim();
+    let mut tr = Trace::new("cholesky").with_sizes(cfg.problem_size, cfg.block_size);
+    let k_potrf = tr.kernel("potrf");
+    let k_trsm = tr.kernel("trsm");
+    let k_syrk = tr.kernel("syrk");
+    let k_gemm = tr.kernel("gemm");
+
+    // Lower-triangular blocks, individually heap-allocated as in the BSC
+    // application repository version.
+    let block_bytes = cfg.block_size * cfg.block_size * 8;
+    let mut heap = HeapLayout::default();
+    let mut addr = vec![0u64; (nb * nb) as usize];
+    for i in 0..nb {
+        for j in 0..=i {
+            addr[(i * nb + j) as usize] = heap.alloc(block_bytes);
+        }
+    }
+    let a = |i: u64, j: u64| addr[(i * nb + j) as usize];
+
+    // Flop-count-proportional weights: potrf b^3/3, trsm b^3, syrk b^3,
+    // gemm 2 b^3.
+    let b3 = cfg.block_size * cfg.block_size * cfg.block_size;
+    let (w_potrf, w_trsm, w_syrk, w_gemm) = (b3 / 3, b3, b3, 2 * b3);
+
+    for k in 0..nb {
+        tr.push(k_potrf, [Dependence::inout(a(k, k))], w_potrf);
+        for i in (k + 1)..nb {
+            tr.push(
+                k_trsm,
+                [Dependence::input(a(k, k)), Dependence::inout(a(i, k))],
+                w_trsm,
+            );
+        }
+        for i in (k + 1)..nb {
+            tr.push(
+                k_syrk,
+                [Dependence::input(a(i, k)), Dependence::inout(a(i, i))],
+                w_syrk,
+            );
+            for j in (k + 1)..i {
+                tr.push(
+                    k_gemm,
+                    [
+                        Dependence::input(a(i, k)),
+                        Dependence::input(a(j, k)),
+                        Dependence::inout(a(i, j)),
+                    ],
+                    w_gemm,
+                );
+            }
+        }
+    }
+    if cfg.calibrate {
+        tr.calibrate_to(seq_exec_target("cholesky", cfg.block_size));
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::calibration::table1_row;
+    use crate::graph::TaskGraph;
+    use crate::TaskId;
+
+    #[test]
+    fn task_counts_match_table1_exactly() {
+        for bs in [256, 128, 64, 32] {
+            let tr = cholesky(CholeskyConfig::paper(bs));
+            assert_eq!(
+                tr.len(),
+                table1_row("cholesky", bs).unwrap().tasks,
+                "bs {bs}"
+            );
+        }
+    }
+
+    #[test]
+    fn dep_range_is_1_to_3() {
+        let tr = cholesky(CholeskyConfig::paper(128));
+        let s = tr.stats();
+        assert_eq!(s.min_deps, 1);
+        assert_eq!(s.max_deps, 3);
+    }
+
+    #[test]
+    fn kernel_mix_counts() {
+        let tr = cholesky(CholeskyConfig::paper(256));
+        let nb = 8usize;
+        let count = |name: &str| {
+            tr.iter()
+                .filter(|t| tr.kernel_name(t.kernel) == name)
+                .count()
+        };
+        assert_eq!(count("potrf"), nb);
+        assert_eq!(count("trsm"), nb * (nb - 1) / 2);
+        assert_eq!(count("syrk"), nb * (nb - 1) / 2);
+        assert_eq!(count("gemm"), nb * (nb - 1) * (nb - 2) / 6);
+    }
+
+    #[test]
+    fn potrf_depends_on_previous_syrk() {
+        let tr = cholesky(CholeskyConfig::paper(256));
+        let g = TaskGraph::build(&tr);
+        // potrf(1): find its task index — the first task after step 0 block.
+        let potrf1 = tr
+            .iter()
+            .skip(1)
+            .find(|t| tr.kernel_name(t.kernel) == "potrf")
+            .unwrap();
+        // It must have predecessors (the syrk(0,1) update on A[1][1]).
+        let preds = g.preds(potrf1.id);
+        assert!(!preds.is_empty());
+        let has_syrk = preds
+            .iter()
+            .any(|&p| tr.kernel_name(tr.tasks()[p as usize].kernel) == "syrk");
+        assert!(has_syrk);
+    }
+
+    #[test]
+    fn trsm_fanout_from_potrf() {
+        let tr = cholesky(CholeskyConfig::paper(256));
+        let g = TaskGraph::build(&tr);
+        // potrf(0) is task 0; its successors include the 7 trsm(0,i).
+        let succ = g.succs(TaskId::new(0));
+        assert!(succ.len() >= 7, "{}", succ.len());
+    }
+
+    #[test]
+    fn seq_exec_calibrated() {
+        for bs in [256, 32] {
+            let tr = cholesky(CholeskyConfig::paper(bs));
+            let target = table1_row("cholesky", bs).unwrap().seq_exec;
+            let err = (tr.sequential_time() as f64 - target as f64).abs() / target as f64;
+            assert!(err < 0.01, "bs {bs}");
+        }
+    }
+
+    #[test]
+    fn parallelism_grows_with_smaller_blocks() {
+        let coarse = TaskGraph::build(&cholesky(CholeskyConfig::paper(256))).parallelism();
+        let fine = TaskGraph::build(&cholesky(CholeskyConfig::paper(64))).parallelism();
+        assert!(fine.avg_parallelism > coarse.avg_parallelism);
+        assert!(fine.max_width > coarse.max_width);
+    }
+
+    #[test]
+    fn gemm_weight_dominates() {
+        let tr = cholesky(CholeskyConfig {
+            calibrate: false,
+            ..CholeskyConfig::paper(128)
+        });
+        let by_kernel = |name: &str| -> u64 {
+            tr.iter()
+                .filter(|t| tr.kernel_name(t.kernel) == name)
+                .map(|t| t.duration)
+                .sum()
+        };
+        assert!(by_kernel("gemm") > by_kernel("potrf"));
+        assert!(by_kernel("gemm") > by_kernel("trsm"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Gauss-Seidel Heat trace generator.
+//!
+//! One Gauss-Seidel sweep over an `n x n` grid decomposed into
+//! `bs x bs` blocks. Each block task updates its block in place using the
+//! four neighbouring blocks, giving the paper's five dependences per task
+//! (Table I): `inout` on the block itself and `in` on the north, west,
+//! south and east neighbours. Because the sweep updates in row-major order,
+//! north/west reads are the freshly-written values (RAW within the sweep)
+//! and south/east reads are the previous-iteration values (their writers, if
+//! any, are in the next sweep: WAR), producing the classic wavefront
+//! dependence pattern.
+//!
+//! Blocks live inside one contiguous array ([`ArrayLayout`]): their
+//! addresses differ by multiples of a large power of two, the address
+//! clustering that cripples the direct-indexed DM designs (paper,
+//! Section V-A).
+
+use crate::gen::calibration::seq_exec_target;
+use crate::gen::layout::ArrayLayout;
+use crate::task::Dependence;
+use crate::trace::Trace;
+
+/// Configuration for the Heat generator.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatConfig {
+    /// Grid dimension in elements (paper: 2048).
+    pub problem_size: u64,
+    /// Block dimension in elements (paper: 256, 128, 64, 32).
+    pub block_size: u64,
+    /// Number of Gauss-Seidel sweeps (paper workload: 1).
+    pub sweeps: u32,
+    /// Insert an OmpSs `taskwait` between sweeps (e.g. for a convergence
+    /// check on the host between iterations).
+    pub taskwait_between_sweeps: bool,
+    /// Calibrate durations against the paper's Table I totals.
+    pub calibrate: bool,
+}
+
+impl HeatConfig {
+    /// The paper's configuration for a given block size.
+    pub fn paper(block_size: u64) -> Self {
+        HeatConfig {
+            problem_size: 2048,
+            block_size,
+            sweeps: 1,
+            taskwait_between_sweeps: false,
+            calibrate: true,
+        }
+    }
+
+    /// Blocks per grid dimension.
+    pub fn blocks_per_dim(&self) -> u64 {
+        self.problem_size / self.block_size
+    }
+}
+
+/// Generates the Heat trace.
+///
+/// # Panics
+///
+/// Panics if `block_size` does not divide `problem_size` or is zero.
+pub fn heat(cfg: HeatConfig) -> Trace {
+    assert!(
+        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        "block size must divide problem size"
+    );
+    let nb = cfg.blocks_per_dim();
+    let mut tr = Trace::new("heat").with_sizes(cfg.problem_size, cfg.block_size);
+    let k = tr.kernel("gauss_seidel_block");
+    // Row-major element array of f64: block (i, j) starts at element
+    // (i*bs*n + j*bs).
+    let layout = ArrayLayout::new(0x4000_0000, 8);
+    let block_addr =
+        |i: u64, j: u64| layout.addr(i * cfg.block_size * cfg.problem_size + j * cfg.block_size);
+    // Stencil work is proportional to the block area.
+    let weight = cfg.block_size * cfg.block_size;
+
+    for sweep in 0..cfg.sweeps {
+        if sweep > 0 && cfg.taskwait_between_sweeps {
+            tr.push_taskwait();
+        }
+        for i in 0..nb {
+            for j in 0..nb {
+                let mut deps = vec![Dependence::inout(block_addr(i, j))];
+                if i > 0 {
+                    deps.push(Dependence::input(block_addr(i - 1, j)));
+                }
+                if j > 0 {
+                    deps.push(Dependence::input(block_addr(i, j - 1)));
+                }
+                if i + 1 < nb {
+                    deps.push(Dependence::input(block_addr(i + 1, j)));
+                }
+                if j + 1 < nb {
+                    deps.push(Dependence::input(block_addr(i, j + 1)));
+                }
+                tr.push(k, deps, weight);
+            }
+        }
+    }
+    if cfg.calibrate {
+        tr.calibrate_to(seq_exec_target("heat", cfg.block_size) * cfg.sweeps as u64);
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::calibration::table1_row;
+    use crate::graph::TaskGraph;
+
+    #[test]
+    fn task_counts_match_table1() {
+        for bs in [256, 128, 64, 32] {
+            let tr = heat(HeatConfig::paper(bs));
+            assert_eq!(tr.len(), table1_row("heat", bs).unwrap().tasks, "bs {bs}");
+        }
+    }
+
+    #[test]
+    fn interior_tasks_have_five_deps() {
+        let tr = heat(HeatConfig::paper(256));
+        let nb = 8;
+        // Interior block (1,1) = task index 1*nb+1.
+        assert_eq!(tr.tasks()[nb + 1].num_deps(), 5);
+        // Corner block (0,0) has 3.
+        assert_eq!(tr.tasks()[0].num_deps(), 3);
+        let s = tr.stats();
+        assert_eq!(s.max_deps, 5);
+        assert_eq!(s.min_deps, 3);
+    }
+
+    #[test]
+    fn seq_exec_calibrated() {
+        for bs in [256, 64] {
+            let tr = heat(HeatConfig::paper(bs));
+            let target = table1_row("heat", bs).unwrap().seq_exec;
+            let total = tr.sequential_time();
+            let err = (total as f64 - target as f64).abs() / target as f64;
+            assert!(err < 0.01, "bs {bs}: total {total} vs {target}");
+        }
+    }
+
+    #[test]
+    fn wavefront_dependence_structure() {
+        let tr = heat(HeatConfig::paper(256));
+        let g = TaskGraph::build(&tr);
+        let nb = 8u32;
+        // Task (1,1) depends on (0,1) and (1,0) via RAW.
+        let t11 = crate::TaskId::new(nb + 1);
+        let preds = g.preds(t11);
+        assert!(preds.contains(&1)); // (0,1)
+        assert!(preds.contains(&nb)); // (1,0)
+        // Wavefront: critical path visits roughly 2*nb-1 antidiagonals.
+        let p = g.parallelism();
+        assert!(p.max_width >= (nb as usize) - 1, "width {}", p.max_width);
+        assert!(p.avg_parallelism > 2.0);
+    }
+
+    #[test]
+    fn multi_sweep_chains_iterations() {
+        let one = heat(HeatConfig {
+            sweeps: 1,
+            calibrate: false,
+            ..HeatConfig::paper(256)
+        });
+        let two = heat(HeatConfig {
+            sweeps: 2,
+            calibrate: false,
+            ..HeatConfig::paper(256)
+        });
+        assert_eq!(two.len(), 2 * one.len());
+        // Second sweep's block (0,0) depends on first sweep (WAW/WAR).
+        let g = TaskGraph::build(&two);
+        assert!(!g.preds(crate::TaskId::new(one.len() as u32)).is_empty());
+    }
+
+    #[test]
+    fn addresses_cluster_for_direct_hash() {
+        // All block addresses share the same low 6 bits: the DM-conflict
+        // pathology of the direct-hash designs.
+        let tr = heat(HeatConfig::paper(128));
+        let mut low = std::collections::HashSet::new();
+        for t in tr.iter() {
+            for d in &t.deps {
+                low.insert(d.addr & 0x3f);
+            }
+        }
+        assert_eq!(low.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn rejects_nondividing_block() {
+        heat(HeatConfig {
+            problem_size: 100,
+            block_size: 33,
+            ..HeatConfig::paper(256)
+        });
+    }
+
+    #[test]
+    fn taskwait_between_sweeps_adds_barrier() {
+        let tr = heat(HeatConfig {
+            sweeps: 3,
+            taskwait_between_sweeps: true,
+            calibrate: false,
+            ..HeatConfig::paper(256)
+        });
+        assert_eq!(tr.barriers(), &[64, 128]);
+        assert_eq!(tr.segments().len(), 3);
+        // The barrier lengthens the critical path: sweep 2 cannot overlap
+        // the tail of sweep 1 any more.
+        let plain = heat(HeatConfig {
+            sweeps: 3,
+            taskwait_between_sweeps: false,
+            calibrate: false,
+            ..HeatConfig::paper(256)
+        });
+        let with_wait = TaskGraph::build(&tr).critical_path();
+        let without = TaskGraph::build(&plain).critical_path();
+        assert!(with_wait > without, "{with_wait} vs {without}");
+    }
+}

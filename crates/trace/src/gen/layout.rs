@@ -1,0 +1,130 @@
+//! Memory-layout models for dependence addresses.
+//!
+//! Dependence addresses matter: the Picos Dependence Memory indexes on the
+//! low bits of the address (paper, Section III-C), so how an application lays
+//! out its blocks decides how badly a direct-indexed DM clusters. Two layouts
+//! cover the paper's applications:
+//!
+//! * [`ArrayLayout`] — blocks inside one contiguous array (Heat, Lu panels).
+//!   Strides are multiples of large powers of two, so the low address bits
+//!   are identical across blocks and a direct-hash DM collapses onto a few
+//!   sets. This is the clustering the paper observes.
+//! * [`HeapLayout`] — one allocation per block (SparseLu, Cholesky, H264
+//!   buffers, as in the BSC application repository where blocks are
+//!   `malloc`ed individually). Allocation headers and alignment give the
+//!   addresses more low-bit variety.
+
+/// Addresses of equally-sized blocks in one contiguous allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayLayout {
+    base: u64,
+    stride: u64,
+}
+
+impl ArrayLayout {
+    /// Creates a layout starting at `base` with `stride` bytes per block.
+    pub fn new(base: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        ArrayLayout { base, stride }
+    }
+
+    /// Address of the `idx`-th block.
+    pub fn addr(&self, idx: u64) -> u64 {
+        self.base + idx * self.stride
+    }
+
+    /// Address of block `(i, j)` in a row-major `cols`-wide grid.
+    pub fn addr2(&self, i: u64, j: u64, cols: u64) -> u64 {
+        self.addr(i * cols + j)
+    }
+}
+
+/// A bump allocator imitating per-block `malloc` with chunk headers.
+///
+/// glibc-style behaviour: each allocation is 16-byte aligned and preceded by
+/// a 16-byte header, so consecutive allocations of power-of-two payloads end
+/// up at non-power-of-two strides — exactly what gives heap-allocated blocks
+/// their low-bit variety.
+#[derive(Debug, Clone)]
+pub struct HeapLayout {
+    next: u64,
+}
+
+/// Allocation header size modelled after glibc malloc chunks.
+const HEADER: u64 = 16;
+/// Allocation alignment.
+const ALIGN: u64 = 16;
+
+impl HeapLayout {
+    /// Creates a heap starting at `base`.
+    pub fn new(base: u64) -> Self {
+        HeapLayout { next: base }
+    }
+
+    /// Allocates `bytes` and returns the payload address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = (self.next + HEADER).div_ceil(ALIGN) * ALIGN;
+        self.next = addr + bytes.max(1);
+        addr
+    }
+}
+
+impl Default for HeapLayout {
+    fn default() -> Self {
+        // An arbitrary plausible heap base.
+        HeapLayout::new(0x5555_0000_0000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_layout_strides() {
+        let l = ArrayLayout::new(0x1000, 256);
+        assert_eq!(l.addr(0), 0x1000);
+        assert_eq!(l.addr(3), 0x1000 + 3 * 256);
+        assert_eq!(l.addr2(1, 2, 8), 0x1000 + 10 * 256);
+    }
+
+    #[test]
+    fn array_layout_low_bits_cluster() {
+        // Power-of-two stride keeps the low 6 bits identical: the pathology
+        // the Pearson hash exists to fix.
+        let l = ArrayLayout::new(0x2000, 32768);
+        for i in 0..16 {
+            assert_eq!(l.addr(i) & 0x3f, 0x2000 & 0x3f);
+        }
+    }
+
+    #[test]
+    fn heap_layout_alignment_and_monotonicity() {
+        let mut h = HeapLayout::new(0x1_0000);
+        let mut prev = 0;
+        for _ in 0..32 {
+            let a = h.alloc(32768);
+            assert_eq!(a % ALIGN, 0);
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn heap_layout_varies_low_bits_vs_array() {
+        // Allocation header bumps consecutive 2^k blocks off each other,
+        // producing more than one distinct low-6-bit pattern.
+        let mut h = HeapLayout::new(0x1_0000);
+        let mut sets = std::collections::HashSet::new();
+        for _ in 0..64 {
+            sets.insert(h.alloc(32768) & 0x3f);
+        }
+        assert!(sets.len() > 1, "heap layout should spread low bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        ArrayLayout::new(0, 0);
+    }
+}

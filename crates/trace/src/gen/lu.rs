@@ -1,0 +1,216 @@
+//! LU factorization trace generator (dense, column-panel formulation).
+//!
+//! The paper's Lu decomposes a `2048 x 2048` matrix with task counts of
+//! `nb*(nb+1)/2` for `nb` block-columns and exactly two dependences per task
+//! (Table I): the workload is the column-panel right-looking LU where, at
+//! step `k`, one task factorizes panel `k` and one task per later column `j`
+//! updates it with panel `k`:
+//!
+//! * `panel(k)`   — `in col(k-1)` (k>0), `inout col(k)`
+//! * `update(k,j)` — `in col(k)`, `inout col(j)`  for `j > k`
+//!
+//! The consumers of `col(k)` are the updates `update(k, k+1..nb)`, created
+//! in ascending `j` order. Because Picos wakes consumer chains **from the
+//! last consumer backwards** (paper, Section III-D), `update(k, k+1)` — the
+//! task on the critical path, since it feeds `panel(k+1)` — is woken *last*.
+//! This is exactly the paper's Lu corner case (Section V-A, Figure 9). The
+//! [`LuOrder::Modified`] variant creates the updates in descending `j`
+//! order ("MLu"), which puts the critical-path update at the chain head.
+
+use crate::gen::calibration::seq_exec_target;
+use crate::gen::layout::ArrayLayout;
+use crate::task::Dependence;
+use crate::trace::Trace;
+
+/// Task-creation order for the update tasks of each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LuOrder {
+    /// Natural ascending-`j` creation order (the paper's "Lu").
+    #[default]
+    Natural,
+    /// Descending-`j` creation order (the paper's "MLu", Figure 9 left).
+    Modified,
+}
+
+/// Configuration for the LU generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LuConfig {
+    /// Matrix dimension in elements (paper: 2048).
+    pub problem_size: u64,
+    /// Block dimension in elements (paper: 256, 128, 64, 32).
+    pub block_size: u64,
+    /// Update-task creation order (Lu vs MLu).
+    pub order: LuOrder,
+    /// Calibrate durations against the paper's Table I totals.
+    pub calibrate: bool,
+}
+
+impl LuConfig {
+    /// The paper's configuration for a given block size.
+    pub fn paper(block_size: u64) -> Self {
+        LuConfig {
+            problem_size: 2048,
+            block_size,
+            order: LuOrder::Natural,
+            calibrate: true,
+        }
+    }
+
+    /// The modified-creation-order variant (MLu).
+    pub fn paper_modified(block_size: u64) -> Self {
+        LuConfig {
+            order: LuOrder::Modified,
+            ..LuConfig::paper(block_size)
+        }
+    }
+
+    /// Number of block columns.
+    pub fn blocks_per_dim(&self) -> u64 {
+        self.problem_size / self.block_size
+    }
+}
+
+/// Generates the LU trace.
+///
+/// # Panics
+///
+/// Panics if `block_size` does not divide `problem_size` or is zero.
+pub fn lu(cfg: LuConfig) -> Trace {
+    assert!(
+        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        "block size must divide problem size"
+    );
+    let nb = cfg.blocks_per_dim();
+    let name = match cfg.order {
+        LuOrder::Natural => "lu",
+        LuOrder::Modified => "mlu",
+    };
+    let mut tr = Trace::new(name).with_sizes(cfg.problem_size, cfg.block_size);
+    let k_panel = tr.kernel("lu_panel");
+    let k_update = tr.kernel("lu_update");
+    // Column panels in a contiguous column-major array: column j starts at
+    // element j*bs*n.
+    let layout = ArrayLayout::new(0x4800_0000, 8);
+    let col_addr = |j: u64| layout.addr(j * cfg.block_size * cfg.problem_size);
+    // Panel factorization ~ bs^2 * n work on the remaining column; the
+    // trailing update of one column ~ the same order. Use the remaining
+    // column height to shrink work as the factorization proceeds.
+    let col_height = |k: u64| cfg.problem_size - k * cfg.block_size;
+
+    for k in 0..nb {
+        let mut deps = vec![Dependence::inout(col_addr(k))];
+        if k > 0 {
+            deps.insert(0, Dependence::input(col_addr(k - 1)));
+        }
+        tr.push(k_panel, deps, cfg.block_size * cfg.block_size * col_height(k));
+
+        let js: Vec<u64> = match cfg.order {
+            LuOrder::Natural => ((k + 1)..nb).collect(),
+            LuOrder::Modified => ((k + 1)..nb).rev().collect(),
+        };
+        for j in js {
+            tr.push(
+                k_update,
+                [Dependence::input(col_addr(k)), Dependence::inout(col_addr(j))],
+                cfg.block_size * cfg.block_size * col_height(k),
+            );
+        }
+    }
+    if cfg.calibrate {
+        tr.calibrate_to(seq_exec_target("lu", cfg.block_size));
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::calibration::table1_row;
+    use crate::graph::TaskGraph;
+    use crate::TaskId;
+
+    #[test]
+    fn task_counts_match_table1() {
+        for bs in [256, 128, 64, 32] {
+            let tr = lu(LuConfig::paper(bs));
+            assert_eq!(tr.len(), table1_row("lu", bs).unwrap().tasks, "bs {bs}");
+        }
+    }
+
+    #[test]
+    fn dep_count_is_two_except_first_panel() {
+        let tr = lu(LuConfig::paper(256));
+        assert_eq!(tr.tasks()[0].num_deps(), 1); // first panel
+        assert!(tr.iter().skip(1).all(|t| t.num_deps() == 2));
+    }
+
+    #[test]
+    fn seq_exec_calibrated() {
+        let tr = lu(LuConfig::paper(64));
+        let target = table1_row("lu", 64).unwrap().seq_exec;
+        let err = (tr.sequential_time() as f64 - target as f64).abs() / target as f64;
+        assert!(err < 0.01);
+    }
+
+    #[test]
+    fn update_chain_feeds_next_panel() {
+        // panel(1) must depend on update(0,1).
+        let tr = lu(LuConfig::paper(256));
+        let g = TaskGraph::build(&tr);
+        let nb = 8u32;
+        // Creation order: panel(0)=0, update(0,1)=1 .. update(0,7)=7,
+        // panel(1)=8.
+        let panel1 = TaskId::new(nb);
+        assert!(g.preds(panel1).contains(&1));
+    }
+
+    #[test]
+    fn modified_order_reverses_updates() {
+        let nat = lu(LuConfig::paper(256));
+        let mlu = lu(LuConfig::paper_modified(256));
+        assert_eq!(nat.len(), mlu.len());
+        assert_eq!(mlu.name, "mlu");
+        // In MLu the first update task after panel(0) touches the LAST
+        // column.
+        let last_col_addr = nat.tasks()[7].deps[1].addr; // update(0,7) inout col7
+        assert_eq!(mlu.tasks()[1].deps[1].addr, last_col_addr);
+        // Same dataflow structure: identical critical path.
+        let gn = TaskGraph::build(&nat).parallelism();
+        let gm = TaskGraph::build(&mlu).parallelism();
+        assert_eq!(gn.critical_path, gm.critical_path);
+        assert_eq!(gn.total_work, gm.total_work);
+    }
+
+    #[test]
+    fn consumers_of_panel_are_parallel() {
+        let tr = lu(LuConfig::paper(256));
+        let g = TaskGraph::build(&tr);
+        // update(0,j) for j=1..7 are mutually independent.
+        let p = g.parallelism();
+        assert!(p.max_width >= 7, "width {}", p.max_width);
+    }
+
+    #[test]
+    fn work_decreases_with_step() {
+        let tr = lu(LuConfig {
+            calibrate: false,
+            ..LuConfig::paper(256)
+        });
+        // panel(0) is task 0; panel(7) is the last task.
+        let first = tr.tasks()[0].duration;
+        let last = tr.tasks().last().unwrap().duration;
+        assert!(first > last);
+    }
+
+    #[test]
+    fn addresses_cluster_for_direct_hash() {
+        let tr = lu(LuConfig::paper(64));
+        let mut low = std::collections::HashSet::new();
+        for t in tr.iter() {
+            for d in &t.deps {
+                low.insert(d.addr & 0x3f);
+            }
+        }
+        assert_eq!(low.len(), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! The seven synthetic benchmarks of the paper (Section IV-C, Figure 7).
+//!
+//! Each testcase is a sequence of 100 tasks of length 1 cycle, "issued every
+//! cycle", so the processing capacity of the prototype can be measured:
+//!
+//! * **Case1-3** — independent tasks with 0, 1 and 15 dependences.
+//! * **Case4** — a single chain of 100 `inout` dependences.
+//! * **Case5** — 10 sets of 10 consumers for the same producer.
+//! * **Case6** — 10 sets of 10 producers for the same consumer.
+//! * **Case7** — 10 sets of 10 mixed producers/consumers.
+
+use crate::gen::layout::ArrayLayout;
+use crate::task::Dependence;
+use crate::trace::Trace;
+
+/// Nominal number of tasks per synthetic testcase (paper: "a sequence of
+/// 100 tasks"). Case5 and Case6 carry 110 tasks — ten sets of one producer
+/// plus ten consumers (or vice versa) — so that the per-task dependence
+/// counts match the paper's Table IV `#d1st/avg#d` row exactly.
+pub const SYNTHETIC_TASKS: usize = 100;
+/// Duration of each synthetic task (paper: "of length 1 cycle").
+pub const SYNTHETIC_DURATION: u64 = 1;
+
+/// Identifier of one of the seven synthetic testcases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Case {
+    /// 100 independent tasks, no dependences.
+    Case1,
+    /// 100 independent tasks, 1 input dependence each (distinct addresses).
+    Case2,
+    /// 100 independent tasks, 15 input dependences each (distinct addresses).
+    Case3,
+    /// A single Producer-Producer chain of 100 `inout` dependences.
+    Case4,
+    /// 10 sets of 10 consumers for the same producer.
+    Case5,
+    /// 10 sets of 10 producers for the same consumer.
+    Case6,
+    /// 10 sets of 10 mixed producers/consumers.
+    Case7,
+}
+
+impl Case {
+    /// All seven testcases in paper order.
+    pub const ALL: [Case; 7] = [
+        Case::Case1,
+        Case::Case2,
+        Case::Case3,
+        Case::Case4,
+        Case::Case5,
+        Case::Case6,
+        Case::Case7,
+    ];
+
+    /// Paper-style name, e.g. `"Case4"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Case::Case1 => "Case1",
+            Case::Case2 => "Case2",
+            Case::Case3 => "Case3",
+            Case::Case4 => "Case4",
+            Case::Case5 => "Case5",
+            Case::Case6 => "Case6",
+            Case::Case7 => "Case7",
+        }
+    }
+
+    /// Whether the paper classifies the case as "independent" (Case1-3).
+    pub fn is_independent(self) -> bool {
+        matches!(self, Case::Case1 | Case::Case2 | Case::Case3)
+    }
+}
+
+/// Generates the trace of one synthetic testcase.
+pub fn synthetic(case: Case) -> Trace {
+    let mut tr = Trace::new(case.name().to_lowercase());
+    let k = tr.kernel("synthetic");
+    // Both regions are word-strided (f64 element) arrays, as a benchmark
+    // reading scalar elements would produce. Word stride matters: it
+    // spreads one task's dependences over several DM sets, so a single
+    // task can never pin a whole direct-hash set by itself (more than
+    // `ways` same-set dependences within ONE task could never be stored,
+    // which is why real OmpSs codes pass element addresses, not
+    // line-aligned labels).
+    let distinct = ArrayLayout::new(0x10_0000, 8);
+    let shared = ArrayLayout::new(0x80_0000, 8);
+    let mut fresh = 0u64;
+    let mut next_fresh = || {
+        fresh += 1;
+        distinct.addr(fresh - 1)
+    };
+
+    match case {
+        Case::Case1 => {
+            for _ in 0..SYNTHETIC_TASKS {
+                tr.push(k, [], SYNTHETIC_DURATION);
+            }
+        }
+        Case::Case2 => {
+            for _ in 0..SYNTHETIC_TASKS {
+                tr.push(k, [Dependence::input(next_fresh())], SYNTHETIC_DURATION);
+            }
+        }
+        Case::Case3 => {
+            for _ in 0..SYNTHETIC_TASKS {
+                let deps: Vec<_> = (0..15).map(|_| Dependence::input(next_fresh())).collect();
+                tr.push(k, deps, SYNTHETIC_DURATION);
+            }
+        }
+        Case::Case4 => {
+            let a = shared.addr(0);
+            for _ in 0..SYNTHETIC_TASKS {
+                tr.push(k, [Dependence::inout(a)], SYNTHETIC_DURATION);
+            }
+        }
+        Case::Case5 => {
+            // 10 sets; each set: one producer writing A_s (plus a seed input
+            // so every task carries 2 dependences, matching the paper's
+            // avg#d = 2), followed by 10 consumers reading A_s.
+            for s in 0..10u64 {
+                let a = shared.addr(s);
+                tr.push(
+                    k,
+                    [Dependence::input(next_fresh()), Dependence::inout(a)],
+                    SYNTHETIC_DURATION,
+                );
+                for _ in 0..10 {
+                    tr.push(
+                        k,
+                        [Dependence::input(a), Dependence::output(next_fresh())],
+                        SYNTHETIC_DURATION,
+                    );
+                }
+            }
+        }
+        Case::Case6 => {
+            // 10 rounds of: one consumer reading the ten producer outputs of
+            // the previous round (11 dependences, which is why the paper
+            // reports #d1st = 11), then 10 single-dependence producers
+            // rewriting those same addresses.
+            let r = shared.addr(32);
+            for _ in 0..10 {
+                let mut deps: Vec<_> = (0..10).map(|i| Dependence::input(shared.addr(i))).collect();
+                deps.push(Dependence::inout(r));
+                tr.push(k, deps, SYNTHETIC_DURATION);
+                for i in 0..10 {
+                    tr.push(k, [Dependence::output(shared.addr(i))], SYNTHETIC_DURATION);
+                }
+            }
+        }
+        Case::Case7 => {
+            // 10 layers of 10 tasks; every task consumes all ten outputs of
+            // the previous layer and produces one output of its own layer:
+            // 11 dependences per task, mixed producer/consumer roles.
+            for s in 0..10u64 {
+                let prev = 1 - s % 2; // ping-pong between two address banks
+                let cur = s % 2;
+                for i in 0..10u64 {
+                    let mut deps: Vec<_> = (0..10)
+                        .map(|j| Dependence::input(shared.addr(prev * 16 + j)))
+                        .collect();
+                    deps.push(Dependence::output(shared.addr(cur * 16 + i)));
+                    tr.push(k, deps, SYNTHETIC_DURATION);
+                }
+            }
+        }
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    #[test]
+    fn all_cases_have_expected_unit_tasks() {
+        for c in Case::ALL {
+            let tr = synthetic(c);
+            let expected = match c {
+                Case::Case5 | Case::Case6 => 110,
+                _ => SYNTHETIC_TASKS,
+            };
+            assert_eq!(tr.len(), expected, "{c:?}");
+            assert!(tr.iter().all(|t| t.duration == SYNTHETIC_DURATION));
+        }
+    }
+
+    #[test]
+    fn dep_counts_match_paper_row() {
+        // Paper Table IV row "#d1st/avg#d".
+        let expect = [
+            (Case::Case1, 0.0, 0),
+            (Case::Case2, 1.0, 1),
+            (Case::Case3, 15.0, 15),
+            (Case::Case4, 1.0, 1),
+            (Case::Case5, 2.0, 2),
+            (Case::Case6, 1.9, 11),
+            (Case::Case7, 11.0, 11),
+        ];
+        for (c, avg, first) in expect {
+            let tr = synthetic(c);
+            let s = tr.stats();
+            assert!(
+                (s.avg_deps() - avg).abs() < 0.11,
+                "{c:?}: avg {} vs {avg}",
+                s.avg_deps()
+            );
+            assert_eq!(tr.tasks()[0].num_deps(), first, "{c:?} first-task deps");
+        }
+    }
+
+    #[test]
+    fn independent_cases_have_no_edges() {
+        for c in [Case::Case1, Case::Case2, Case::Case3] {
+            let g = TaskGraph::build(&synthetic(c));
+            assert_eq!(g.num_edges(), 0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn case4_is_single_chain() {
+        let g = TaskGraph::build(&synthetic(Case::Case4));
+        let p = g.parallelism();
+        assert_eq!(p.critical_path, 100);
+        assert_eq!(p.max_width, 1);
+    }
+
+    #[test]
+    fn case5_fanout_structure() {
+        let g = TaskGraph::build(&synthetic(Case::Case5));
+        // Each producer has 10 consumer successors.
+        let producer = crate::TaskId::new(0);
+        assert_eq!(g.succs(producer).len(), 10);
+        // Consumers of one set are mutually independent.
+        let p = g.parallelism();
+        assert!(p.max_width >= 10, "width {}", p.max_width);
+    }
+
+    #[test]
+    fn case6_consumer_waits_for_all_producers() {
+        let g = TaskGraph::build(&synthetic(Case::Case6));
+        // Second-round consumer is task 11; it must depend on the 10
+        // producers of round one (tasks 1..=10) plus the previous consumer
+        // (task 0) through the shared inout register.
+        let mut preds = g.preds(crate::TaskId::new(11)).to_vec();
+        preds.sort_unstable();
+        assert_eq!(preds, (0..=10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn case7_layers_are_dense() {
+        let g = TaskGraph::build(&synthetic(Case::Case7));
+        // A task in layer 2 depends on all ten tasks of layer 1.
+        let t = crate::TaskId::new(10);
+        assert_eq!(g.preds(t).len(), 10);
+        // All tasks carry 11 dependences.
+        let tr = synthetic(Case::Case7);
+        assert!(tr.iter().all(|t| t.num_deps() == 11));
+    }
+
+    #[test]
+    fn case_names() {
+        assert_eq!(Case::Case5.name(), "Case5");
+        assert!(Case::Case2.is_independent());
+        assert!(!Case::Case6.is_independent());
+    }
+
+    #[test]
+    fn traces_fit_hardware_dep_limit() {
+        for c in Case::ALL {
+            let tr = synthetic(c);
+            assert!(tr.iter().all(|t| t.num_deps() <= crate::MAX_DEPS_PER_TASK));
+        }
+    }
+}

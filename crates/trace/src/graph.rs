@@ -1,0 +1,419 @@
+//! Ground-truth dataflow graph of a trace.
+//!
+//! The graph applies the OmpSs dependence semantics the Picos hardware
+//! implements: within program (creation) order, a reader depends on the last
+//! writer of its address (RAW), and a writer depends on the last writer (WAW)
+//! and on every reader since that writer (WAR).
+//!
+//! The graph serves three purposes in the reproduction:
+//! * the perfect (roofline) scheduler runs directly on it,
+//! * execution engines are validated against it (every execution order must
+//!   be one of its topological orders),
+//! * its critical path and parallelism profile explain the scalability
+//!   ceilings of Figure 11.
+
+use crate::task::TaskId;
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// Immutable dataflow graph over the tasks of a trace.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    preds: Vec<Vec<u32>>,
+    succs: Vec<Vec<u32>>,
+    durations: Vec<u64>,
+    num_edges: usize,
+    /// Taskwait positions, inherited from the trace: tasks at or after a
+    /// barrier implicitly depend on every task before it.
+    barriers: Vec<u32>,
+}
+
+impl TaskGraph {
+    /// Builds the dataflow graph of a trace.
+    ///
+    /// Runs the canonical address-map dependence analysis: for every address
+    /// it tracks the last writer and the readers since that write, adding
+    /// RAW, WAR and WAW edges. Duplicate edges between the same task pair
+    /// are collapsed.
+    pub fn build(trace: &Trace) -> Self {
+        struct AddrState {
+            last_writer: Option<u32>,
+            readers: Vec<u32>,
+        }
+        let n = trace.len();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut addr_map: HashMap<u64, AddrState> = HashMap::new();
+        let mut num_edges = 0usize;
+
+        let add_edge = |from: u32,
+                            to: u32,
+                            preds: &mut Vec<Vec<u32>>,
+                            succs: &mut Vec<Vec<u32>>,
+                            num_edges: &mut usize| {
+            debug_assert!(from < to, "dependence edges must point forward");
+            // Predecessor lists are short (<= 15 addresses, few edges per
+            // address); linear duplicate check is cheaper than hashing.
+            if !preds[to as usize].contains(&from) {
+                preds[to as usize].push(from);
+                succs[from as usize].push(to);
+                *num_edges += 1;
+            }
+        };
+
+        for t in trace.iter() {
+            let me = t.id.raw();
+            for d in &t.deps {
+                let st = addr_map.entry(d.addr).or_insert(AddrState {
+                    last_writer: None,
+                    readers: Vec::new(),
+                });
+                if d.dir.reads() {
+                    if let Some(w) = st.last_writer {
+                        add_edge(w, me, &mut preds, &mut succs, &mut num_edges);
+                    }
+                }
+                if d.dir.writes() {
+                    if let Some(w) = st.last_writer {
+                        add_edge(w, me, &mut preds, &mut succs, &mut num_edges);
+                    }
+                    for &r in &st.readers {
+                        if r != me {
+                            add_edge(r, me, &mut preds, &mut succs, &mut num_edges);
+                        }
+                    }
+                    st.last_writer = Some(me);
+                    st.readers.clear();
+                }
+                if d.dir.reads() && !d.dir.writes() {
+                    st.readers.push(me);
+                }
+            }
+        }
+
+        TaskGraph {
+            preds,
+            succs,
+            durations: trace.iter().map(|t| t.duration).collect(),
+            num_edges,
+            barriers: trace.barriers().to_vec(),
+        }
+    }
+
+    /// Taskwait positions inherited from the trace.
+    pub fn barriers(&self) -> &[u32] {
+        &self.barriers
+    }
+
+    /// Number of tasks (nodes).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Number of (deduplicated) dependence edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Predecessors (tasks this task waits for).
+    pub fn preds(&self, id: TaskId) -> &[u32] {
+        &self.preds[id.index()]
+    }
+
+    /// Successors (tasks waiting for this task).
+    pub fn succs(&self, id: TaskId) -> &[u32] {
+        &self.succs[id.index()]
+    }
+
+    /// Duration of a task in cycles.
+    pub fn duration(&self, id: TaskId) -> u64 {
+        self.durations[id.index()]
+    }
+
+    /// Tasks with no predecessors, in creation order.
+    pub fn roots(&self) -> Vec<TaskId> {
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .map(|i| TaskId::new(i as u32))
+            .collect()
+    }
+
+    /// Checks that `order` (task indices in execution order) is a legal
+    /// topological order of the graph, including the taskwait barriers.
+    ///
+    /// Used by integration tests to validate execution engines.
+    pub fn is_topological(&self, order: &[u32]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (i, &t) in order.iter().enumerate() {
+            let Some(slot) = pos.get_mut(t as usize) else {
+                return false;
+            };
+            if *slot != usize::MAX {
+                return false; // duplicate
+            }
+            *slot = i;
+        }
+        for (to, preds) in self.preds.iter().enumerate() {
+            for &from in preds {
+                if pos[from as usize] >= pos[to] {
+                    return false;
+                }
+            }
+        }
+        // Barriers: every task before a taskwait must execute before every
+        // task after it.
+        for &b in &self.barriers {
+            let b = b as usize;
+            let before_max = pos[..b].iter().copied().max().unwrap_or(0);
+            let after_min = pos[b..].iter().copied().min().unwrap_or(usize::MAX);
+            if before_max >= after_min {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Critical path length in cycles: the longest duration-weighted chain
+    /// (taskwait barriers included).
+    ///
+    /// This bounds the makespan of any schedule, so
+    /// `sequential_time / critical_path` is the roofline speedup with
+    /// unlimited workers.
+    pub fn critical_path(&self) -> u64 {
+        // Tasks are already topologically sorted by creation order (edges
+        // only point forward), so a single forward pass suffices. A
+        // barrier raises the floor to the maximum finish so far.
+        let n = self.len();
+        let mut finish = vec![0u64; n];
+        let mut best = 0u64;
+        let mut floor = 0u64;
+        let mut next_barrier = self.barriers.iter().copied().peekable();
+        for i in 0..n {
+            if next_barrier.peek() == Some(&(i as u32)) {
+                next_barrier.next();
+                floor = best;
+            }
+            let dep_start =
+                self.preds[i].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let start = dep_start.max(floor);
+            finish[i] = start + self.durations[i];
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Parallelism profile under infinite workers and zero overhead
+    /// (taskwait barriers included).
+    pub fn parallelism(&self) -> ParallelismProfile {
+        let n = self.len();
+        let mut finish = vec![0u64; n];
+        let mut events: Vec<(u64, i64)> = Vec::with_capacity(2 * n);
+        let mut total_work = 0u64;
+        let mut best = 0u64;
+        let mut floor = 0u64;
+        let mut next_barrier = self.barriers.iter().copied().peekable();
+        for i in 0..n {
+            if next_barrier.peek() == Some(&(i as u32)) {
+                next_barrier.next();
+                floor = best;
+            }
+            let dep_start =
+                self.preds[i].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let start = dep_start.max(floor);
+            finish[i] = start + self.durations[i];
+            best = best.max(finish[i]);
+            total_work += self.durations[i];
+            events.push((start, 1));
+            events.push((finish[i], -1));
+        }
+        let makespan = finish.iter().copied().max().unwrap_or(0);
+        events.sort_unstable();
+        let mut cur = 0i64;
+        let mut max_width = 0i64;
+        for (_, delta) in events {
+            cur += delta;
+            max_width = max_width.max(cur);
+        }
+        ParallelismProfile {
+            critical_path: makespan,
+            total_work,
+            max_width: max_width.max(0) as usize,
+            avg_parallelism: if makespan == 0 {
+                0.0
+            } else {
+                total_work as f64 / makespan as f64
+            },
+        }
+    }
+}
+
+/// Summary of the intrinsic parallelism of a task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismProfile {
+    /// Longest duration-weighted dependence chain, in cycles.
+    pub critical_path: u64,
+    /// Sum of all task durations, in cycles.
+    pub total_work: u64,
+    /// Maximum number of tasks simultaneously in flight.
+    pub max_width: usize,
+    /// `total_work / critical_path`: the average available parallelism.
+    pub avg_parallelism: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Dependence, KernelClass};
+
+    fn k() -> KernelClass {
+        KernelClass::GENERIC
+    }
+
+    /// chain: T0 -> T1 -> T2 through inout on the same address.
+    fn chain_trace() -> Trace {
+        let mut tr = Trace::new("chain");
+        for _ in 0..3 {
+            tr.push(k(), [Dependence::inout(0xA0)], 10);
+        }
+        tr
+    }
+
+    #[test]
+    fn chain_edges() {
+        let g = TaskGraph::build(&chain_trace());
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.preds(TaskId::new(1)), &[0]);
+        assert_eq!(g.preds(TaskId::new(2)), &[1]);
+        assert_eq!(g.succs(TaskId::new(0)), &[1]);
+        assert_eq!(g.roots(), vec![TaskId::new(0)]);
+        assert_eq!(g.critical_path(), 30);
+    }
+
+    #[test]
+    fn raw_edge_reader_after_writer() {
+        let mut tr = Trace::new("raw");
+        tr.push(k(), [Dependence::output(0x10)], 5);
+        tr.push(k(), [Dependence::input(0x10)], 5);
+        let g = TaskGraph::build(&tr);
+        assert_eq!(g.preds(TaskId::new(1)), &[0]);
+    }
+
+    #[test]
+    fn no_edge_between_readers() {
+        let mut tr = Trace::new("rr");
+        tr.push(k(), [Dependence::input(0x10)], 5);
+        tr.push(k(), [Dependence::input(0x10)], 5);
+        let g = TaskGraph::build(&tr);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.roots().len(), 2);
+    }
+
+    #[test]
+    fn war_edge_writer_after_readers() {
+        let mut tr = Trace::new("war");
+        tr.push(k(), [Dependence::input(0x10)], 5); // T0 reads (no prior writer)
+        tr.push(k(), [Dependence::input(0x10)], 5); // T1 reads
+        tr.push(k(), [Dependence::output(0x10)], 5); // T2 writes: WAR on T0, T1
+        let g = TaskGraph::build(&tr);
+        let mut p = g.preds(TaskId::new(2)).to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1]);
+    }
+
+    #[test]
+    fn waw_edge_between_writers() {
+        let mut tr = Trace::new("waw");
+        tr.push(k(), [Dependence::output(0x10)], 5);
+        tr.push(k(), [Dependence::output(0x10)], 5);
+        let g = TaskGraph::build(&tr);
+        assert_eq!(g.preds(TaskId::new(1)), &[0]);
+    }
+
+    #[test]
+    fn readers_cleared_after_write() {
+        // T0 reads, T1 writes, T2 writes: T2 must NOT depend on T0.
+        let mut tr = Trace::new("clear");
+        tr.push(k(), [Dependence::input(0x10)], 5);
+        tr.push(k(), [Dependence::output(0x10)], 5);
+        tr.push(k(), [Dependence::output(0x10)], 5);
+        let g = TaskGraph::build(&tr);
+        assert_eq!(g.preds(TaskId::new(2)), &[1]);
+    }
+
+    #[test]
+    fn paper_figure5_chain() {
+        // The six-task example of paper Figure 5: T0 inout, T1-T3 in,
+        // T4, T5 producers (inout).
+        let mut tr = Trace::new("fig5");
+        tr.push(k(), [Dependence::inout(0xA0)], 1); // Task1
+        tr.push(k(), [Dependence::input(0xA0)], 1); // Task2
+        tr.push(k(), [Dependence::input(0xA0)], 1); // Task3
+        tr.push(k(), [Dependence::input(0xA0)], 1); // Task4
+        tr.push(k(), [Dependence::inout(0xA0)], 1); // Task5
+        tr.push(k(), [Dependence::inout(0xA0)], 1); // Task6
+        let g = TaskGraph::build(&tr);
+        // Consumers depend on Task1 only.
+        for i in 1..=3 {
+            assert_eq!(g.preds(TaskId::new(i)), &[0], "task {i}");
+        }
+        // Task5 (producer) depends on the readers T1..T3 (WAR) + T0 (WAW).
+        let mut p = g.preds(TaskId::new(4)).to_vec();
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        // Task6 depends only on Task5 (WAW; readers were cleared).
+        assert_eq!(g.preds(TaskId::new(5)), &[4]);
+    }
+
+    #[test]
+    fn topological_checker() {
+        let g = TaskGraph::build(&chain_trace());
+        assert!(g.is_topological(&[0, 1, 2]));
+        assert!(!g.is_topological(&[1, 0, 2]));
+        assert!(!g.is_topological(&[0, 1])); // wrong length
+        assert!(!g.is_topological(&[0, 0, 2])); // duplicate
+        assert!(!g.is_topological(&[0, 1, 3])); // out of range
+    }
+
+    #[test]
+    fn parallelism_profile_chain() {
+        let g = TaskGraph::build(&chain_trace());
+        let p = g.parallelism();
+        assert_eq!(p.critical_path, 30);
+        assert_eq!(p.total_work, 30);
+        assert_eq!(p.max_width, 1);
+        assert!((p.avg_parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallelism_profile_fanout() {
+        // One producer, 4 independent consumers.
+        let mut tr = Trace::new("fan");
+        tr.push(k(), [Dependence::output(0x10)], 10);
+        for _ in 0..4 {
+            tr.push(k(), [Dependence::input(0x10)], 10);
+        }
+        let g = TaskGraph::build(&tr);
+        let p = g.parallelism();
+        assert_eq!(p.critical_path, 20);
+        assert_eq!(p.total_work, 50);
+        assert_eq!(p.max_width, 4);
+        assert!((p.avg_parallelism - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::build(&Trace::new("empty"));
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path(), 0);
+        assert_eq!(g.parallelism().max_width, 0);
+        assert!(g.is_topological(&[]));
+    }
+}

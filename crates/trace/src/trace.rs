@@ -1,0 +1,464 @@
+//! The [`Trace`] container: an ordered stream of task descriptors.
+//!
+//! A trace is the reproduction's stand-in for the instrumented OmpSs runs of
+//! the paper (Section IV-A): it records, in creation order, every task with
+//! its dependences and execution duration. All three execution engines
+//! (Picos hardware model, software runtime model, perfect scheduler) consume
+//! the same trace, exactly as the paper feeds the same traces to the HIL
+//! platform, Nanos++ and the perfect simulator.
+
+use crate::task::{Dependence, KernelClass, TaskDescriptor, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered stream of tasks plus workload metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable workload name (e.g. `"cholesky"`, `"case4"`).
+    pub name: String,
+    /// Problem size (matrix dimension, frame count, ...), if meaningful.
+    pub problem_size: Option<u64>,
+    /// Block size / task granularity knob, if meaningful.
+    pub block_size: Option<u64>,
+    /// Kernel-class name table; indexed by [`KernelClass`].
+    pub kernel_names: Vec<String>,
+    tasks: Vec<TaskDescriptor>,
+    /// Taskwait positions: a barrier at position `b` means tasks with id
+    /// `>= b` may only be created once every task with id `< b` finished
+    /// (OmpSs `#pragma omp taskwait`, paper Section II-A). Sorted,
+    /// deduplicated, strictly inside `1..len`.
+    #[serde(default)]
+    barriers: Vec<u32>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            problem_size: None,
+            block_size: None,
+            kernel_names: vec!["task".to_string()],
+            tasks: Vec::new(),
+            barriers: Vec::new(),
+        }
+    }
+
+    /// Sets the problem/block size metadata (builder style).
+    pub fn with_sizes(mut self, problem_size: u64, block_size: u64) -> Self {
+        self.problem_size = Some(problem_size);
+        self.block_size = Some(block_size);
+        self
+    }
+
+    /// Registers a kernel name and returns its class index.
+    ///
+    /// If the name is already registered, the existing index is returned.
+    pub fn kernel(&mut self, name: &str) -> KernelClass {
+        if let Some(pos) = self.kernel_names.iter().position(|n| n == name) {
+            return KernelClass(pos as u16);
+        }
+        self.kernel_names.push(name.to_string());
+        KernelClass((self.kernel_names.len() - 1) as u16)
+    }
+
+    /// Returns the name of a kernel class.
+    pub fn kernel_name(&self, class: KernelClass) -> &str {
+        self.kernel_names
+            .get(class.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Appends a task built from dependences and a duration; returns its id.
+    ///
+    /// The task id is assigned from the current trace length, so tasks are
+    /// always in creation order.
+    pub fn push(
+        &mut self,
+        kernel: KernelClass,
+        deps: impl IntoIterator<Item = Dependence>,
+        duration: u64,
+    ) -> TaskId {
+        let id = TaskId::new(self.tasks.len() as u32);
+        self.tasks.push(TaskDescriptor::new(id, kernel, deps, duration));
+        id
+    }
+
+    /// Records an OmpSs `taskwait` at the current position: every task
+    /// created after this call waits until all tasks created before it
+    /// have finished. No-op at position zero or right after another
+    /// taskwait.
+    pub fn push_taskwait(&mut self) {
+        let pos = self.tasks.len() as u32;
+        if pos == 0 || self.barriers.last() == Some(&pos) {
+            return;
+        }
+        self.barriers.push(pos);
+    }
+
+    /// The taskwait positions, sorted ascending.
+    pub fn barriers(&self) -> &[u32] {
+        &self.barriers
+    }
+
+    /// The highest task index (exclusive) that may be created once
+    /// `finished` tasks have completed: creation stops at the first
+    /// taskwait whose prefix has not fully finished.
+    pub fn creation_limit(&self, finished: usize) -> usize {
+        for &b in &self.barriers {
+            if finished < b as usize {
+                return b as usize;
+            }
+        }
+        self.tasks.len()
+    }
+
+    /// The taskwait segments as index ranges (one range when there are no
+    /// barriers).
+    pub fn segments(&self) -> Vec<std::ops::Range<usize>> {
+        let mut out = Vec::with_capacity(self.barriers.len() + 1);
+        let mut start = 0usize;
+        for &b in &self.barriers {
+            out.push(start..b as usize);
+            start = b as usize;
+        }
+        out.push(start..self.tasks.len());
+        out
+    }
+
+    /// Number of tasks in the trace.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the trace has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The tasks in creation order.
+    pub fn tasks(&self) -> &[TaskDescriptor] {
+        &self.tasks
+    }
+
+    /// Returns a task by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn task(&self, id: TaskId) -> &TaskDescriptor {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates over the tasks in creation order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TaskDescriptor> {
+        self.tasks.iter()
+    }
+
+    /// Total sequential execution time: the sum of all task durations.
+    ///
+    /// This is the baseline against which all speedups are computed
+    /// (paper: "Speedup shown in this paper is computed against the
+    /// sequential execution time").
+    pub fn sequential_time(&self) -> u64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Multiplies every task duration by `num / den`, rounding to nearest,
+    /// with a minimum duration of 1 cycle per task.
+    ///
+    /// Used to calibrate generated traces against the paper's Table I
+    /// sequential execution times.
+    pub fn scale_durations(&mut self, num: u64, den: u64) {
+        assert!(den != 0, "scale denominator must be non-zero");
+        for t in &mut self.tasks {
+            let scaled = (t.duration as u128 * num as u128 + den as u128 / 2) / den as u128;
+            t.duration = (scaled as u64).max(1);
+        }
+    }
+
+    /// Rescales durations so the total sequential time is as close as
+    /// possible to `target` (each task keeps its relative weight).
+    pub fn calibrate_to(&mut self, target: u64) {
+        let total = self.sequential_time();
+        if total == 0 || self.tasks.is_empty() {
+            return;
+        }
+        self.scale_durations(target, total);
+    }
+
+    /// Summary statistics of the trace (regenerates one Table I row).
+    pub fn stats(&self) -> TraceStats {
+        let n = self.tasks.len();
+        let mut min_deps = usize::MAX;
+        let mut max_deps = 0usize;
+        let mut total_deps = 0usize;
+        for t in &self.tasks {
+            min_deps = min_deps.min(t.num_deps());
+            max_deps = max_deps.max(t.num_deps());
+            total_deps += t.num_deps();
+        }
+        if n == 0 {
+            min_deps = 0;
+        }
+        let seq = self.sequential_time();
+        TraceStats {
+            name: self.name.clone(),
+            problem_size: self.problem_size,
+            block_size: self.block_size,
+            num_tasks: n,
+            min_deps,
+            max_deps,
+            total_deps,
+            avg_task_size: if n == 0 { 0.0 } else { seq as f64 / n as f64 },
+            sequential_time: seq,
+        }
+    }
+
+    /// Serializes the trace to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (should not happen for
+    /// well-formed traces).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a trace from JSON produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not a valid trace encoding.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} tasks)", self.name, self.tasks.len())
+    }
+}
+
+impl Extend<TaskDescriptor> for Trace {
+    /// Extends the trace, re-assigning ids to preserve creation order.
+    fn extend<T: IntoIterator<Item = TaskDescriptor>>(&mut self, iter: T) {
+        for t in iter {
+            self.push(t.kernel, t.deps, t.duration);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TaskDescriptor;
+    type IntoIter = std::slice::Iter<'a, TaskDescriptor>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+/// Summary statistics for a trace; the columns of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Workload name.
+    pub name: String,
+    /// Problem size, if meaningful.
+    pub problem_size: Option<u64>,
+    /// Block size, if meaningful.
+    pub block_size: Option<u64>,
+    /// Number of tasks (Table I `#Tasks`).
+    pub num_tasks: usize,
+    /// Minimum dependences per task.
+    pub min_deps: usize,
+    /// Maximum dependences per task (with `min_deps`, Table I `#Dep`).
+    pub max_deps: usize,
+    /// Total dependences over all tasks.
+    pub total_deps: usize,
+    /// Average task size in cycles (Table I `AveTSize`).
+    pub avg_task_size: f64,
+    /// Total sequential execution time in cycles (Table I `SeqExec`).
+    pub sequential_time: u64,
+}
+
+impl TraceStats {
+    /// Average number of dependences per task.
+    pub fn avg_deps(&self) -> f64 {
+        if self.num_tasks == 0 {
+            0.0
+        } else {
+            self.total_deps as f64 / self.num_tasks as f64
+        }
+    }
+
+    /// The `#Dep` column of Table I: a single number when min == max,
+    /// otherwise a `min-max` range.
+    pub fn dep_range(&self) -> String {
+        if self.min_deps == self.max_deps {
+            format!("{}", self.min_deps)
+        } else {
+            format!("{}-{}", self.min_deps, self.max_deps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Direction;
+
+    fn small_trace() -> Trace {
+        let mut tr = Trace::new("test").with_sizes(2048, 256);
+        let k = tr.kernel("work");
+        tr.push(k, [Dependence::inout(0x1000)], 100);
+        tr.push(k, [Dependence::input(0x1000), Dependence::output(0x2000)], 200);
+        tr.push(k, [], 300);
+        tr
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let tr = small_trace();
+        for (i, t) in tr.iter().enumerate() {
+            assert_eq!(t.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn sequential_time_is_sum() {
+        assert_eq!(small_trace().sequential_time(), 600);
+    }
+
+    #[test]
+    fn kernel_registration_dedupes() {
+        let mut tr = Trace::new("t");
+        let a = tr.kernel("potrf");
+        let b = tr.kernel("gemm");
+        let a2 = tr.kernel("potrf");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(tr.kernel_name(a), "potrf");
+        assert_eq!(tr.kernel_name(b), "gemm");
+    }
+
+    #[test]
+    fn stats_match_contents() {
+        let s = small_trace().stats();
+        assert_eq!(s.num_tasks, 3);
+        assert_eq!(s.min_deps, 0);
+        assert_eq!(s.max_deps, 2);
+        assert_eq!(s.total_deps, 3);
+        assert_eq!(s.sequential_time, 600);
+        assert!((s.avg_task_size - 200.0).abs() < 1e-9);
+        assert_eq!(s.dep_range(), "0-2");
+        assert!((s.avg_deps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dep_range_single_value() {
+        let mut tr = Trace::new("t");
+        let k = KernelClass::GENERIC;
+        tr.push(k, [Dependence::inout(0x10)], 1);
+        tr.push(k, [Dependence::inout(0x20)], 1);
+        assert_eq!(tr.stats().dep_range(), "1");
+    }
+
+    #[test]
+    fn calibrate_to_hits_target() {
+        let mut tr = small_trace();
+        tr.calibrate_to(6_000_000);
+        let total = tr.sequential_time();
+        // Within rounding of the per-task scaling.
+        assert!((total as i64 - 6_000_000i64).abs() < 10, "total={total}");
+        // Relative weights preserved: 1:2:3.
+        let d: Vec<_> = tr.iter().map(|t| t.duration).collect();
+        assert!(d[1] > d[0] && d[2] > d[1]);
+    }
+
+    #[test]
+    fn scale_durations_minimum_one() {
+        let mut tr = Trace::new("t");
+        tr.push(KernelClass::GENERIC, [], 1);
+        tr.scale_durations(1, 1000);
+        assert_eq!(tr.tasks()[0].duration, 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let tr = small_trace();
+        let s = tr.to_json().unwrap();
+        let back = Trace::from_json(&s).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn taskwait_positions_and_segments() {
+        let mut tr = Trace::new("t");
+        let k = KernelClass::GENERIC;
+        tr.push_taskwait(); // at 0: no-op
+        tr.push(k, [], 1);
+        tr.push(k, [], 1);
+        tr.push_taskwait();
+        tr.push_taskwait(); // duplicate: no-op
+        tr.push(k, [], 1);
+        assert_eq!(tr.barriers(), &[2]);
+        assert_eq!(tr.segments(), vec![0..2, 2..3]);
+    }
+
+    #[test]
+    fn creation_limit_respects_barriers() {
+        let mut tr = Trace::new("t");
+        let k = KernelClass::GENERIC;
+        for _ in 0..3 {
+            tr.push(k, [], 1);
+        }
+        tr.push_taskwait();
+        for _ in 0..2 {
+            tr.push(k, [], 1);
+        }
+        assert_eq!(tr.creation_limit(0), 3);
+        assert_eq!(tr.creation_limit(2), 3);
+        assert_eq!(tr.creation_limit(3), 5);
+        assert_eq!(tr.creation_limit(5), 5);
+    }
+
+    #[test]
+    fn barriers_survive_serialization() {
+        let mut tr = Trace::new("t");
+        tr.push(KernelClass::GENERIC, [], 1);
+        tr.push_taskwait();
+        tr.push(KernelClass::GENERIC, [], 1);
+        let back = Trace::from_json(&tr.to_json().unwrap()).unwrap();
+        assert_eq!(back.barriers(), &[1]);
+    }
+
+    #[test]
+    fn merged_duplicate_addr_in_push() {
+        let mut tr = Trace::new("t");
+        tr.push(
+            KernelClass::GENERIC,
+            [Dependence::input(0x10), Dependence::output(0x10)],
+            1,
+        );
+        assert_eq!(tr.task(TaskId::new(0)).num_deps(), 1);
+        assert_eq!(tr.task(TaskId::new(0)).deps[0].dir, Direction::InOut);
+    }
+
+    #[test]
+    fn display_and_extend() {
+        let mut tr = small_trace();
+        assert_eq!(tr.to_string(), "test (3 tasks)");
+        let extra = vec![TaskDescriptor::new(
+            TaskId::new(99),
+            KernelClass::GENERIC,
+            [],
+            7,
+        )];
+        tr.extend(extra);
+        assert_eq!(tr.len(), 4);
+        // Id re-assigned to maintain creation order.
+        assert_eq!(tr.tasks()[3].id.index(), 3);
+    }
+}

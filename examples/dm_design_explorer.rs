@@ -1,0 +1,50 @@
+//! Dependence Memory design exploration (the paper's Section V-A).
+//!
+//! ```text
+//! cargo run --release --example dm_design_explorer
+//! ```
+//!
+//! Runs Heat — whose contiguous block addresses cluster catastrophically
+//! under direct indexing — and SparseLu — whose heap-allocated blocks
+//! spread — through the three DM designs, reporting speedup, DM conflicts
+//! and estimated FPGA cost. This is the design-space question the paper
+//! answers in favour of the Pearson-hashed 8-way DM.
+
+use picos_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = 12;
+    let workloads = [
+        gen::heat(gen::HeatConfig::paper(64)),
+        gen::sparselu(gen::SparseLuConfig::paper(64)),
+    ];
+    for trace in &workloads {
+        println!(
+            "workload: {} ({} tasks)\n  design      speedup  conflicts  vm-stalls  BRAM36  LUTs",
+            trace.name,
+            trace.len()
+        );
+        for dm in DmDesign::ALL {
+            let cfg = HilConfig {
+                picos: PicosConfig::baseline(dm),
+                ..HilConfig::balanced(workers)
+            };
+            let (report, stats) = run_hil_with_stats(trace, HilMode::HwOnly, &cfg)?;
+            report.validate(trace)?;
+            let cost = full_picos_resources(&PicosConfig::baseline(dm));
+            println!(
+                "  {:<10}  {:>7.2}  {:>9}  {:>9}  {:>6}  {:>4}",
+                dm.name(),
+                report.speedup(),
+                stats.dm_conflicts,
+                stats.vm_stalls,
+                cost.bram36,
+                cost.luts
+            );
+        }
+        println!();
+    }
+    println!("The Pearson-hashed 8-way DM wins on clustered addresses at a");
+    println!("fraction of the 16-way design's block-RAM cost (paper Table III).");
+    Ok(())
+}

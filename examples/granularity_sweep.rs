@@ -1,0 +1,39 @@
+//! Granularity sweep: the motivation experiment of the paper's Figure 1,
+//! extended with the Picos side of the story.
+//!
+//! ```text
+//! cargo run --release --example granularity_sweep [app]
+//! ```
+//!
+//! For a constant problem size and shrinking block sizes, prints the
+//! speedup of the software-only runtime next to Picos Full-system: the
+//! software collapses once per-task overhead rivals task duration, the
+//! accelerator keeps scaling.
+
+use picos_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cholesky".into());
+    let app = gen::App::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown app {name}; try one of: heat lu sparselu cholesky h264dec"))?;
+    let workers = 12;
+
+    println!("app: {app}, 12 workers");
+    println!("block  #tasks  avg-dur(cycles)  nanos  picos  perfect");
+    println!("-----  ------  ---------------  -----  -----  -------");
+    for bs in app.paper_block_sizes() {
+        let trace = app.generate(bs);
+        let nanos = run_software(&trace, SwRuntimeConfig::with_workers(workers))?.speedup();
+        let picos =
+            run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(workers))?.speedup();
+        let perfect = perfect_schedule(&trace, workers).speedup();
+        let stats = trace.stats();
+        println!(
+            "{:>5}  {:>6}  {:>15.0}  {:>5.2}  {:>5.2}  {:>7.2}",
+            bs, stats.num_tasks, stats.avg_task_size, nanos, picos, perfect
+        );
+    }
+    Ok(())
+}

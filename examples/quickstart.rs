@@ -1,0 +1,54 @@
+//! Quickstart: run one workload through all three execution engines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates the paper's Cholesky factorization at a fine task granularity,
+//! executes it on (1) the Picos hardware model in Full-system mode, (2) the
+//! Nanos++-like software runtime, and (3) the zero-overhead perfect
+//! scheduler, then prints the speedup of each — the core comparison of the
+//! paper's Figure 11.
+
+use picos_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = 12;
+    let trace = gen::cholesky(gen::CholeskyConfig::paper(64));
+    println!(
+        "workload: {} ({} tasks, {} cycles sequential)",
+        trace.name,
+        trace.len(),
+        trace.sequential_time()
+    );
+
+    let graph = TaskGraph::build(&trace);
+    let profile = graph.parallelism();
+    println!(
+        "graph: {} edges, critical path {} cycles, avg parallelism {:.1}\n",
+        graph.num_edges(),
+        profile.critical_path,
+        profile.avg_parallelism
+    );
+
+    let picos = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(workers))?;
+    let nanos = run_software(&trace, SwRuntimeConfig::with_workers(workers))?;
+    let perfect = perfect_schedule(&trace, workers);
+
+    // Every schedule must respect the dataflow graph.
+    picos.validate(&trace)?;
+    nanos.validate(&trace)?;
+    perfect.validate(&trace)?;
+
+    println!("engine          speedup ({workers} workers)");
+    println!("--------------  -------");
+    for r in [&picos, &nanos, &perfect] {
+        println!("{:<14}  {:>7.2}", r.engine, r.speedup());
+    }
+    println!(
+        "\nPicos keeps {:.0}% of the roofline; the software runtime keeps {:.0}%.",
+        100.0 * picos.speedup() / perfect.speedup(),
+        100.0 * nanos.speedup() / perfect.speedup()
+    );
+    Ok(())
+}

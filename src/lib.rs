@@ -1,0 +1,64 @@
+//! # picos-repro
+//!
+//! Reproduction of *"Performance Analysis of a Hardware Accelerator of
+//! Dependence Management for Task-based Dataflow Programming models"*
+//! (Tan, Bosch, Jiménez-González, Álvarez-Martínez, Ayguadé, Valero —
+//! ISPASS 2016) as a family of Rust crates. This facade re-exports the
+//! public API of every crate in the workspace:
+//!
+//! * [`trace`] — tasks, dependences, the dataflow graph and the paper's
+//!   workload generators ([`picos_trace`]).
+//! * [`core`] — the Picos hardware model: GW, TRS, DCT (DM/VM), ARB, TS
+//!   ([`picos_core`]).
+//! * [`runtime`] — the Nanos++-like software baseline and the perfect
+//!   scheduler ([`picos_runtime`]).
+//! * [`hil`] — the hardware-in-the-loop platform with its three modes
+//!   ([`picos_hil`]).
+//! * [`resources`] — the FPGA resource model ([`picos_resources`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use picos_repro::prelude::*;
+//!
+//! // The paper's Cholesky workload at block size 64: fine-grained tasks,
+//! // the regime the accelerator was built for.
+//! let trace = gen::cholesky(gen::CholeskyConfig::paper(64));
+//!
+//! // Run it through the full Picos platform with 12 workers...
+//! let picos = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(12))?;
+//! // ... and through the software-only runtime.
+//! let nanos = run_software(&trace, SwRuntimeConfig::with_workers(12))?;
+//!
+//! // The headline result: for fine-grained tasks, hardware dependence
+//! // management keeps scaling where the software runtime collapses.
+//! assert!(picos.speedup() > 1.5 * nanos.speedup());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use picos_core as core;
+pub use picos_hil as hil;
+pub use picos_resources as resources;
+pub use picos_runtime as runtime;
+pub use picos_trace as trace;
+
+/// Everything a typical experiment needs, importable in one line.
+pub mod prelude {
+    pub use picos_core::{
+        DmDesign, EngineError, FinishedReq, PicosConfig, PicosSystem, Timing, TsPolicy,
+    };
+    pub use picos_hil::{
+        run_hil, run_hil_with_stats, synthetic_metrics, HilConfig, HilCostModel, HilError,
+        HilMode,
+    };
+    pub use picos_resources::{full_picos_resources, table3, ResourceEstimate, XC7Z020};
+    pub use picos_runtime::{
+        perfect_schedule, run_software, ExecReport, NanosCostModel, SwRuntimeConfig,
+    };
+    pub use picos_trace::gen;
+    pub use picos_trace::{
+        Dependence, Direction, TaskDescriptor, TaskGraph, TaskId, Trace, TraceStats,
+    };
+}

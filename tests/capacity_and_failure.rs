@@ -1,0 +1,140 @@
+//! Capacity-limit and failure-injection tests: the engine must stall
+//! gracefully (and recover) at every hardware limit, and must report —
+//! never mask — runs that cannot complete.
+
+use picos_core::{EngineError, PicosConfig, PicosSystem};
+use picos_repro::prelude::*;
+use picos_repro::trace::KernelClass;
+
+/// TM exhaustion: more submitted tasks than slots; the GW backpressures and
+/// the run completes once finishes drain slots.
+#[test]
+fn tm_exhaustion_recovers() {
+    let mut trace = Trace::new("tm-stress");
+    for _ in 0..1000 {
+        trace.push(KernelClass::GENERIC, [], 50_000);
+    }
+    let (r, stats) =
+        run_hil_with_stats(&trace, HilMode::HwOnly, &HilConfig::balanced(4)).unwrap();
+    assert_eq!(r.order.len(), 1000);
+    assert!(stats.tm_stalls > 0, "must have hit the TM limit");
+    assert!(stats.peak_in_flight <= 256);
+}
+
+/// VM exhaustion: a small VM forces dependence stalls but never deadlock.
+#[test]
+fn vm_exhaustion_recovers() {
+    let mut cfg = PicosConfig::balanced();
+    cfg.vm_entries = 8;
+    let mut trace = Trace::new("vm-stress");
+    for i in 0..200u64 {
+        trace.push(
+            KernelClass::GENERIC,
+            [
+                Dependence::input(0x1000 + (i % 40) * 8),
+                Dependence::output(0x9000 + i * 8),
+            ],
+            5_000,
+        );
+    }
+    let hil = HilConfig { picos: cfg, ..HilConfig::balanced(4) };
+    let (r, stats) = run_hil_with_stats(&trace, HilMode::HwOnly, &hil).unwrap();
+    assert_eq!(r.order.len(), 200);
+    assert!(stats.vm_stalls > 0, "must have hit the VM limit");
+    assert!(stats.peak_vm_live <= 8);
+    r.validate(&trace).unwrap();
+}
+
+/// A tiny DM with heavy clustering: conflicts throttle but never wedge the
+/// system as long as single tasks cannot pin a whole set by themselves.
+#[test]
+fn dm_exhaustion_recovers() {
+    let mut cfg = PicosConfig::baseline(DmDesign::EightWay);
+    cfg.dm_sets = 2;
+    let mut trace = Trace::new("dm-stress");
+    for i in 0..300u64 {
+        // Two deps per task on word-strided addresses: at most 2 per set.
+        trace.push(
+            KernelClass::GENERIC,
+            [
+                Dependence::inout(0x1000 + (i % 64) * 8),
+                Dependence::input(0x5000 + (i % 32) * 8),
+            ],
+            5_000,
+        );
+    }
+    let hil = HilConfig { picos: cfg, ..HilConfig::balanced(6) };
+    let (r, stats) = run_hil_with_stats(&trace, HilMode::HwOnly, &hil).unwrap();
+    assert_eq!(r.order.len(), 300);
+    assert!(stats.dm_conflicts > 0);
+    r.validate(&trace).unwrap();
+}
+
+/// Withholding finish notifications must surface as a deadlock error from
+/// the engine's own runner, not silent progress.
+#[test]
+fn withheld_finish_reports_deadlock() {
+    let mut sys = PicosSystem::new(PicosConfig::balanced());
+    sys.submit(picos_repro::trace::TaskId::new(0), vec![]);
+    let r = sys.run_to_quiescence(100_000, |_| None);
+    assert!(matches!(r, Err(EngineError::Deadlock { .. })));
+    assert_eq!(sys.in_flight(), 1);
+}
+
+/// Tasks over the dependence limit are rejected at the API boundary.
+#[test]
+#[should_panic(expected = "max_deps_per_task")]
+fn too_many_deps_rejected() {
+    let mut sys = PicosSystem::new(PicosConfig::balanced());
+    let deps: Vec<_> = (0..16).map(|i| Dependence::input(0x100 + i * 64)).collect();
+    sys.submit(picos_repro::trace::TaskId::new(0), deps);
+}
+
+/// Invalid configurations cannot construct a system.
+#[test]
+#[should_panic(expected = "invalid Picos configuration")]
+fn invalid_config_rejected() {
+    let mut cfg = PicosConfig::balanced();
+    cfg.num_dct = 0;
+    let _ = PicosSystem::new(cfg);
+}
+
+/// The full-system driver completes even when the worker count far exceeds
+/// the available parallelism (idle workers are harmless).
+#[test]
+fn oversubscribed_workers() {
+    let trace = gen::synthetic(gen::Case::Case4); // serial chain
+    let r = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(64)).unwrap();
+    assert_eq!(r.order.len(), trace.len());
+    assert!(r.speedup() <= 1.01, "a chain cannot speed up: {}", r.speedup());
+}
+
+/// Stats snapshots are internally consistent after a heavy run.
+#[test]
+fn stats_consistency() {
+    let trace = gen::cholesky(gen::CholeskyConfig::paper(64));
+    let (r, stats) =
+        run_hil_with_stats(&trace, HilMode::FullSystem, &HilConfig::balanced(12)).unwrap();
+    assert_eq!(stats.tasks_submitted, trace.len() as u64);
+    assert_eq!(stats.tasks_completed, trace.len() as u64);
+    let total_deps: u64 = trace.iter().map(|t| t.num_deps() as u64).sum();
+    assert_eq!(stats.deps_processed, total_deps);
+    assert!(stats.peak_in_flight <= 256);
+    assert!(stats.peak_vm_live <= 512);
+    assert_eq!(r.order.len(), trace.len());
+}
+
+/// An empty trace is a no-op everywhere.
+#[test]
+fn empty_trace_everywhere() {
+    let trace = Trace::new("empty");
+    for mode in HilMode::ALL {
+        let r = run_hil(&trace, mode, &HilConfig::balanced(4)).unwrap();
+        assert_eq!(r.makespan, 0);
+    }
+    assert_eq!(perfect_schedule(&trace, 4).makespan, 0);
+    assert_eq!(
+        run_software(&trace, SwRuntimeConfig::with_workers(4)).unwrap().makespan,
+        0
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-engine integration tests: every execution engine must produce a
+//! legal schedule of the same ground-truth dataflow graph, and their
+//! relative performance must respect the structural bounds (perfect is a
+//! roofline; nobody beats the critical path or the work bound).
+
+use picos_repro::prelude::*;
+
+/// Every engine, every app (coarsest + finest paper block size), 8 workers:
+/// schedules must validate against the dataflow graph.
+#[test]
+fn all_engines_legal_on_all_apps() {
+    for app in gen::App::ALL {
+        let sizes = app.paper_block_sizes();
+        for bs in [sizes[0], sizes[1]] {
+            let trace = app.generate(bs);
+            let perfect = perfect_schedule(&trace, 8);
+            perfect
+                .validate(&trace)
+                .unwrap_or_else(|e| panic!("perfect {app} bs {bs}: {e}"));
+            let nanos = run_software(&trace, SwRuntimeConfig::with_workers(8)).unwrap();
+            nanos
+                .validate(&trace)
+                .unwrap_or_else(|e| panic!("nanos {app} bs {bs}: {e}"));
+            for mode in HilMode::ALL {
+                let picos = run_hil(&trace, mode, &HilConfig::balanced(8)).unwrap();
+                picos
+                    .validate(&trace)
+                    .unwrap_or_else(|e| panic!("picos {mode} {app} bs {bs}: {e}"));
+            }
+        }
+    }
+}
+
+/// The perfect scheduler is a roofline: no engine may exceed it, and no
+/// engine may beat the critical-path or work bounds.
+#[test]
+fn perfect_dominates_and_bounds_hold() {
+    for app in [gen::App::Cholesky, gen::App::SparseLu, gen::App::Heat] {
+        let bs = app.paper_block_sizes()[1];
+        let trace = app.generate(bs);
+        let graph = TaskGraph::build(&trace);
+        let cp = graph.critical_path();
+        let work = trace.sequential_time();
+        for w in [2usize, 8, 16] {
+            let perfect = perfect_schedule(&trace, w);
+            let nanos = run_software(&trace, SwRuntimeConfig::with_workers(w)).unwrap();
+            let picos = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(w)).unwrap();
+            assert!(
+                perfect.speedup() + 1e-9 >= nanos.speedup(),
+                "{app} w{w}: nanos {} beat roofline {}",
+                nanos.speedup(),
+                perfect.speedup()
+            );
+            assert!(
+                perfect.speedup() + 1e-9 >= picos.speedup(),
+                "{app} w{w}: picos {} beat roofline {}",
+                picos.speedup(),
+                perfect.speedup()
+            );
+            for r in [&perfect, &nanos, &picos] {
+                assert!(r.makespan >= cp, "{app} w{w} {}: below critical path", r.engine);
+                assert!(
+                    r.makespan >= work / w as u64,
+                    "{app} w{w} {}: below work bound",
+                    r.engine
+                );
+            }
+        }
+    }
+}
+
+/// All three Picos DM designs execute every workload correctly; the design
+/// only affects timing, never the schedule's legality.
+#[test]
+fn dm_designs_all_legal() {
+    for app in [gen::App::Heat, gen::App::Lu] {
+        let trace = app.generate(app.paper_block_sizes()[1]);
+        for dm in DmDesign::ALL {
+            let cfg = HilConfig {
+                picos: PicosConfig::baseline(dm),
+                ..HilConfig::balanced(12)
+            };
+            let r = run_hil(&trace, HilMode::HwOnly, &cfg).unwrap();
+            r.validate(&trace)
+                .unwrap_or_else(|e| panic!("{app} {dm}: {e}"));
+        }
+    }
+}
+
+/// Multi-instance (future architecture) configurations agree with the
+/// baseline on legality and complete every task.
+#[test]
+fn future_architecture_legal() {
+    let trace = gen::cholesky(gen::CholeskyConfig::paper(64));
+    for n in [1usize, 2, 4] {
+        let cfg = HilConfig {
+            picos: PicosConfig::future(n, DmDesign::PearsonEightWay),
+            ..HilConfig::balanced(16)
+        };
+        let r = run_hil(&trace, HilMode::HwOnly, &cfg).unwrap();
+        r.validate(&trace).unwrap_or_else(|e| panic!("{n}x{n}: {e}"));
+        assert_eq!(r.order.len(), trace.len());
+    }
+}
+
+/// Same trace, same configuration: byte-identical reports across runs and
+/// across engines' own repetitions (the whole reproduction is
+/// deterministic).
+#[test]
+fn determinism_across_engines() {
+    let trace = gen::sparselu(gen::SparseLuConfig::paper(64));
+    let a = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(12)).unwrap();
+    let b = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(12)).unwrap();
+    assert_eq!(a, b);
+    let c = run_software(&trace, SwRuntimeConfig::with_workers(12)).unwrap();
+    let d = run_software(&trace, SwRuntimeConfig::with_workers(12)).unwrap();
+    assert_eq!(c, d);
+    let e = perfect_schedule(&trace, 12);
+    let f = perfect_schedule(&trace, 12);
+    assert_eq!(e, f);
+}
+
+/// A single worker serializes every engine to (at least) the sequential
+/// time; the perfect scheduler hits it exactly.
+#[test]
+fn single_worker_serializes() {
+    let trace = gen::heat(gen::HeatConfig::paper(256));
+    let seq = trace.sequential_time();
+    assert_eq!(perfect_schedule(&trace, 1).makespan, seq);
+    let nanos = run_software(&trace, SwRuntimeConfig::with_workers(1)).unwrap();
+    assert!(nanos.makespan >= seq);
+    let picos = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(1)).unwrap();
+    assert!(picos.makespan >= seq);
+}
+
+/// The LIFO task scheduler produces a different but still legal schedule.
+#[test]
+fn lifo_schedule_is_legal_and_different() {
+    let trace = gen::lu(gen::LuConfig::paper(64));
+    let fifo = run_hil(&trace, HilMode::HwOnly, &HilConfig::balanced(12)).unwrap();
+    let cfg_lifo = HilConfig {
+        picos: PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo),
+        ..HilConfig::balanced(12)
+    };
+    let lifo = run_hil(&trace, HilMode::HwOnly, &cfg_lifo).unwrap();
+    lifo.validate(&trace).unwrap();
+    assert_ne!(fifo.order, lifo.order, "policies must differ on Lu");
+}
+
+/// Engine labels are stable API surface the bench harness relies on.
+#[test]
+fn engine_labels() {
+    let trace = gen::synthetic(gen::Case::Case1);
+    assert_eq!(
+        run_hil(&trace, HilMode::HwOnly, &HilConfig::balanced(2)).unwrap().engine,
+        "picos-hw-only"
+    );
+    assert_eq!(
+        run_hil(&trace, HilMode::HwComm, &HilConfig::balanced(2)).unwrap().engine,
+        "picos-hw-comm"
+    );
+    assert_eq!(
+        run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(2)).unwrap().engine,
+        "picos-full"
+    );
+    assert_eq!(perfect_schedule(&trace, 2).engine, "perfect");
+    assert_eq!(
+        run_software(&trace, SwRuntimeConfig::with_workers(2)).unwrap().engine,
+        "nanos"
+    );
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over random traces: the invariants every engine
+//! must hold for *any* hardware-representable workload, not just the
+//! paper's benchmarks.
+
+use picos_repro::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = gen::RandomConfig> {
+    (
+        1usize..150,   // tasks
+        1usize..24,    // addr_pool
+        0usize..8,     // max_deps
+        0.0f64..=1.0,  // write_fraction
+        1u64..2_000,   // max_duration
+    )
+        .prop_map(|(tasks, addr_pool, max_deps, write_fraction, max_duration)| {
+            gen::RandomConfig {
+                tasks,
+                addr_pool,
+                max_deps,
+                write_fraction,
+                max_duration,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Picos platform never deadlocks on random traces and always
+    /// produces a legal schedule, in every mode.
+    #[test]
+    fn picos_never_deadlocks(cfg in arb_config(), seed in 0u64..1_000, workers in 1usize..16) {
+        let trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        for mode in HilMode::ALL {
+            let r = run_hil(&trace, mode, &HilConfig::balanced(workers))
+                .map_err(|e| TestCaseError::fail(format!("{mode}: {e}")))?;
+            prop_assert_eq!(r.order.len(), trace.len());
+            prop_assert!(r.validate(&trace).is_ok(), "illegal schedule in {}", mode);
+        }
+    }
+
+    /// Same for the software runtime.
+    #[test]
+    fn software_runtime_never_sticks(cfg in arb_config(), seed in 0u64..1_000, workers in 1usize..24) {
+        let trace = gen::random_trace(cfg, seed);
+        let r = run_software(&trace, SwRuntimeConfig::with_workers(workers))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(r.validate(&trace).is_ok());
+    }
+
+    /// Perfect-scheduler bounds: critical path <= makespan <= total work;
+    /// makespan * workers >= total work is NOT required (idle tails), but
+    /// the work bound per worker is.
+    #[test]
+    fn perfect_bounds(cfg in arb_config(), seed in 0u64..1_000, workers in 1usize..32) {
+        let trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        let graph = TaskGraph::build(&trace);
+        let r = perfect_schedule(&trace, workers);
+        prop_assert!(r.makespan >= graph.critical_path());
+        prop_assert!(r.makespan >= trace.sequential_time().div_ceil(workers as u64));
+        prop_assert!(r.makespan <= trace.sequential_time());
+        prop_assert!(r.validate(&trace).is_ok());
+    }
+
+    /// Adding workers never slows the perfect scheduler down by more than
+    /// the list-scheduling anomaly bound (factor 2).
+    #[test]
+    fn perfect_anomaly_bounded(cfg in arb_config(), seed in 0u64..1_000) {
+        let trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        let m4 = perfect_schedule(&trace, 4).makespan;
+        let m8 = perfect_schedule(&trace, 8).makespan;
+        prop_assert!(m8 <= 2 * m4, "anomaly beyond Graham bound: {} vs {}", m8, m4);
+    }
+
+    /// The DM conflict ordering holds on any workload: Pearson 8-way never
+    /// records more conflicts than direct 8-way... on clustered layouts.
+    /// On arbitrary layouts both are valid designs, so we only assert that
+    /// all designs complete with identical task counts.
+    #[test]
+    fn dm_designs_complete_identically(cfg in arb_config(), seed in 0u64..1_000) {
+        let trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        let mut orders = Vec::new();
+        for dm in DmDesign::ALL {
+            let hil = HilConfig {
+                picos: PicosConfig::baseline(dm),
+                ..HilConfig::balanced(8)
+            };
+            let r = run_hil(&trace, HilMode::HwOnly, &hil)
+                .map_err(|e| TestCaseError::fail(format!("{dm}: {e}")))?;
+            prop_assert_eq!(r.order.len(), trace.len());
+            orders.push(r.order);
+        }
+    }
+
+    /// FIFO and LIFO task-scheduler policies both produce legal schedules.
+    #[test]
+    fn ts_policies_legal(cfg in arb_config(), seed in 0u64..1_000) {
+        let trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        for policy in [TsPolicy::Fifo, TsPolicy::Lifo] {
+            let hil = HilConfig {
+                picos: PicosConfig::balanced().with_ts_policy(policy),
+                ..HilConfig::balanced(6)
+            };
+            let r = run_hil(&trace, HilMode::HwOnly, &hil)
+                .map_err(|e| TestCaseError::fail(format!("{policy:?}: {e}")))?;
+            prop_assert!(r.validate(&trace).is_ok());
+        }
+    }
+
+    /// Multi-instance routing preserves correctness on random traces.
+    #[test]
+    fn multi_instance_legal(cfg in arb_config(), seed in 0u64..500, n in 1usize..5) {
+        let trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        let hil = HilConfig {
+            picos: PicosConfig::future(n, DmDesign::PearsonEightWay),
+            ..HilConfig::balanced(8)
+        };
+        let r = run_hil(&trace, HilMode::HwOnly, &hil)
+            .map_err(|e| TestCaseError::fail(format!("{n} instances: {e}")))?;
+        prop_assert!(r.validate(&trace).is_ok());
+    }
+
+    /// The graph builder and the software dependence tracker agree on the
+    /// predecessor structure when everything is submitted up front.
+    #[test]
+    fn graph_and_depmap_agree(cfg in arb_config(), seed in 0u64..1_000) {
+        let trace = gen::random_trace(cfg, seed);
+        let graph = TaskGraph::build(&trace);
+        let mut sw = picos_repro::runtime::SoftwareDeps::new(trace.len());
+        for t in trace.iter() {
+            sw.submit(t);
+        }
+        for t in trace.iter() {
+            prop_assert_eq!(
+                sw.pending_preds(t.id) as usize,
+                graph.preds(t.id).len(),
+                "task {}", t.id
+            );
+        }
+    }
+
+    /// Duration calibration preserves totals within rounding and keeps
+    /// every task at least one cycle long.
+    #[test]
+    fn calibration_accuracy(cfg in arb_config(), seed in 0u64..1_000, target in 1u64..10_000_000) {
+        let mut trace = gen::random_trace(cfg, seed);
+        if trace.is_empty() {
+            return Ok(());
+        }
+        trace.calibrate_to(target);
+        let total = trace.sequential_time();
+        prop_assert!(trace.iter().all(|t| t.duration >= 1));
+        // Rounding error is at most half a cycle per task plus the minimum
+        // clamp; allow one cycle per task of slack.
+        let slack = trace.len() as u64;
+        prop_assert!(
+            total.abs_diff(target) <= slack.max(1),
+            "total {} vs target {}", total, target
+        );
+    }
+}
