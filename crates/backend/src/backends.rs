@@ -1,0 +1,362 @@
+//! The [`ExecBackend`] trait and its three engine families.
+//!
+//! One implementation per execution engine of the paper's evaluation:
+//!
+//! * [`PerfectBackend`] — the zero-overhead list scheduler (roofline),
+//! * [`SoftwareBackend`] — the Nanos++-like software runtime model,
+//! * [`PicosBackend`] — the HIL platform around the Picos core, one
+//!   instance per [`HilMode`].
+//!
+//! [`BackendSpec`] is the declarative, copyable counterpart used by sweep
+//! grids and command lines: it names a backend family and builds the boxed
+//! backend for a concrete worker count and Picos configuration.
+
+use picos_core::{PicosConfig, Stats};
+use picos_hil::{run_hil_with_stats, HilConfig, HilError, HilMode};
+use picos_runtime::{perfect_schedule, run_software, ExecReport, SwError, SwRuntimeConfig};
+use picos_trace::Trace;
+use std::fmt;
+
+/// Error from running a backend on a trace.
+///
+/// Every engine family folds its failure modes into this one type so sweep
+/// cells and CLI commands handle them uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The HIL platform stalled (see [`HilError`]).
+    Hil(HilError),
+    /// The software runtime failed (see [`SwError`]).
+    Software(SwError),
+    /// Backend-specific configuration problem.
+    Config(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Hil(e) => write!(f, "picos backend: {e}"),
+            BackendError::Software(e) => write!(f, "software backend: {e}"),
+            BackendError::Config(m) => write!(f, "backend configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<HilError> for BackendError {
+    fn from(e: HilError) -> Self {
+        BackendError::Hil(e)
+    }
+}
+
+impl From<SwError> for BackendError {
+    fn from(e: SwError) -> Self {
+        BackendError::Software(e)
+    }
+}
+
+/// A uniform execution engine: consumes a [`Trace`], produces an
+/// [`ExecReport`].
+///
+/// All engines of the reproduction — hardware model, software runtime,
+/// perfect scheduler — implement this trait, which is what lets the
+/// [`crate::Sweep`] harness, the figure binaries and the cross-engine tests
+/// treat them interchangeably. Implementations must be `Send + Sync`
+/// (sweeps run cells on OS threads) and deterministic: the same trace and
+/// configuration must yield the same report on every call.
+pub trait ExecBackend: Send + Sync + fmt::Debug {
+    /// Stable engine label (e.g. `"perfect"`, `"nanos"`, `"picos-full"`);
+    /// matches the `engine` field of the reports this backend produces.
+    fn name(&self) -> String;
+
+    /// Number of workers this backend executes tasks with.
+    fn workers(&self) -> usize;
+
+    /// Runs the trace to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] when the engine cannot complete the
+    /// trace (stall, deadlock, invalid configuration).
+    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError>;
+
+    /// Runs the trace and also returns the hardware counters, when the
+    /// backend models Picos. The default forwards to [`ExecBackend::run`]
+    /// with no stats.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecBackend::run`].
+    fn run_with_stats(&self, trace: &Trace) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        self.run(trace).map(|r| (r, None))
+    }
+}
+
+/// The perfect simulator: zero-overhead list scheduling (paper Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfectBackend {
+    /// Number of workers.
+    pub workers: usize,
+}
+
+impl ExecBackend for PerfectBackend {
+    fn name(&self) -> String {
+        "perfect".into()
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
+        // perfect_schedule asserts on zero workers; surface it as an error
+        // row like the other backends so sweep cells never panic.
+        if self.workers == 0 {
+            return Err(BackendError::Config(
+                "perfect scheduler needs at least one worker".into(),
+            ));
+        }
+        Ok(perfect_schedule(trace, self.workers))
+    }
+}
+
+/// The Nanos++-like software runtime model (paper Section IV-C, Figure 10).
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwareBackend {
+    /// Runtime configuration (worker count, cost model).
+    pub cfg: SwRuntimeConfig,
+}
+
+impl SoftwareBackend {
+    /// Default software runtime with `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        SoftwareBackend {
+            cfg: SwRuntimeConfig::with_workers(workers),
+        }
+    }
+}
+
+impl ExecBackend for SoftwareBackend {
+    fn name(&self) -> String {
+        "nanos".into()
+    }
+
+    fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
+        run_software(trace, self.cfg).map_err(BackendError::from)
+    }
+}
+
+/// The Picos HIL platform in one of its three modes (paper Section IV-B).
+#[derive(Debug, Clone)]
+pub struct PicosBackend {
+    /// Operational mode (HW-only, HW+comm, Full-system).
+    pub mode: HilMode,
+    /// Platform configuration (Picos core config, workers, cost model).
+    pub cfg: HilConfig,
+}
+
+impl PicosBackend {
+    /// Balanced-configuration Picos platform with `workers` workers.
+    pub fn balanced(mode: HilMode, workers: usize) -> Self {
+        PicosBackend {
+            mode,
+            cfg: HilConfig::balanced(workers),
+        }
+    }
+}
+
+impl ExecBackend for PicosBackend {
+    fn name(&self) -> String {
+        match self.mode {
+            HilMode::HwOnly => "picos-hw-only".into(),
+            HilMode::HwComm => "picos-hw-comm".into(),
+            HilMode::FullSystem => "picos-full".into(),
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
+        self.run_with_stats(trace).map(|(r, _)| r)
+    }
+
+    fn run_with_stats(&self, trace: &Trace) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        // The HIL worker pool asserts on zero workers; surface it as an
+        // error row like the other backends so sweep cells never panic.
+        if self.cfg.workers == 0 {
+            return Err(BackendError::Config(
+                "picos platform needs at least one worker".into(),
+            ));
+        }
+        run_hil_with_stats(trace, self.mode, &self.cfg)
+            .map(|(r, s)| (r, Some(s)))
+            .map_err(BackendError::from)
+    }
+}
+
+/// Declarative backend selector: which engine family a sweep cell or a CLI
+/// invocation runs. `Copy`, orderable and parseable, unlike the boxed
+/// backends it builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendSpec {
+    /// Zero-overhead perfect scheduler.
+    Perfect,
+    /// Nanos++ software runtime.
+    Nanos,
+    /// Picos HIL platform in the given mode.
+    Picos(HilMode),
+}
+
+impl BackendSpec {
+    /// Every backend family, paper order: perfect, nanos, then the three
+    /// HIL modes from raw hardware to full system.
+    pub const ALL: [BackendSpec; 5] = [
+        BackendSpec::Perfect,
+        BackendSpec::Nanos,
+        BackendSpec::Picos(HilMode::HwOnly),
+        BackendSpec::Picos(HilMode::HwComm),
+        BackendSpec::Picos(HilMode::FullSystem),
+    ];
+
+    /// The three Picos HIL modes only.
+    pub const PICOS_ALL: [BackendSpec; 3] = [
+        BackendSpec::Picos(HilMode::HwOnly),
+        BackendSpec::Picos(HilMode::HwComm),
+        BackendSpec::Picos(HilMode::FullSystem),
+    ];
+
+    /// Stable label; equals the `engine` field of the reports the built
+    /// backend produces.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendSpec::Perfect => "perfect",
+            BackendSpec::Nanos => "nanos",
+            BackendSpec::Picos(HilMode::HwOnly) => "picos-hw-only",
+            BackendSpec::Picos(HilMode::HwComm) => "picos-hw-comm",
+            BackendSpec::Picos(HilMode::FullSystem) => "picos-full",
+        }
+    }
+
+    /// Whether this spec builds a Picos hardware backend (and therefore
+    /// responds to the DM design / instance-count axes of a sweep).
+    pub fn is_picos(self) -> bool {
+        matches!(self, BackendSpec::Picos(_))
+    }
+
+    /// Parses a backend name as used by the CLI: the short engine names
+    /// (`perfect`, `nanos`, `hw-only`, `hw-comm`, `full`) and the report
+    /// labels (`picos-hw-only`, ...) are both accepted.
+    pub fn parse(s: &str) -> Option<BackendSpec> {
+        match s {
+            "perfect" => Some(BackendSpec::Perfect),
+            "nanos" | "software" => Some(BackendSpec::Nanos),
+            "hw-only" | "picos-hw-only" => Some(BackendSpec::Picos(HilMode::HwOnly)),
+            "hw-comm" | "picos-hw-comm" => Some(BackendSpec::Picos(HilMode::HwComm)),
+            "full" | "picos-full" | "picos" => Some(BackendSpec::Picos(HilMode::FullSystem)),
+            _ => None,
+        }
+    }
+
+    /// Builds the boxed backend for a concrete worker count and Picos core
+    /// configuration (ignored by the non-Picos families).
+    pub fn build(self, workers: usize, picos: &PicosConfig) -> Box<dyn ExecBackend> {
+        match self {
+            BackendSpec::Perfect => Box::new(PerfectBackend { workers }),
+            BackendSpec::Nanos => Box::new(SoftwareBackend::with_workers(workers)),
+            BackendSpec::Picos(mode) => Box::new(PicosBackend {
+                mode,
+                cfg: HilConfig {
+                    picos: picos.clone(),
+                    ..HilConfig::balanced(workers)
+                },
+            }),
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_trace::gen;
+
+    #[test]
+    fn labels_match_report_engine_field() {
+        let tr = gen::synthetic(gen::Case::Case1);
+        for spec in BackendSpec::ALL {
+            let b = spec.build(4, &PicosConfig::balanced());
+            let r = b.run(&tr).unwrap();
+            assert_eq!(r.engine, spec.label(), "{spec:?}");
+            assert_eq!(b.name(), spec.label());
+            assert_eq!(b.workers(), 4);
+            assert_eq!(r.workers, 4);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_cli_and_report_names() {
+        assert_eq!(BackendSpec::parse("perfect"), Some(BackendSpec::Perfect));
+        assert_eq!(BackendSpec::parse("nanos"), Some(BackendSpec::Nanos));
+        for spec in BackendSpec::ALL {
+            assert_eq!(BackendSpec::parse(spec.label()), Some(spec));
+        }
+        assert_eq!(
+            BackendSpec::parse("full"),
+            Some(BackendSpec::Picos(HilMode::FullSystem))
+        );
+        assert_eq!(BackendSpec::parse("bogus"), None);
+    }
+
+    #[test]
+    fn stats_only_from_picos() {
+        let tr = gen::synthetic(gen::Case::Case2);
+        let cfg = PicosConfig::balanced();
+        let (_, stats) = BackendSpec::Perfect
+            .build(4, &cfg)
+            .run_with_stats(&tr)
+            .unwrap();
+        assert!(stats.is_none());
+        let (_, stats) = BackendSpec::Picos(HilMode::HwOnly)
+            .build(4, &cfg)
+            .run_with_stats(&tr)
+            .unwrap();
+        let stats = stats.expect("picos reports hardware counters");
+        assert_eq!(stats.tasks_completed as usize, tr.len());
+    }
+
+    #[test]
+    fn zero_workers_errors_on_every_backend() {
+        // Every family must report zero workers as an error row input, not
+        // panic (the sweep harness promises cells never panic).
+        let tr = gen::synthetic(gen::Case::Case1);
+        for spec in BackendSpec::ALL {
+            let r = spec.build(0, &PicosConfig::balanced()).run(&tr);
+            assert!(
+                matches!(
+                    r,
+                    Err(BackendError::Config(_)) | Err(BackendError::Software(_))
+                ),
+                "{spec}: zero workers must be an error, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_covers_variants() {
+        let e = BackendError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e: BackendError = SwError::Config("zero workers".into()).into();
+        assert!(e.to_string().contains("zero workers"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Uniform execution-backend abstraction and the experiment-sweep harness.
+//!
+//! The paper's evaluation is a head-to-head comparison of dependence
+//! managers: the Picos hardware model in its three HIL modes, the Nanos++
+//! software runtime, and the zero-overhead perfect scheduler. This crate
+//! puts all of them behind one trait, [`ExecBackend`], so every experiment
+//! — figure binaries, the CLI, integration tests — drives engines through
+//! the same `trace -> report` interface, and builds the [`Sweep`] harness
+//! on top: a declarative experiment grid (workloads × workers × backends ×
+//! DM designs × instance counts) whose cells execute in parallel on OS
+//! threads with deterministic result ordering.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate layering and
+//! a walkthrough of adding a new backend.
+//!
+//! # Quick example
+//!
+//! ```
+//! use picos_backend::{BackendSpec, Sweep};
+//! use picos_trace::gen::App;
+//!
+//! let result = Sweep::over_apps([App::Cholesky], [256])
+//!     .workers([4])
+//!     .backends([BackendSpec::Perfect, BackendSpec::Nanos])
+//!     .run();
+//! assert_eq!(result.rows().len(), 2);
+//! let perfect = &result.rows()[0];
+//! assert!(perfect.error.is_none() && perfect.speedup >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backends;
+pub mod par;
+mod sweep;
+
+pub use backends::{
+    BackendError, BackendSpec, ExecBackend, PerfectBackend, PicosBackend, SoftwareBackend,
+};
+pub use sweep::{Sweep, SweepCell, SweepResult, SweepRow, Workload};

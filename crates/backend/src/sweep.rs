@@ -1,0 +1,623 @@
+//! The declarative experiment-sweep harness.
+//!
+//! A [`Sweep`] is the reproduction's experiment grid: workloads × worker
+//! counts × backends × DM designs × Picos instance counts, exactly the axes
+//! the paper's evaluation walks (Figures 1, 8, 9, 11; Tables II and IV).
+//! Cells are enumerated in a deterministic order, executed in parallel on
+//! OS threads ([`crate::par`]), and collected into a [`SweepResult`] whose
+//! row order equals cell order — so the same grid produces byte-identical
+//! results regardless of thread count.
+
+use crate::backends::BackendSpec;
+use crate::par;
+use picos_core::{DmDesign, PicosConfig, TsPolicy};
+use picos_trace::gen::App;
+use picos_trace::{json_escape, Trace};
+use std::fmt;
+use std::sync::Arc;
+
+/// One workload of a sweep: a labelled, shared trace.
+///
+/// Traces are generated once when the sweep is built and shared (`Arc`)
+/// across all cells that execute them, so a 5-backend × 7-worker-count grid
+/// generates each application exactly once.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display label (application name for generated workloads).
+    pub label: String,
+    /// Block size / granularity knob, when meaningful.
+    pub block_size: Option<u64>,
+    /// The trace every cell of this workload executes.
+    pub trace: Arc<Trace>,
+}
+
+impl Workload {
+    /// A paper application at a block size.
+    pub fn from_app(app: App, block_size: u64) -> Self {
+        Workload {
+            label: app.name().to_string(),
+            block_size: Some(block_size),
+            trace: Arc::new(app.generate(block_size)),
+        }
+    }
+
+    /// An arbitrary trace under an explicit label.
+    pub fn from_trace(label: impl Into<String>, trace: Arc<Trace>) -> Self {
+        let block_size = trace.block_size;
+        Workload {
+            label: label.into(),
+            block_size,
+            trace,
+        }
+    }
+}
+
+/// One point of the experiment grid, before execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Index of the workload in the sweep's workload list (labels need not
+    /// be unique; the trace is resolved through this index).
+    workload_index: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Workload block size, when meaningful.
+    pub block_size: Option<u64>,
+    /// Backend family to run.
+    pub backend: BackendSpec,
+    /// Worker count.
+    pub workers: usize,
+    /// Picos DM design (ignored by non-Picos backends).
+    pub dm: DmDesign,
+    /// Picos TRS/DCT instance count (ignored by non-Picos backends).
+    pub instances: usize,
+}
+
+impl SweepCell {
+    /// The Picos core configuration this cell runs under.
+    pub fn picos_config(&self, ts_policy: TsPolicy) -> PicosConfig {
+        PicosConfig::future(self.instances, self.dm).with_ts_policy(ts_policy)
+    }
+}
+
+impl fmt::Display for SweepCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.workload)?;
+        if let Some(bs) = self.block_size {
+            write!(f, "/bs{bs}")?;
+        }
+        write!(f, " {} w{}", self.backend, self.workers)?;
+        if self.backend.is_picos() {
+            write!(f, " {} x{}", self.dm, self.instances)?;
+        }
+        Ok(())
+    }
+}
+
+/// One executed cell: the grid coordinates plus the measured outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Workload label.
+    pub workload: String,
+    /// Workload block size, when meaningful.
+    pub block_size: Option<u64>,
+    /// Backend family that ran.
+    pub backend: BackendSpec,
+    /// Worker count.
+    pub workers: usize,
+    /// Picos DM design of the cell.
+    pub dm: DmDesign,
+    /// Picos instance count of the cell.
+    pub instances: usize,
+    /// Total simulated time (0 when the cell errored).
+    pub makespan: u64,
+    /// Sequential execution time of the workload.
+    pub sequential: u64,
+    /// Speedup against sequential (0 when the cell errored).
+    pub speedup: f64,
+    /// DM conflicts (Picos backends only; paper Table II).
+    pub dm_conflicts: Option<u64>,
+    /// VM-capacity stalls (Picos backends only).
+    pub vm_stalls: Option<u64>,
+    /// TM-capacity stalls (Picos backends only).
+    pub tm_stalls: Option<u64>,
+    /// Error description when the cell failed or was skipped.
+    pub error: Option<String>,
+}
+
+/// The tabular outcome of a sweep, rows in deterministic cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    /// The rows, in cell-enumeration order.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// Rows that completed successfully.
+    pub fn ok_rows(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows.iter().filter(|r| r.error.is_none())
+    }
+
+    /// First error among the cells, if any.
+    pub fn first_error(&self) -> Option<&str> {
+        self.rows.iter().find_map(|r| r.error.as_deref())
+    }
+
+    /// Speedup of the first row matching workload, block size, backend and
+    /// worker count (the common lookup of pivoted figure tables).
+    pub fn speedup_of(
+        &self,
+        workload: &str,
+        block_size: u64,
+        backend: BackendSpec,
+        workers: usize,
+    ) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| {
+                r.workload == workload
+                    && r.block_size == Some(block_size)
+                    && r.backend == backend
+                    && r.workers == workers
+                    && r.error.is_none()
+            })
+            .map(|r| r.speedup)
+    }
+
+    /// Renders the result as CSV (stable column set, one row per cell).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,block_size,backend,workers,dm,instances,makespan,sequential,\
+             speedup,dm_conflicts,vm_stalls,tm_stalls,error\n",
+        );
+        let opt = |v: &Option<u64>| v.map_or(String::new(), |v| v.to_string());
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{:.4},{},{},{},{}\n",
+                csv_field(&r.workload),
+                r.block_size.map_or(String::new(), |v| v.to_string()),
+                r.backend,
+                r.workers,
+                r.dm.name().replace(' ', "-"),
+                r.instances,
+                r.makespan,
+                r.sequential,
+                r.speedup,
+                opt(&r.dm_conflicts),
+                opt(&r.vm_stalls),
+                opt(&r.tm_stalls),
+                csv_field(r.error.as_deref().unwrap_or("")),
+            ));
+        }
+        out
+    }
+
+    /// Renders the result as a JSON array of row objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let opt = |v: &Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+            out.push_str(&format!(
+                "{{\"workload\":\"{}\",\"block_size\":{},\"backend\":\"{}\",\
+                 \"workers\":{},\"dm\":\"{}\",\"instances\":{},\"makespan\":{},\
+                 \"sequential\":{},\"speedup\":{:.6},\"dm_conflicts\":{},\
+                 \"vm_stalls\":{},\"tm_stalls\":{},\"error\":{}}}",
+                json_escape(&r.workload),
+                r.block_size.map_or("null".to_string(), |v| v.to_string()),
+                r.backend,
+                r.workers,
+                r.dm.name(),
+                r.instances,
+                r.makespan,
+                r.sequential,
+                r.speedup,
+                opt(&r.dm_conflicts),
+                opt(&r.vm_stalls),
+                opt(&r.tm_stalls),
+                r.error
+                    .as_deref()
+                    .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e))),
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes `<name>.csv` and `<name>.json` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation, writes).
+    pub fn write_files(&self, dir: &std::path::Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{name}.csv")), self.to_csv())?;
+        std::fs::write(dir.join(format!("{name}.json")), self.to_json())
+    }
+}
+
+/// RFC-4180 CSV quoting: fields with commas, quotes or newlines are
+/// wrapped in double quotes with inner quotes doubled. Workload labels
+/// come from arbitrary trace names, so they need this.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+type CellFilter = Box<dyn Fn(&SweepCell) -> bool + Send + Sync>;
+
+/// A declarative experiment grid over workloads, workers, backends and
+/// Picos design points, executed cell-parallel.
+///
+/// Build with [`Sweep::new`] / [`Sweep::over_apps`], refine with the
+/// builder methods, then [`Sweep::run`]. Every axis defaults to the
+/// paper's baseline: 12 workers, all five backends, the balanced
+/// Pearson-hashed DM, a single TRS/DCT instance, FIFO scheduling.
+#[allow(missing_debug_implementations)] // the cell filter closure is opaque
+pub struct Sweep {
+    workloads: Vec<Workload>,
+    workers: Vec<usize>,
+    backends: Vec<BackendSpec>,
+    dm_designs: Vec<DmDesign>,
+    instances: Vec<usize>,
+    ts_policy: TsPolicy,
+    threads: Option<usize>,
+    filter: Option<CellFilter>,
+    fail_fast: bool,
+}
+
+impl Sweep {
+    /// A sweep over explicit workloads with paper-default axes.
+    pub fn new(workloads: impl IntoIterator<Item = Workload>) -> Self {
+        Sweep {
+            workloads: workloads.into_iter().collect(),
+            workers: vec![12],
+            backends: BackendSpec::ALL.to_vec(),
+            dm_designs: vec![DmDesign::PearsonEightWay],
+            instances: vec![1],
+            ts_policy: TsPolicy::Fifo,
+            threads: None,
+            filter: None,
+            fail_fast: false,
+        }
+    }
+
+    /// A sweep over the cross product of applications and block sizes
+    /// (each trace generated once, up front).
+    pub fn over_apps(
+        apps: impl IntoIterator<Item = App>,
+        block_sizes: impl IntoIterator<Item = u64> + Clone,
+    ) -> Self {
+        let mut workloads = Vec::new();
+        for app in apps {
+            for bs in block_sizes.clone() {
+                workloads.push(Workload::from_app(app, bs));
+            }
+        }
+        Sweep::new(workloads)
+    }
+
+    /// Sets the worker-count axis.
+    pub fn workers(mut self, workers: impl IntoIterator<Item = usize>) -> Self {
+        self.workers = workers.into_iter().collect();
+        self
+    }
+
+    /// Sets the backend axis.
+    pub fn backends(mut self, backends: impl IntoIterator<Item = BackendSpec>) -> Self {
+        self.backends = backends.into_iter().collect();
+        self
+    }
+
+    /// Sets the DM-design axis (Picos backends only).
+    pub fn dm_designs(mut self, designs: impl IntoIterator<Item = DmDesign>) -> Self {
+        self.dm_designs = designs.into_iter().collect();
+        self
+    }
+
+    /// Sets the TRS/DCT instance-count axis (Picos backends only; the
+    /// paper's "future architecture").
+    pub fn instances(mut self, instances: impl IntoIterator<Item = usize>) -> Self {
+        self.instances = instances.into_iter().collect();
+        self
+    }
+
+    /// Sets the Task Scheduler policy for all Picos cells (Figure 9).
+    pub fn ts_policy(mut self, policy: TsPolicy) -> Self {
+        self.ts_policy = policy;
+        self
+    }
+
+    /// Caps the number of OS threads executing cells.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Runs every cell on the calling thread (equivalent to `threads(1)`).
+    pub fn serial(self) -> Self {
+        self.threads(1)
+    }
+
+    /// Keeps only cells for which `keep` returns true. Filtering happens at
+    /// grid-enumeration time, so a filtered sweep is still deterministic.
+    pub fn filter(mut self, keep: impl Fn(&SweepCell) -> bool + Send + Sync + 'static) -> Self {
+        self.filter = Some(Box::new(keep));
+        self
+    }
+
+    /// Stops launching new cells after the first cell error; cells that
+    /// never ran are reported with a "skipped" error. Which in-flight
+    /// cells still complete depends on scheduling, so a fail-fast sweep
+    /// trades the determinism guarantee for early exit.
+    pub fn fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
+    /// Enumerates the grid cells in deterministic order: workloads (outer)
+    /// × backends × DM designs × instance counts × workers (inner). For
+    /// non-Picos backends the DM/instances axes are degenerate, so only
+    /// their first combination is emitted — the grid stays declarative
+    /// without running byte-identical cells several times.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        for (workload_index, w) in self.workloads.iter().enumerate() {
+            for &backend in &self.backends {
+                let (dms, insts): (&[DmDesign], &[usize]) = if backend.is_picos() {
+                    (&self.dm_designs, &self.instances)
+                } else {
+                    (
+                        &self.dm_designs[..1.min(self.dm_designs.len())],
+                        &self.instances[..1.min(self.instances.len())],
+                    )
+                };
+                for &dm in dms {
+                    for &instances in insts {
+                        for &workers in &self.workers {
+                            let cell = SweepCell {
+                                workload_index,
+                                workload: w.label.clone(),
+                                block_size: w.block_size,
+                                backend,
+                                workers,
+                                dm,
+                                instances,
+                            };
+                            if self.filter.as_ref().is_none_or(|keep| keep(&cell)) {
+                                cells.push(cell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Executes the grid and collects the results.
+    ///
+    /// Cells run in parallel (up to the configured thread count, default:
+    /// available parallelism); results land in cell-enumeration order, so
+    /// `run()` is deterministic for any thread count. Cell failures are
+    /// recorded in [`SweepRow::error`], never panicked.
+    pub fn run(&self) -> SweepResult {
+        let cells = self.cells();
+        let threads = self.threads.unwrap_or_else(par::default_threads);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let rows = par::par_map(&cells, threads, |_, cell| {
+            if self.fail_fast && stop.load(std::sync::atomic::Ordering::Relaxed) {
+                return skipped_row(cell);
+            }
+            // Cells carry the index of their workload, so duplicate labels
+            // can never resolve to the wrong trace.
+            let trace = &self.workloads[cell.workload_index].trace;
+            let row = run_cell(cell, trace, self.ts_policy);
+            if self.fail_fast && row.error.is_some() {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            row
+        });
+        SweepResult { rows }
+    }
+}
+
+fn skipped_row(cell: &SweepCell) -> SweepRow {
+    SweepRow {
+        workload: cell.workload.clone(),
+        block_size: cell.block_size,
+        backend: cell.backend,
+        workers: cell.workers,
+        dm: cell.dm,
+        instances: cell.instances,
+        makespan: 0,
+        sequential: 0,
+        speedup: 0.0,
+        dm_conflicts: None,
+        vm_stalls: None,
+        tm_stalls: None,
+        error: Some("skipped: an earlier cell failed (fail-fast)".into()),
+    }
+}
+
+fn run_cell(cell: &SweepCell, trace: &Trace, ts_policy: TsPolicy) -> SweepRow {
+    let backend = cell
+        .backend
+        .build(cell.workers, &cell.picos_config(ts_policy));
+    let mut row = skipped_row(cell);
+    row.error = None;
+    match backend.run_with_stats(trace) {
+        Ok((report, stats)) => {
+            row.makespan = report.makespan;
+            row.sequential = report.sequential;
+            row.speedup = report.speedup();
+            if let Some(s) = stats {
+                row.dm_conflicts = Some(s.dm_conflicts);
+                row.vm_stalls = Some(s.vm_stalls);
+                row.tm_stalls = Some(s.tm_stalls);
+            }
+        }
+        Err(e) => {
+            row.sequential = trace.sequential_time();
+            row.error = Some(e.to_string());
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_core::DmDesign;
+    use picos_hil::HilMode;
+    use picos_trace::gen;
+
+    #[test]
+    fn grid_enumeration_is_deterministic_and_deduped() {
+        let sweep = Sweep::over_apps([App::Cholesky], [256])
+            .workers([2, 4])
+            .backends([BackendSpec::Perfect, BackendSpec::Picos(HilMode::HwOnly)])
+            .dm_designs(DmDesign::ALL)
+            .instances([1, 2]);
+        let cells = sweep.cells();
+        // Perfect collapses the dm × instances axes (1 combo), Picos keeps
+        // all 3 × 2; each combo crosses 2 worker counts.
+        assert_eq!(cells.len(), 2 + 2 * (3 * 2));
+        assert_eq!(cells, sweep.cells(), "enumeration must be stable");
+        assert!(cells[0].backend == BackendSpec::Perfect && cells[0].workers == 2);
+    }
+
+    #[test]
+    fn filter_prunes_cells() {
+        let sweep = Sweep::over_apps([App::Cholesky], [256])
+            .workers([2, 4, 8])
+            .backends([BackendSpec::Perfect])
+            .filter(|c| c.workers >= 4);
+        assert_eq!(sweep.cells().len(), 2);
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_small_grid() {
+        let build = || {
+            Sweep::over_apps([App::Cholesky], [256, 128])
+                .workers([2, 8])
+                .backends([
+                    BackendSpec::Perfect,
+                    BackendSpec::Nanos,
+                    BackendSpec::Picos(HilMode::HwOnly),
+                ])
+        };
+        let serial = build().serial().run();
+        let parallel = build().threads(8).run();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.first_error(), None);
+        assert_eq!(serial.rows().len(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn picos_rows_carry_hw_counters() {
+        let result = Sweep::over_apps([App::Heat], [128])
+            .workers([12])
+            .backends([BackendSpec::Nanos, BackendSpec::Picos(HilMode::HwOnly)])
+            .dm_designs([DmDesign::EightWay])
+            .run();
+        let nanos = &result.rows()[0];
+        let picos = &result.rows()[1];
+        assert!(nanos.dm_conflicts.is_none());
+        assert!(picos.dm_conflicts.is_some(), "hw counters expected");
+        // Heat at block 128 on the direct-hash DM conflicts (Table II).
+        assert!(picos.dm_conflicts.unwrap() > 0);
+    }
+
+    #[test]
+    fn failed_cells_are_rows_not_panics() {
+        // Zero workers make the software runtime reject its configuration.
+        let result = Sweep::new([Workload::from_trace(
+            "case1",
+            Arc::new(gen::synthetic(gen::Case::Case1)),
+        )])
+        .workers([0])
+        .backends([BackendSpec::Nanos])
+        .run();
+        assert_eq!(result.rows().len(), 1);
+        assert!(result
+            .first_error()
+            .unwrap()
+            .contains("at least one thread"));
+    }
+
+    #[test]
+    fn csv_and_json_render_every_row() {
+        let result = Sweep::over_apps([App::Cholesky], [256])
+            .workers([4])
+            .backends([BackendSpec::Perfect, BackendSpec::Picos(HilMode::HwOnly)])
+            .run();
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 1 + result.rows().len());
+        assert!(csv.starts_with("workload,block_size,backend,"));
+        let json = result.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"workload\"").count(), result.rows().len());
+    }
+
+    #[test]
+    fn duplicate_labels_resolve_to_their_own_traces() {
+        // Two workloads under the same label: each cell must run its own
+        // trace, not the first label match.
+        let small = Arc::new(gen::synthetic(gen::Case::Case1));
+        let big = Arc::new(gen::cholesky(gen::CholeskyConfig::paper(256)));
+        let result = Sweep::new([
+            Workload::from_trace("same", Arc::clone(&small)),
+            Workload::from_trace("same", Arc::clone(&big)),
+        ])
+        .workers([4])
+        .backends([BackendSpec::Perfect])
+        .run();
+        assert_eq!(result.rows()[0].sequential, small.sequential_time());
+        assert_eq!(result.rows()[1].sequential, big.sequential_time());
+        assert_ne!(result.rows()[0].sequential, result.rows()[1].sequential);
+    }
+
+    #[test]
+    fn hostile_workload_labels_stay_well_formed() {
+        let mut tr = gen::synthetic(gen::Case::Case1);
+        tr.name = "evil,\"name\"\nhere".to_string();
+        let result = Sweep::new([Workload::from_trace(tr.name.clone(), Arc::new(tr))])
+            .workers([2])
+            .backends([BackendSpec::Perfect])
+            .run();
+        let csv = result.to_csv();
+        // RFC-4180: quoted field, doubled quotes, constant column count on
+        // the header line vs the (quoted) data row.
+        assert!(csv.contains("\"evil,\"\"name\"\"\nhere\""));
+        let json = result.to_json();
+        assert!(json.contains("evil,\\\"name\\\"\\nhere"));
+        assert!(!json.contains("\"name\"\n"), "raw quote must not leak");
+    }
+
+    #[test]
+    fn speedup_lookup_finds_rows() {
+        let result = Sweep::over_apps([App::Cholesky], [256])
+            .workers([4])
+            .backends([BackendSpec::Perfect, BackendSpec::Nanos])
+            .run();
+        let p = result
+            .speedup_of("cholesky", 256, BackendSpec::Perfect, 4)
+            .unwrap();
+        let n = result
+            .speedup_of("cholesky", 256, BackendSpec::Nanos, 4)
+            .unwrap();
+        assert!(p >= n, "perfect {p} must dominate nanos {n}");
+        assert!(result
+            .speedup_of("cholesky", 256, BackendSpec::Nanos, 99)
+            .is_none());
+    }
+}

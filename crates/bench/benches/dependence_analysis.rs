@@ -14,38 +14,49 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("dependence_analysis");
     group.throughput(Throughput::Elements(trace.len() as u64));
 
-    group.bench_with_input(BenchmarkId::new("software_depmap", trace.len()), &(), |b, _| {
-        b.iter(|| {
-            let mut sw = SoftwareDeps::new(trace.len());
-            let mut ready: Vec<TaskId> = Vec::new();
-            for t in trace.iter() {
-                if sw.submit(black_box(t)) {
-                    ready.push(t.id);
+    group.bench_with_input(
+        BenchmarkId::new("software_depmap", trace.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut sw = SoftwareDeps::new(trace.len());
+                let mut ready: Vec<TaskId> = Vec::new();
+                for t in trace.iter() {
+                    if sw.submit(black_box(t)) {
+                        ready.push(t.id);
+                    }
                 }
-            }
-            let mut i = 0;
-            while i < ready.len() {
-                let more = sw.finish(ready[i]);
-                ready.extend(more);
-                i += 1;
-            }
-            black_box(ready.len())
-        });
-    });
+                let mut i = 0;
+                while i < ready.len() {
+                    let more = sw.finish(ready[i]);
+                    ready.extend(more);
+                    i += 1;
+                }
+                black_box(ready.len())
+            });
+        },
+    );
 
-    group.bench_with_input(BenchmarkId::new("picos_engine", trace.len()), &(), |b, _| {
-        b.iter(|| {
-            let mut sys = PicosSystem::new(PicosConfig::balanced());
-            for t in trace.iter() {
-                sys.submit(t.id, t.deps.clone());
-            }
-            sys.run_to_quiescence(1_000_000_000, |r| {
-                Some(FinishedReq { task: r.task, slot: r.slot })
-            })
-            .expect("completes");
-            black_box(sys.stats().tasks_completed)
-        });
-    });
+    group.bench_with_input(
+        BenchmarkId::new("picos_engine", trace.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut sys = PicosSystem::new(PicosConfig::balanced());
+                for t in trace.iter() {
+                    sys.submit(t.id, t.deps.clone());
+                }
+                sys.run_to_quiescence(1_000_000_000, |r| {
+                    Some(FinishedReq {
+                        task: r.task,
+                        slot: r.slot,
+                    })
+                })
+                .expect("completes");
+                black_box(sys.stats().tasks_completed)
+            });
+        },
+    );
     group.finish();
 }
 

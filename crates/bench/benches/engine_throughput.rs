@@ -11,13 +11,17 @@ fn bench_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("hil_modes");
     group.throughput(Throughput::Elements(trace.len() as u64));
     for mode in HilMode::ALL {
-        group.bench_with_input(BenchmarkId::new("sparselu128", mode.name()), &mode, |b, &m| {
-            let cfg = HilConfig::balanced(12);
-            b.iter(|| {
-                let r = run_hil(black_box(&trace), m, &cfg).expect("completes");
-                black_box(r.makespan)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sparselu128", mode.name()),
+            &mode,
+            |b, &m| {
+                let cfg = HilConfig::balanced(12);
+                b.iter(|| {
+                    let r = run_hil(black_box(&trace), m, &cfg).expect("completes");
+                    black_box(r.makespan)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,46 @@
+//! Criterion benchmark: sweep-harness throughput in experiment cells per
+//! wall-clock second, serial vs cell-parallel.
+//!
+//! Quantifies what the parallel harness buys: the same 24-cell grid (two
+//! Cholesky granularities × three backends × four worker counts) executed
+//! on one thread and on all available cores. The modelled results are
+//! identical either way (see `tests/sweep_determinism.rs`); only the
+//! wall-clock changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use picos_backend::{par, BackendSpec, Sweep};
+use picos_hil::HilMode;
+use picos_trace::gen::App;
+use std::hint::black_box;
+
+fn grid() -> Sweep {
+    Sweep::over_apps([App::Cholesky], [256, 128])
+        .workers([2, 4, 8, 12])
+        .backends([
+            BackendSpec::Perfect,
+            BackendSpec::Nanos,
+            BackendSpec::Picos(HilMode::HwOnly),
+        ])
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let cells = grid().cells().len() as u64;
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.throughput(Throughput::Elements(cells));
+    group.bench_with_input(BenchmarkId::new("cells", "serial"), &(), |b, _| {
+        let sweep = grid().serial();
+        b.iter(|| black_box(sweep.run().rows().len()));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("cells", format!("parallel-{}", par::default_threads())),
+        &(),
+        |b, _| {
+            let sweep = grid();
+            b.iter(|| black_box(sweep.run().rows().len()));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

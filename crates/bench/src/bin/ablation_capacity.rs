@@ -14,7 +14,14 @@ use picos_trace::gen::App;
 fn main() {
     let mut t = Table::new(
         "Ablation: TM/VM capacity sweep (HW-only, 24 workers, DM P+8way)",
-        &["App", "BlockSize", "TM entries", "VM entries", "DM sets", "speedup"],
+        &[
+            "App",
+            "BlockSize",
+            "TM entries",
+            "VM entries",
+            "DM sets",
+            "speedup",
+        ],
     );
     for (app, bs) in [(App::Heat, 32), (App::H264dec, 2)] {
         let tr = app.generate(bs);

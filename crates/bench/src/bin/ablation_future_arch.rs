@@ -4,37 +4,59 @@
 //! The paper argues a 4-instance design can manage up to 256 cores and that
 //! larger configurations would close the gap to the Perfect Simulator that
 //! opens for very fine-grained workloads (Section V-D). This ablation
-//! measures that claim on the finest-grained traces.
+//! measures that claim on the finest-grained traces, using the sweep
+//! harness's instance-count axis.
 
-use picos_bench::{f2, perfect_speedup, picos_speedup, Table};
-use picos_core::{DmDesign, PicosConfig};
+use picos_backend::{BackendSpec, Sweep, Workload};
+use picos_bench::{emit_sweep, f2, Table};
 use picos_hil::HilMode;
 use picos_trace::gen::App;
 
+const WORKERS: [usize; 3] = [12, 24, 48];
+const INSTANCES: [usize; 3] = [1, 2, 4];
+
 fn main() {
+    let pairs = [(App::Cholesky, 32), (App::Heat, 32), (App::H264dec, 2)];
+    let result = Sweep::new(pairs.map(|(app, bs)| Workload::from_app(app, bs)))
+        .workers(WORKERS)
+        .backends([BackendSpec::Picos(HilMode::HwOnly), BackendSpec::Perfect])
+        .instances(INSTANCES)
+        .run();
+    emit_sweep(&result, "ablation_future_arch");
+
     let mut t = Table::new(
         "Ablation: 1/2/4 TRS+DCT instances (HW-only, fine-grained traces)",
-        &["App", "BlockSize", "Workers", "1x1", "2x2", "4x4", "perfect"],
+        &[
+            "App",
+            "BlockSize",
+            "Workers",
+            "1x1",
+            "2x2",
+            "4x4",
+            "perfect",
+        ],
     );
-    for (app, bs) in [
-        (App::Cholesky, 32),
-        (App::Heat, 32),
-        (App::H264dec, 2),
-    ] {
-        let tr = app.generate(bs);
-        for w in [12usize, 24, 48] {
+    for (app, bs) in pairs {
+        for w in WORKERS {
             let mut cells = vec![app.name().to_string(), bs.to_string(), w.to_string()];
-            for n in [1usize, 2, 4] {
-                cells.push(f2(picos_speedup(
-                    &tr,
-                    w,
-                    PicosConfig::future(n, DmDesign::PearsonEightWay),
-                    HilMode::HwOnly,
-                )));
+            for n in INSTANCES {
+                let row = result
+                    .rows()
+                    .iter()
+                    .find(|r| {
+                        r.workload == app.name()
+                            && r.backend == BackendSpec::Picos(HilMode::HwOnly)
+                            && r.workers == w
+                            && r.instances == n
+                    })
+                    .expect("cell ran");
+                cells.push(f2(row.speedup));
             }
-            cells.push(f2(perfect_speedup(&tr, w)));
+            let perfect = result
+                .speedup_of(app.name(), bs, BackendSpec::Perfect, w)
+                .expect("cell ran");
+            cells.push(f2(perfect));
             t.row(cells);
-            eprintln!("future-arch: {} bs {} w {} done", app.name(), bs, w);
         }
     }
     t.emit("ablation_future_arch");

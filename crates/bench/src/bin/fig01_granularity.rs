@@ -3,22 +3,35 @@
 //!
 //! Problem sizes stay constant while block sizes shrink: the speedup first
 //! rises with the new parallelism, then collapses once the per-task runtime
-//! overhead outweighs the gain.
+//! overhead outweighs the gain. The 16-cell grid runs through the parallel
+//! sweep harness; the raw per-cell results land in
+//! `results/fig01_granularity_raw.{csv,json}`.
 
-use picos_bench::{f2, nanos_speedup, Table};
+use picos_backend::{BackendSpec, Sweep};
+use picos_bench::{emit_sweep, f2, Table};
 use picos_trace::gen::App;
+
+const BLOCKS: [u64; 4] = [256, 128, 64, 32];
 
 fn main() {
     let apps = [App::Heat, App::Lu, App::SparseLu, App::Cholesky];
+    let result = Sweep::over_apps(apps, BLOCKS)
+        .workers([12])
+        .backends([BackendSpec::Nanos])
+        .run();
+    emit_sweep(&result, "fig01_granularity");
+
     let mut t = Table::new(
         "Figure 1: Nanos++ speedup vs task granularity (12 workers)",
         &["BlockSize", "heat", "lu", "sparselu", "cholesky"],
     );
-    for bs in [256u64, 128, 64, 32] {
+    for bs in BLOCKS {
         let mut cells = vec![bs.to_string()];
         for app in apps {
-            let tr = app.generate(bs);
-            cells.push(f2(nanos_speedup(&tr, 12)));
+            let s = result
+                .speedup_of(app.name(), bs, BackendSpec::Nanos, 12)
+                .expect("cell ran");
+            cells.push(f2(s));
         }
         t.row(cells);
     }

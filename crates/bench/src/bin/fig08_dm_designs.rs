@@ -1,41 +1,64 @@
 //! Regenerates **Figure 8**: speedup of the three Picos DM designs on four
 //! real benchmarks (two block sizes each), HIL HW-only mode, 2-12 workers.
+//!
+//! The 144-cell grid (8 workloads × 3 DM designs × 6 worker counts) runs
+//! through the parallel sweep harness.
 
-use picos_bench::{f2, picos_speedup, Table};
-use picos_core::{DmDesign, PicosConfig};
+use picos_backend::{BackendSpec, Sweep, Workload};
+use picos_bench::{emit_sweep, f2, Table};
+use picos_core::DmDesign;
 use picos_hil::HilMode;
 use picos_trace::gen::App;
 
 /// The benchmark/block-size pairs of Figure 8 (same set as Table II).
-const PAIRS: &[(&str, [u64; 2])] = &[
-    ("heat", [128, 64]),
-    ("cholesky", [256, 128]),
-    ("lu", [64, 32]),
-    ("sparselu", [128, 64]),
+const PAIRS: &[(App, [u64; 2])] = &[
+    (App::Heat, [128, 64]),
+    (App::Cholesky, [256, 128]),
+    (App::Lu, [64, 32]),
+    (App::SparseLu, [128, 64]),
 ];
 
+const WORKERS: [usize; 6] = [2, 4, 6, 8, 10, 12];
+
 fn main() {
+    let workloads = PAIRS
+        .iter()
+        .flat_map(|&(app, sizes)| sizes.into_iter().map(move |bs| Workload::from_app(app, bs)));
+    let result = Sweep::new(workloads)
+        .workers(WORKERS)
+        .backends([BackendSpec::Picos(HilMode::HwOnly)])
+        .dm_designs(DmDesign::ALL)
+        .run();
+    emit_sweep(&result, "fig08_dm_designs");
+
     let mut t = Table::new(
         "Figure 8: speedup of different Picos configurations (HW-only)",
-        &["Benchmark", "BlockSize", "Design", "w2", "w4", "w6", "w8", "w10", "w12"],
+        &[
+            "Benchmark",
+            "BlockSize",
+            "Design",
+            "w2",
+            "w4",
+            "w6",
+            "w8",
+            "w10",
+            "w12",
+        ],
     );
-    for &(name, sizes) in PAIRS {
-        let app = App::ALL.into_iter().find(|a| a.name() == name).unwrap();
-        for bs in sizes {
-            let tr = app.generate(bs);
-            for dm in DmDesign::ALL {
-                let mut cells = vec![name.to_string(), bs.to_string(), dm.name().to_string()];
-                for w in [2usize, 4, 6, 8, 10, 12] {
-                    cells.push(f2(picos_speedup(
-                        &tr,
-                        w,
-                        PicosConfig::baseline(dm),
-                        HilMode::HwOnly,
-                    )));
-                }
-                t.row(cells);
-            }
-        }
+    // Cell order is workload (outer) × DM design × workers (inner): every
+    // consecutive run of WORKERS.len() rows is one table line.
+    for line in result.rows().chunks(WORKERS.len()) {
+        let first = &line[0];
+        let mut cells = vec![
+            first.workload.clone(),
+            first
+                .block_size
+                .expect("app workloads carry a block size")
+                .to_string(),
+            first.dm.name().to_string(),
+        ];
+        cells.extend(line.iter().map(|r| f2(r.speedup)));
+        t.row(cells);
     }
     t.emit("fig08_dm_designs");
 }

@@ -13,7 +13,14 @@ use picos_trace::gen::{lu, LuConfig};
 fn main() {
     let mut t = Table::new(
         "Figure 9: modified Lu (MLu) and LIFO task scheduler (HW-only, 12 workers)",
-        &["Workload", "BlockSize", "TS policy", "DM 8way", "DM 16way", "DM P+8way"],
+        &[
+            "Workload",
+            "BlockSize",
+            "TS policy",
+            "DM 8way",
+            "DM 16way",
+            "DM P+8way",
+        ],
     );
     for bs in [64u64, 32] {
         for (label, cfg, policy) in [

@@ -12,7 +12,9 @@ fn main() {
     let m = NanosCostModel::default();
     let mut t = Table::new(
         "Figure 10: Nanos++ RTS overhead for a single task (cycles)",
-        &["Threads", "Creation", "1 DEP", "2 DEPs", "4 DEPs", "8 DEPs", "15 DEPs"],
+        &[
+            "Threads", "Creation", "1 DEP", "2 DEPs", "4 DEPs", "8 DEPs", "15 DEPs",
+        ],
     );
     for threads in [1usize, 2, 4, 6, 8, 10, 12, 16, 20, 24] {
         t.row(vec![

@@ -1,41 +1,68 @@
 //! Regenerates **Figure 11**: scalability of the five real benchmarks with
 //! up to 24 workers — Picos Full-system vs Perfect Simulator vs Nanos++.
+//!
+//! This is the heaviest grid of the reproduction (~420 cells); the sweep
+//! harness runs it cell-parallel across all cores.
 
-use picos_bench::{f2, nanos_speedup, perfect_speedup, picos_speedup, Table};
-use picos_core::PicosConfig;
+use picos_backend::{BackendSpec, Sweep, Workload};
+use picos_bench::{emit_sweep, f2, Table};
 use picos_hil::HilMode;
 use picos_trace::gen::App;
 
 const WORKERS: [usize; 7] = [2, 4, 8, 12, 16, 20, 24];
 
+const BACKENDS: [BackendSpec; 3] = [
+    BackendSpec::Picos(HilMode::FullSystem),
+    BackendSpec::Perfect,
+    BackendSpec::Nanos,
+];
+
 fn main() {
+    let workloads = App::ALL.into_iter().flat_map(|app| {
+        app.paper_block_sizes()
+            .into_iter()
+            .map(move |bs| Workload::from_app(app, bs))
+    });
+    let result = Sweep::new(workloads)
+        .workers(WORKERS)
+        .backends(BACKENDS)
+        .run();
+    emit_sweep(&result, "fig11_scalability");
+
     let mut t = Table::new(
         "Figure 11: scalability (speedup) — Picos Full-system / Perfect / Nanos++",
         &[
-            "App", "BlockSize", "Engine", "w2", "w4", "w8", "w12", "w16", "w20", "w24",
+            "App",
+            "BlockSize",
+            "Engine",
+            "w2",
+            "w4",
+            "w8",
+            "w12",
+            "w16",
+            "w20",
+            "w24",
         ],
     );
-    for app in App::ALL {
-        for bs in app.paper_block_sizes() {
-            let tr = app.generate(bs);
-            let mut picos = vec![app.name().to_string(), bs.to_string(), "picos".to_string()];
-            let mut perfect = vec![app.name().to_string(), bs.to_string(), "perfect".to_string()];
-            let mut nanos = vec![app.name().to_string(), bs.to_string(), "nanos".to_string()];
-            for w in WORKERS {
-                picos.push(f2(picos_speedup(
-                    &tr,
-                    w,
-                    PicosConfig::balanced(),
-                    HilMode::FullSystem,
-                )));
-                perfect.push(f2(perfect_speedup(&tr, w)));
-                nanos.push(f2(nanos_speedup(&tr, w)));
-            }
-            t.row(picos);
-            t.row(perfect);
-            t.row(nanos);
-            eprintln!("fig11: {} bs {} done", app.name(), bs);
-        }
+    // Cell order is workload (outer) × backend × workers (inner): every
+    // consecutive run of WORKERS.len() rows is one engine line.
+    for line in result.rows().chunks(WORKERS.len()) {
+        let first = &line[0];
+        let engine = match first.backend {
+            BackendSpec::Picos(_) => "picos",
+            BackendSpec::Perfect => "perfect",
+            BackendSpec::Nanos => "nanos",
+        };
+        let mut cells = vec![
+            first.workload.clone(),
+            first
+                .block_size
+                .expect("app workloads carry a block size")
+                .to_string(),
+            engine.to_string(),
+        ];
+        cells.extend(line.iter().map(|r| f2(r.speedup)));
+        t.row(cells);
     }
     t.emit("fig11_scalability");
 }

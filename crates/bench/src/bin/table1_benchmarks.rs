@@ -11,8 +11,8 @@ fn main() {
     let mut t = Table::new(
         "Table I: real benchmarks (generated vs paper)",
         &[
-            "Name", "P/Block", "#Tasks", "paper", "#Dep", "paper", "AveTSize", "paper",
-            "SeqExec", "paper",
+            "Name", "P/Block", "#Tasks", "paper", "#Dep", "paper", "AveTSize", "paper", "SeqExec",
+            "paper",
         ],
     );
     for app in App::ALL {

@@ -1,36 +1,51 @@
 //! Regenerates **Table II**: number of DM conflicts in the three Picos
 //! designs, 12 workers, HIL HW-only mode.
+//!
+//! The conflict counters ride along in the sweep rows (the harness collects
+//! hardware statistics for every Picos cell).
 
-use picos_bench::{picos_report_with_stats, Table};
-use picos_core::{DmDesign, PicosConfig};
+use picos_backend::{BackendSpec, Sweep, Workload};
+use picos_bench::{emit_sweep, Table};
+use picos_core::DmDesign;
 use picos_hil::HilMode;
 use picos_trace::gen::App;
 
 /// Paper Table II reference values, in row order.
-const PAPER: &[(&str, u64, [u64; 3])] = &[
-    ("heat", 128, [254, 252, 65]),
-    ("heat", 64, [1022, 1020, 757]),
-    ("sparselu", 128, [189, 166, 0]),
-    ("sparselu", 64, [239, 0, 0]),
-    ("lu", 64, [491, 392, 0]),
-    ("lu", 32, [2039, 1937, 0]),
-    ("cholesky", 256, [108, 79, 0]),
-    ("cholesky", 128, [807, 792, 0]),
+const PAPER: &[(App, u64, [u64; 3])] = &[
+    (App::Heat, 128, [254, 252, 65]),
+    (App::Heat, 64, [1022, 1020, 757]),
+    (App::SparseLu, 128, [189, 166, 0]),
+    (App::SparseLu, 64, [239, 0, 0]),
+    (App::Lu, 64, [491, 392, 0]),
+    (App::Lu, 32, [2039, 1937, 0]),
+    (App::Cholesky, 256, [108, 79, 0]),
+    (App::Cholesky, 128, [807, 792, 0]),
 ];
 
 fn main() {
+    let workloads = PAPER
+        .iter()
+        .map(|&(app, bs, _)| Workload::from_app(app, bs));
+    let result = Sweep::new(workloads)
+        .workers([12])
+        .backends([BackendSpec::Picos(HilMode::HwOnly)])
+        .dm_designs(DmDesign::ALL)
+        .run();
+    emit_sweep(&result, "table2_dm_conflicts");
+
     let mut t = Table::new(
         "Table II: #DM conflicts (12 workers, HW-only) — measured (paper)",
         &["Name", "BlockSize", "DM 8way", "DM 16way", "DM P+8way"],
     );
-    for &(name, bs, paper) in PAPER {
-        let app = App::ALL.into_iter().find(|a| a.name() == name).unwrap();
-        let tr = app.generate(bs);
-        let mut cells = vec![name.to_string(), bs.to_string()];
-        for (i, dm) in DmDesign::ALL.into_iter().enumerate() {
-            let (_, stats) =
-                picos_report_with_stats(&tr, 12, PicosConfig::baseline(dm), HilMode::HwOnly);
-            cells.push(format!("{} ({})", stats.dm_conflicts, paper[i]));
+    // Cell order is workload (outer) × DM design (inner, one worker count):
+    // each chunk of three rows is one table line in DmDesign::ALL order.
+    for (line, &(app, bs, paper)) in result.rows().chunks(DmDesign::ALL.len()).zip(PAPER) {
+        let mut cells = vec![app.name().to_string(), bs.to_string()];
+        for (row, paper_val) in line.iter().zip(paper) {
+            let measured = row
+                .dm_conflicts
+                .expect("picos cells carry conflict counters");
+            cells.push(format!("{measured} ({paper_val})"));
         }
         t.row(cells);
     }

@@ -5,9 +5,12 @@ use picos_bench::{f1, Table};
 use picos_hil::{run_hil, synthetic_metrics, HilConfig, HilMode};
 use picos_trace::gen::{synthetic, Case};
 
+/// One mode's reference row: (L1st, thrTask, thrDep) per synthetic case.
+type ModeRow = [(u64, f64, f64); 7];
+
 /// Paper Table IV reference: per mode, per case, (L1st, thrTask, thrDep).
 /// `0.0` stands for the paper's `-` (no dependences).
-const PAPER: &[(&str, [(u64, f64, f64); 7])] = &[
+const PAPER: &[(&str, ModeRow)] = &[
     (
         "HW-only",
         [

@@ -3,14 +3,18 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
 //! (see `DESIGN.md` for the index). This library provides the shared
 //! pieces: an aligned table printer with CSV export, the results
-//! directory, and one-call runners for the three execution engines.
+//! directory, and one-call runners that drive every execution engine
+//! through the uniform [`picos_backend::ExecBackend`] trait. Grid-shaped
+//! experiments (Figures 1, 8, 11; Table II) use the parallel
+//! [`picos_backend::Sweep`] harness instead of hand-rolled loops.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use picos_core::{PicosConfig, TsPolicy};
-use picos_hil::{run_hil, run_hil_with_stats, HilConfig, HilMode};
-use picos_runtime::{perfect_schedule, run_software, ExecReport, SwRuntimeConfig};
+use picos_backend::{BackendSpec, SweepResult};
+use picos_core::{PicosConfig, Stats, TsPolicy};
+use picos_hil::HilMode;
+use picos_runtime::ExecReport;
 use picos_trace::Trace;
 use std::path::PathBuf;
 
@@ -110,6 +114,22 @@ pub fn f1(x: f64) -> String {
     format!("{x:.1}")
 }
 
+/// Runs a trace through any backend family and returns the report.
+///
+/// # Panics
+///
+/// Panics if the engine stalls — experiments treat that as a fatal bug.
+pub fn backend_report(
+    trace: &Trace,
+    spec: BackendSpec,
+    workers: usize,
+    picos: &PicosConfig,
+) -> ExecReport {
+    spec.build(workers, picos)
+        .run(trace)
+        .unwrap_or_else(|e| panic!("{spec} run must complete: {e}"))
+}
+
 /// Runs the trace through the Picos HIL platform and returns the report.
 ///
 /// # Panics
@@ -121,8 +141,7 @@ pub fn picos_report(
     picos: PicosConfig,
     mode: HilMode,
 ) -> ExecReport {
-    let cfg = HilConfig { picos, ..HilConfig::balanced(workers) };
-    run_hil(trace, mode, &cfg).expect("picos HIL run must complete")
+    backend_report(trace, BackendSpec::Picos(mode), workers, &picos)
 }
 
 /// Like [`picos_report`] but also returns the core statistics (conflicts).
@@ -131,9 +150,15 @@ pub fn picos_report_with_stats(
     workers: usize,
     picos: PicosConfig,
     mode: HilMode,
-) -> (ExecReport, picos_core::Stats) {
-    let cfg = HilConfig { picos, ..HilConfig::balanced(workers) };
-    run_hil_with_stats(trace, mode, &cfg).expect("picos HIL run must complete")
+) -> (ExecReport, Stats) {
+    let (report, stats) = BackendSpec::Picos(mode)
+        .build(workers, &picos)
+        .run_with_stats(trace)
+        .expect("picos HIL run must complete");
+    (
+        report,
+        stats.expect("picos backends report hardware counters"),
+    )
 }
 
 /// Picos speedup for a trace, worker count, config and mode.
@@ -158,14 +183,27 @@ pub fn picos_speedup_policy(
 ///
 /// Panics if the software runtime stalls.
 pub fn nanos_speedup(trace: &Trace, workers: usize) -> f64 {
-    run_software(trace, SwRuntimeConfig::with_workers(workers))
-        .expect("software runtime must complete")
-        .speedup()
+    backend_report(trace, BackendSpec::Nanos, workers, &PicosConfig::balanced()).speedup()
 }
 
 /// Perfect-scheduler (roofline) speedup.
 pub fn perfect_speedup(trace: &Trace, workers: usize) -> f64 {
-    perfect_schedule(trace, workers).speedup()
+    backend_report(
+        trace,
+        BackendSpec::Perfect,
+        workers,
+        &PicosConfig::balanced(),
+    )
+    .speedup()
+}
+
+/// Writes a sweep's raw results as `<name>_raw.csv` / `<name>_raw.json`
+/// into the results directory (the pivoted paper table is emitted
+/// separately via [`Table::emit`]).
+pub fn emit_sweep(result: &SweepResult, name: &str) {
+    if let Err(e) = result.write_files(&results_dir(), &format!("{name}_raw")) {
+        eprintln!("warning: could not write raw sweep results for {name}: {e}");
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +236,9 @@ mod tests {
         let p = perfect_speedup(&tr, 4);
         let n = nanos_speedup(&tr, 4);
         let h = picos_speedup(&tr, 4, PicosConfig::balanced(), HilMode::FullSystem);
-        assert!(p >= n && p >= h, "perfect {p} must dominate nanos {n} / picos {h}");
+        assert!(
+            p >= n && p >= h,
+            "perfect {p} must dominate nanos {n} / picos {h}"
+        );
     }
 }

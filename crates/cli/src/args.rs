@@ -35,7 +35,11 @@ impl Args {
                 positional.push(a);
             }
         }
-        Ok(Args { command, positional, options })
+        Ok(Args {
+            command,
+            positional,
+            options,
+        })
     }
 
     /// An option parsed to a type, with a default.
@@ -70,15 +74,20 @@ pub fn usage() -> String {
     "\
 usage: picos <command> [args] [--key value ...]
 
+<workload> is a trace file (*.json) or a generator name (see `picos apps`),
+with --block <bs> selecting the block size for generated workloads.
+
 commands:
   gen <app> --block <bs> [--out trace.json]     generate a paper workload
-  stats <trace.json>                            print a Table-I style row
-  run <trace.json> --engine <e> --workers <w>   run one engine
+  stats <workload>                              print a Table-I style row
+  run <workload> --engine <e> --workers <w>     run one engine
        engines: hw-only | hw-comm | full | nanos | perfect
        options: --dm <8way|16way|p8way>  --ts <fifo|lifo>  --instances <n>
-  sweep <trace.json> --engine <e>               speedup vs workers (2..24)
+  sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
+       [--threads <n>] [--out results.csv]      cells run in parallel
   resources [--dm <design>] [--instances <n>]   FPGA cost estimate
   apps                                          list available generators
+  engines                                       list available backends
 "
     .to_string()
 }

@@ -1,17 +1,18 @@
 //! `picos` — command-line interface for the Picos reproduction.
 //!
-//! Generate the paper's workloads, run them through any execution engine,
-//! sweep worker counts and estimate FPGA resource budgets. Run `picos`
-//! without arguments for usage.
+//! Generate the paper's workloads, run them through any execution engine
+//! (all engines sit behind the uniform `picos_backend::ExecBackend` trait),
+//! sweep worker counts and engines in parallel, and estimate FPGA resource
+//! budgets. Run `picos` without arguments for usage.
 
 mod args;
 
 use args::{usage, Args};
+use picos_backend::{BackendSpec, Sweep, Workload};
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
-use picos_hil::{run_hil_with_stats, HilConfig, HilMode};
 use picos_resources::{full_picos_resources, XC7Z020};
-use picos_runtime::{perfect_schedule, run_software, ExecReport, SwRuntimeConfig};
 use picos_trace::{gen, Trace};
+use std::sync::Arc;
 
 fn main() {
     let argv = std::env::args().skip(1);
@@ -36,6 +37,12 @@ fn dispatch(a: &Args) -> Result<(), String> {
                 println!("{app}  (block sizes: {:?})", app.paper_block_sizes());
             }
             println!("case1..case7  (synthetic testcases)");
+            Ok(())
+        }
+        "engines" => {
+            for spec in BackendSpec::ALL {
+                println!("{spec}");
+            }
             Ok(())
         }
         "help" | "--help" | "-h" => {
@@ -64,6 +71,16 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     Trace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// A workload argument is either a trace file (`*.json`) or a generator
+/// name with an optional `--block`.
+fn load_workload(a: &Args, arg: &str) -> Result<Trace, String> {
+    if arg.ends_with(".json") || std::path::Path::new(arg).exists() {
+        load_trace(arg)
+    } else {
+        generate(arg, a.opt("block", 64u64)?)
+    }
+}
+
 fn cmd_gen(a: &Args) -> Result<(), String> {
     let app = a.pos(0, "app")?;
     let block = a.opt("block", 64u64)?;
@@ -73,14 +90,13 @@ fn cmd_gen(a: &Args) -> Result<(), String> {
         .get("out")
         .cloned()
         .unwrap_or_else(|| format!("{app}-{block}.json"));
-    let json = trace.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(&out, trace.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}: {} tasks", trace.len());
     Ok(())
 }
 
 fn cmd_stats(a: &Args) -> Result<(), String> {
-    let trace = load_trace(a.pos(0, "trace")?)?;
+    let trace = load_workload(a, a.pos(0, "trace")?)?;
     let s = trace.stats();
     let graph = picos_trace::TaskGraph::build(&trace);
     let p = graph.parallelism();
@@ -98,52 +114,57 @@ fn cmd_stats(a: &Args) -> Result<(), String> {
 }
 
 fn picos_config(a: &Args) -> Result<PicosConfig, String> {
-    let dm = match a.opt("dm", "p8way".to_string())?.as_str() {
-        "8way" => DmDesign::EightWay,
-        "16way" => DmDesign::SixteenWay,
-        "p8way" => DmDesign::PearsonEightWay,
-        other => return Err(format!("unknown DM design {other}")),
-    };
+    let dm = parse_dm(a.opt("dm", "p8way".to_string())?.as_str())?;
     let instances = a.opt("instances", 1usize)?;
-    let ts = match a.opt("ts", "fifo".to_string())?.as_str() {
-        "fifo" => TsPolicy::Fifo,
-        "lifo" => TsPolicy::Lifo,
-        other => return Err(format!("unknown TS policy {other}")),
-    };
+    let ts = parse_ts(a.opt("ts", "fifo".to_string())?.as_str())?;
     Ok(PicosConfig::future(instances, dm).with_ts_policy(ts))
 }
 
-fn run_engine(a: &Args, trace: &Trace, engine: &str, workers: usize) -> Result<ExecReport, String> {
-    let mode = match engine {
-        "hw-only" => Some(HilMode::HwOnly),
-        "hw-comm" => Some(HilMode::HwComm),
-        "full" => Some(HilMode::FullSystem),
-        _ => None,
-    };
-    if let Some(mode) = mode {
-        let cfg = HilConfig { picos: picos_config(a)?, ..HilConfig::balanced(workers) };
-        let (report, stats) = run_hil_with_stats(trace, mode, &cfg).map_err(|e| e.to_string())?;
+fn parse_dm(s: &str) -> Result<DmDesign, String> {
+    match s {
+        "8way" => Ok(DmDesign::EightWay),
+        "16way" => Ok(DmDesign::SixteenWay),
+        "p8way" => Ok(DmDesign::PearsonEightWay),
+        other => Err(format!("unknown DM design {other}")),
+    }
+}
+
+fn parse_ts(s: &str) -> Result<TsPolicy, String> {
+    match s {
+        "fifo" => Ok(TsPolicy::Fifo),
+        "lifo" => Ok(TsPolicy::Lifo),
+        other => Err(format!("unknown TS policy {other}")),
+    }
+}
+
+/// Parses a comma-separated engine list (`all` expands to every backend).
+fn parse_engines(s: &str) -> Result<Vec<BackendSpec>, String> {
+    if s == "all" {
+        return Ok(BackendSpec::ALL.to_vec());
+    }
+    s.split(',')
+        .map(|e| {
+            BackendSpec::parse(e.trim()).ok_or_else(|| format!("unknown engine {e}\n{}", usage()))
+        })
+        .collect()
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let trace = load_workload(a, a.pos(0, "trace")?)?;
+    let engine = a.opt("engine", "full".to_string())?;
+    let workers = a.opt("workers", 12usize)?;
+    let spec = BackendSpec::parse(&engine)
+        .ok_or_else(|| format!("unknown engine {engine}\n{}", usage()))?;
+    let backend = spec.build(workers, &picos_config(a)?);
+    let (report, stats) = backend.run_with_stats(&trace).map_err(|e| e.to_string())?;
+    if let Some(stats) = &stats {
         if stats.dm_conflicts > 0 || stats.vm_stalls > 0 {
             eprintln!(
                 "note: {} DM conflicts, {} VM stalls",
                 stats.dm_conflicts, stats.vm_stalls
             );
         }
-        return Ok(report);
     }
-    match engine {
-        "nanos" => run_software(trace, SwRuntimeConfig::with_workers(workers))
-            .map_err(|e| e.to_string()),
-        "perfect" => Ok(perfect_schedule(trace, workers)),
-        other => Err(format!("unknown engine {other}\n{}", usage())),
-    }
-}
-
-fn cmd_run(a: &Args) -> Result<(), String> {
-    let trace = load_trace(a.pos(0, "trace")?)?;
-    let engine = a.opt("engine", "full".to_string())?;
-    let workers = a.opt("workers", 12usize)?;
-    let report = run_engine(a, &trace, &engine, workers)?;
     report.validate(&trace)?;
     println!(
         "{}: makespan {} cycles, speedup {:.2} with {} workers",
@@ -156,14 +177,41 @@ fn cmd_run(a: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(a: &Args) -> Result<(), String> {
-    let trace = load_trace(a.pos(0, "trace")?)?;
-    let engine = a.opt("engine", "full".to_string())?;
-    println!("workers  speedup");
-    for w in [2usize, 4, 8, 12, 16, 20, 24] {
-        let report = run_engine(a, &trace, &engine, w)?;
-        println!("{w:>7}  {:>7.2}", report.speedup());
+    let arg = a.pos(0, "trace")?;
+    let trace = Arc::new(load_workload(a, arg)?);
+    let label = trace.name.clone();
+    let engines = parse_engines(&a.opt("engine", "full".to_string())?)?;
+    let dm = parse_dm(a.opt("dm", "p8way".to_string())?.as_str())?;
+    let ts = parse_ts(a.opt("ts", "fifo".to_string())?.as_str())?;
+    let instances = a.opt("instances", 1usize)?;
+    let mut sweep = Sweep::new([Workload::from_trace(label, trace)])
+        .workers([2usize, 4, 8, 12, 16, 20, 24])
+        .backends(engines)
+        .dm_designs([dm])
+        .instances([instances])
+        .ts_policy(ts);
+    if let Some(threads) = a.options.get("threads") {
+        sweep = sweep.threads(threads.parse().map_err(|_| "invalid --threads")?);
     }
-    Ok(())
+    let result = sweep.run();
+    println!("engine          workers  speedup  makespan");
+    for row in result.rows() {
+        match &row.error {
+            None => println!(
+                "{:<14}  {:>7}  {:>7.2}  {:>9}",
+                row.backend, row.workers, row.speedup, row.makespan
+            ),
+            Some(e) => println!("{:<14}  {:>7}  failed: {e}", row.backend, row.workers),
+        }
+    }
+    if let Some(out) = a.options.get("out") {
+        std::fs::write(out, result.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    match result.first_error() {
+        None => Ok(()),
+        Some(e) => Err(format!("sweep had failing cells: {e}")),
+    }
 }
 
 fn cmd_resources(a: &Args) -> Result<(), String> {

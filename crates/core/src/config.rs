@@ -6,13 +6,11 @@
 //! [`Timing`] holds the per-operation service times of each unit, calibrated
 //! against the paper's Table IV (see `DESIGN.md`, "Calibration targets").
 
-use serde::{Deserialize, Serialize};
-
 /// Simulation time in clock cycles of the accelerator.
 pub type Cycle = u64;
 
 /// Organisation of the Dependence Memory (paper, Section III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DmDesign {
     /// 64-set, 8-way cache-like memory with direct hash (address LSBs).
     EightWay,
@@ -71,7 +69,7 @@ impl std::fmt::Display for DmDesign {
 }
 
 /// Ready-task ordering of the Task Scheduler unit (paper, Figure 9 right).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TsPolicy {
     /// First-in first-out (the prototype's default).
     #[default]
@@ -86,7 +84,7 @@ pub enum TsPolicy {
 /// the Gateway sustains one dependence-free task every ~15 cycles, the DCT
 /// pipeline accepts one dependence every ~16 cycles, and the first-task
 /// latency lands near 45 cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timing {
     /// Wire/FIFO hop latency between units.
     pub wire: Cycle,
@@ -140,7 +138,7 @@ impl Default for Timing {
 }
 
 /// Complete configuration of a Picos instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PicosConfig {
     /// Dependence Memory organisation.
     pub dm_design: DmDesign,

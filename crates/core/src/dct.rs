@@ -105,7 +105,9 @@ impl Dct {
                         // Chain: remember the previous consumer; the TRS
                         // stores it in this task's TMX record.
                         let prev = tail.last_consumer.replace(msg.slot);
-                        ResolveKind::Dependent { prev_consumer: prev }
+                        ResolveKind::Dependent {
+                            prev_consumer: prev,
+                        }
                     };
                     out.push(DctEmit {
                         trs: msg.slot.trs,
@@ -116,8 +118,7 @@ impl Dct {
                             kind,
                         },
                     });
-                }
-                else {
+                } else {
                     // Producer: open a new version behind the current tail.
                     if !self.vm.has_space() {
                         return Err(DctBlocked::VmFull);
@@ -148,7 +149,9 @@ impl Dct {
                             slot: msg.slot,
                             dep_idx: msg.dep_idx,
                             vm: new_ref,
-                            kind: ResolveKind::Dependent { prev_consumer: None },
+                            kind: ResolveKind::Dependent {
+                                prev_consumer: None,
+                            },
                         },
                     });
                 }
@@ -212,7 +215,10 @@ impl Dct {
                 self.wakes_sent += 1;
                 out.push(DctEmit {
                     trs: target.trs,
-                    msg: TrsMsg::Wake { slot: target, vm: msg.vm },
+                    msg: TrsMsg::Wake {
+                        slot: target,
+                        vm: msg.vm,
+                    },
                 });
                 return t.dct_fin;
             }
@@ -247,7 +253,10 @@ impl Dct {
             self.wakes_sent += 1;
             out.push(DctEmit {
                 trs: producer.trs,
-                msg: TrsMsg::Wake { slot: producer, vm: next_ref },
+                msg: TrsMsg::Wake {
+                    slot: producer,
+                    vm: next_ref,
+                },
             });
         }
         self.dm.pop_version(dm_slot, next);
@@ -284,11 +293,7 @@ mod tests {
     use picos_trace::Dependence;
 
     fn dct() -> Dct {
-        Dct::new(
-            0,
-            Dm::new(DmDesign::PearsonEightWay, 64),
-            Vm::new(16),
-        )
+        Dct::new(0, Dm::new(DmDesign::PearsonEightWay, 64), Vm::new(16))
     }
 
     fn new_dep(slot_entry: u16, dep_idx: u8, dep: Dependence) -> NewDepMsg {
@@ -358,7 +363,12 @@ mod tests {
         d.handle_new(&new_dep(2, 0, r), &t, &mut out).unwrap();
         assert_eq!(
             ready_of(&out),
-            vec![(2, ResolveKind::Dependent { prev_consumer: None })]
+            vec![(
+                2,
+                ResolveKind::Dependent {
+                    prev_consumer: None
+                }
+            )]
         );
         out.clear();
 
@@ -368,7 +378,9 @@ mod tests {
             ready_of(&out),
             vec![(
                 3,
-                ResolveKind::Dependent { prev_consumer: Some(SlotRef::new(0, 2)) }
+                ResolveKind::Dependent {
+                    prev_consumer: Some(SlotRef::new(0, 2))
+                }
             )]
         );
         out.clear();
@@ -381,7 +393,12 @@ mod tests {
         d.handle_new(&new_dep(5, 0, a), &t, &mut out).unwrap();
         let vm1 = match out[0].msg {
             TrsMsg::Resolve { vm, kind, .. } => {
-                assert_eq!(kind, ResolveKind::Dependent { prev_consumer: None });
+                assert_eq!(
+                    kind,
+                    ResolveKind::Dependent {
+                        prev_consumer: None
+                    }
+                );
                 vm
             }
             _ => unreachable!(),
@@ -399,12 +416,22 @@ mod tests {
         assert_eq!(d.vm.live(), 3);
 
         // T1 finishes: wake the LAST consumer (T4), link 1.
-        d.handle_fin(DepFinMsg { vm: vm0, from: SlotRef::new(0, 1) }, &t, &mut out);
+        d.handle_fin(
+            DepFinMsg {
+                vm: vm0,
+                from: SlotRef::new(0, 1),
+            },
+            &t,
+            &mut out,
+        );
         assert_eq!(
             out,
             vec![DctEmit {
                 trs: 0,
-                msg: TrsMsg::Wake { slot: SlotRef::new(0, 4), vm: vm0 }
+                msg: TrsMsg::Wake {
+                    slot: SlotRef::new(0, 4),
+                    vm: vm0
+                }
             }]
         );
         out.clear();
@@ -412,33 +439,67 @@ mod tests {
         // T2, T3 finish: counters only. T4's finish drains v0: wake T5
         // (link 4) and delete the first VM entry.
         for c in [2, 3] {
-            d.handle_fin(DepFinMsg { vm: vm0, from: SlotRef::new(0, c) }, &t, &mut out);
+            d.handle_fin(
+                DepFinMsg {
+                    vm: vm0,
+                    from: SlotRef::new(0, c),
+                },
+                &t,
+                &mut out,
+            );
             assert!(out.is_empty(), "consumer {c} finish must not wake");
         }
-        d.handle_fin(DepFinMsg { vm: vm0, from: SlotRef::new(0, 4) }, &t, &mut out);
+        d.handle_fin(
+            DepFinMsg {
+                vm: vm0,
+                from: SlotRef::new(0, 4),
+            },
+            &t,
+            &mut out,
+        );
         assert_eq!(
             out,
             vec![DctEmit {
                 trs: 0,
-                msg: TrsMsg::Wake { slot: SlotRef::new(0, 5), vm: vm1 }
+                msg: TrsMsg::Wake {
+                    slot: SlotRef::new(0, 5),
+                    vm: vm1
+                }
             }]
         );
         assert_eq!(d.vm.live(), 2);
         out.clear();
 
         // T5 finishes: wake T6, delete second entry.
-        d.handle_fin(DepFinMsg { vm: vm1, from: SlotRef::new(0, 5) }, &t, &mut out);
+        d.handle_fin(
+            DepFinMsg {
+                vm: vm1,
+                from: SlotRef::new(0, 5),
+            },
+            &t,
+            &mut out,
+        );
         assert_eq!(
             out,
             vec![DctEmit {
                 trs: 0,
-                msg: TrsMsg::Wake { slot: SlotRef::new(0, 6), vm: vm2 }
+                msg: TrsMsg::Wake {
+                    slot: SlotRef::new(0, 6),
+                    vm: vm2
+                }
             }]
         );
         out.clear();
 
         // T6 finishes: everything is deleted.
-        d.handle_fin(DepFinMsg { vm: vm2, from: SlotRef::new(0, 6) }, &t, &mut out);
+        d.handle_fin(
+            DepFinMsg {
+                vm: vm2,
+                from: SlotRef::new(0, 6),
+            },
+            &t,
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(d.vm.live(), 0);
         assert_eq!(d.dm.live(), 0);
@@ -453,16 +514,21 @@ mod tests {
             d.handle_new(&new_dep(slot, 0, Dependence::input(0xC0)), &t, &mut out)
                 .unwrap();
         }
-        assert!(ready_of(&out)
-            .iter()
-            .all(|(_, k)| *k == ResolveKind::Ready));
+        assert!(ready_of(&out).iter().all(|(_, k)| *k == ResolveKind::Ready));
         // One shared version with three consumers.
         assert_eq!(d.vm.live(), 1);
         // All three finish: version drains, DM freed.
         let vm = VmRef::new(0, 0);
         out.clear();
         for slot in 1..=3 {
-            d.handle_fin(DepFinMsg { vm, from: SlotRef::new(0, slot) }, &t, &mut out);
+            d.handle_fin(
+                DepFinMsg {
+                    vm,
+                    from: SlotRef::new(0, slot),
+                },
+                &t,
+                &mut out,
+            );
         }
         assert!(out.is_empty());
         assert_eq!(d.dm.live(), 0);
@@ -481,7 +547,14 @@ mod tests {
         };
         out.clear();
         // Producer finishes with no consumers and no next version...
-        d.handle_fin(DepFinMsg { vm, from: SlotRef::new(0, 1) }, &t, &mut out);
+        d.handle_fin(
+            DepFinMsg {
+                vm,
+                from: SlotRef::new(0, 1),
+            },
+            &t,
+            &mut out,
+        );
         assert!(out.is_empty());
         // ... so the entry is deleted; a late consumer is independent.
         assert_eq!(d.dm.live(), 0);
@@ -554,14 +627,22 @@ mod tests {
             .unwrap();
         match out[0].msg {
             TrsMsg::Resolve { kind, .. } => {
-                assert_eq!(kind, ResolveKind::Dependent { prev_consumer: None })
+                assert_eq!(
+                    kind,
+                    ResolveKind::Dependent {
+                        prev_consumer: None
+                    }
+                )
             }
             ref other => panic!("unexpected {other:?}"),
         }
         out.clear();
         // Reader finishes: head version drains, writer woken.
         d.handle_fin(
-            DepFinMsg { vm: VmRef::new(0, 0), from: SlotRef::new(0, 1) },
+            DepFinMsg {
+                vm: VmRef::new(0, 0),
+                from: SlotRef::new(0, 1),
+            },
             &t,
             &mut out,
         );

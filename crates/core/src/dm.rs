@@ -265,7 +265,10 @@ mod tests {
             let DmAccess::Inserted(s) = r else { panic!() };
             m.bind(s, VmRef::new(0, i as u16));
         }
-        assert_eq!(m.access(0x1000_0000 + 9 * 64 * 1024, false), DmAccess::Conflict);
+        assert_eq!(
+            m.access(0x1000_0000 + 9 * 64 * 1024, false),
+            DmAccess::Conflict
+        );
         assert_eq!(m.live(), 8);
         m.count_conflict();
         assert_eq!(m.conflicts(), 1);
@@ -281,7 +284,10 @@ mod tests {
                 m.bind(s, VmRef::new(0, i as u16));
             }
         }
-        assert_eq!(m.access(0x1000_0000 + 16 * 64 * 1024, false), DmAccess::Conflict);
+        assert_eq!(
+            m.access(0x1000_0000 + 16 * 64 * 1024, false),
+            DmAccess::Conflict
+        );
     }
 
     #[test]
@@ -306,17 +312,23 @@ mod tests {
     #[test]
     fn way_priority_lowest_first() {
         let mut m = dm(DmDesign::EightWay);
-        let DmAccess::Inserted(s0) = m.access(0x40, false) else { panic!() };
+        let DmAccess::Inserted(s0) = m.access(0x40, false) else {
+            panic!()
+        };
         assert_eq!(s0.way, 0);
         m.bind(s0, VmRef::new(0, 0));
-        let DmAccess::Inserted(s1) = m.access(0x40 + 64, false) else { panic!() };
+        let DmAccess::Inserted(s1) = m.access(0x40 + 64, false) else {
+            panic!()
+        };
         assert_eq!(s1.way, 1);
     }
 
     #[test]
     fn version_chain_lifecycle() {
         let mut m = dm(DmDesign::PearsonEightWay);
-        let DmAccess::Inserted(s) = m.access(0x99, false) else { panic!() };
+        let DmAccess::Inserted(s) = m.access(0x99, false) else {
+            panic!()
+        };
         m.bind(s, VmRef::new(0, 0));
         m.push_version(s, VmRef::new(0, 1));
         m.push_version(s, VmRef::new(0, 2));
@@ -334,7 +346,9 @@ mod tests {
     #[test]
     fn all_inputs_flag_clears_on_writer() {
         let mut m = dm(DmDesign::PearsonEightWay);
-        let DmAccess::Inserted(s) = m.access(0x77, true) else { panic!() };
+        let DmAccess::Inserted(s) = m.access(0x77, true) else {
+            panic!()
+        };
         m.bind(s, VmRef::new(0, 0));
         assert!(m.all_inputs(s));
         m.access(0x77, true);
@@ -346,9 +360,13 @@ mod tests {
     #[test]
     fn peak_live_tracks_maximum() {
         let mut m = dm(DmDesign::PearsonEightWay);
-        let DmAccess::Inserted(a) = m.access(0x11, false) else { panic!() };
+        let DmAccess::Inserted(a) = m.access(0x11, false) else {
+            panic!()
+        };
         m.bind(a, VmRef::new(0, 0));
-        let DmAccess::Inserted(b) = m.access(0x12, false) else { panic!() };
+        let DmAccess::Inserted(b) = m.access(0x12, false) else {
+            panic!()
+        };
         m.bind(b, VmRef::new(0, 1));
         m.pop_version(a, None);
         assert_eq!(m.live(), 1);

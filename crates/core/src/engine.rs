@@ -29,6 +29,7 @@ use crate::Cycle;
 use picos_trace::{Dependence, TaskId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Message deliveries and unit wake-ups, ordered by time then sequence.
 #[derive(Debug, Clone)]
@@ -73,7 +74,7 @@ impl Ord for Ev {
 enum GwState {
     Idle,
     Dispatching {
-        deps: Vec<Dependence>,
+        deps: Arc<[Dependence]>,
         slot: SlotRef,
         next: usize,
     },
@@ -182,10 +183,16 @@ impl PicosSystem {
     /// Submits a new task (N1). The GW will pick it up when it has cycles
     /// and a free TM slot.
     ///
+    /// Takes the dependence list by value as a shared slice: submitting a
+    /// task straight from a [`picos_trace::TaskDescriptor`] is a refcount
+    /// bump (`t.deps.clone()`), never a per-task copy. Plain `Vec`s and
+    /// arrays still convert implicitly.
+    ///
     /// # Panics
     ///
     /// Panics if the task has more dependences than the configured maximum.
-    pub fn submit(&mut self, task: TaskId, deps: Vec<Dependence>) {
+    pub fn submit(&mut self, task: TaskId, deps: impl Into<Arc<[Dependence]>>) {
+        let deps = deps.into();
         assert!(
             deps.len() <= self.cfg.max_deps_per_task,
             "task {task} exceeds max_deps_per_task"
@@ -338,7 +345,11 @@ impl PicosSystem {
 
     fn emit(&mut self, at: Cycle, d: Delivery) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { t: at, seq: self.seq, d }));
+        self.events.push(Reverse(Ev {
+            t: at,
+            seq: self.seq,
+            d,
+        }));
     }
 
     fn apply(&mut self, d: Delivery) {
@@ -420,12 +431,20 @@ impl PicosSystem {
                     done + wire,
                     Delivery::Trs(
                         slot.trs,
-                        TrsMsg::NewTask { slot, task: req.task, num_deps },
+                        TrsMsg::NewTask {
+                            slot,
+                            task: req.task,
+                            num_deps,
+                        },
                     ),
                 );
                 self.emit(done, Delivery::Free);
                 if !req.deps.is_empty() {
-                    self.gw_state = GwState::Dispatching { deps: req.deps, slot, next: 0 };
+                    self.gw_state = GwState::Dispatching {
+                        deps: req.deps,
+                        slot,
+                        next: 0,
+                    };
                 }
             }
             GwState::Dispatching { deps, slot, next } => {
@@ -601,7 +620,14 @@ impl PicosSystem {
         self.stats.busy_ts += self.cfg.timing.ts;
         self.ts_busy = done;
         let at = done + self.cfg.timing.wire;
-        self.emit(at, Delivery::ReadyOut(ReadyTask { task, slot, ready_at: at }));
+        self.emit(
+            at,
+            Delivery::ReadyOut(ReadyTask {
+                task,
+                slot,
+                ready_at: at,
+            }),
+        );
         self.emit(done, Delivery::Free);
     }
 }
@@ -648,7 +674,10 @@ mod tests {
         let mut order = Vec::new();
         sys.run_to_quiescence(200_000_000, |r| {
             order.push(r.task.raw());
-            Some(FinishedReq { task: r.task, slot: r.slot })
+            Some(FinishedReq {
+                task: r.task,
+                slot: r.slot,
+            })
         })
         .expect("run must complete");
         (order, sys)
@@ -711,11 +740,17 @@ mod tests {
         let producer = sys.pop_ready().expect("producer ready");
         assert_eq!(producer.task.raw(), 0);
         assert_eq!(sys.ready_len(), 0, "consumers must wait");
-        sys.notify_finished(FinishedReq { task: producer.task, slot: producer.slot });
+        sys.notify_finished(FinishedReq {
+            task: producer.task,
+            slot: producer.slot,
+        });
         let mut ready_order = Vec::new();
         sys.run_to_quiescence(1_000_000, |r| {
             ready_order.push(r.task.raw());
-            Some(FinishedReq { task: r.task, slot: r.slot })
+            Some(FinishedReq {
+                task: r.task,
+                slot: r.slot,
+            })
         })
         .unwrap();
         assert_eq!(
@@ -733,8 +768,7 @@ mod tests {
         for _ in 0..10 {
             tr.push(k, [], 1);
         }
-        let mut sys =
-            PicosSystem::new(PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo));
+        let mut sys = PicosSystem::new(PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo));
         for t in tr.iter() {
             sys.submit(t.id, t.deps.clone());
         }
@@ -758,7 +792,11 @@ mod tests {
             fifo_sys.advance_to(t);
             guard += 1;
         }
-        assert_eq!(fifo_sys.pop_ready().unwrap().task.raw(), 0, "FIFO pops oldest");
+        assert_eq!(
+            fifo_sys.pop_ready().unwrap().task.raw(),
+            0,
+            "FIFO pops oldest"
+        );
     }
 
     #[test]
@@ -789,7 +827,10 @@ mod tests {
         let mut done = 0;
         sys.run_to_quiescence(10_000_000, |r| {
             done += 1;
-            Some(FinishedReq { task: r.task, slot: r.slot })
+            Some(FinishedReq {
+                task: r.task,
+                slot: r.slot,
+            })
         })
         .unwrap();
         assert_eq!(done, 300);
@@ -799,8 +840,7 @@ mod tests {
     fn multi_instance_configuration_completes() {
         let tr = gen::cholesky(gen::CholeskyConfig::paper(256));
         let g = TaskGraph::build(&tr);
-        let (order, sys) =
-            run_instant(PicosConfig::future(2, DmDesign::PearsonEightWay), &tr);
+        let (order, sys) = run_instant(PicosConfig::future(2, DmDesign::PearsonEightWay), &tr);
         assert_eq!(order.len(), tr.len());
         assert!(g.is_topological(&order));
         assert!(sys.is_quiescent());
@@ -827,13 +867,19 @@ mod tests {
             sys.advance_to(1_000_000);
             let mut pending = Vec::new();
             while let Some(r) = sys.pop_ready() {
-                pending.push(FinishedReq { task: r.task, slot: r.slot });
+                pending.push(FinishedReq {
+                    task: r.task,
+                    slot: r.slot,
+                });
             }
             for f in pending {
                 sys.notify_finished(f);
             }
             sys.run_to_quiescence(10_000_000, |r| {
-                Some(FinishedReq { task: r.task, slot: r.slot })
+                Some(FinishedReq {
+                    task: r.task,
+                    slot: r.slot,
+                })
             })
             .unwrap();
             sys.stats().dm_conflicts

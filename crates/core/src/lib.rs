@@ -50,8 +50,8 @@ pub use dct::{dct_for_addr, Dct, DctBlocked, DctEmit};
 pub use dm::{Dm, DmAccess, DmSlot};
 pub use engine::{EngineError, PicosSystem};
 pub use msg::{
-    ArbMsg, DepFinMsg, FinishedReq, NewDepMsg, NewTaskReq, ReadyTask, ResolveKind, SlotRef,
-    TrsMsg, VmRef,
+    ArbMsg, DepFinMsg, FinishedReq, NewDepMsg, NewTaskReq, ReadyTask, ResolveKind, SlotRef, TrsMsg,
+    VmRef,
 };
 pub use pearson::{direct_index, pearson_byte, pearson_index, PEARSON_TABLE};
 pub use stats::Stats;

@@ -5,10 +5,9 @@
 //! packets on the F1-F4 path.
 
 use picos_trace::{Dependence, TaskId};
-use serde::{Deserialize, Serialize};
 
 /// A Task Memory slot: which TRS instance and which TM entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotRef {
     /// TRS instance index.
     pub trs: u8,
@@ -30,7 +29,7 @@ impl std::fmt::Display for SlotRef {
 }
 
 /// A Version Memory entry: which DCT instance and which VM index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VmRef {
     /// DCT instance index.
     pub dct: u8,
@@ -56,8 +55,9 @@ impl std::fmt::Display for VmRef {
 pub struct NewTaskReq {
     /// Software task identifier.
     pub task: TaskId,
-    /// The task's dependences (address + direction).
-    pub deps: Vec<Dependence>,
+    /// The task's dependences (address + direction), shared with the trace
+    /// so submission never copies the dependence list.
+    pub deps: std::sync::Arc<[Dependence]>,
 }
 
 /// A finished-task notification from a worker (GW input, F1).
@@ -182,7 +182,9 @@ mod tests {
         let a = ResolveKind::Dependent {
             prev_consumer: Some(SlotRef::new(0, 1)),
         };
-        let b = ResolveKind::Dependent { prev_consumer: None };
+        let b = ResolveKind::Dependent {
+            prev_consumer: None,
+        };
         assert_ne!(a, b);
     }
 }

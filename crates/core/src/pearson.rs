@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn pearson_is_deterministic() {
-        assert_eq!(pearson_index(0x1234_5678, 64), pearson_index(0x1234_5678, 64));
+        assert_eq!(
+            pearson_index(0x1234_5678, 64),
+            pearson_index(0x1234_5678, 64)
+        );
     }
 
     #[test]

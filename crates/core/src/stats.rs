@@ -1,12 +1,10 @@
 //! Aggregate statistics of a Picos run.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters and high-water marks collected by the engine.
 ///
 /// `dm_conflicts` is the paper's Table II metric: the number of dependences
 /// that found their DM set full and had to stall.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Tasks accepted by the Gateway.
     pub tasks_submitted: u64,

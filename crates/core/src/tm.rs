@@ -111,19 +111,26 @@ impl Tm {
     /// released (F-flow step 3: "deletes the task inside the assigned TM
     /// slot").
     pub fn free(&mut self, idx: u16) {
-        debug_assert!(self.entries[idx as usize].is_some(), "double free of TM {idx}");
+        debug_assert!(
+            self.entries[idx as usize].is_some(),
+            "double free of TM {idx}"
+        );
         self.entries[idx as usize] = None;
         self.free.push(idx);
     }
 
     /// Borrows a live entry.
     pub fn get(&self, idx: u16) -> &TmEntry {
-        self.entries[idx as usize].as_ref().expect("TM entry must be live")
+        self.entries[idx as usize]
+            .as_ref()
+            .expect("TM entry must be live")
     }
 
     /// Mutably borrows a live entry.
     pub fn get_mut(&mut self, idx: u16) -> &mut TmEntry {
-        self.entries[idx as usize].as_mut().expect("TM entry must be live")
+        self.entries[idx as usize]
+            .as_mut()
+            .expect("TM entry must be live")
     }
 }
 
@@ -183,7 +190,10 @@ mod tests {
             chained_prev: Some(SlotRef::new(0, 2)),
             resolved: false,
         });
-        assert!(e.dep_by_vm_mut(VmRef::new(0, 5)).is_none(), "resolved skipped");
+        assert!(
+            e.dep_by_vm_mut(VmRef::new(0, 5)).is_none(),
+            "resolved skipped"
+        );
         let d = e.dep_by_vm_mut(VmRef::new(0, 9)).unwrap();
         assert_eq!(d.dep_idx, 1);
     }

@@ -112,7 +112,11 @@ impl Trs {
         // and 3 are issued by the TRS via the Arbiter).
         if let Some(prev) = chain {
             self.wakes_forwarded += 1;
-            out.push(TrsEmit::ChainWake { trs: prev.trs, slot: prev, vm });
+            out.push(TrsEmit::ChainWake {
+                trs: prev.trs,
+                slot: prev,
+                vm,
+            });
         }
     }
 
@@ -120,7 +124,11 @@ impl Trs {
     /// output packets to `out`.
     pub fn handle(&mut self, msg: TrsMsg, t: &Timing, out: &mut Vec<TrsEmit>) -> Cycle {
         match msg {
-            TrsMsg::NewTask { slot, task, num_deps } => {
+            TrsMsg::NewTask {
+                slot,
+                task,
+                num_deps,
+            } => {
                 debug_assert_eq!(slot.trs, self.id);
                 let e = self.tm.get_mut(slot.entry);
                 debug_assert_eq!(e.task, task, "slot/task mismatch");
@@ -133,7 +141,12 @@ impl Trs {
                 }
                 t.trs_new
             }
-            TrsMsg::Resolve { slot, dep_idx, vm, kind } => {
+            TrsMsg::Resolve {
+                slot,
+                dep_idx,
+                vm,
+                kind,
+            } => {
                 debug_assert_eq!(slot.trs, self.id);
                 let e = self.tm.get_mut(slot.entry);
                 let (resolved, chained_prev) = match kind {
@@ -185,7 +198,10 @@ impl Trs {
                 for d in &e.deps {
                     out.push(TrsEmit::DepFinished {
                         dct: d.vm.dct,
-                        msg: DepFinMsg { vm: d.vm, from: slot },
+                        msg: DepFinMsg {
+                            vm: d.vm,
+                            from: slot,
+                        },
                     });
                 }
                 self.tm.free(slot.entry);
@@ -222,7 +238,13 @@ mod tests {
             &mut out,
         );
         assert_eq!(cost, t.trs_new);
-        assert_eq!(out, vec![TrsEmit::ReadyToTs { task: TaskId::new(1), slot }]);
+        assert_eq!(
+            out,
+            vec![TrsEmit::ReadyToTs {
+                task: TaskId::new(1),
+                slot
+            }]
+        );
         assert_eq!(trs.tasks_dispatched(), 1);
     }
 
@@ -231,19 +253,33 @@ mod tests {
         let (mut trs, t, mut out) = setup();
         let slot = new_task(&mut trs, 2, 2);
         trs.handle(
-            TrsMsg::NewTask { slot, task: TaskId::new(2), num_deps: 2 },
+            TrsMsg::NewTask {
+                slot,
+                task: TaskId::new(2),
+                num_deps: 2,
+            },
             &t,
             &mut out,
         );
         assert!(out.is_empty());
         trs.handle(
-            TrsMsg::Resolve { slot, dep_idx: 0, vm: VmRef::new(0, 1), kind: ResolveKind::Ready },
+            TrsMsg::Resolve {
+                slot,
+                dep_idx: 0,
+                vm: VmRef::new(0, 1),
+                kind: ResolveKind::Ready,
+            },
             &t,
             &mut out,
         );
         assert!(out.is_empty(), "one of two deps ready");
         trs.handle(
-            TrsMsg::Resolve { slot, dep_idx: 1, vm: VmRef::new(0, 2), kind: ResolveKind::Ready },
+            TrsMsg::Resolve {
+                slot,
+                dep_idx: 1,
+                vm: VmRef::new(0, 2),
+                kind: ResolveKind::Ready,
+            },
             &t,
             &mut out,
         );
@@ -256,7 +292,11 @@ mod tests {
         let (mut trs, t, mut out) = setup();
         let slot = new_task(&mut trs, 3, 1);
         trs.handle(
-            TrsMsg::NewTask { slot, task: TaskId::new(3), num_deps: 1 },
+            TrsMsg::NewTask {
+                slot,
+                task: TaskId::new(3),
+                num_deps: 1,
+            },
             &t,
             &mut out,
         );
@@ -265,13 +305,22 @@ mod tests {
                 slot,
                 dep_idx: 0,
                 vm: VmRef::new(0, 4),
-                kind: ResolveKind::Dependent { prev_consumer: None },
+                kind: ResolveKind::Dependent {
+                    prev_consumer: None,
+                },
             },
             &t,
             &mut out,
         );
         assert!(out.is_empty());
-        trs.handle(TrsMsg::Wake { slot, vm: VmRef::new(0, 4) }, &t, &mut out);
+        trs.handle(
+            TrsMsg::Wake {
+                slot,
+                vm: VmRef::new(0, 4),
+            },
+            &t,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], TrsEmit::ReadyToTs { .. }));
     }
@@ -286,7 +335,11 @@ mod tests {
         let vm = VmRef::new(0, 9);
         for (slot, task, prev) in [(s1, 10, None), (s2, 11, Some(s1))] {
             trs.handle(
-                TrsMsg::NewTask { slot, task: TaskId::new(task), num_deps: 1 },
+                TrsMsg::NewTask {
+                    slot,
+                    task: TaskId::new(task),
+                    num_deps: 1,
+                },
                 &t,
                 &mut out,
             );
@@ -295,7 +348,9 @@ mod tests {
                     slot,
                     dep_idx: 0,
                     vm,
-                    kind: ResolveKind::Dependent { prev_consumer: prev },
+                    kind: ResolveKind::Dependent {
+                        prev_consumer: prev,
+                    },
                 },
                 &t,
                 &mut out,
@@ -306,13 +361,26 @@ mod tests {
         trs.handle(TrsMsg::Wake { slot: s2, vm }, &t, &mut out);
         // s2 is ready AND a chain wake to s1 is emitted.
         assert_eq!(out.len(), 2);
-        assert!(out.contains(&TrsEmit::ReadyToTs { task: TaskId::new(11), slot: s2 }));
-        assert!(out.contains(&TrsEmit::ChainWake { trs: 0, slot: s1, vm }));
+        assert!(out.contains(&TrsEmit::ReadyToTs {
+            task: TaskId::new(11),
+            slot: s2
+        }));
+        assert!(out.contains(&TrsEmit::ChainWake {
+            trs: 0,
+            slot: s1,
+            vm
+        }));
         assert_eq!(trs.wakes_forwarded(), 1);
         out.clear();
         // The chain wake is routed back (engine does this); s1 becomes ready.
         trs.handle(TrsMsg::Wake { slot: s1, vm }, &t, &mut out);
-        assert_eq!(out, vec![TrsEmit::ReadyToTs { task: TaskId::new(10), slot: s1 }]);
+        assert_eq!(
+            out,
+            vec![TrsEmit::ReadyToTs {
+                task: TaskId::new(10),
+                slot: s1
+            }]
+        );
     }
 
     #[test]
@@ -320,17 +388,31 @@ mod tests {
         let (mut trs, t, mut out) = setup();
         let slot = new_task(&mut trs, 4, 2);
         trs.handle(
-            TrsMsg::NewTask { slot, task: TaskId::new(4), num_deps: 2 },
+            TrsMsg::NewTask {
+                slot,
+                task: TaskId::new(4),
+                num_deps: 2,
+            },
             &t,
             &mut out,
         );
         trs.handle(
-            TrsMsg::Resolve { slot, dep_idx: 0, vm: VmRef::new(0, 1), kind: ResolveKind::Ready },
+            TrsMsg::Resolve {
+                slot,
+                dep_idx: 0,
+                vm: VmRef::new(0, 1),
+                kind: ResolveKind::Ready,
+            },
             &t,
             &mut out,
         );
         trs.handle(
-            TrsMsg::Resolve { slot, dep_idx: 1, vm: VmRef::new(1, 2), kind: ResolveKind::Ready },
+            TrsMsg::Resolve {
+                slot,
+                dep_idx: 1,
+                vm: VmRef::new(1, 2),
+                kind: ResolveKind::Ready,
+            },
             &t,
             &mut out,
         );
@@ -346,6 +428,10 @@ mod tests {
                 other => panic!("unexpected emit {other:?}"),
             })
             .collect();
-        assert_eq!(dcts, vec![0, 1], "one release per dependence, routed per DCT");
+        assert_eq!(
+            dcts,
+            vec![0, 1],
+            "one release per dependence, routed per DCT"
+        );
     }
 }

@@ -8,8 +8,8 @@
 //! to the next version — everything Section III-D's dependence-chain example
 //! exercises.
 
-use crate::msg::{SlotRef, VmRef};
 use crate::dm::DmSlot;
+use crate::msg::{SlotRef, VmRef};
 
 /// One live version of a dependence address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,19 +108,26 @@ impl Vm {
     ///
     /// Panics (in debug builds) if the entry is not live.
     pub fn free(&mut self, idx: u16) {
-        debug_assert!(self.entries[idx as usize].is_some(), "double free of VM {idx}");
+        debug_assert!(
+            self.entries[idx as usize].is_some(),
+            "double free of VM {idx}"
+        );
         self.entries[idx as usize] = None;
         self.free.push(idx);
     }
 
     /// Borrows a live version.
     pub fn get(&self, idx: u16) -> &VmEntry {
-        self.entries[idx as usize].as_ref().expect("VM entry must be live")
+        self.entries[idx as usize]
+            .as_ref()
+            .expect("VM entry must be live")
     }
 
     /// Mutably borrows a live version.
     pub fn get_mut(&mut self, idx: u16) -> &mut VmEntry {
-        self.entries[idx as usize].as_mut().expect("VM entry must be live")
+        self.entries[idx as usize]
+            .as_mut()
+            .expect("VM entry must be live")
     }
 }
 

@@ -1,16 +1,18 @@
 //! Property-based tests of the Picos memories: the DM and VM must never
 //! lose or duplicate capacity under arbitrary allocate/free interleavings,
 //! and the index functions must stay within bounds for any address.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] (the offline stand-in for
+//! `proptest`): each test runs a fixed number of pseudo-random cases and
+//! reports the failing seed so a case can be replayed exactly.
 
 use picos_core::{Dm, DmAccess, DmDesign, SlotRef, Vm, VmEntry, VmRef};
-use proptest::prelude::*;
+use picos_trace::rng::SplitMix64;
 
-fn arb_design() -> impl Strategy<Value = DmDesign> {
-    prop_oneof![
-        Just(DmDesign::EightWay),
-        Just(DmDesign::SixteenWay),
-        Just(DmDesign::PearsonEightWay),
-    ]
+const CASES: u64 = 64;
+
+fn arb_design(rng: &mut SplitMix64) -> DmDesign {
+    DmDesign::ALL[rng.range_usize(0, DmDesign::ALL.len() - 1)]
 }
 
 fn entry() -> VmEntry {
@@ -25,78 +27,102 @@ fn entry() -> VmEntry {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Insert-then-free round trips restore full DM capacity; live counts
-    /// never exceed capacity; the same address always hits after insert.
-    #[test]
-    fn dm_capacity_conserved(design in arb_design(), addrs in prop::collection::vec(0u64..1u64 << 40, 1..300)) {
+/// Insert-then-free round trips restore full DM capacity; live counts
+/// never exceed capacity; the same address always hits after insert.
+#[test]
+fn dm_capacity_conserved() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x0D00 + seed);
+        let design = arb_design(&mut rng);
+        let n = rng.range_usize(1, 300);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.range_u64(0, (1 << 40) - 1)).collect();
         let mut dm = Dm::new(design, 64);
         let mut live: Vec<(u64, picos_core::DmSlot)> = Vec::new();
         for (i, &a) in addrs.iter().enumerate() {
             match dm.access(a, false) {
                 DmAccess::Inserted(slot) => {
                     dm.bind(slot, VmRef::new(0, i as u16));
-                    prop_assert!(dm.lookup(a) == Some(slot));
+                    assert_eq!(dm.lookup(a), Some(slot), "seed {seed}");
                     live.push((a, slot));
                 }
                 DmAccess::Hit(slot) => {
-                    prop_assert!(live.iter().any(|&(la, ls)| la == a && ls == slot));
+                    assert!(
+                        live.iter().any(|&(la, ls)| la == a && ls == slot),
+                        "seed {seed}: hit on unknown address"
+                    );
                 }
                 DmAccess::Conflict => {
                     // The set must really be full of other addresses.
-                    prop_assert!(dm.lookup(a).is_none());
+                    assert!(dm.lookup(a).is_none(), "seed {seed}");
                 }
             }
-            prop_assert!(dm.live() <= dm.capacity());
-            prop_assert_eq!(dm.live(), live.len());
+            assert!(dm.live() <= dm.capacity(), "seed {seed}");
+            assert_eq!(dm.live(), live.len(), "seed {seed}");
         }
         // Free everything: capacity restored.
         for (_, slot) in live.drain(..) {
             dm.pop_version(slot, None);
         }
-        prop_assert_eq!(dm.live(), 0);
+        assert_eq!(dm.live(), 0, "seed {seed}");
     }
+}
 
-    /// Index functions stay in range and are deterministic for any address.
-    #[test]
-    fn index_in_range(design in arb_design(), addr in any::<u64>()) {
+/// Index functions stay in range and are deterministic for any address.
+#[test]
+fn index_in_range() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x1D00 + seed);
+        let design = arb_design(&mut rng);
+        let addr = rng.next_u64();
         let dm = Dm::new(design, 64);
         let i1 = dm.index(addr);
         let i2 = dm.index(addr);
-        prop_assert!(i1 < 64);
-        prop_assert_eq!(i1, i2);
+        assert!(i1 < 64, "seed {seed}");
+        assert_eq!(i1, i2, "seed {seed}");
     }
+}
 
-    /// The VM slab never double-allocates, never loses entries, and serves
-    /// exactly `capacity` concurrent allocations.
-    #[test]
-    fn vm_slab_invariants(ops in prop::collection::vec(any::<bool>(), 1..400)) {
+/// The VM slab never double-allocates, never loses entries, and serves
+/// exactly `capacity` concurrent allocations.
+#[test]
+fn vm_slab_invariants() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x2D00 + seed);
+        let ops = rng.range_usize(1, 400);
         let mut vm = Vm::new(32);
         let mut live: Vec<u16> = Vec::new();
-        for alloc in ops {
-            if alloc {
+        for _ in 0..ops {
+            if rng.bool(0.5) {
                 match vm.alloc(entry()) {
                     Some(idx) => {
-                        prop_assert!(!live.contains(&idx), "double allocation of {}", idx);
+                        assert!(
+                            !live.contains(&idx),
+                            "seed {seed}: double allocation of {idx}"
+                        );
                         live.push(idx);
                     }
-                    None => prop_assert_eq!(live.len(), 32, "alloc failed below capacity"),
+                    None => {
+                        assert_eq!(live.len(), 32, "seed {seed}: alloc failed below capacity")
+                    }
                 }
             } else if let Some(idx) = live.pop() {
                 vm.free(idx);
             }
-            prop_assert_eq!(vm.live(), live.len());
-            prop_assert!(vm.peak_live() <= 32);
+            assert_eq!(vm.live(), live.len(), "seed {seed}");
+            assert!(vm.peak_live() <= 32, "seed {seed}");
         }
     }
+}
 
-    /// DCT routing covers all instances and never goes out of range.
-    #[test]
-    fn dct_routing(addr in any::<u64>(), n in 1usize..8) {
+/// DCT routing covers all instances and never goes out of range.
+#[test]
+fn dct_routing() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x3D00 + seed);
+        let addr = rng.next_u64();
+        let n = rng.range_usize(1, 7);
         let d = picos_core::dct_for_addr(addr, n);
-        prop_assert!(usize::from(d) < n);
+        assert!(usize::from(d) < n, "seed {seed}");
     }
 }
 
@@ -109,9 +135,6 @@ fn dct_routing_spreads_block_strides() {
         for i in 0..64u64 {
             used.insert(picos_core::dct_for_addr(0x4000_0000 + i * stride, 4));
         }
-        assert!(
-            used.len() >= 3,
-            "stride {stride}: only DCTs {used:?} used"
-        );
+        assert!(used.len() >= 3, "stride {stride}: only DCTs {used:?} used");
     }
 }

@@ -1,0 +1,203 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! (vendored in-tree as `crates/criterion-shim`, package name `criterion`)
+//! provides just the API surface the workspace benches use: benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `b.iter(..)`, and the
+//! `criterion_group!` / `criterion_main!` macros. It measures median
+//! wall-clock time over a fixed sampling window and prints one line per
+//! benchmark — no statistics, plots or baselines.
+//!
+//! Environment knobs: `CRITERION_SHIM_SAMPLE_MS` (per-bench sampling window,
+//! default 300 ms), `CRITERION_SHIM_WARMUP_MS` (default 100 ms).
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark inside a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Throughput annotation: scales the report to elements or bytes per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for the sampling window and records the timing.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warmup = env_ms("CRITERION_SHIM_WARMUP_MS", 100);
+        let sample = env_ms("CRITERION_SHIM_SAMPLE_MS", 300);
+        let start = Instant::now();
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < sample || iters == 0 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters as u32
+        }
+    }
+}
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Benchmarks `f` without an input parameter.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, bench: &str, b: &Bencher) {
+        let per = b.per_iter();
+        let mut line = format!(
+            "{}/{bench}: {:>12.3} µs/iter ({} iters)",
+            self.name,
+            per.as_secs_f64() * 1e6,
+            b.iters
+        );
+        if let Some(t) = self.throughput {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if per > Duration::ZERO {
+                line.push_str(&format!(
+                    "  {:>12.0} {unit}/s",
+                    n as f64 / per.as_secs_f64()
+                ));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            throughput: None,
+            _criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

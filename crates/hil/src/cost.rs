@@ -11,10 +11,8 @@
 //!   task, packs its dependences, retrieves ready tasks and forwards
 //!   finishes, adding roughly 2000 serial cycles per task.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation costs of the HIL platform, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HilCostModel {
     /// HW-only: TS output to worker start (workers live in the PL).
     pub dispatch: u64,

@@ -33,7 +33,11 @@ pub struct SyntheticMetrics {
 /// Panics if the report is empty.
 pub fn synthetic_metrics(report: &ExecReport, trace: &Trace) -> SyntheticMetrics {
     assert!(!report.order.is_empty(), "cannot measure an empty run");
-    let mut starts: Vec<u64> = report.order.iter().map(|&i| report.start[i as usize]).collect();
+    let mut starts: Vec<u64> = report
+        .order
+        .iter()
+        .map(|&i| report.start[i as usize])
+        .collect();
     starts.sort_unstable();
     let l1st = starts[0];
     let n = starts.len();
@@ -44,8 +48,16 @@ pub fn synthetic_metrics(report: &ExecReport, trace: &Trace) -> SyntheticMetrics
     };
     let stats = trace.stats();
     let avg = stats.avg_deps();
-    let thr_dep = if avg > 0.0 { Some(thr_task / avg) } else { None };
-    SyntheticMetrics { l1st, thr_task, thr_dep }
+    let thr_dep = if avg > 0.0 {
+        Some(thr_task / avg)
+    } else {
+        None
+    };
+    SyntheticMetrics {
+        l1st,
+        thr_task,
+        thr_dep,
+    }
 }
 
 #[cfg(test)]
@@ -66,7 +78,11 @@ mod tests {
         // Paper: L1st 45, thrTask 15.
         let m = metrics(gen::Case::Case1, HilMode::HwOnly);
         assert!((30..=60).contains(&m.l1st), "L1st {}", m.l1st);
-        assert!((12.0..=20.0).contains(&m.thr_task), "thrTask {}", m.thr_task);
+        assert!(
+            (12.0..=20.0).contains(&m.thr_task),
+            "thrTask {}",
+            m.thr_task
+        );
         assert!(m.thr_dep.is_none());
     }
 
@@ -75,7 +91,11 @@ mod tests {
         // Paper: L1st 73, thrTask 24, thrDep 24.
         let m = metrics(gen::Case::Case2, HilMode::HwOnly);
         assert!((55..=95).contains(&m.l1st), "L1st {}", m.l1st);
-        assert!((18.0..=32.0).contains(&m.thr_task), "thrTask {}", m.thr_task);
+        assert!(
+            (18.0..=32.0).contains(&m.thr_task),
+            "thrTask {}",
+            m.thr_task
+        );
         let d = m.thr_dep.unwrap();
         assert!((18.0..=32.0).contains(&d), "thrDep {d}");
     }
@@ -86,7 +106,11 @@ mod tests {
         // pipelines down towards the DCT initiation interval.
         let m = metrics(gen::Case::Case3, HilMode::HwOnly);
         assert!((240..=400).contains(&m.l1st), "L1st {}", m.l1st);
-        assert!((200.0..=300.0).contains(&m.thr_task), "thrTask {}", m.thr_task);
+        assert!(
+            (200.0..=300.0).contains(&m.thr_task),
+            "thrTask {}",
+            m.thr_task
+        );
         let d = m.thr_dep.unwrap();
         assert!((13.0..=20.0).contains(&d), "thrDep {d}");
     }

@@ -16,7 +16,7 @@ use picos_trace::{TaskId, Trace};
 use std::collections::VecDeque;
 
 /// Operational mode of the platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HilMode {
     /// Raw hardware: no communication or software costs.
     HwOnly,
@@ -85,8 +85,15 @@ pub enum HilError {
 impl std::fmt::Display for HilError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HilError::Stalled { executed, total, at } => {
-                write!(f, "platform stalled at cycle {at} after {executed}/{total} tasks")
+            HilError::Stalled {
+                executed,
+                total,
+                at,
+            } => {
+                write!(
+                    f,
+                    "platform stalled at cycle {at} after {executed}/{total} tasks"
+                )
             }
         }
     }
@@ -127,9 +134,9 @@ pub fn run_hil_with_stats(
     // The drivers below each build their own system; rebuild here with the
     // same deterministic behaviour to expose the stats.
     match mode {
-        HilMode::HwOnly => run_hw_only_impl(trace, cfg).map(|(r, s)| (r, s)),
-        HilMode::HwComm => run_hw_comm_impl(trace, cfg).map(|(r, s)| (r, s)),
-        HilMode::FullSystem => run_full_system_impl(trace, cfg).map(|(r, s)| (r, s)),
+        HilMode::HwOnly => run_hw_only_impl(trace, cfg),
+        HilMode::HwComm => run_hw_comm_impl(trace, cfg),
+        HilMode::FullSystem => run_full_system_impl(trace, cfg),
     }
 }
 
@@ -199,7 +206,10 @@ fn run_hw_only_impl(
         sys.advance_to(t);
         let mut touched = false;
         while let Some((task, slot)) = workers.pop_done_at(t) {
-            sys.notify_finished(FinishedReq { task: TaskId::new(task), slot });
+            sys.notify_finished(FinishedReq {
+                task: TaskId::new(task),
+                slot,
+            });
             done_count += 1;
             touched = true;
         }
@@ -227,7 +237,11 @@ fn run_hw_only_impl(
         }
     }
     if log.order.len() != n || sys.in_flight() != 0 || workers.busy() {
-        return Err(HilError::Stalled { executed: log.order.len(), total: n, at: t });
+        return Err(HilError::Stalled {
+            executed: log.order.len(),
+            total: n,
+            at: t,
+        });
     }
     let stats = sys.stats();
     Ok((log.into_report("picos-hw-only", cfg.workers, trace), stats))
@@ -240,7 +254,11 @@ fn run_hw_comm_impl(
     let mut sys = PicosSystem::new(cfg.picos.clone());
     let n = trace.len();
     let mut workers = Workers::new(cfg.workers);
-    let mut bus = Bus::new(cfg.cost.axi_occupancy, cfg.cost.axi_latency, cfg.cost.axi_setup);
+    let mut bus = Bus::new(
+        cfg.cost.axi_occupancy,
+        cfg.cost.axi_latency,
+        cfg.cost.axi_setup,
+    );
     let mut log = RunLog::new(n);
     let mut next_send = 0usize;
     let mut newtasks_in_bus = 0usize;
@@ -270,7 +288,10 @@ fn run_hw_comm_impl(
                     inflight_ready -= 1;
                 }
                 BusMsg::Finish(task, slot) => {
-                    sys.notify_finished(FinishedReq { task: TaskId::new(task), slot });
+                    sys.notify_finished(FinishedReq {
+                        task: TaskId::new(task),
+                        slot,
+                    });
                 }
             }
         }
@@ -292,13 +313,21 @@ fn run_hw_comm_impl(
             bus.send(t, BusMsg::Ready(r.task.raw(), r.slot));
             inflight_ready += 1;
         }
-        match min_next(&[sys.next_event_time(), workers.next_done(), bus.next_delivery()]) {
+        match min_next(&[
+            sys.next_event_time(),
+            workers.next_done(),
+            bus.next_delivery(),
+        ]) {
             Some(tn) => t = tn,
             None => break,
         }
     }
     if log.order.len() != n || sys.in_flight() != 0 || bus.in_flight() != 0 || workers.busy() {
-        return Err(HilError::Stalled { executed: log.order.len(), total: n, at: t });
+        return Err(HilError::Stalled {
+            executed: log.order.len(),
+            total: n,
+            at: t,
+        });
     }
     let stats = sys.stats();
     Ok((log.into_report("picos-hw-comm", cfg.workers, trace), stats))
@@ -311,7 +340,11 @@ fn run_full_system_impl(
     let mut sys = PicosSystem::new(cfg.picos.clone());
     let n = trace.len();
     let mut workers = Workers::new(cfg.workers);
-    let mut bus = Bus::new(cfg.cost.axi_occupancy, cfg.cost.axi_latency, cfg.cost.axi_setup);
+    let mut bus = Bus::new(
+        cfg.cost.axi_occupancy,
+        cfg.cost.axi_latency,
+        cfg.cost.axi_setup,
+    );
     let mut log = RunLog::new(n);
     let mut finish_q: VecDeque<(u32, SlotRef)> = VecDeque::new();
     let mut next_create = 0usize;
@@ -343,7 +376,10 @@ fn run_full_system_impl(
                     inflight_ready -= 1;
                 }
                 BusMsg::Finish(task, slot) => {
-                    sys.notify_finished(FinishedReq { task: TaskId::new(task), slot });
+                    sys.notify_finished(FinishedReq {
+                        task: TaskId::new(task),
+                        slot,
+                    });
                 }
             }
         }
@@ -379,7 +415,11 @@ fn run_full_system_impl(
             || (sys.ready_len() > 0 && workers.idle() > inflight_ready)
             || (next_create < trace.creation_limit(done_count)
                 && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue);
-        let arm_cand = if arm_pending && arm_free > t { Some(arm_free) } else { None };
+        let arm_cand = if arm_pending && arm_free > t {
+            Some(arm_free)
+        } else {
+            None
+        };
         match min_next(&[
             sys.next_event_time(),
             workers.next_done(),
@@ -396,7 +436,11 @@ fn run_full_system_impl(
         || !finish_q.is_empty()
         || workers.busy()
     {
-        return Err(HilError::Stalled { executed: log.order.len(), total: n, at: t });
+        return Err(HilError::Stalled {
+            executed: log.order.len(),
+            total: n,
+            at: t,
+        });
     }
     let stats = sys.stats();
     Ok((log.into_report("picos-full", cfg.workers, trace), stats))
@@ -414,9 +458,9 @@ mod tests {
             let tr = gen::synthetic(case);
             for mode in HilMode::ALL {
                 let cfg = HilConfig::balanced(12);
-                let r = run_hil(&tr, mode, &cfg)
+                let r = run_hil(&tr, mode, &cfg).unwrap_or_else(|e| panic!("{case:?} {mode}: {e}"));
+                r.validate(&tr)
                     .unwrap_or_else(|e| panic!("{case:?} {mode}: {e}"));
-                r.validate(&tr).unwrap_or_else(|e| panic!("{case:?} {mode}: {e}"));
             }
         }
     }

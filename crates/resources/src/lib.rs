@@ -13,7 +13,6 @@
 #![warn(missing_debug_implementations)]
 
 use picos_core::{DmDesign, PicosConfig};
-use serde::{Deserialize, Serialize};
 
 /// An FPGA device's resource totals (Table III header row).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +33,7 @@ pub const XC7Z020: Device = Device {
 };
 
 /// A resource estimate in absolute units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceEstimate {
     /// 6-input LUTs.
     pub luts: u64,
@@ -182,7 +181,7 @@ pub fn full_picos_resources(cfg: &PicosConfig) -> ResourceEstimate {
 }
 
 /// One row of the Table III reproduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Row label as in the paper.
     pub name: String,
@@ -195,7 +194,10 @@ pub fn table3() -> Vec<Table3Row> {
     let base = PicosConfig::balanced();
     let cfg8 = PicosConfig::baseline(DmDesign::EightWay);
     let cfg16 = PicosConfig::baseline(DmDesign::SixteenWay);
-    let row = |name: &str, est: ResourceEstimate| Table3Row { name: name.into(), est };
+    let row = |name: &str, est: ResourceEstimate| Table3Row {
+        name: name.into(),
+        est,
+    };
     vec![
         row("TM", tm_resources(base.tm_entries as u64)),
         row("VM for 8way/P+8way", vm_resources(512)),
@@ -268,7 +270,12 @@ mod tests {
     fn future_architecture_scales_instances() {
         let one = full_picos_resources(&PicosConfig::balanced());
         let four = full_picos_resources(&PicosConfig::future(4, DmDesign::PearsonEightWay));
-        assert!(four.bram36 > 3 * one.bram36, "{} vs {}", four.bram36, one.bram36);
+        assert!(
+            four.bram36 > 3 * one.bram36,
+            "{} vs {}",
+            four.bram36,
+            one.bram36
+        );
         assert!(four.luts > 3 * one.luts);
     }
 
@@ -295,8 +302,16 @@ mod tests {
 
     #[test]
     fn sum_and_add() {
-        let a = ResourceEstimate { luts: 1, ffs: 2, bram36: 3 };
-        let b = ResourceEstimate { luts: 10, ffs: 20, bram36: 30 };
+        let a = ResourceEstimate {
+            luts: 1,
+            ffs: 2,
+            bram36: 3,
+        };
+        let b = ResourceEstimate {
+            luts: 10,
+            ffs: 20,
+            bram36: 30,
+        };
         let s: ResourceEstimate = [a, b].into_iter().sum();
         assert_eq!(s, a + b);
     }

@@ -13,10 +13,8 @@
 //! scale that makes Nanos++ collapse below block size 64 in Figure 1 while
 //! Picos (tens of cycles per task) keeps scaling.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation costs of the software runtime, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NanosCostModel {
     /// Task creation: allocator + descriptor initialisation, base cost.
     pub create_base: u64,

@@ -53,7 +53,7 @@ impl SoftwareDeps {
         let me = task.id.raw();
         debug_assert!(!self.submitted[me as usize], "double submit of {me}");
         self.submitted[me as usize] = true;
-        for dep in &task.deps {
+        for dep in task.deps.iter() {
             self.map_ops += 1;
             let st = self.addr.entry(dep.addr).or_default();
             let mut preds: Vec<u32> = Vec::new();
@@ -74,8 +74,7 @@ impl SoftwareDeps {
                 st.readers.push(me);
             }
             for p in preds {
-                if p != me && !self.finished[p as usize] && !self.succs[p as usize].contains(&me)
-                {
+                if p != me && !self.finished[p as usize] && !self.succs[p as usize].contains(&me) {
                     self.succs[p as usize].push(me);
                     self.pred_remaining[me as usize] += 1;
                 }
@@ -190,7 +189,10 @@ mod tests {
         tr.push(k(), [Dependence::input(0xB)], 1);
         tr.push(k(), [Dependence::output(0xB)], 1);
         let mut sw = SoftwareDeps::new(2);
-        assert!(sw.submit(&tr.tasks()[0]), "reader of untouched data is ready");
+        assert!(
+            sw.submit(&tr.tasks()[0]),
+            "reader of untouched data is ready"
+        );
         assert!(!sw.submit(&tr.tasks()[1]), "writer waits for reader (WAR)");
         assert_eq!(sw.finish(TaskId::new(0)), vec![TaskId::new(1)]);
     }

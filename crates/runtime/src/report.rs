@@ -1,13 +1,12 @@
 //! Execution reports shared by all execution engines.
 
 use picos_trace::{TaskGraph, Trace};
-use serde::{Deserialize, Serialize};
 
 /// The outcome of running a trace on some engine with a worker count.
 ///
 /// All speedups in the reproduction are computed exactly as in the paper:
 /// against the sequential execution time of the trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
     /// Engine label (e.g. `"perfect"`, `"nanos"`, `"picos-full"`).
     pub engine: String,

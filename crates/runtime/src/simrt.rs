@@ -261,11 +261,7 @@ mod tests {
         let tr = gen::cholesky(gen::CholeskyConfig::paper(128));
         for w in [2, 4, 8] {
             let r = run_software(&tr, SwRuntimeConfig::with_workers(w)).unwrap();
-            assert!(
-                r.speedup() <= w as f64 + 1e-9,
-                "w {w}: {}",
-                r.speedup()
-            );
+            assert!(r.speedup() <= w as f64 + 1e-9, "w {w}: {}", r.speedup());
         }
     }
 
@@ -291,8 +287,14 @@ mod tests {
         )
         .unwrap()
         .speedup();
-        assert!(s64 > s256 * 0.8, "bs 64 ({s64}) should be near/above bs 256 ({s256})");
-        assert!(s32 < s64 * 0.6, "bs 32 ({s32}) must collapse vs bs 64 ({s64})");
+        assert!(
+            s64 > s256 * 0.8,
+            "bs 64 ({s64}) should be near/above bs 256 ({s256})"
+        );
+        assert!(
+            s32 < s64 * 0.6,
+            "bs 32 ({s32}) must collapse vs bs 64 ({s64})"
+        );
         assert!(s32 < 3.0, "bs 32 must be master-bound: {s32}");
     }
 
@@ -320,7 +322,13 @@ mod tests {
     fn config_validation() {
         let tr = gen::synthetic(gen::Case::Case1);
         assert!(matches!(
-            run_software(&tr, SwRuntimeConfig { workers: 0, ..SwRuntimeConfig::with_workers(1) }),
+            run_software(
+                &tr,
+                SwRuntimeConfig {
+                    workers: 0,
+                    ..SwRuntimeConfig::with_workers(1)
+                }
+            ),
             Err(SwError::Config(_))
         ));
         let mut cfg = SwRuntimeConfig::with_workers(1);

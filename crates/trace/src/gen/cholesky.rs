@@ -52,7 +52,7 @@ impl CholeskyConfig {
 /// Panics if `block_size` does not divide `problem_size` or is zero.
 pub fn cholesky(cfg: CholeskyConfig) -> Trace {
     assert!(
-        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        cfg.block_size > 0 && cfg.problem_size.is_multiple_of(cfg.block_size),
         "block size must divide problem size"
     );
     let nb = cfg.blocks_per_dim();

@@ -198,8 +198,7 @@ mod tests {
         let g = TaskGraph::build(tr);
         tr.iter()
             .find(|t| {
-                tr.kernel_name(t.kernel) == "reconstruct"
-                    && g.preds(t.id).contains(&parse_id)
+                tr.kernel_name(t.kernel) == "reconstruct" && g.preds(t.id).contains(&parse_id)
             })
             .map(|t| t.id)
             .expect("every parse output has a reconstruct consumer")
@@ -250,7 +249,10 @@ mod tests {
         let rec = rec_task_for_parse(&tr, rows[1][1]);
         let preds = g.preds(rec);
         let kernel_of = |p: u32| tr.kernel_name(tr.tasks()[p as usize].kernel);
-        let n_rec_preds = preds.iter().filter(|&&p| kernel_of(p) == "reconstruct").count();
+        let n_rec_preds = preds
+            .iter()
+            .filter(|&&p| kernel_of(p) == "reconstruct")
+            .count();
         let n_parse_preds = preds.iter().filter(|&&p| kernel_of(p) == "parse").count();
         assert!(n_rec_preds >= 2, "rec preds {preds:?}");
         assert!(n_parse_preds >= 1, "rec preds {preds:?}");
@@ -283,7 +285,10 @@ mod tests {
         };
         let tr = h264dec(cfg);
         let (gw, _) = cfg.grid();
-        assert_eq!(tr.kernel_name(tr.tasks()[gw as usize].kernel), "reconstruct");
+        assert_eq!(
+            tr.kernel_name(tr.tasks()[gw as usize].kernel),
+            "reconstruct"
+        );
         assert_eq!(tr.kernel_name(tr.tasks()[gw as usize + 1].kernel), "parse");
     }
 

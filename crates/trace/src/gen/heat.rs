@@ -61,7 +61,7 @@ impl HeatConfig {
 /// Panics if `block_size` does not divide `problem_size` or is zero.
 pub fn heat(cfg: HeatConfig) -> Trace {
     assert!(
-        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        cfg.block_size > 0 && cfg.problem_size.is_multiple_of(cfg.block_size),
         "block size must divide problem size"
     );
     let nb = cfg.blocks_per_dim();
@@ -152,7 +152,7 @@ mod tests {
         let preds = g.preds(t11);
         assert!(preds.contains(&1)); // (0,1)
         assert!(preds.contains(&nb)); // (1,0)
-        // Wavefront: critical path visits roughly 2*nb-1 antidiagonals.
+                                      // Wavefront: critical path visits roughly 2*nb-1 antidiagonals.
         let p = g.parallelism();
         assert!(p.max_width >= (nb as usize) - 1, "width {}", p.max_width);
         assert!(p.avg_parallelism > 2.0);
@@ -183,7 +183,7 @@ mod tests {
         let tr = heat(HeatConfig::paper(128));
         let mut low = std::collections::HashSet::new();
         for t in tr.iter() {
-            for d in &t.deps {
+            for d in t.deps.iter() {
                 low.insert(d.addr & 0x3f);
             }
         }

@@ -77,7 +77,7 @@ impl LuConfig {
 /// Panics if `block_size` does not divide `problem_size` or is zero.
 pub fn lu(cfg: LuConfig) -> Trace {
     assert!(
-        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        cfg.block_size > 0 && cfg.problem_size.is_multiple_of(cfg.block_size),
         "block size must divide problem size"
     );
     let nb = cfg.blocks_per_dim();
@@ -102,7 +102,11 @@ pub fn lu(cfg: LuConfig) -> Trace {
         if k > 0 {
             deps.insert(0, Dependence::input(col_addr(k - 1)));
         }
-        tr.push(k_panel, deps, cfg.block_size * cfg.block_size * col_height(k));
+        tr.push(
+            k_panel,
+            deps,
+            cfg.block_size * cfg.block_size * col_height(k),
+        );
 
         let js: Vec<u64> = match cfg.order {
             LuOrder::Natural => ((k + 1)..nb).collect(),
@@ -111,7 +115,10 @@ pub fn lu(cfg: LuConfig) -> Trace {
         for j in js {
             tr.push(
                 k_update,
-                [Dependence::input(col_addr(k)), Dependence::inout(col_addr(j))],
+                [
+                    Dependence::input(col_addr(k)),
+                    Dependence::inout(col_addr(j)),
+                ],
                 cfg.block_size * cfg.block_size * col_height(k),
             );
         }
@@ -207,7 +214,7 @@ mod tests {
         let tr = lu(LuConfig::paper(64));
         let mut low = std::collections::HashSet::new();
         for t in tr.iter() {
-            for d in &t.deps {
+            for d in t.deps.iter() {
                 low.insert(d.addr & 0x3f);
             }
         }

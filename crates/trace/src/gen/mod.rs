@@ -43,7 +43,13 @@ pub enum App {
 
 impl App {
     /// All five applications in paper order.
-    pub const ALL: [App; 5] = [App::Heat, App::Lu, App::SparseLu, App::Cholesky, App::H264dec];
+    pub const ALL: [App; 5] = [
+        App::Heat,
+        App::Lu,
+        App::SparseLu,
+        App::Cholesky,
+        App::H264dec,
+    ];
 
     /// Lower-case name matching the calibration table.
     pub fn name(self) -> &'static str {

@@ -5,10 +5,9 @@
 //! these to check that every execution engine completes (no deadlock) and
 //! respects the ground-truth dataflow graph.
 
+use crate::rng::SplitMix64;
 use crate::task::{Dependence, Direction, MAX_DEPS_PER_TASK};
 use crate::trace::Trace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the random trace distribution.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +39,7 @@ impl Default for RandomConfig {
 /// Generates a random trace from a seed; the same seed always produces the
 /// same trace.
 pub fn random_trace(cfg: RandomConfig, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let max_deps = cfg.max_deps.min(MAX_DEPS_PER_TASK);
     let mut tr = Trace::new(format!("random-{seed}"));
     let k = tr.kernel("random");
@@ -49,13 +48,13 @@ pub fn random_trace(cfg: RandomConfig, seed: u64) -> Trace {
     let addr_of = |i: usize| 0x9000_0000u64 + (i as u64) * 72;
 
     for _ in 0..cfg.tasks {
-        let ndeps = rng.random_range(0..=max_deps);
+        let ndeps = rng.range_usize(0, max_deps);
         let mut deps: Vec<Dependence> = Vec::with_capacity(ndeps);
         let mut used: Vec<usize> = Vec::with_capacity(ndeps);
         for _ in 0..ndeps {
             // Draw distinct pool slots per task (duplicates would merge).
             let slot = loop {
-                let s = rng.random_range(0..cfg.addr_pool.max(1));
+                let s = rng.range_usize(0, cfg.addr_pool.max(1) - 1);
                 if !used.contains(&s) {
                     break s;
                 }
@@ -67,8 +66,8 @@ pub fn random_trace(cfg: RandomConfig, seed: u64) -> Trace {
                 continue;
             }
             used.push(slot);
-            let dir = if rng.random_bool(cfg.write_fraction) {
-                if rng.random_bool(0.5) {
+            let dir = if rng.bool(cfg.write_fraction) {
+                if rng.bool(0.5) {
                     Direction::Out
                 } else {
                     Direction::InOut
@@ -78,7 +77,7 @@ pub fn random_trace(cfg: RandomConfig, seed: u64) -> Trace {
             };
             deps.push(Dependence::new(addr_of(slot), dir));
         }
-        let dur = rng.random_range(1..=cfg.max_duration.max(1));
+        let dur = rng.range_u64(1, cfg.max_duration.max(1));
         tr.push(k, deps, dur);
     }
     tr

@@ -52,10 +52,10 @@ impl SparseLuConfig {
 /// allocated in the initial matrix.
 pub fn initially_present(ii: u64, jj: u64) -> bool {
     let mut null_entry = false;
-    if ii < jj && ii % 3 != 0 {
+    if ii < jj && !ii.is_multiple_of(3) {
         null_entry = true;
     }
-    if ii > jj && jj % 3 != 0 {
+    if ii > jj && !jj.is_multiple_of(3) {
         null_entry = true;
     }
     if ii % 2 == 1 {
@@ -80,7 +80,7 @@ pub fn initially_present(ii: u64, jj: u64) -> bool {
 /// Panics if `block_size` does not divide `problem_size` or is zero.
 pub fn sparselu(cfg: SparseLuConfig) -> Trace {
     assert!(
-        cfg.block_size > 0 && cfg.problem_size % cfg.block_size == 0,
+        cfg.block_size > 0 && cfg.problem_size.is_multiple_of(cfg.block_size),
         "block size must divide problem size"
     );
     let nb = cfg.blocks_per_dim();
@@ -138,7 +138,8 @@ pub fn sparselu(cfg: SparseLuConfig) -> Trace {
                     continue;
                 };
                 // Fill-in: allocate the target block on first write.
-                let aij = *addr[(i * nb + j) as usize].get_or_insert_with(|| heap.alloc(block_bytes));
+                let aij =
+                    *addr[(i * nb + j) as usize].get_or_insert_with(|| heap.alloc(block_bytes));
                 tr.push(
                     k_bmod,
                     [
@@ -245,7 +246,7 @@ mod tests {
         let tr = sparselu(SparseLuConfig::paper(64));
         let mut low = std::collections::HashSet::new();
         for t in tr.iter() {
-            for d in &t.deps {
+            for d in t.deps.iter() {
                 low.insert(d.addr & 0x3f);
             }
         }

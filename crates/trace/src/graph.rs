@@ -47,10 +47,10 @@ impl TaskGraph {
         let mut num_edges = 0usize;
 
         let add_edge = |from: u32,
-                            to: u32,
-                            preds: &mut Vec<Vec<u32>>,
-                            succs: &mut Vec<Vec<u32>>,
-                            num_edges: &mut usize| {
+                        to: u32,
+                        preds: &mut Vec<Vec<u32>>,
+                        succs: &mut Vec<Vec<u32>>,
+                        num_edges: &mut usize| {
             debug_assert!(from < to, "dependence edges must point forward");
             // Predecessor lists are short (<= 15 addresses, few edges per
             // address); linear duplicate check is cheaper than hashing.
@@ -63,7 +63,7 @@ impl TaskGraph {
 
         for t in trace.iter() {
             let me = t.id.raw();
-            for d in &t.deps {
+            for d in t.deps.iter() {
                 let st = addr_map.entry(d.addr).or_insert(AddrState {
                     last_writer: None,
                     readers: Vec::new(),
@@ -201,8 +201,11 @@ impl TaskGraph {
                 next_barrier.next();
                 floor = best;
             }
-            let dep_start =
-                self.preds[i].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let dep_start = self.preds[i]
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             let start = dep_start.max(floor);
             finish[i] = start + self.durations[i];
             best = best.max(finish[i]);
@@ -225,8 +228,11 @@ impl TaskGraph {
                 next_barrier.next();
                 floor = best;
             }
-            let dep_start =
-                self.preds[i].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let dep_start = self.preds[i]
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             let start = dep_start.max(floor);
             finish[i] = start + self.durations[i];
             best = best.max(finish[i]);

@@ -1,0 +1,131 @@
+//! Small deterministic PRNG for workload generation and property tests.
+//!
+//! The build environment has no crates.io access, so instead of `rand` the
+//! reproduction uses SplitMix64 (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): a 64-bit state advanced by
+//! a Weyl sequence and finalized with an avalanche mix. It is statistically
+//! strong enough for trace generation and test-case sampling, trivially
+//! seedable, and — critically for the reproduction — byte-for-byte
+//! deterministic across platforms and thread counts.
+
+/// SplitMix64 pseudorandom number generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. The same seed always yields the
+    /// same sequence.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (Lemire's multiply-shift reduction;
+    /// the modulo bias is below 2^-32 for all bounds used here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = SplitMix64::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        let mut r = SplitMix64::new(43);
+        assert_ne!(a[0], r.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range_u64(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi, "range endpoints must be reachable");
+    }
+
+    #[test]
+    fn full_range_does_not_overflow() {
+        let mut r = SplitMix64::new(1);
+        let _ = r.range_u64(0, u64::MAX);
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = SplitMix64::new(11);
+        let hits = (0..10_000).filter(|_| r.bool(0.25)).count();
+        assert!((1_900..3_100).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..1_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

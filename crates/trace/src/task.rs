@@ -4,8 +4,8 @@
 //! task-creation time (paper, Section III): a task identifier, the number of
 //! dependences, and for each dependence its memory address and direction.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum number of dependences a single task may carry.
 ///
@@ -28,7 +28,7 @@ pub const MAX_DEPS_PER_TASK: usize = 15;
 /// let id = TaskId::new(3);
 /// assert_eq!(id.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -62,7 +62,7 @@ impl From<u32> for TaskId {
 
 /// Direction of a task dependence, as annotated in the source program
 /// (`#pragma omp task input(...) output(...) inout(...)`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// The task reads the address (`input`): a consumer.
     In,
@@ -113,7 +113,7 @@ impl fmt::Display for Direction {
 /// strides, per-block heap allocations) because the Picos Dependence Memory
 /// indexes on low address bits, so address clustering is a first-order effect
 /// (paper, Section III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dependence {
     /// Byte address of the data the dependence refers to.
     pub addr: u64,
@@ -153,7 +153,7 @@ impl fmt::Display for Dependence {
 ///
 /// Each task belongs to a kernel class (e.g. `potrf`, `gemm`, `fwd`). The
 /// class drives the duration model and labels experiment output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelClass(pub u16);
 
 impl KernelClass {
@@ -166,14 +166,18 @@ impl KernelClass {
 /// This is the software-visible "Task Work Descriptor" of the paper
 /// (Section II-A): identity, dependences and, for simulation, the task's
 /// execution duration in cycles.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskDescriptor {
     /// Dense task id; equals the creation order position.
     pub id: TaskId,
     /// Kernel class of this task (index into the trace's kernel table).
     pub kernel: KernelClass,
     /// The task's dependences, at most [`MAX_DEPS_PER_TASK`].
-    pub deps: Vec<Dependence>,
+    ///
+    /// Shared (`Arc`) so submitting the task to an engine is a refcount
+    /// bump, not a per-task copy of the dependence list — submission is the
+    /// hot path of every sweep.
+    pub deps: Arc<[Dependence]>,
     /// Execution duration in cycles.
     pub duration: u64,
 }
@@ -211,7 +215,7 @@ impl TaskDescriptor {
         TaskDescriptor {
             id,
             kernel,
-            deps: merged,
+            deps: merged.into(),
             duration,
         }
     }
@@ -286,7 +290,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "hardware limit")]
     fn descriptor_rejects_too_many_deps() {
-        let deps: Vec<_> = (0..16).map(|i| Dependence::input(0x1000 + i * 64)).collect();
+        let deps: Vec<_> = (0..16)
+            .map(|i| Dependence::input(0x1000 + i * 64))
+            .collect();
         TaskDescriptor::new(TaskId::new(0), KernelClass::GENERIC, deps, 1);
     }
 

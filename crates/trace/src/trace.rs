@@ -8,11 +8,10 @@
 //! platform, Nanos++ and the perfect simulator.
 
 use crate::task::{Dependence, KernelClass, TaskDescriptor, TaskId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered stream of tasks plus workload metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Human-readable workload name (e.g. `"cholesky"`, `"case4"`).
     pub name: String,
@@ -27,7 +26,6 @@ pub struct Trace {
     /// `>= b` may only be created once every task with id `< b` finished
     /// (OmpSs `#pragma omp taskwait`, paper Section II-A). Sorted,
     /// deduplicated, strictly inside `1..len`.
-    #[serde(default)]
     barriers: Vec<u32>,
 }
 
@@ -81,7 +79,8 @@ impl Trace {
         duration: u64,
     ) -> TaskId {
         let id = TaskId::new(self.tasks.len() as u32);
-        self.tasks.push(TaskDescriptor::new(id, kernel, deps, duration));
+        self.tasks
+            .push(TaskDescriptor::new(id, kernel, deps, duration));
         id
     }
 
@@ -216,14 +215,10 @@ impl Trace {
         }
     }
 
-    /// Serializes the trace to a JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if serialization fails (should not happen for
-    /// well-formed traces).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    /// Serializes the trace to a JSON string (hand-rolled encoder; the
+    /// build environment has no crates.io access for `serde`).
+    pub fn to_json(&self) -> String {
+        crate::json::trace_to_json(self)
     }
 
     /// Deserializes a trace from JSON produced by [`Trace::to_json`].
@@ -231,8 +226,29 @@ impl Trace {
     /// # Errors
     ///
     /// Returns an error if the input is not a valid trace encoding.
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, crate::json::JsonError> {
+        crate::json::trace_from_json(s)
+    }
+
+    /// Internal constructor for the JSON decoder: rebuilds a trace from its
+    /// parts without re-merging dependences (they were merged at encode
+    /// time).
+    pub(crate) fn from_parts(
+        name: String,
+        problem_size: Option<u64>,
+        block_size: Option<u64>,
+        kernel_names: Vec<String>,
+        tasks: Vec<TaskDescriptor>,
+        barriers: Vec<u32>,
+    ) -> Self {
+        Trace {
+            name,
+            problem_size,
+            block_size,
+            kernel_names,
+            tasks,
+            barriers,
+        }
     }
 }
 
@@ -246,7 +262,7 @@ impl Extend<TaskDescriptor> for Trace {
     /// Extends the trace, re-assigning ids to preserve creation order.
     fn extend<T: IntoIterator<Item = TaskDescriptor>>(&mut self, iter: T) {
         for t in iter {
-            self.push(t.kernel, t.deps, t.duration);
+            self.push(t.kernel, t.deps.iter().copied(), t.duration);
         }
     }
 }
@@ -261,7 +277,7 @@ impl<'a> IntoIterator for &'a Trace {
 }
 
 /// Summary statistics for a trace; the columns of the paper's Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Workload name.
     pub name: String,
@@ -313,7 +329,11 @@ mod tests {
         let mut tr = Trace::new("test").with_sizes(2048, 256);
         let k = tr.kernel("work");
         tr.push(k, [Dependence::inout(0x1000)], 100);
-        tr.push(k, [Dependence::input(0x1000), Dependence::output(0x2000)], 200);
+        tr.push(
+            k,
+            [Dependence::input(0x1000), Dependence::output(0x2000)],
+            200,
+        );
         tr.push(k, [], 300);
         tr
     }
@@ -388,7 +408,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let tr = small_trace();
-        let s = tr.to_json().unwrap();
+        let s = tr.to_json();
         let back = Trace::from_json(&s).unwrap();
         assert_eq!(tr, back);
     }
@@ -430,7 +450,7 @@ mod tests {
         tr.push(KernelClass::GENERIC, [], 1);
         tr.push_taskwait();
         tr.push(KernelClass::GENERIC, [], 1);
-        let back = Trace::from_json(&tr.to_json().unwrap()).unwrap();
+        let back = Trace::from_json(&tr.to_json()).unwrap();
         assert_eq!(back.barriers(), &[1]);
     }
 

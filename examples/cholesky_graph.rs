@@ -21,13 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let graph = TaskGraph::build(&trace);
 
-    println!("task graph ({} tasks, {} edges):", trace.len(), graph.num_edges());
+    println!(
+        "task graph ({} tasks, {} edges):",
+        trace.len(),
+        graph.num_edges()
+    );
     for t in trace.iter() {
-        let preds: Vec<String> = graph
-            .preds(t.id)
-            .iter()
-            .map(|&p| format!("T{p}"))
-            .collect();
+        let preds: Vec<String> = graph.preds(t.id).iter().map(|&p| format!("T{p}")).collect();
         println!(
             "  {:<4} {:<6} <- [{}]",
             t.id.to_string(),

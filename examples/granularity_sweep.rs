@@ -1,5 +1,6 @@
 //! Granularity sweep: the motivation experiment of the paper's Figure 1,
-//! extended with the Picos side of the story.
+//! extended with the Picos side of the story and run through the parallel
+//! sweep harness.
 //!
 //! ```text
 //! cargo run --release --example granularity_sweep [app]
@@ -17,22 +18,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = gen::App::ALL
         .into_iter()
         .find(|a| a.name() == name)
-        .ok_or_else(|| format!("unknown app {name}; try one of: heat lu sparselu cholesky h264dec"))?;
+        .ok_or_else(|| {
+            format!("unknown app {name}; try one of: heat lu sparselu cholesky h264dec")
+        })?;
     let workers = 12;
 
-    println!("app: {app}, 12 workers");
+    // One declarative grid instead of a hand-rolled loop: all block sizes
+    // × three backends, cells executed in parallel.
+    let backends = [
+        BackendSpec::Nanos,
+        BackendSpec::Picos(HilMode::FullSystem),
+        BackendSpec::Perfect,
+    ];
+    let result = Sweep::over_apps([app], app.paper_block_sizes())
+        .workers([workers])
+        .backends(backends)
+        .run();
+    if let Some(e) = result.first_error() {
+        return Err(e.into());
+    }
+
+    println!("app: {app}, {workers} workers");
     println!("block  #tasks  avg-dur(cycles)  nanos  picos  perfect");
     println!("-----  ------  ---------------  -----  -----  -------");
     for bs in app.paper_block_sizes() {
-        let trace = app.generate(bs);
-        let nanos = run_software(&trace, SwRuntimeConfig::with_workers(workers))?.speedup();
-        let picos =
-            run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(workers))?.speedup();
-        let perfect = perfect_schedule(&trace, workers).speedup();
-        let stats = trace.stats();
+        let stats = app.generate(bs).stats();
+        let s = |spec| {
+            result
+                .speedup_of(app.name(), bs, spec, workers)
+                .expect("cell ran")
+        };
         println!(
             "{:>5}  {:>6}  {:>15.0}  {:>5.2}  {:>5.2}  {:>7.2}",
-            bs, stats.num_tasks, stats.avg_task_size, nanos, picos, perfect
+            bs,
+            stats.num_tasks,
+            stats.avg_task_size,
+            s(BackendSpec::Nanos),
+            s(BackendSpec::Picos(HilMode::FullSystem)),
+            s(BackendSpec::Perfect),
         );
     }
     Ok(())

@@ -14,7 +14,13 @@
 //!   scheduler ([`picos_runtime`]).
 //! * [`hil`] — the hardware-in-the-loop platform with its three modes
 //!   ([`picos_hil`]).
+//! * [`backend`] — the uniform [`ExecBackend`](picos_backend::ExecBackend)
+//!   trait over every engine plus the parallel experiment-sweep harness
+//!   ([`picos_backend`]).
 //! * [`resources`] — the FPGA resource model ([`picos_resources`]).
+//!
+//! The crate layering and the recipe for adding a new execution backend
+//! are documented in `ARCHITECTURE.md` at the repository root.
 //!
 //! # Quickstart
 //!
@@ -38,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use picos_backend as backend;
 pub use picos_core as core;
 pub use picos_hil as hil;
 pub use picos_resources as resources;
@@ -46,12 +53,14 @@ pub use picos_trace as trace;
 
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
+    pub use picos_backend::{
+        BackendError, BackendSpec, ExecBackend, Sweep, SweepResult, SweepRow, Workload,
+    };
     pub use picos_core::{
         DmDesign, EngineError, FinishedReq, PicosConfig, PicosSystem, Timing, TsPolicy,
     };
     pub use picos_hil::{
-        run_hil, run_hil_with_stats, synthetic_metrics, HilConfig, HilCostModel, HilError,
-        HilMode,
+        run_hil, run_hil_with_stats, synthetic_metrics, HilConfig, HilCostModel, HilError, HilMode,
     };
     pub use picos_resources::{full_picos_resources, table3, ResourceEstimate, XC7Z020};
     pub use picos_runtime::{

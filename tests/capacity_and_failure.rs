@@ -14,8 +14,7 @@ fn tm_exhaustion_recovers() {
     for _ in 0..1000 {
         trace.push(KernelClass::GENERIC, [], 50_000);
     }
-    let (r, stats) =
-        run_hil_with_stats(&trace, HilMode::HwOnly, &HilConfig::balanced(4)).unwrap();
+    let (r, stats) = run_hil_with_stats(&trace, HilMode::HwOnly, &HilConfig::balanced(4)).unwrap();
     assert_eq!(r.order.len(), 1000);
     assert!(stats.tm_stalls > 0, "must have hit the TM limit");
     assert!(stats.peak_in_flight <= 256);
@@ -37,7 +36,10 @@ fn vm_exhaustion_recovers() {
             5_000,
         );
     }
-    let hil = HilConfig { picos: cfg, ..HilConfig::balanced(4) };
+    let hil = HilConfig {
+        picos: cfg,
+        ..HilConfig::balanced(4)
+    };
     let (r, stats) = run_hil_with_stats(&trace, HilMode::HwOnly, &hil).unwrap();
     assert_eq!(r.order.len(), 200);
     assert!(stats.vm_stalls > 0, "must have hit the VM limit");
@@ -63,7 +65,10 @@ fn dm_exhaustion_recovers() {
             5_000,
         );
     }
-    let hil = HilConfig { picos: cfg, ..HilConfig::balanced(6) };
+    let hil = HilConfig {
+        picos: cfg,
+        ..HilConfig::balanced(6)
+    };
     let (r, stats) = run_hil_with_stats(&trace, HilMode::HwOnly, &hil).unwrap();
     assert_eq!(r.order.len(), 300);
     assert!(stats.dm_conflicts > 0);
@@ -106,7 +111,11 @@ fn oversubscribed_workers() {
     let trace = gen::synthetic(gen::Case::Case4); // serial chain
     let r = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(64)).unwrap();
     assert_eq!(r.order.len(), trace.len());
-    assert!(r.speedup() <= 1.01, "a chain cannot speed up: {}", r.speedup());
+    assert!(
+        r.speedup() <= 1.01,
+        "a chain cannot speed up: {}",
+        r.speedup()
+    );
 }
 
 /// Stats snapshots are internally consistent after a heavy run.
@@ -134,7 +143,9 @@ fn empty_trace_everywhere() {
     }
     assert_eq!(perfect_schedule(&trace, 4).makespan, 0);
     assert_eq!(
-        run_software(&trace, SwRuntimeConfig::with_workers(4)).unwrap().makespan,
+        run_software(&trace, SwRuntimeConfig::with_workers(4))
+            .unwrap()
+            .makespan,
         0
     );
 }

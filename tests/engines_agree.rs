@@ -1,38 +1,43 @@
-//! Cross-engine integration tests: every execution engine must produce a
-//! legal schedule of the same ground-truth dataflow graph, and their
-//! relative performance must respect the structural bounds (perfect is a
-//! roofline; nobody beats the critical path or the work bound).
+//! Cross-engine integration tests, generic over `dyn ExecBackend`: every
+//! execution engine must produce a legal schedule of the same ground-truth
+//! dataflow graph, and their relative performance must respect the
+//! structural bounds (perfect is a roofline; nobody beats the critical
+//! path or the work bound).
+//!
+//! The legality/bounds tests iterate `BackendSpec::ALL`, so a backend
+//! added to that list is covered here with no test changes.
 
 use picos_repro::prelude::*;
 
-/// Every engine, every app (coarsest + finest paper block size), 8 workers:
-/// schedules must validate against the dataflow graph.
+/// Builds every backend family at a worker count and balanced Picos core.
+fn all_backends(workers: usize) -> Vec<Box<dyn ExecBackend>> {
+    BackendSpec::ALL
+        .iter()
+        .map(|spec| spec.build(workers, &PicosConfig::balanced()))
+        .collect()
+}
+
+/// Every backend, every app (coarsest + second paper block size), 8
+/// workers: schedules must validate against the dataflow graph.
 #[test]
 fn all_engines_legal_on_all_apps() {
     for app in gen::App::ALL {
         let sizes = app.paper_block_sizes();
         for bs in [sizes[0], sizes[1]] {
             let trace = app.generate(bs);
-            let perfect = perfect_schedule(&trace, 8);
-            perfect
-                .validate(&trace)
-                .unwrap_or_else(|e| panic!("perfect {app} bs {bs}: {e}"));
-            let nanos = run_software(&trace, SwRuntimeConfig::with_workers(8)).unwrap();
-            nanos
-                .validate(&trace)
-                .unwrap_or_else(|e| panic!("nanos {app} bs {bs}: {e}"));
-            for mode in HilMode::ALL {
-                let picos = run_hil(&trace, mode, &HilConfig::balanced(8)).unwrap();
-                picos
-                    .validate(&trace)
-                    .unwrap_or_else(|e| panic!("picos {mode} {app} bs {bs}: {e}"));
+            for backend in all_backends(8) {
+                let r = backend
+                    .run(&trace)
+                    .unwrap_or_else(|e| panic!("{} {app} bs {bs}: {e}", backend.name()));
+                r.validate(&trace)
+                    .unwrap_or_else(|e| panic!("{} {app} bs {bs}: {e}", backend.name()));
             }
         }
     }
 }
 
-/// The perfect scheduler is a roofline: no engine may exceed it, and no
-/// engine may beat the critical-path or work bounds.
+/// The perfect scheduler is a roofline: no backend may exceed it, and no
+/// backend may beat the critical-path or work bounds.
 #[test]
 fn perfect_dominates_and_bounds_hold() {
     for app in [gen::App::Cholesky, gen::App::SparseLu, gen::App::Heat] {
@@ -42,23 +47,20 @@ fn perfect_dominates_and_bounds_hold() {
         let cp = graph.critical_path();
         let work = trace.sequential_time();
         for w in [2usize, 8, 16] {
-            let perfect = perfect_schedule(&trace, w);
-            let nanos = run_software(&trace, SwRuntimeConfig::with_workers(w)).unwrap();
-            let picos = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(w)).unwrap();
-            assert!(
-                perfect.speedup() + 1e-9 >= nanos.speedup(),
-                "{app} w{w}: nanos {} beat roofline {}",
-                nanos.speedup(),
-                perfect.speedup()
-            );
-            assert!(
-                perfect.speedup() + 1e-9 >= picos.speedup(),
-                "{app} w{w}: picos {} beat roofline {}",
-                picos.speedup(),
-                perfect.speedup()
-            );
-            for r in [&perfect, &nanos, &picos] {
-                assert!(r.makespan >= cp, "{app} w{w} {}: below critical path", r.engine);
+            let roofline = perfect_schedule(&trace, w).speedup();
+            for backend in all_backends(w) {
+                let r = backend.run(&trace).unwrap();
+                assert!(
+                    roofline + 1e-9 >= r.speedup(),
+                    "{app} w{w}: {} {} beat roofline {roofline}",
+                    backend.name(),
+                    r.speedup()
+                );
+                assert!(
+                    r.makespan >= cp,
+                    "{app} w{w} {}: below critical path",
+                    r.engine
+                );
                 assert!(
                     r.makespan >= work / w as u64,
                     "{app} w{w} {}: below work bound",
@@ -76,11 +78,8 @@ fn dm_designs_all_legal() {
     for app in [gen::App::Heat, gen::App::Lu] {
         let trace = app.generate(app.paper_block_sizes()[1]);
         for dm in DmDesign::ALL {
-            let cfg = HilConfig {
-                picos: PicosConfig::baseline(dm),
-                ..HilConfig::balanced(12)
-            };
-            let r = run_hil(&trace, HilMode::HwOnly, &cfg).unwrap();
+            let backend = BackendSpec::Picos(HilMode::HwOnly).build(12, &PicosConfig::baseline(dm));
+            let r = backend.run(&trace).unwrap();
             r.validate(&trace)
                 .unwrap_or_else(|e| panic!("{app} {dm}: {e}"));
         }
@@ -93,79 +92,79 @@ fn dm_designs_all_legal() {
 fn future_architecture_legal() {
     let trace = gen::cholesky(gen::CholeskyConfig::paper(64));
     for n in [1usize, 2, 4] {
-        let cfg = HilConfig {
-            picos: PicosConfig::future(n, DmDesign::PearsonEightWay),
-            ..HilConfig::balanced(16)
-        };
-        let r = run_hil(&trace, HilMode::HwOnly, &cfg).unwrap();
-        r.validate(&trace).unwrap_or_else(|e| panic!("{n}x{n}: {e}"));
+        let backend = BackendSpec::Picos(HilMode::HwOnly)
+            .build(16, &PicosConfig::future(n, DmDesign::PearsonEightWay));
+        let r = backend.run(&trace).unwrap();
+        r.validate(&trace)
+            .unwrap_or_else(|e| panic!("{n}x{n}: {e}"));
         assert_eq!(r.order.len(), trace.len());
     }
 }
 
-/// Same trace, same configuration: byte-identical reports across runs and
-/// across engines' own repetitions (the whole reproduction is
-/// deterministic).
+/// Same trace, same configuration: byte-identical reports across runs for
+/// every backend (the whole reproduction is deterministic).
 #[test]
 fn determinism_across_engines() {
     let trace = gen::sparselu(gen::SparseLuConfig::paper(64));
-    let a = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(12)).unwrap();
-    let b = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(12)).unwrap();
-    assert_eq!(a, b);
-    let c = run_software(&trace, SwRuntimeConfig::with_workers(12)).unwrap();
-    let d = run_software(&trace, SwRuntimeConfig::with_workers(12)).unwrap();
-    assert_eq!(c, d);
-    let e = perfect_schedule(&trace, 12);
-    let f = perfect_schedule(&trace, 12);
-    assert_eq!(e, f);
+    for spec in BackendSpec::ALL {
+        let backend = spec.build(12, &PicosConfig::balanced());
+        let a = backend.run(&trace).unwrap();
+        let b = backend.run(&trace).unwrap();
+        assert_eq!(a, b, "{spec}");
+    }
 }
 
-/// A single worker serializes every engine to (at least) the sequential
+/// A single worker serializes every backend to (at least) the sequential
 /// time; the perfect scheduler hits it exactly.
 #[test]
 fn single_worker_serializes() {
     let trace = gen::heat(gen::HeatConfig::paper(256));
     let seq = trace.sequential_time();
     assert_eq!(perfect_schedule(&trace, 1).makespan, seq);
-    let nanos = run_software(&trace, SwRuntimeConfig::with_workers(1)).unwrap();
-    assert!(nanos.makespan >= seq);
-    let picos = run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(1)).unwrap();
-    assert!(picos.makespan >= seq);
+    for backend in all_backends(1) {
+        let r = backend.run(&trace).unwrap();
+        assert!(
+            r.makespan >= seq,
+            "{}: {} below sequential {seq}",
+            backend.name(),
+            r.makespan
+        );
+    }
 }
 
 /// The LIFO task scheduler produces a different but still legal schedule.
 #[test]
 fn lifo_schedule_is_legal_and_different() {
     let trace = gen::lu(gen::LuConfig::paper(64));
-    let fifo = run_hil(&trace, HilMode::HwOnly, &HilConfig::balanced(12)).unwrap();
-    let cfg_lifo = HilConfig {
-        picos: PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo),
-        ..HilConfig::balanced(12)
-    };
-    let lifo = run_hil(&trace, HilMode::HwOnly, &cfg_lifo).unwrap();
+    let spec = BackendSpec::Picos(HilMode::HwOnly);
+    let fifo = spec
+        .build(12, &PicosConfig::balanced())
+        .run(&trace)
+        .unwrap();
+    let lifo = spec
+        .build(12, &PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo))
+        .run(&trace)
+        .unwrap();
     lifo.validate(&trace).unwrap();
     assert_ne!(fifo.order, lifo.order, "policies must differ on Lu");
 }
 
-/// Engine labels are stable API surface the bench harness relies on.
+/// Engine labels are stable API surface the sweep harness relies on: the
+/// spec label, the backend name and the report's engine field all agree.
 #[test]
 fn engine_labels() {
     let trace = gen::synthetic(gen::Case::Case1);
+    for spec in BackendSpec::ALL {
+        let backend = spec.build(2, &PicosConfig::balanced());
+        assert_eq!(backend.name(), spec.label());
+        assert_eq!(backend.run(&trace).unwrap().engine, spec.label());
+    }
+    assert_eq!(BackendSpec::Picos(HilMode::HwOnly).label(), "picos-hw-only");
+    assert_eq!(BackendSpec::Picos(HilMode::HwComm).label(), "picos-hw-comm");
     assert_eq!(
-        run_hil(&trace, HilMode::HwOnly, &HilConfig::balanced(2)).unwrap().engine,
-        "picos-hw-only"
-    );
-    assert_eq!(
-        run_hil(&trace, HilMode::HwComm, &HilConfig::balanced(2)).unwrap().engine,
-        "picos-hw-comm"
-    );
-    assert_eq!(
-        run_hil(&trace, HilMode::FullSystem, &HilConfig::balanced(2)).unwrap().engine,
+        BackendSpec::Picos(HilMode::FullSystem).label(),
         "picos-full"
     );
-    assert_eq!(perfect_schedule(&trace, 2).engine, "perfect");
-    assert_eq!(
-        run_software(&trace, SwRuntimeConfig::with_workers(2)).unwrap().engine,
-        "nanos"
-    );
+    assert_eq!(BackendSpec::Perfect.label(), "perfect");
+    assert_eq!(BackendSpec::Nanos.label(), "nanos");
 }

@@ -50,8 +50,12 @@ fn fig11_picos_beats_nanos_on_fine_grain() {
 #[test]
 fn fig11_nanos_degrades_after_8_workers() {
     let trace = gen::sparselu(gen::SparseLuConfig::paper(32));
-    let nanos8 = run_software(&trace, SwRuntimeConfig::with_workers(8)).unwrap().speedup();
-    let nanos24 = run_software(&trace, SwRuntimeConfig::with_workers(24)).unwrap().speedup();
+    let nanos8 = run_software(&trace, SwRuntimeConfig::with_workers(8))
+        .unwrap()
+        .speedup();
+    let nanos24 = run_software(&trace, SwRuntimeConfig::with_workers(24))
+        .unwrap()
+        .speedup();
     assert!(
         nanos24 < nanos8,
         "nanos must degrade beyond 8 workers: {nanos8} -> {nanos24}"
@@ -98,7 +102,10 @@ fn table2_conflict_ordering() {
             picos: PicosConfig::baseline(dm),
             ..HilConfig::balanced(12)
         };
-        run_hil_with_stats(&trace, HilMode::HwOnly, &cfg).unwrap().1.dm_conflicts
+        run_hil_with_stats(&trace, HilMode::HwOnly, &cfg)
+            .unwrap()
+            .1
+            .dm_conflicts
     };
     let c8 = conflicts(DmDesign::EightWay);
     let c16 = conflicts(DmDesign::SixteenWay);
@@ -124,13 +131,19 @@ fn fig9_lu_corner_case_and_fixes() {
     // The corner case: 16way > P+8way on plain Lu with FIFO.
     let lu_16 = speed(&lu, DmDesign::SixteenWay, TsPolicy::Fifo);
     let lu_p8 = speed(&lu, DmDesign::PearsonEightWay, TsPolicy::Fifo);
-    assert!(lu_16 > lu_p8, "corner case: 16way {lu_16} vs P+8way {lu_p8}");
+    assert!(
+        lu_16 > lu_p8,
+        "corner case: 16way {lu_16} vs P+8way {lu_p8}"
+    );
     // Fix 1: MLu restores P+8way.
     let mlu_p8 = speed(&mlu, DmDesign::PearsonEightWay, TsPolicy::Fifo);
     assert!(mlu_p8 > lu_p8, "MLu must help P+8way: {mlu_p8} vs {lu_p8}");
     // Fix 2: LIFO restores P+8way on the original Lu.
     let lu_p8_lifo = speed(&lu, DmDesign::PearsonEightWay, TsPolicy::Lifo);
-    assert!(lu_p8_lifo > lu_p8, "LIFO must help: {lu_p8_lifo} vs {lu_p8}");
+    assert!(
+        lu_p8_lifo > lu_p8,
+        "LIFO must help: {lu_p8_lifo} vs {lu_p8}"
+    );
 }
 
 /// Table IV structure: the three HIL modes are strictly ordered in cost,
@@ -179,8 +192,7 @@ fn lessons_transfer_overhead_dominates() {
     let cfg = HilConfig::balanced(12);
     let m_hw = synthetic_metrics(&run_hil(&case2, HilMode::HwOnly, &cfg).unwrap(), &case2);
     let m_comm = synthetic_metrics(&run_hil(&case2, HilMode::HwComm, &cfg).unwrap(), &case2);
-    let m_full =
-        synthetic_metrics(&run_hil(&case2, HilMode::FullSystem, &cfg).unwrap(), &case2);
+    let m_full = synthetic_metrics(&run_hil(&case2, HilMode::FullSystem, &cfg).unwrap(), &case2);
     assert!(
         m_comm.thr_task > 10.0 * m_hw.thr_task,
         "communication must dwarf hardware time: {} vs {}",

@@ -1,116 +1,141 @@
 //! Property-based tests over random traces: the invariants every engine
 //! must hold for *any* hardware-representable workload, not just the
 //! paper's benchmarks.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] (the offline stand-in for
+//! `proptest`); every assertion names the case seed so a failure replays
+//! exactly with `gen::random_trace(cfg, seed)`.
 
 use picos_repro::prelude::*;
-use proptest::prelude::*;
+use picos_trace::rng::SplitMix64;
 
-fn arb_config() -> impl Strategy<Value = gen::RandomConfig> {
-    (
-        1usize..150,   // tasks
-        1usize..24,    // addr_pool
-        0usize..8,     // max_deps
-        0.0f64..=1.0,  // write_fraction
-        1u64..2_000,   // max_duration
-    )
-        .prop_map(|(tasks, addr_pool, max_deps, write_fraction, max_duration)| {
-            gen::RandomConfig {
-                tasks,
-                addr_pool,
-                max_deps,
-                write_fraction,
-                max_duration,
-            }
-        })
+/// Draws a random-trace configuration matching the old proptest strategy.
+fn arb_config(rng: &mut SplitMix64) -> gen::RandomConfig {
+    gen::RandomConfig {
+        tasks: rng.range_usize(1, 149),
+        addr_pool: rng.range_usize(1, 23),
+        max_deps: rng.range_usize(0, 7),
+        write_fraction: rng.f64(),
+        max_duration: rng.range_u64(1, 1_999),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `f` over `cases` pseudo-random (config, trace-seed) pairs.
+fn for_cases(test_tag: u64, cases: u64, mut f: impl FnMut(gen::RandomConfig, u64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(test_tag.wrapping_mul(0x9e37) + case);
+        let cfg = arb_config(&mut rng);
+        let seed = rng.range_u64(0, 999);
+        f(cfg, seed);
+    }
+}
 
-    /// The Picos platform never deadlocks on random traces and always
-    /// produces a legal schedule, in every mode.
-    #[test]
-    fn picos_never_deadlocks(cfg in arb_config(), seed in 0u64..1_000, workers in 1usize..16) {
+/// The Picos platform never deadlocks on random traces and always
+/// produces a legal schedule, in every mode.
+#[test]
+fn picos_never_deadlocks() {
+    for_cases(1, 48, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
+        let mut wrng = SplitMix64::new(seed);
+        let workers = wrng.range_usize(1, 15);
         for mode in HilMode::ALL {
             let r = run_hil(&trace, mode, &HilConfig::balanced(workers))
-                .map_err(|e| TestCaseError::fail(format!("{mode}: {e}")))?;
-            prop_assert_eq!(r.order.len(), trace.len());
-            prop_assert!(r.validate(&trace).is_ok(), "illegal schedule in {}", mode);
+                .unwrap_or_else(|e| panic!("seed {seed} {mode}: {e}"));
+            assert_eq!(r.order.len(), trace.len(), "seed {seed} {mode}");
+            r.validate(&trace)
+                .unwrap_or_else(|e| panic!("seed {seed}: illegal schedule in {mode}: {e}"));
         }
-    }
+    });
+}
 
-    /// Same for the software runtime.
-    #[test]
-    fn software_runtime_never_sticks(cfg in arb_config(), seed in 0u64..1_000, workers in 1usize..24) {
+/// Same for the software runtime.
+#[test]
+fn software_runtime_never_sticks() {
+    for_cases(2, 48, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
+        let mut wrng = SplitMix64::new(seed);
+        let workers = wrng.range_usize(1, 23);
         let r = run_software(&trace, SwRuntimeConfig::with_workers(workers))
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert!(r.validate(&trace).is_ok());
-    }
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        r.validate(&trace)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    });
+}
 
-    /// Perfect-scheduler bounds: critical path <= makespan <= total work;
-    /// makespan * workers >= total work is NOT required (idle tails), but
-    /// the work bound per worker is.
-    #[test]
-    fn perfect_bounds(cfg in arb_config(), seed in 0u64..1_000, workers in 1usize..32) {
+/// Perfect-scheduler bounds: critical path <= makespan <= total work;
+/// makespan * workers >= total work is NOT required (idle tails), but
+/// the work bound per worker is.
+#[test]
+fn perfect_bounds() {
+    for_cases(3, 48, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
+        let mut wrng = SplitMix64::new(seed);
+        let workers = wrng.range_usize(1, 31);
         let graph = TaskGraph::build(&trace);
         let r = perfect_schedule(&trace, workers);
-        prop_assert!(r.makespan >= graph.critical_path());
-        prop_assert!(r.makespan >= trace.sequential_time().div_ceil(workers as u64));
-        prop_assert!(r.makespan <= trace.sequential_time());
-        prop_assert!(r.validate(&trace).is_ok());
-    }
+        assert!(r.makespan >= graph.critical_path(), "seed {seed}");
+        assert!(
+            r.makespan >= trace.sequential_time().div_ceil(workers as u64),
+            "seed {seed}"
+        );
+        assert!(r.makespan <= trace.sequential_time(), "seed {seed}");
+        r.validate(&trace)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    });
+}
 
-    /// Adding workers never slows the perfect scheduler down by more than
-    /// the list-scheduling anomaly bound (factor 2).
-    #[test]
-    fn perfect_anomaly_bounded(cfg in arb_config(), seed in 0u64..1_000) {
+/// Adding workers never slows the perfect scheduler down by more than
+/// the list-scheduling anomaly bound (factor 2).
+#[test]
+fn perfect_anomaly_bounded() {
+    for_cases(4, 48, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
         let m4 = perfect_schedule(&trace, 4).makespan;
         let m8 = perfect_schedule(&trace, 8).makespan;
-        prop_assert!(m8 <= 2 * m4, "anomaly beyond Graham bound: {} vs {}", m8, m4);
-    }
+        assert!(
+            m8 <= 2 * m4,
+            "seed {seed}: anomaly beyond Graham bound: {m8} vs {m4}"
+        );
+    });
+}
 
-    /// The DM conflict ordering holds on any workload: Pearson 8-way never
-    /// records more conflicts than direct 8-way... on clustered layouts.
-    /// On arbitrary layouts both are valid designs, so we only assert that
-    /// all designs complete with identical task counts.
-    #[test]
-    fn dm_designs_complete_identically(cfg in arb_config(), seed in 0u64..1_000) {
+/// All DM designs complete with identical task counts on any workload
+/// (on arbitrary layouts all designs are valid; only timing differs).
+#[test]
+fn dm_designs_complete_identically() {
+    for_cases(5, 32, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
-        let mut orders = Vec::new();
         for dm in DmDesign::ALL {
             let hil = HilConfig {
                 picos: PicosConfig::baseline(dm),
                 ..HilConfig::balanced(8)
             };
             let r = run_hil(&trace, HilMode::HwOnly, &hil)
-                .map_err(|e| TestCaseError::fail(format!("{dm}: {e}")))?;
-            prop_assert_eq!(r.order.len(), trace.len());
-            orders.push(r.order);
+                .unwrap_or_else(|e| panic!("seed {seed} {dm}: {e}"));
+            assert_eq!(r.order.len(), trace.len(), "seed {seed} {dm}");
         }
-    }
+    });
+}
 
-    /// FIFO and LIFO task-scheduler policies both produce legal schedules.
-    #[test]
-    fn ts_policies_legal(cfg in arb_config(), seed in 0u64..1_000) {
+/// FIFO and LIFO task-scheduler policies both produce legal schedules.
+#[test]
+fn ts_policies_legal() {
+    for_cases(6, 32, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
         for policy in [TsPolicy::Fifo, TsPolicy::Lifo] {
             let hil = HilConfig {
@@ -118,31 +143,41 @@ proptest! {
                 ..HilConfig::balanced(6)
             };
             let r = run_hil(&trace, HilMode::HwOnly, &hil)
-                .map_err(|e| TestCaseError::fail(format!("{policy:?}: {e}")))?;
-            prop_assert!(r.validate(&trace).is_ok());
+                .unwrap_or_else(|e| panic!("seed {seed} {policy:?}: {e}"));
+            r.validate(&trace)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
-    }
+    });
+}
 
-    /// Multi-instance routing preserves correctness on random traces.
-    #[test]
-    fn multi_instance_legal(cfg in arb_config(), seed in 0u64..500, n in 1usize..5) {
+/// Multi-instance routing preserves correctness on random traces.
+#[test]
+fn multi_instance_legal() {
+    for_cases(7, 32, |cfg, seed| {
+        // Reduce before generating so the reported seed replays exactly.
+        let seed = seed % 500;
         let trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
+        let mut wrng = SplitMix64::new(seed);
+        let n = wrng.range_usize(1, 4);
         let hil = HilConfig {
             picos: PicosConfig::future(n, DmDesign::PearsonEightWay),
             ..HilConfig::balanced(8)
         };
         let r = run_hil(&trace, HilMode::HwOnly, &hil)
-            .map_err(|e| TestCaseError::fail(format!("{n} instances: {e}")))?;
-        prop_assert!(r.validate(&trace).is_ok());
-    }
+            .unwrap_or_else(|e| panic!("seed {seed} {n} instances: {e}"));
+        r.validate(&trace)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    });
+}
 
-    /// The graph builder and the software dependence tracker agree on the
-    /// predecessor structure when everything is submitted up front.
-    #[test]
-    fn graph_and_depmap_agree(cfg in arb_config(), seed in 0u64..1_000) {
+/// The graph builder and the software dependence tracker agree on the
+/// predecessor structure when everything is submitted up front.
+#[test]
+fn graph_and_depmap_agree() {
+    for_cases(8, 48, |cfg, seed| {
         let trace = gen::random_trace(cfg, seed);
         let graph = TaskGraph::build(&trace);
         let mut sw = picos_repro::runtime::SoftwareDeps::new(trace.len());
@@ -150,31 +185,36 @@ proptest! {
             sw.submit(t);
         }
         for t in trace.iter() {
-            prop_assert_eq!(
+            assert_eq!(
                 sw.pending_preds(t.id) as usize,
                 graph.preds(t.id).len(),
-                "task {}", t.id
+                "seed {seed} task {}",
+                t.id
             );
         }
-    }
+    });
+}
 
-    /// Duration calibration preserves totals within rounding and keeps
-    /// every task at least one cycle long.
-    #[test]
-    fn calibration_accuracy(cfg in arb_config(), seed in 0u64..1_000, target in 1u64..10_000_000) {
+/// Duration calibration preserves totals within rounding and keeps
+/// every task at least one cycle long.
+#[test]
+fn calibration_accuracy() {
+    for_cases(9, 48, |cfg, seed| {
         let mut trace = gen::random_trace(cfg, seed);
         if trace.is_empty() {
-            return Ok(());
+            return;
         }
+        let mut wrng = SplitMix64::new(seed);
+        let target = wrng.range_u64(1, 9_999_999);
         trace.calibrate_to(target);
         let total = trace.sequential_time();
-        prop_assert!(trace.iter().all(|t| t.duration >= 1));
+        assert!(trace.iter().all(|t| t.duration >= 1), "seed {seed}");
         // Rounding error is at most half a cycle per task plus the minimum
         // clamp; allow one cycle per task of slack.
         let slack = trace.len() as u64;
-        prop_assert!(
+        assert!(
             total.abs_diff(target) <= slack.max(1),
-            "total {} vs target {}", total, target
+            "seed {seed}: total {total} vs target {target}"
         );
-    }
+    });
 }
