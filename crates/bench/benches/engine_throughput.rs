@@ -1,10 +1,43 @@
-//! Criterion benchmark: end-to-end HIL simulation throughput (simulated
-//! tasks per wall-clock second) for each operational mode.
+//! Criterion benchmark: discrete-event core throughput.
+//!
+//! Two views of the same question — how many simulated tasks per wall-clock
+//! second the engine sustains:
+//!
+//! * `engine/*` — the bare [`PicosSystem`] with instant workers (every
+//!   ready task finishes immediately): isolates the event core itself.
+//! * `hil_modes/*` — the full HIL platform per operational mode: the
+//!   end-to-end cost a sweep cell pays.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use picos_core::{FinishedReq, PicosConfig, PicosSystem};
 use picos_hil::{run_hil, HilConfig, HilMode};
 use picos_trace::gen;
 use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let trace = gen::sparselu(gen::SparseLuConfig::paper(128));
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("sparselu128", "instant-workers"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut sys = PicosSystem::new(PicosConfig::balanced());
+                sys.submit_all(black_box(&trace));
+                sys.run_to_quiescence(200_000_000, |r| {
+                    Some(FinishedReq {
+                        task: r.task,
+                        slot: r.slot,
+                    })
+                })
+                .expect("completes");
+                black_box(sys.now())
+            });
+        },
+    );
+    group.finish();
+}
 
 fn bench_modes(c: &mut Criterion) {
     let trace = gen::sparselu(gen::SparseLuConfig::paper(128));
@@ -26,5 +59,5 @@ fn bench_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_modes);
+criterion_group!(benches, bench_engine, bench_modes);
 criterion_main!(benches);

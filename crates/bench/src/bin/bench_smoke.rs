@@ -1,0 +1,97 @@
+//! Bench smoke: quick engine + sweep throughput check for CI.
+//!
+//! Runs the `engine_throughput` workload (bare engine, instant workers)
+//! and the `sweep_throughput` grid in a short fixed sampling window and
+//! emits `BENCH_engine.json` with tasks/sec and cells/sec, alongside the
+//! pinned pre-rewrite baseline, so the perf trajectory of the event core
+//! is tracked from the timing-wheel PR onward.
+//!
+//! Knob: `BENCH_SMOKE_MS` — per-measurement sampling window (default 300).
+
+use picos_backend::{BackendSpec, Sweep};
+use picos_core::{FinishedReq, PicosConfig, PicosSystem};
+use picos_hil::HilMode;
+use picos_trace::gen::{self, App};
+use std::time::{Duration, Instant};
+
+/// Pre-rewrite `engine/sparselu128/instant-workers` throughput (tasks/sec),
+/// measured on the reference machine with the `BinaryHeap` +
+/// `schedule_all` engine immediately before the timing-wheel rewrite.
+const BASELINE_TASKS_PER_SEC: f64 = 311_189.0;
+
+fn window_ms() -> u64 {
+    std::env::var("BENCH_SMOKE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// Median-free quick sampler: run `f` repeatedly for the window, return
+/// iterations per second.
+fn sample(window: Duration, mut f: impl FnMut()) -> f64 {
+    // One warm-up call so allocations and caches settle outside the window.
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < window || iters == 0 {
+        f();
+        iters += 1;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let window = Duration::from_millis(window_ms());
+    let trace = gen::sparselu(gen::SparseLuConfig::paper(128));
+    let tasks = trace.len() as f64;
+
+    let runs_per_sec = sample(window, || {
+        let mut sys = PicosSystem::new(PicosConfig::balanced());
+        sys.submit_all(&trace);
+        sys.run_to_quiescence(200_000_000, |r| {
+            Some(FinishedReq {
+                task: r.task,
+                slot: r.slot,
+            })
+        })
+        .expect("engine run completes");
+        std::hint::black_box(sys.now());
+    });
+    let tasks_per_sec = runs_per_sec * tasks;
+
+    // The sweep_throughput grid: two Cholesky granularities x three
+    // backends x four worker counts, cell-parallel.
+    let grid = Sweep::over_apps([App::Cholesky], [256, 128])
+        .workers([2, 4, 8, 12])
+        .backends([
+            BackendSpec::Perfect,
+            BackendSpec::Nanos,
+            BackendSpec::Picos(HilMode::HwOnly),
+        ]);
+    let cells = grid.cells().len() as f64;
+    let sweeps_per_sec = sample(window, || {
+        std::hint::black_box(grid.run().rows().len());
+    });
+    let cells_per_sec = sweeps_per_sec * cells;
+
+    let json = format!(
+        "{{\n  \"workload\": \"sparselu128\",\n  \"tasks\": {},\n  \
+         \"baseline_tasks_per_sec\": {:.0},\n  \
+         \"baseline_note\": \"pre-rewrite engine on the reference machine; \
+         speedup_vs_baseline is only meaningful there — across CI runners \
+         compare tasks_per_sec between runs instead\",\n  \
+         \"tasks_per_sec\": {:.0},\n  \
+         \"speedup_vs_baseline\": {:.2},\n  \"sweep_cells\": {},\n  \
+         \"sweep_cells_per_sec\": {:.1}\n}}\n",
+        tasks as u64,
+        BASELINE_TASKS_PER_SEC,
+        tasks_per_sec,
+        tasks_per_sec / BASELINE_TASKS_PER_SEC,
+        cells as u64,
+        cells_per_sec
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
+        eprintln!("warning: could not write BENCH_engine.json: {e}");
+    }
+}

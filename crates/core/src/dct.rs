@@ -95,7 +95,7 @@ impl Dct {
                     // Consumer: joins the latest version.
                     let tail_ref = self.dm.tail(slot);
                     // Touch the DM entry for the refs/all_inputs bookkeeping.
-                    let _ = self.dm.access(dep.addr, is_input);
+                    self.dm.touch(slot, is_input);
                     let tail = self.vm.get_mut(tail_ref.idx);
                     tail.consumers_total += 1;
                     let kind = if tail.producer_finished {
@@ -124,7 +124,7 @@ impl Dct {
                         return Err(DctBlocked::VmFull);
                     }
                     let tail_ref = self.dm.tail(slot);
-                    let _ = self.dm.access(dep.addr, is_input);
+                    self.dm.touch(slot, is_input);
                     let new_idx = self
                         .vm
                         .alloc(VmEntry {

@@ -61,6 +61,9 @@ pub struct Dm {
     sets: usize,
     ways: usize,
     entries: Vec<Option<DmEntry>>,
+    /// Live ways per set: lets lookups skip empty sets and inserts skip the
+    /// free-way search in full sets.
+    occupancy: Vec<u16>,
     live: usize,
     conflicts: u64,
     peak_live: usize,
@@ -75,6 +78,7 @@ impl Dm {
             sets,
             ways,
             entries: vec![None; sets * ways],
+            occupancy: vec![0; sets],
             live: 0,
             conflicts: 0,
             peak_live: 0,
@@ -132,11 +136,16 @@ impl Dm {
             .expect("DM slot must be live")
     }
 
-    /// Looks up an address; does not insert.
+    /// Looks up an address; does not insert. Empty sets are skipped via
+    /// the occupancy count without touching the ways.
     pub fn lookup(&self, addr: u64) -> Option<DmSlot> {
         let set = self.index(addr);
-        for way in 0..self.ways {
-            if let Some(e) = &self.entries[set * self.ways + way] {
+        if self.occupancy[set] == 0 {
+            return None;
+        }
+        let base = set * self.ways;
+        for (way, e) in self.entries[base..base + self.ways].iter().enumerate() {
+            if let Some(e) = e {
                 if e.tag == addr {
                     return Some(DmSlot { set, way });
                 }
@@ -145,37 +154,57 @@ impl Dm {
         None
     }
 
+    /// Records another arrival on an entry already located by
+    /// [`Dm::lookup`]: the hit-path bookkeeping of [`Dm::access`] without
+    /// re-walking the set.
+    pub fn touch(&mut self, slot: DmSlot, is_input: bool) {
+        let e = self.at_mut(slot);
+        e.refs += 1;
+        e.all_inputs &= is_input;
+    }
+
     /// Looks up an address and, on miss, tries to claim the free way with
     /// the lowest index (paper: "way 0 has the highest priority").
+    ///
+    /// The set index is computed once and the set's contiguous way slice
+    /// is walked a single time, tracking the tag match and the first free
+    /// way together; full sets skip the free-way search entirely.
     ///
     /// On [`DmAccess::Inserted`] the caller must immediately call
     /// [`Dm::bind`] to attach the first VM version. Does **not** count
     /// conflicts; the DCT counts them once per stalled dependence via
     /// [`Dm::count_conflict`].
     pub fn access(&mut self, addr: u64, is_input: bool) -> DmAccess {
-        if let Some(slot) = self.lookup(addr) {
-            let e = self.at_mut(slot);
-            e.refs += 1;
-            e.all_inputs &= is_input;
-            return DmAccess::Hit(slot);
-        }
         let set = self.index(addr);
-        for way in 0..self.ways {
-            if self.entries[set * self.ways + way].is_none() {
-                self.entries[set * self.ways + way] = Some(DmEntry {
-                    tag: addr,
-                    vm_head: VmRef::new(0, 0),
-                    vm_tail: VmRef::new(0, 0),
-                    live_versions: 0,
-                    refs: 1,
-                    all_inputs: is_input,
-                });
-                self.live += 1;
-                self.peak_live = self.peak_live.max(self.live);
-                return DmAccess::Inserted(DmSlot { set, way });
+        let base = set * self.ways;
+        let set_full = self.occupancy[set] as usize == self.ways;
+        let mut first_free = None;
+        for (way, e) in self.entries[base..base + self.ways].iter_mut().enumerate() {
+            match e {
+                Some(e) if e.tag == addr => {
+                    e.refs += 1;
+                    e.all_inputs &= is_input;
+                    return DmAccess::Hit(DmSlot { set, way });
+                }
+                None if !set_full && first_free.is_none() => first_free = Some(way),
+                _ => {}
             }
         }
-        DmAccess::Conflict
+        let Some(way) = first_free else {
+            return DmAccess::Conflict;
+        };
+        self.entries[base + way] = Some(DmEntry {
+            tag: addr,
+            vm_head: VmRef::new(0, 0),
+            vm_tail: VmRef::new(0, 0),
+            live_versions: 0,
+            refs: 1,
+            all_inputs: is_input,
+        });
+        self.occupancy[set] += 1;
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        DmAccess::Inserted(DmSlot { set, way })
     }
 
     /// Attaches the first VM version to a freshly inserted entry.
@@ -227,6 +256,7 @@ impl Dm {
             None => {
                 debug_assert_eq!(e.live_versions, 0, "freeing entry with live versions");
                 self.entries[slot.set * self.ways + slot.way] = None;
+                self.occupancy[slot.set] -= 1;
                 self.live -= 1;
                 true
             }

@@ -9,6 +9,33 @@
 //! throughput, pipeline latency, and the stall behaviour of the DM/VM/TM
 //! resources.
 //!
+//! # Event core
+//!
+//! The engine is built for throughput — it is the inner loop of every
+//! figure, sweep cell and HIL run — without giving up cycle-exactness:
+//!
+//! * **Timing wheel.** Events live on a circular calendar queue sized to
+//!   the largest service time, with a far-future overflow heap for exotic
+//!   [`crate::Timing`] values. Service times are small constants, so pushes
+//!   and pops are O(1) with no comparisons. FIFO order within a wheel slot
+//!   preserves emission order, which is exactly the `(time, seq)` order the
+//!   previous binary heap produced — determinism is structural.
+//! * **Demand-driven wake-up.** Every service completion schedules a
+//!   wake-up for its own unit at its busy horizon — stored as a per-slot
+//!   unit bitmask, so applying a batch's wakes is one OR into the pending
+//!   mask — and every message delivery marks the receiving unit pending.
+//!   A scheduling pass polls only the pending units, in the same fixed
+//!   unit order the old full scan used; resource releases re-mark the
+//!   units they can unblock (TM slots → Gateway, DM/VM entries → the
+//!   owning DCT's new-dependence port). Deliveries whose service cannot
+//!   be observed early by any other unit (ARB, TS, DCT-fin, non-Finished
+//!   TRS messages) are served directly at delivery time, skipping the
+//!   queue round-trip.
+//! * **Allocation-free hot path.** Unit out-vectors are reusable scratch
+//!   buffers, queues are flat head-cursor FIFOs, and the wheel slots
+//!   recycle their capacity, so steady-state event processing performs no
+//!   heap allocation.
+//!
 //! The external interface is the co-processor interface of the paper:
 //! [`PicosSystem::submit`] delivers a new task (N1), [`PicosSystem::pop_ready`]
 //! retrieves a ready task from the TS (the worker side of N6), and
@@ -26,13 +53,16 @@ use crate::stats::Stats;
 use crate::trs::{Trs, TrsEmit};
 use crate::vm::Vm;
 use crate::Cycle;
-use picos_trace::{Dependence, TaskId};
+use picos_trace::{Dependence, TaskId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-/// Message deliveries and unit wake-ups, ordered by time then sequence.
-#[derive(Debug, Clone)]
+/// Message deliveries and unit wake-ups carried by the timing wheel.
+///
+/// All variants are `Copy`: batch processing reads events straight out of
+/// a wheel slot without moving the slot's storage.
+#[derive(Debug, Clone, Copy)]
 enum Delivery {
     Trs(u8, TrsMsg),
     DctNew(u8, NewDepMsg),
@@ -40,10 +70,13 @@ enum Delivery {
     Arb(ArbMsg),
     Ts(TaskId, SlotRef),
     ReadyOut(ReadyTask),
-    /// A unit finished its service; no payload, just a scheduling trigger.
-    Free,
+    /// A unit's busy horizon passes: re-poll exactly that unit (by rank).
+    /// Replaces the old payload-free `Free` broadcast that forced a full
+    /// unit scan per batch.
+    Wake(u32),
 }
 
+/// An event parked on the overflow heap (beyond the wheel horizon).
 #[derive(Debug)]
 struct Ev {
     t: Cycle,
@@ -68,6 +101,63 @@ impl Ord for Ev {
     }
 }
 
+/// A flat FIFO for `Copy` messages: a `Vec` plus a head cursor that resets
+/// when the queue drains. Faster than `VecDeque` on the hot path (no wrap
+/// masking) and allocation-free once warmed up.
+#[derive(Debug, Clone)]
+struct Fifo<T: Copy> {
+    buf: Vec<T>,
+    head: usize,
+}
+
+impl<T: Copy> Default for Fifo<T> {
+    fn default() -> Self {
+        Fifo {
+            buf: Vec::new(),
+            head: 0,
+        }
+    }
+}
+
+impl<T: Copy> Fifo<T> {
+    #[inline]
+    fn push(&mut self, x: T) {
+        self.buf.push(x);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        let x = *self.buf.get(self.head)?;
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= 64 && self.head * 2 >= self.buf.len() {
+            // Compact a long-lived non-empty queue so memory stays
+            // proportional to peak depth, not total traffic.
+            self.buf.copy_within(self.head.., 0);
+            self.buf.truncate(self.buf.len() - self.head);
+            self.head = 0;
+        }
+        Some(x)
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&T> {
+        self.buf.get(self.head)
+    }
+
+    #[inline]
+    fn front_mut(&mut self) -> Option<&mut T> {
+        self.buf.get_mut(self.head)
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+}
+
 /// Gateway new-task port: either idle or forwarding the dependences of the
 /// task it just dispatched (N4 happens one dependence per `gw_dep` cycles).
 #[derive(Debug)]
@@ -85,8 +175,38 @@ enum GwState {
 pub struct PicosSystem {
     cfg: PicosConfig,
     now: Cycle,
-    seq: u64,
-    events: BinaryHeap<Reverse<Ev>>,
+
+    // Event core: a timing wheel over [now, now + wheel_mask] plus an
+    // overflow heap for events beyond that horizon. Slot FIFO order equals
+    // emission order, so no per-event sequence numbers are needed on the
+    // wheel; the overflow heap keeps its own.
+    wheel: Vec<Vec<Delivery>>,
+    wheel_bits: Vec<u64>,
+    wheel_mask: Cycle,
+    wheel_len: usize,
+    // Wake events, stored as per-slot unit bitmasks instead of wheel
+    // entries: wake order within a batch is irrelevant (marks are
+    // idempotent), so applying a slot's wakes is one OR into `pending`
+    // per word. `wake_wheel` is `wake_words` words per slot; `wake_bits`
+    // tracks slots with at least one wake; `wake_slots` counts them.
+    wake_wheel: Vec<u64>,
+    wake_bits: Vec<u64>,
+    wake_words: usize,
+    wake_slots: usize,
+    overflow: BinaryHeap<Reverse<Ev>>,
+    overflow_seq: u64,
+    /// Exact earliest event time over wheel + overflow (`Cycle::MAX` when
+    /// empty), kept current by `emit` and recomputed after each batch:
+    /// `next_event_time` is O(1).
+    next_at: Cycle,
+
+    // Demand-driven scheduling: one bit per unit, set when the unit may be
+    // able to start a service. Bit positions are unit ranks in the
+    // canonical poll order (see `poll`); the rank-space boundaries are
+    // precomputed at construction.
+    pending: Vec<u64>,
+    rank_dct0: u32,
+    rank_arb0: u32,
 
     // External interfaces.
     ext_new: VecDeque<NewTaskReq>,
@@ -94,11 +214,11 @@ pub struct PicosSystem {
     ready_buf: VecDeque<ReadyTask>,
 
     // Internal queues.
-    trs_q: Vec<VecDeque<TrsMsg>>,
-    dct_new_q: Vec<VecDeque<NewDepMsg>>,
-    dct_fin_q: Vec<VecDeque<DepFinMsg>>,
-    arb_q: VecDeque<ArbMsg>,
-    ts_q: VecDeque<(TaskId, SlotRef)>,
+    trs_q: Vec<Fifo<TrsMsg>>,
+    dct_new_q: Vec<Fifo<NewDepMsg>>,
+    dct_fin_q: Vec<Fifo<DepFinMsg>>,
+    arb_q: Fifo<ArbMsg>,
+    ts_q: Fifo<(TaskId, SlotRef)>,
 
     // Units.
     trs: Vec<Trs>,
@@ -116,11 +236,66 @@ pub struct PicosSystem {
     arb_busy: Cycle,
     ts_busy: Cycle,
 
+    // Reusable out-vectors for the unit handlers (allocation-free path).
+    scratch_trs: Vec<TrsEmit>,
+    scratch_dct: Vec<DctEmit>,
+
     in_flight: usize,
     stats: Stats,
 }
 
+/// Wheel size for a configuration: a power of two strictly larger than the
+/// longest service-plus-wire delay, so in-horizon events never wrap onto a
+/// live slot. Exotic timings beyond the cap go to the overflow heap.
+fn wheel_size(cfg: &PicosConfig) -> usize {
+    let t = &cfg.timing;
+    let max_service = [
+        t.gw_task,
+        t.gw_dep,
+        t.gw_fin,
+        t.trs_new,
+        t.trs_resolve,
+        t.trs_wake,
+        t.trs_fin
+            .saturating_add(t.trs_fin_dep.saturating_mul(cfg.max_deps_per_task as Cycle)),
+        t.dct_dep.saturating_add(t.dct_task_sync),
+        t.dct_fin,
+        t.arb,
+        t.ts,
+    ]
+    .into_iter()
+    .max()
+    .unwrap_or(1);
+    let horizon = max_service.saturating_add(t.wire).saturating_add(1);
+    (horizon.min(4096) as usize).next_power_of_two().max(64)
+}
+
 impl PicosSystem {
+    /// Poll rank of the Gateway finished-task port (first in scan order).
+    const RANK_GW_FIN: u32 = 0;
+    /// Poll rank of the Gateway new-task port.
+    const RANK_GW_NEW: u32 = 1;
+
+    fn rank_trs(&self, i: usize) -> u32 {
+        2 + i as u32
+    }
+
+    fn rank_dct_fin(&self, j: usize) -> u32 {
+        self.rank_dct0 + 2 * j as u32
+    }
+
+    fn rank_dct_new(&self, j: usize) -> u32 {
+        self.rank_dct_fin(j) + 1
+    }
+
+    fn rank_arb(&self) -> u32 {
+        self.rank_arb0
+    }
+
+    fn rank_ts(&self) -> u32 {
+        self.rank_arb0 + 1
+    }
+
     /// Builds a system from a configuration.
     ///
     /// # Panics
@@ -140,18 +315,33 @@ impl PicosSystem {
                 )
             })
             .collect::<Vec<_>>();
+        let size = wheel_size(&cfg);
+        let num_units = 4 + cfg.num_trs + 2 * cfg.num_dct;
+        let wake_words = num_units.div_ceil(64);
         PicosSystem {
             now: 0,
-            seq: 0,
-            events: BinaryHeap::new(),
+            wheel: vec![Vec::new(); size],
+            wheel_bits: vec![0; size / 64],
+            wheel_mask: (size - 1) as Cycle,
+            wheel_len: 0,
+            wake_wheel: vec![0; size * wake_words],
+            wake_bits: vec![0; size / 64],
+            wake_words,
+            wake_slots: 0,
+            overflow: BinaryHeap::new(),
+            overflow_seq: 0,
+            next_at: Cycle::MAX,
+            pending: vec![0; num_units.div_ceil(64)],
+            rank_dct0: 2 + cfg.num_trs as u32,
+            rank_arb0: 2 + cfg.num_trs as u32 + 2 * cfg.num_dct as u32,
             ext_new: VecDeque::new(),
             ext_fin: VecDeque::new(),
             ready_buf: VecDeque::new(),
-            trs_q: vec![VecDeque::new(); cfg.num_trs],
-            dct_new_q: vec![VecDeque::new(); cfg.num_dct],
-            dct_fin_q: vec![VecDeque::new(); cfg.num_dct],
-            arb_q: VecDeque::new(),
-            ts_q: VecDeque::new(),
+            trs_q: vec![Fifo::default(); cfg.num_trs],
+            dct_new_q: vec![Fifo::default(); cfg.num_dct],
+            dct_fin_q: vec![Fifo::default(); cfg.num_dct],
+            arb_q: Fifo::default(),
+            ts_q: Fifo::default(),
             trs,
             dct,
             gw_state: GwState::Idle,
@@ -164,6 +354,8 @@ impl PicosSystem {
             dct_fin_busy: vec![0; cfg.num_dct],
             arb_busy: 0,
             ts_busy: 0,
+            scratch_trs: Vec::new(),
+            scratch_dct: Vec::new(),
             in_flight: 0,
             stats: Stats::default(),
             cfg,
@@ -198,6 +390,21 @@ impl PicosSystem {
             "task {task} exceeds max_deps_per_task"
         );
         self.ext_new.push_back(NewTaskReq { task, deps });
+        self.mark(Self::RANK_GW_NEW);
+    }
+
+    /// Submits every task of a trace in creation order: the bulk
+    /// equivalent of calling [`PicosSystem::submit`] per task, with the
+    /// input queue pre-sized once instead of grown incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task has more dependences than the configured maximum.
+    pub fn submit_all(&mut self, trace: &Trace) {
+        self.ext_new.reserve(trace.len());
+        for t in trace.iter() {
+            self.submit(t.id, t.deps.clone());
+        }
     }
 
     /// Number of submitted tasks the GW has not accepted yet.
@@ -208,6 +415,7 @@ impl PicosSystem {
     /// Reports a finished task (F1).
     pub fn notify_finished(&mut self, fin: FinishedReq) {
         self.ext_fin.push_back(fin);
+        self.mark(Self::RANK_GW_FIN);
     }
 
     /// Retrieves a ready task from the TS buffer, honouring the configured
@@ -235,21 +443,34 @@ impl PicosSystem {
     /// [`PicosSystem::advance_to`] has run to the current time (the engine
     /// is then quiescent at `now` and this is the true next activity).
     pub fn next_event_time(&self) -> Option<Cycle> {
-        self.events.peek().map(|Reverse(e)| e.t)
+        if self.next_at == Cycle::MAX {
+            None
+        } else {
+            Some(self.next_at)
+        }
+    }
+
+    /// Recomputes the earliest event time by scanning wheel and overflow.
+    fn scan_next(&self) -> Cycle {
+        let wheel = self.wheel_next_time().unwrap_or(Cycle::MAX);
+        let over = self.overflow.peek().map_or(Cycle::MAX, |Reverse(e)| e.t);
+        wheel.min(over)
     }
 
     /// Whether the engine has no internal activity left (events, queued
     /// messages or a mid-dispatch GW). Ready tasks may still be waiting in
     /// the output buffer, and the driver may still owe finish notifications.
     pub fn is_quiescent(&self) -> bool {
-        self.events.is_empty()
+        self.wheel_len == 0
+            && self.wake_slots == 0
+            && self.overflow.is_empty()
             && self.ext_new.is_empty()
             && self.ext_fin.is_empty()
             && self.arb_q.is_empty()
             && self.ts_q.is_empty()
-            && self.trs_q.iter().all(VecDeque::is_empty)
-            && self.dct_new_q.iter().all(VecDeque::is_empty)
-            && self.dct_fin_q.iter().all(VecDeque::is_empty)
+            && self.trs_q.iter().all(Fifo::is_empty)
+            && self.dct_new_q.iter().all(Fifo::is_empty)
+            && self.dct_fin_q.iter().all(Fifo::is_empty)
             && matches!(self.gw_state, GwState::Idle)
     }
 
@@ -272,26 +493,18 @@ impl PicosSystem {
     pub fn advance_to(&mut self, t: Cycle) {
         debug_assert!(t >= self.now, "time cannot go backwards");
         loop {
-            self.schedule_all();
-            let Some(Reverse(head)) = self.events.peek() else {
-                break;
-            };
-            if head.t > t {
+            self.schedule_pass();
+            let batch_t = self.next_at;
+            if batch_t > t {
+                // Covers the empty case too (`next_at` is `Cycle::MAX`).
                 break;
             }
-            let batch_t = head.t;
-            self.now = batch_t;
-            while let Some(Reverse(head)) = self.events.peek() {
-                if head.t != batch_t {
-                    break;
-                }
-                let Reverse(ev) = self.events.pop().expect("peeked");
-                self.apply(ev.d);
-            }
+            self.set_now(batch_t);
+            self.process_batch(batch_t);
         }
-        self.now = t;
+        self.set_now(t);
         // Pick up any externally pushed messages at the final time.
-        self.schedule_all();
+        self.schedule_pass();
     }
 
     /// Runs the engine until it is quiescent, with a watchdog.
@@ -310,9 +523,10 @@ impl PicosSystem {
         mut on_ready: impl FnMut(ReadyTask) -> Option<FinishedReq>,
     ) -> Result<(), EngineError> {
         let deadline = self.now + max_cycles;
+        // Absorb externally pushed work at the current time; inside the
+        // loop, advancing to each event time keeps the engine current.
+        self.advance_to(self.now);
         loop {
-            // Absorb externally pushed work at the current time.
-            self.advance_to(self.now);
             let mut fed = false;
             while let Some(r) = self.pop_ready() {
                 if let Some(fin) = on_ready(r) {
@@ -343,45 +557,283 @@ impl PicosSystem {
         }
     }
 
+    /// Schedules an event. In-horizon events go to their wheel slot (FIFO,
+    /// preserving emission order); far-future events to the overflow heap.
+    #[inline]
     fn emit(&mut self, at: Cycle, d: Delivery) {
-        self.seq += 1;
-        self.events.push(Reverse(Ev {
-            t: at,
-            seq: self.seq,
-            d,
-        }));
+        debug_assert!(at >= self.now, "cannot emit into the past");
+        if at < self.next_at {
+            self.next_at = at;
+        }
+        if at - self.now <= self.wheel_mask {
+            let slot = (at & self.wheel_mask) as usize;
+            self.wheel[slot].push(d);
+            self.wheel_bits[slot / 64] |= 1u64 << (slot % 64);
+            self.wheel_len += 1;
+        } else {
+            self.overflow_seq += 1;
+            self.overflow.push(Reverse(Ev {
+                t: at,
+                seq: self.overflow_seq,
+                d,
+            }));
+        }
     }
 
+    /// Schedules a unit wake-up: an OR into the slot's unit bitmask (order
+    /// among same-slot wakes is irrelevant — marks are idempotent).
+    #[inline]
+    fn emit_wake(&mut self, at: Cycle, rank: u32) {
+        debug_assert!(at >= self.now, "cannot emit into the past");
+        if at < self.next_at {
+            self.next_at = at;
+        }
+        if at - self.now <= self.wheel_mask {
+            let slot = (at & self.wheel_mask) as usize;
+            let bit = 1u64 << (slot % 64);
+            if self.wake_bits[slot / 64] & bit == 0 {
+                self.wake_bits[slot / 64] |= bit;
+                self.wake_slots += 1;
+            }
+            self.wake_wheel[slot * self.wake_words + (rank / 64) as usize] |= 1u64 << (rank % 64);
+        } else {
+            self.overflow_seq += 1;
+            self.overflow.push(Reverse(Ev {
+                t: at,
+                seq: self.overflow_seq,
+                d: Delivery::Wake(rank),
+            }));
+        }
+    }
+
+    /// Moves time forward and migrates overflow events that now fit the
+    /// wheel horizon. Migration happens before anything is emitted at the
+    /// new time, so slot FIFO order stays equal to global emission order.
+    fn set_now(&mut self, t: Cycle) {
+        self.now = t;
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if head.t - self.now > self.wheel_mask {
+                break;
+            }
+            let Reverse(ev) = self.overflow.pop().expect("peeked");
+            if let Delivery::Wake(rank) = ev.d {
+                self.emit_wake(ev.t, rank);
+                continue;
+            }
+            let slot = (ev.t & self.wheel_mask) as usize;
+            self.wheel[slot].push(ev.d);
+            self.wheel_bits[slot / 64] |= 1u64 << (slot % 64);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Earliest occupied wheel slot (delivery or wake) at or after `now`,
+    /// as an absolute time.
+    fn wheel_next_time(&self) -> Option<Cycle> {
+        if self.wheel_len == 0 && self.wake_slots == 0 {
+            return None;
+        }
+        let size = self.wheel.len();
+        let words = self.wheel_bits.len();
+        let start = (self.now & self.wheel_mask) as usize;
+        if words == 1 {
+            // 64-slot wheel (the default-timing case): rotating the single
+            // occupancy word by `start` turns "next occupied slot at or
+            // after start, circular" into a plain trailing-zeros count.
+            let w = (self.wheel_bits[0] | self.wake_bits[0]).rotate_right(start as u32);
+            return Some(self.now + Cycle::from(w.trailing_zeros()));
+        }
+        let (sw, sb) = (start / 64, start % 64);
+        for k in 0..=words {
+            let idx = (sw + k) % words;
+            let mut word = self.wheel_bits[idx] | self.wake_bits[idx];
+            if k == 0 {
+                word &= !0u64 << sb; // only slots at or after `start`
+            } else if k == words {
+                word &= !(!0u64 << sb); // wrapped: only slots before `start`
+            }
+            if word != 0 {
+                let slot = idx * 64 + word.trailing_zeros() as usize;
+                let delta = (slot + size - start) & self.wheel_mask as usize;
+                return Some(self.now + delta as Cycle);
+            }
+        }
+        unreachable!("events pending but no occupied slot")
+    }
+
+    /// Applies every event in the slot for `batch_t`, in emission order.
+    /// Events emitted *at* `batch_t` while the batch runs (possible only
+    /// with zero-cost timings) land in the same slot and are applied too.
+    fn process_batch(&mut self, batch_t: Cycle) {
+        let slot = (batch_t & self.wheel_mask) as usize;
+        // Wakes first: one OR per word moves the slot's unit mask into
+        // `pending` (relative order against deliveries does not matter —
+        // both only feed the scheduling pass that follows).
+        let wbit = 1u64 << (slot % 64);
+        if self.wake_bits[slot / 64] & wbit != 0 {
+            self.wake_bits[slot / 64] &= !wbit;
+            self.wake_slots -= 1;
+            let base = slot * self.wake_words;
+            for w in 0..self.wake_words {
+                self.pending[w] |= self.wake_wheel[base + w];
+                self.wake_wheel[base + w] = 0;
+            }
+        }
+        if !self.wheel[slot].is_empty() {
+            let mut batch = std::mem::take(&mut self.wheel[slot]);
+            let mut consumed = batch.len();
+            for d in batch.drain(..) {
+                self.apply(d);
+            }
+            // Zero-cost timings can emit at `batch_t` while the batch runs;
+            // those land in the (now empty) live slot — absorb them too.
+            while !self.wheel[slot].is_empty() {
+                std::mem::swap(&mut batch, &mut self.wheel[slot]);
+                consumed += batch.len();
+                for d in batch.drain(..) {
+                    self.apply(d);
+                }
+            }
+            self.wheel[slot] = batch;
+            self.wheel_len -= consumed;
+        }
+        self.wheel_bits[slot / 64] &= !(1u64 << (slot % 64));
+        self.next_at = self.scan_next();
+    }
+
+    /// Marks a unit for polling in the next scheduling pass.
+    #[inline]
+    fn mark(&mut self, rank: u32) {
+        self.pending[(rank / 64) as usize] |= 1u64 << (rank % 64);
+    }
+
+    /// First pending unit with rank `from` or higher.
+    fn next_pending(&self, from: u32) -> Option<u32> {
+        let words = self.pending.len();
+        let mut w = (from / 64) as usize;
+        if w >= words {
+            return None;
+        }
+        let mut word = self.pending[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w as u32 * 64 + word.trailing_zeros());
+            }
+            w += 1;
+            if w >= words {
+                return None;
+            }
+            word = self.pending[w];
+        }
+    }
+
+    /// One scheduling pass: polls every pending unit once, in canonical
+    /// rank order (GW-fin, GW-new, TRS 0.., DCT-fin/DCT-new pairs, ARB,
+    /// TS — the same order the old full scan used). Units marked during
+    /// the pass at a *later* rank are polled in this pass, exactly like a
+    /// single scan; marks for earlier ranks stay pending for the next
+    /// batch, again matching the scan.
+    fn schedule_pass(&mut self) {
+        let mut cursor = 0u32;
+        while let Some(rank) = self.next_pending(cursor) {
+            self.pending[(rank / 64) as usize] &= !(1u64 << (rank % 64));
+            cursor = rank + 1;
+            self.poll(rank);
+        }
+    }
+
+    /// Polls the unit with the given rank.
+    fn poll(&mut self, rank: u32) {
+        match rank {
+            Self::RANK_GW_FIN => self.try_gw_fin(),
+            Self::RANK_GW_NEW => self.try_gw_new(),
+            r if r < self.rank_dct_fin(0) => self.try_trs((r - 2) as usize),
+            r if r < self.rank_arb() => {
+                let off = r - self.rank_dct_fin(0);
+                let j = (off / 2) as usize;
+                if off.is_multiple_of(2) {
+                    self.try_dct_fin(j);
+                } else {
+                    self.try_dct_new(j);
+                }
+            }
+            r if r == self.rank_arb() => self.try_arb(),
+            _ => self.try_ts(),
+        }
+    }
+
+    #[inline]
     fn apply(&mut self, d: Delivery) {
         match d {
-            Delivery::Trs(i, m) => self.trs_q[i as usize].push_back(m),
-            Delivery::DctNew(j, m) => self.dct_new_q[j as usize].push_back(m),
-            Delivery::DctFin(j, m) => self.dct_fin_q[j as usize].push_back(m),
-            Delivery::Arb(m) => self.arb_q.push_back(m),
-            Delivery::Ts(task, slot) => self.ts_q.push_back((task, slot)),
+            // A non-`Finished` TRS message touches only the TRS's own TM
+            // entries, so an idle TRS with an empty queue serves it straight
+            // from the batch. `Finished` frees a TM slot the Gateway polls
+            // for, and the Gateway's poll precedes the TRS's in the pass
+            // order — serving it early would let the GW see the space one
+            // batch sooner, so it takes the queue path.
+            Delivery::Trs(i, m) => {
+                let i = i as usize;
+                if !matches!(m, TrsMsg::Finished { .. })
+                    && self.now >= self.trs_busy[i]
+                    && self.trs_q[i].is_empty()
+                {
+                    self.serve_trs(i, m);
+                } else {
+                    self.trs_q[i].push(m);
+                    let r = self.rank_trs(i);
+                    self.mark(r);
+                }
+            }
+            // New dependences must observe the fin-before-new pass order on
+            // the shared DM/VM, so they always take the queue path.
+            Delivery::DctNew(j, m) => {
+                self.dct_new_q[j as usize].push(m);
+                let r = self.rank_dct_new(j as usize);
+                self.mark(r);
+            }
+            // The finish port's resource releases are visible to the same
+            // DCT's new-dependence poll in this batch's pass either way
+            // (fin precedes new in the pass order), so direct service is
+            // cycle-identical.
+            Delivery::DctFin(j, m) => {
+                let j = j as usize;
+                if self.now >= self.dct_fin_busy[j] && self.dct_fin_q[j].is_empty() {
+                    self.serve_dct_fin(j, m);
+                } else {
+                    self.dct_fin_q[j].push(m);
+                    let r = self.rank_dct_fin(j);
+                    self.mark(r);
+                }
+            }
+            // ARB and TS serve only their own state (no shared resources,
+            // no cross-unit marks), so an idle unit with an empty queue
+            // serves the message straight from the batch — the scheduling
+            // pass would do exactly this at the same cycle, minus the
+            // queue round-trip.
+            Delivery::Arb(m) => {
+                if self.now >= self.arb_busy && self.arb_q.is_empty() {
+                    self.serve_arb(m);
+                } else {
+                    self.arb_q.push(m);
+                    let r = self.rank_arb();
+                    self.mark(r);
+                }
+            }
+            Delivery::Ts(task, slot) => {
+                if self.now >= self.ts_busy && self.ts_q.is_empty() {
+                    self.serve_ts(task, slot);
+                } else {
+                    self.ts_q.push((task, slot));
+                    let r = self.rank_ts();
+                    self.mark(r);
+                }
+            }
             Delivery::ReadyOut(rt) => {
                 self.ready_buf.push_back(rt);
                 self.stats.peak_ready = self.stats.peak_ready.max(self.ready_buf.len());
             }
-            Delivery::Free => {}
+            Delivery::Wake(rank) => self.mark(rank),
         }
-    }
-
-    /// One scheduling pass: every idle unit with pending input starts one
-    /// service. Deliveries are strictly in the future (service times are
-    /// at least one cycle), so a single pass per batch is exact.
-    fn schedule_all(&mut self) {
-        self.try_gw_fin();
-        self.try_gw_new();
-        for i in 0..self.trs.len() {
-            self.try_trs(i);
-        }
-        for j in 0..self.dct.len() {
-            self.try_dct_fin(j);
-            self.try_dct_new(j);
-        }
-        self.try_arb();
-        self.try_ts();
     }
 
     fn try_gw_new(&mut self) {
@@ -406,7 +858,8 @@ impl PicosSystem {
                 }
                 let Some(i) = chosen else {
                     // "If there is no free slot, GW does not process the
-                    // new task" (paper, Section III-B).
+                    // new task" (paper, Section III-B). A TM release will
+                    // re-mark this port (see `try_trs`).
                     if !self.gw_blocked_counted {
                         self.stats.tm_stalls += 1;
                         self.gw_blocked_counted = true;
@@ -438,7 +891,7 @@ impl PicosSystem {
                         },
                     ),
                 );
-                self.emit(done, Delivery::Free);
+                self.emit_wake(done, Self::RANK_GW_NEW);
                 if !req.deps.is_empty() {
                     self.gw_state = GwState::Dispatching {
                         deps: req.deps,
@@ -473,7 +926,7 @@ impl PicosSystem {
                         },
                     ),
                 );
-                self.emit(done, Delivery::Free);
+                self.emit_wake(done, Self::RANK_GW_NEW);
             }
         }
     }
@@ -492,27 +945,35 @@ impl PicosSystem {
             done + self.cfg.timing.wire,
             Delivery::Trs(fin.slot.trs, TrsMsg::Finished { slot: fin.slot }),
         );
-        self.emit(done, Delivery::Free);
+        self.emit_wake(done, Self::RANK_GW_FIN);
     }
 
     fn try_trs(&mut self, i: usize) {
         if self.now < self.trs_busy[i] {
             return;
         }
-        let Some(msg) = self.trs_q[i].pop_front() else {
+        let Some(msg) = self.trs_q[i].pop() else {
             return;
         };
+        self.serve_trs(i, msg);
+    }
+
+    fn serve_trs(&mut self, i: usize, msg: TrsMsg) {
         if matches!(msg, TrsMsg::Finished { .. }) {
             self.in_flight -= 1;
             self.stats.tasks_completed += 1;
+            // The freed TM slot can unblock a Gateway stalled on capacity;
+            // the GW's rank precedes ours, so it is re-polled at the next
+            // batch — exactly when the old full scan would retry it.
+            self.mark(Self::RANK_GW_NEW);
         }
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch_trs);
         let cost = self.trs[i].handle(msg, &self.cfg.timing, &mut out);
         let done = self.now + cost;
         self.stats.busy_trs += cost;
         self.trs_busy[i] = done;
         let wire = self.cfg.timing.wire;
-        for e in out {
+        for e in out.drain(..) {
             match e {
                 TrsEmit::ReadyToTs { task, slot } => {
                     self.emit(done + wire, Delivery::Ts(task, slot));
@@ -528,7 +989,9 @@ impl PicosSystem {
                 }
             }
         }
-        self.emit(done, Delivery::Free);
+        self.scratch_trs = out;
+        let rank = self.rank_trs(i);
+        self.emit_wake(done, rank);
     }
 
     fn try_dct_new(&mut self, j: usize) {
@@ -538,24 +1001,25 @@ impl PicosSystem {
         let Some(front) = self.dct_new_q[j].front() else {
             return;
         };
-        let mut out: Vec<DctEmit> = Vec::new();
         let front = *front;
+        let mut out = std::mem::take(&mut self.scratch_dct);
         match self.dct[j].handle_new(&front, &self.cfg.timing, &mut out) {
             Ok(cost) => {
-                self.dct_new_q[j].pop_front();
+                self.dct_new_q[j].pop();
                 let done = self.now + cost;
                 self.stats.busy_dct += cost;
                 self.dct_new_busy[j] = done;
                 let wire = self.cfg.timing.wire;
-                for e in out {
+                for e in out.drain(..) {
                     self.emit(done + wire, Delivery::Arb(ArbMsg::ToTrs(e.trs, e.msg)));
                 }
-                self.emit(done, Delivery::Free);
+                let rank = self.rank_dct_new(j);
+                self.emit_wake(done, rank);
             }
             Err(blocked) => {
                 // Head-of-line stall: the dependence stays queued; count the
-                // event once. It will be retried after a finish frees
-                // resources (the DCT finish port keeps running).
+                // event once. It is retried when this DCT's finish port
+                // frees resources (see `try_dct_fin`).
                 let head = self.dct_new_q[j].front_mut().expect("front checked");
                 match blocked {
                     DctBlocked::DmConflict if !head.conflict_counted => {
@@ -570,34 +1034,50 @@ impl PicosSystem {
                 }
             }
         }
+        self.scratch_dct = out;
     }
 
     fn try_dct_fin(&mut self, j: usize) {
         if self.now < self.dct_fin_busy[j] {
             return;
         }
-        let Some(msg) = self.dct_fin_q[j].pop_front() else {
+        let Some(msg) = self.dct_fin_q[j].pop() else {
             return;
         };
-        let mut out = Vec::new();
+        self.serve_dct_fin(j, msg);
+    }
+
+    fn serve_dct_fin(&mut self, j: usize, msg: DepFinMsg) {
+        let mut out = std::mem::take(&mut self.scratch_dct);
         let cost = self.dct[j].handle_fin(msg, &self.cfg.timing, &mut out);
         let done = self.now + cost;
         self.stats.busy_dct += cost;
         self.dct_fin_busy[j] = done;
         let wire = self.cfg.timing.wire;
-        for e in out {
+        for e in out.drain(..) {
             self.emit(done + wire, Delivery::Arb(ArbMsg::ToTrs(e.trs, e.msg)));
         }
-        self.emit(done, Delivery::Free);
+        self.scratch_dct = out;
+        // Released DM/VM entries can unblock the head of our new-dependence
+        // queue; its rank follows ours, so it is retried in this same pass
+        // — the old scan's fin-before-new order.
+        let r_new = self.rank_dct_new(j);
+        self.mark(r_new);
+        let rank = self.rank_dct_fin(j);
+        self.emit_wake(done, rank);
     }
 
     fn try_arb(&mut self) {
         if self.now < self.arb_busy {
             return;
         }
-        let Some(msg) = self.arb_q.pop_front() else {
+        let Some(msg) = self.arb_q.pop() else {
             return;
         };
+        self.serve_arb(msg);
+    }
+
+    fn serve_arb(&mut self, msg: ArbMsg) {
         let done = self.now + self.cfg.timing.arb;
         self.stats.busy_arb += self.cfg.timing.arb;
         self.arb_busy = done;
@@ -606,16 +1086,21 @@ impl PicosSystem {
             ArbMsg::ToTrs(i, m) => self.emit(done + wire, Delivery::Trs(i, m)),
             ArbMsg::ToDctFin(j, m) => self.emit(done + wire, Delivery::DctFin(j, m)),
         }
-        self.emit(done, Delivery::Free);
+        let rank = self.rank_arb();
+        self.emit_wake(done, rank);
     }
 
     fn try_ts(&mut self) {
         if self.now < self.ts_busy {
             return;
         }
-        let Some((task, slot)) = self.ts_q.pop_front() else {
+        let Some((task, slot)) = self.ts_q.pop() else {
             return;
         };
+        self.serve_ts(task, slot);
+    }
+
+    fn serve_ts(&mut self, task: TaskId, slot: SlotRef) {
         let done = self.now + self.cfg.timing.ts;
         self.stats.busy_ts += self.cfg.timing.ts;
         self.ts_busy = done;
@@ -628,7 +1113,8 @@ impl PicosSystem {
                 ready_at: at,
             }),
         );
-        self.emit(done, Delivery::Free);
+        let rank = self.rank_ts();
+        self.emit_wake(done, rank);
     }
 }
 
@@ -668,9 +1154,7 @@ mod tests {
     /// the moment they pop out ready) and returns the execution order.
     fn run_instant(cfg: PicosConfig, trace: &Trace) -> (Vec<u32>, PicosSystem) {
         let mut sys = PicosSystem::new(cfg);
-        for t in trace.iter() {
-            sys.submit(t.id, t.deps.clone());
-        }
+        sys.submit_all(trace);
         let mut order = Vec::new();
         sys.run_to_quiescence(200_000_000, |r| {
             order.push(r.task.raw());
@@ -681,6 +1165,19 @@ mod tests {
         })
         .expect("run must complete");
         (order, sys)
+    }
+
+    /// Advances the engine event by event until no internal event remains,
+    /// without acknowledging any ready task. Shared shape of the old
+    /// "advance until quiescent with a guard counter" test loops.
+    fn drain_events(sys: &mut PicosSystem) {
+        sys.advance_to(sys.now()); // absorb externally pushed work
+        let mut guard = 0u32;
+        while let Some(t) = sys.next_event_time() {
+            sys.advance_to(t);
+            guard += 1;
+            assert!(guard < 1_000_000, "engine failed to drain");
+        }
     }
 
     #[test]
@@ -730,9 +1227,7 @@ mod tests {
             tr.push(k, [picos_trace::Dependence::input(0xA0)], 1);
         }
         let mut sys = PicosSystem::new(PicosConfig::balanced());
-        for t in tr.iter() {
-            sys.submit(t.id, t.deps.clone());
-        }
+        sys.submit_all(&tr);
         // The paper's Figure 5 assumes all tasks arrive before the first
         // one finishes: hold the producer's finish until every dependence
         // is registered, then observe the wake order.
@@ -769,29 +1264,15 @@ mod tests {
             tr.push(k, [], 1);
         }
         let mut sys = PicosSystem::new(PicosConfig::balanced().with_ts_policy(TsPolicy::Lifo));
-        for t in tr.iter() {
-            sys.submit(t.id, t.deps.clone());
-        }
+        sys.submit_all(&tr);
         // Let everything become ready without executing anything.
-        let mut guard = 0;
-        while !sys.is_quiescent() && guard < 100_000 {
-            let t = sys.next_event_time().unwrap_or(sys.now());
-            sys.advance_to(t);
-            guard += 1;
-        }
+        drain_events(&mut sys);
         assert_eq!(sys.ready_len(), 10);
         let first = sys.pop_ready().unwrap();
         assert_eq!(first.task.raw(), 9, "LIFO pops youngest");
         let mut fifo_sys = PicosSystem::new(PicosConfig::balanced());
-        for t in tr.iter() {
-            fifo_sys.submit(t.id, t.deps.clone());
-        }
-        let mut guard = 0;
-        while !fifo_sys.is_quiescent() && guard < 100_000 {
-            let t = fifo_sys.next_event_time().unwrap_or(fifo_sys.now());
-            fifo_sys.advance_to(t);
-            guard += 1;
-        }
+        fifo_sys.submit_all(&tr);
+        drain_events(&mut fifo_sys);
         assert_eq!(
             fifo_sys.pop_ready().unwrap().task.raw(),
             0,
@@ -810,16 +1291,8 @@ mod tests {
             tr.push(k, [], 1);
         }
         let mut sys = PicosSystem::new(PicosConfig::balanced());
-        for t in tr.iter() {
-            sys.submit(t.id, t.deps.clone());
-        }
-        sys.advance_to(0); // prime the scheduler
-        let mut guard = 0;
-        while sys.next_event_time().is_some() && guard < 1_000_000 {
-            let t = sys.next_event_time().unwrap();
-            sys.advance_to(t);
-            guard += 1;
-        }
+        sys.submit_all(&tr);
+        drain_events(&mut sys);
         assert_eq!(sys.ready_len(), 256);
         assert_eq!(sys.pending_new(), 300 - 256);
         assert!(sys.stats().tm_stalls >= 1);
@@ -859,12 +1332,10 @@ mod tests {
         }
         let run = |dm: DmDesign| {
             let mut sys = PicosSystem::new(PicosConfig::baseline(dm));
-            for t in tr.iter() {
-                sys.submit(t.id, t.deps.clone());
-            }
+            sys.submit_all(&tr);
             // Hold every finish until nothing more can happen, pinning all
             // insertable entries live at once.
-            sys.advance_to(1_000_000);
+            drain_events(&mut sys);
             let mut pending = Vec::new();
             while let Some(r) = sys.pop_ready() {
                 pending.push(FinishedReq {
@@ -898,9 +1369,7 @@ mod tests {
         let mut tr = Trace::new("nofin");
         tr.push(picos_trace::KernelClass::GENERIC, [], 1);
         let mut sys = PicosSystem::new(PicosConfig::balanced());
-        for t in tr.iter() {
-            sys.submit(t.id, t.deps.clone());
-        }
+        sys.submit_all(&tr);
         // Never acknowledge ready tasks: the engine goes quiet with the task
         // in flight; run_to_quiescence must report the deadlock.
         let r = sys.run_to_quiescence(1_000, |_r| None);
@@ -915,5 +1384,22 @@ mod tests {
         assert_eq!(o1, o2);
         assert_eq!(s1.now(), s2.now());
         assert_eq!(s1.stats(), s2.stats());
+    }
+
+    #[test]
+    fn huge_service_times_route_through_overflow() {
+        // Timings far beyond the wheel cap exercise the overflow heap; the
+        // run must still complete deterministically.
+        let mut cfg = PicosConfig::balanced();
+        cfg.timing.gw_task = 10_000;
+        cfg.timing.dct_dep = 9_000;
+        let mut tr = Trace::new("slowunits");
+        let k = picos_trace::KernelClass::GENERIC;
+        tr.push(k, [picos_trace::Dependence::inout(0xA0)], 1);
+        tr.push(k, [picos_trace::Dependence::input(0xA0)], 1);
+        let (order, sys) = run_instant(cfg, &tr);
+        assert_eq!(order, vec![0, 1]);
+        assert!(sys.is_quiescent());
+        assert!(sys.now() > 20_000, "service times must be paid");
     }
 }

@@ -20,9 +20,7 @@
 //!
 //! let trace = gen::cholesky(gen::CholeskyConfig::paper(256));
 //! let mut sys = PicosSystem::new(PicosConfig::balanced());
-//! for t in trace.iter() {
-//!     sys.submit(t.id, t.deps.clone());
-//! }
+//! sys.submit_all(&trace);
 //! // Instant workers: acknowledge every ready task immediately.
 //! sys.run_to_quiescence(100_000_000, |ready| {
 //!     Some(FinishedReq { task: ready.task, slot: ready.slot })

@@ -55,6 +55,9 @@ impl TmEntry {
 pub struct Tm {
     entries: Vec<Option<TmEntry>>,
     free: Vec<u16>,
+    /// Retired TMX vectors, recycled by [`Tm::alloc`] so the steady-state
+    /// task flow performs no heap allocation.
+    spare_deps: Vec<Vec<TmDep>>,
     peak_live: usize,
 }
 
@@ -65,6 +68,7 @@ impl Tm {
         Tm {
             entries: vec![None; capacity],
             free: (0..capacity as u16).rev().collect(),
+            spare_deps: Vec::new(),
             peak_live: 0,
         }
     }
@@ -96,11 +100,15 @@ impl Tm {
     /// process the new task yet — paper, Section III-B N2).
     pub fn alloc(&mut self, task: TaskId, num_deps: u8) -> Option<u16> {
         let idx = self.free.pop()?;
+        let deps = self
+            .spare_deps
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(num_deps as usize));
         self.entries[idx as usize] = Some(TmEntry {
             task,
             num_deps,
             ready_deps: 0,
-            deps: Vec::with_capacity(num_deps as usize),
+            deps,
             dispatched: false,
         });
         self.peak_live = self.peak_live.max(self.live());
@@ -109,13 +117,14 @@ impl Tm {
 
     /// Frees a slot after its task finished and its dependences were
     /// released (F-flow step 3: "deletes the task inside the assigned TM
-    /// slot").
+    /// slot"). The TMX vector is recycled for the next allocation.
     pub fn free(&mut self, idx: u16) {
-        debug_assert!(
-            self.entries[idx as usize].is_some(),
-            "double free of TM {idx}"
-        );
-        self.entries[idx as usize] = None;
+        let e = self.entries[idx as usize]
+            .take()
+            .unwrap_or_else(|| panic!("double free of TM {idx}"));
+        let mut deps = e.deps;
+        deps.clear();
+        self.spare_deps.push(deps);
         self.free.push(idx);
     }
 

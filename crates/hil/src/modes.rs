@@ -200,6 +200,14 @@ fn run_hw_only_impl(
     let mut workers = Workers::new(cfg.workers);
     let mut log = RunLog::new(n);
     let mut next_submit = 0usize;
+    // Without taskwait barriers every task is pre-loadable: bulk-submit
+    // once with a pre-sized queue instead of drip-feeding in the loop
+    // (cycle-identical — the first loop pass would submit all of them at
+    // t = 0 anyway).
+    if trace.barriers().is_empty() {
+        sys.submit_all(trace);
+        next_submit = n;
+    }
     let mut done_count = 0usize;
     let mut t = 0u64;
     loop {

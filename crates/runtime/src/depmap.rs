@@ -25,6 +25,9 @@ pub struct SoftwareDeps {
     finished: Vec<bool>,
     submitted: Vec<bool>,
     map_ops: u64,
+    /// Reusable predecessor list for [`SoftwareDeps::submit`], so the
+    /// per-dependence hot path performs no heap allocation.
+    preds_scratch: Vec<u32>,
 }
 
 impl SoftwareDeps {
@@ -37,6 +40,7 @@ impl SoftwareDeps {
             finished: vec![false; num_tasks],
             submitted: vec![false; num_tasks],
             map_ops: 0,
+            preds_scratch: Vec::new(),
         }
     }
 
@@ -53,10 +57,11 @@ impl SoftwareDeps {
         let me = task.id.raw();
         debug_assert!(!self.submitted[me as usize], "double submit of {me}");
         self.submitted[me as usize] = true;
+        let mut preds = std::mem::take(&mut self.preds_scratch);
         for dep in task.deps.iter() {
             self.map_ops += 1;
+            preds.clear();
             let st = self.addr.entry(dep.addr).or_default();
-            let mut preds: Vec<u32> = Vec::new();
             if dep.dir.reads() {
                 if let Some(w) = st.last_writer {
                     preds.push(w);
@@ -73,23 +78,24 @@ impl SoftwareDeps {
             if dep.dir.reads() && !dep.dir.writes() {
                 st.readers.push(me);
             }
-            for p in preds {
+            for &p in &preds {
                 if p != me && !self.finished[p as usize] && !self.succs[p as usize].contains(&me) {
                     self.succs[p as usize].push(me);
                     self.pred_remaining[me as usize] += 1;
                 }
             }
         }
+        self.preds_scratch = preds;
         self.pred_remaining[me as usize] == 0
     }
 
-    /// Marks a task finished; returns the tasks that became ready.
-    pub fn finish(&mut self, task: TaskId) -> Vec<TaskId> {
+    /// Marks a task finished; appends the tasks that became ready to
+    /// `ready` (the allocation-free form of [`SoftwareDeps::finish`]).
+    pub fn finish_into(&mut self, task: TaskId, ready: &mut Vec<TaskId>) {
         let me = task.index();
         debug_assert!(self.submitted[me], "finish before submit");
         debug_assert!(!self.finished[me], "double finish");
         self.finished[me] = true;
-        let mut ready = Vec::new();
         for i in 0..self.succs[me].len() {
             let s = self.succs[me][i];
             self.map_ops += 1;
@@ -98,6 +104,12 @@ impl SoftwareDeps {
                 ready.push(TaskId::new(s));
             }
         }
+    }
+
+    /// Marks a task finished; returns the tasks that became ready.
+    pub fn finish(&mut self, task: TaskId) -> Vec<TaskId> {
+        let mut ready = Vec::new();
+        self.finish_into(task, &mut ready);
         ready
     }
 

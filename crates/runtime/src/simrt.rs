@@ -159,6 +159,9 @@ pub fn run_software(trace: &Trace, cfg: SwRuntimeConfig) -> Result<ExecReport, S
     // creating task `j`.
     let mut master_parked_at: Option<u32> = None;
 
+    // Reusable buffer for the successors released by each finish.
+    let mut newly: Vec<TaskId> = Vec::new();
+
     while let Some(Reverse((now, _, ev))) = heap.pop() {
         match ev {
             Ev::MasterDone(i) => {
@@ -206,9 +209,10 @@ pub fn run_software(trace: &Trace, cfg: SwRuntimeConfig) -> Result<ExecReport, S
             }
             Ev::TaskDone(w, task) => {
                 finished += 1;
-                let newly = deps.finish(TaskId::new(task));
+                newly.clear();
+                deps.finish_into(TaskId::new(task), &mut newly);
                 let mut cur = now;
-                for s in newly {
+                for s in newly.drain(..) {
                     cur = acquire(&mut lock_free, cur, cfg.cost.release_per_succ);
                     ready_q.push_back(s.raw());
                     wake_one!(cur);
