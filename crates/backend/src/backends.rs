@@ -5,14 +5,17 @@
 //! * [`PerfectBackend`] — the zero-overhead list scheduler (roofline),
 //! * [`SoftwareBackend`] — the Nanos++-like software runtime model,
 //! * [`PicosBackend`] — the HIL platform around the Picos core, one
-//!   instance per [`HilMode`].
+//!   instance per [`HilMode`],
+//! * [`ClusterBackend`] — N Picos shards with distributed dependence
+//!   management over an explicit interconnect (`picos_cluster`).
 //!
 //! [`BackendSpec`] is the declarative, copyable counterpart used by sweep
 //! grids and command lines: it names a backend family and builds the boxed
 //! backend for a concrete worker count and Picos configuration.
 
+use picos_cluster::{merged_stats, run_cluster_with_stats, ClusterConfig, ClusterError};
 use picos_core::{PicosConfig, Stats};
-use picos_hil::{run_hil_with_stats, HilConfig, HilError, HilMode};
+use picos_hil::{run_hil_with_stats, HilConfig, HilError, HilMode, LinkModel};
 use picos_runtime::{perfect_schedule, run_software, ExecReport, SwError, SwRuntimeConfig};
 use picos_trace::Trace;
 use std::fmt;
@@ -27,6 +30,8 @@ pub enum BackendError {
     Hil(HilError),
     /// The software runtime failed (see [`SwError`]).
     Software(SwError),
+    /// The cluster model failed (see [`ClusterError`]).
+    Cluster(ClusterError),
     /// Backend-specific configuration problem.
     Config(String),
 }
@@ -36,6 +41,7 @@ impl fmt::Display for BackendError {
         match self {
             BackendError::Hil(e) => write!(f, "picos backend: {e}"),
             BackendError::Software(e) => write!(f, "software backend: {e}"),
+            BackendError::Cluster(e) => write!(f, "cluster backend: {e}"),
             BackendError::Config(m) => write!(f, "backend configuration: {m}"),
         }
     }
@@ -52,6 +58,12 @@ impl From<HilError> for BackendError {
 impl From<SwError> for BackendError {
     fn from(e: SwError) -> Self {
         BackendError::Software(e)
+    }
+}
+
+impl From<ClusterError> for BackendError {
+    fn from(e: ClusterError) -> Self {
+        BackendError::Cluster(e)
     }
 }
 
@@ -200,6 +212,46 @@ impl ExecBackend for PicosBackend {
     }
 }
 
+/// The sharded multi-Picos cluster (`picos_cluster`): N full accelerators
+/// with address-sharded dependence management over an explicit
+/// interconnect. A one-shard cluster is cycle-identical to
+/// [`HilMode::HwOnly`].
+#[derive(Debug, Clone)]
+pub struct ClusterBackend {
+    /// Complete cluster configuration (shards, placement policy, per-shard
+    /// core, worker total, interconnect).
+    pub cfg: ClusterConfig,
+}
+
+impl ClusterBackend {
+    /// Balanced-core cluster of `shards` shards sharing `workers` workers.
+    pub fn balanced(shards: usize, workers: usize) -> Self {
+        ClusterBackend {
+            cfg: ClusterConfig::balanced(shards, workers),
+        }
+    }
+}
+
+impl ExecBackend for ClusterBackend {
+    fn name(&self) -> String {
+        "cluster".into()
+    }
+
+    fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
+        self.run_with_stats(trace).map(|(r, _)| r)
+    }
+
+    fn run_with_stats(&self, trace: &Trace) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        run_cluster_with_stats(trace, &self.cfg)
+            .map(|(r, per_shard)| (r, Some(merged_stats(&per_shard))))
+            .map_err(BackendError::from)
+    }
+}
+
 /// Declarative backend selector: which engine family a sweep cell or a CLI
 /// invocation runs. `Copy`, orderable and parseable, unlike the boxed
 /// backends it builds.
@@ -211,17 +263,21 @@ pub enum BackendSpec {
     Nanos,
     /// Picos HIL platform in the given mode.
     Picos(HilMode),
+    /// Sharded multi-Picos cluster with the given shard count.
+    Cluster(usize),
 }
 
 impl BackendSpec {
-    /// Every backend family, paper order: perfect, nanos, then the three
-    /// HIL modes from raw hardware to full system.
-    pub const ALL: [BackendSpec; 5] = [
+    /// Every backend family, paper order: perfect, nanos, the three HIL
+    /// modes from raw hardware to full system, then the one-shard cluster
+    /// (the sharded model's degenerate point, cycle-identical to HW-only).
+    pub const ALL: [BackendSpec; 6] = [
         BackendSpec::Perfect,
         BackendSpec::Nanos,
         BackendSpec::Picos(HilMode::HwOnly),
         BackendSpec::Picos(HilMode::HwComm),
         BackendSpec::Picos(HilMode::FullSystem),
+        BackendSpec::Cluster(1),
     ];
 
     /// The three Picos HIL modes only.
@@ -240,6 +296,7 @@ impl BackendSpec {
             BackendSpec::Picos(HilMode::HwOnly) => "picos-hw-only",
             BackendSpec::Picos(HilMode::HwComm) => "picos-hw-comm",
             BackendSpec::Picos(HilMode::FullSystem) => "picos-full",
+            BackendSpec::Cluster(_) => "cluster",
         }
     }
 
@@ -249,9 +306,29 @@ impl BackendSpec {
         matches!(self, BackendSpec::Picos(_))
     }
 
+    /// Whether this spec builds its engine around the Picos core and
+    /// therefore responds to the DM design / instance-count axes of a
+    /// sweep (the HIL backends and the cluster, whose shards each embed a
+    /// full core configuration).
+    pub fn uses_picos_config(self) -> bool {
+        matches!(self, BackendSpec::Picos(_) | BackendSpec::Cluster(_))
+    }
+
+    /// Shard count of this spec: the cluster's configured count, 1 for
+    /// every single-accelerator family (the `shards` column of result
+    /// files).
+    pub fn shards(self) -> usize {
+        match self {
+            BackendSpec::Cluster(n) => n,
+            _ => 1,
+        }
+    }
+
     /// Parses a backend name as used by the CLI: the short engine names
-    /// (`perfect`, `nanos`, `hw-only`, `hw-comm`, `full`) and the report
-    /// labels (`picos-hw-only`, ...) are both accepted.
+    /// (`perfect`, `nanos`, `hw-only`, `hw-comm`, `full`, `cluster`) and
+    /// the report labels (`picos-hw-only`, ...) are both accepted.
+    /// `cluster` parses to one shard; shard counts are a separate axis
+    /// (`--shards`, [`Sweep`](crate::Sweep) backends list).
     pub fn parse(s: &str) -> Option<BackendSpec> {
         match s {
             "perfect" => Some(BackendSpec::Perfect),
@@ -259,13 +336,26 @@ impl BackendSpec {
             "hw-only" | "picos-hw-only" => Some(BackendSpec::Picos(HilMode::HwOnly)),
             "hw-comm" | "picos-hw-comm" => Some(BackendSpec::Picos(HilMode::HwComm)),
             "full" | "picos-full" | "picos" => Some(BackendSpec::Picos(HilMode::FullSystem)),
+            "cluster" => Some(BackendSpec::Cluster(1)),
             _ => None,
         }
     }
 
     /// Builds the boxed backend for a concrete worker count and Picos core
-    /// configuration (ignored by the non-Picos families).
+    /// configuration (ignored by the non-Picos families), with the default
+    /// inter-shard interconnect for the cluster family.
     pub fn build(self, workers: usize, picos: &PicosConfig) -> Box<dyn ExecBackend> {
+        self.build_with_link(workers, picos, LinkModel::interconnect())
+    }
+
+    /// Like [`BackendSpec::build`], with an explicit interconnect cost
+    /// model for the cluster family (the other families ignore it).
+    pub fn build_with_link(
+        self,
+        workers: usize,
+        picos: &PicosConfig,
+        link: LinkModel,
+    ) -> Box<dyn ExecBackend> {
         match self {
             BackendSpec::Perfect => Box::new(PerfectBackend { workers }),
             BackendSpec::Nanos => Box::new(SoftwareBackend::with_workers(workers)),
@@ -274,6 +364,13 @@ impl BackendSpec {
                 cfg: HilConfig {
                     picos: picos.clone(),
                     ..HilConfig::balanced(workers)
+                },
+            }),
+            BackendSpec::Cluster(shards) => Box::new(ClusterBackend {
+                cfg: ClusterConfig {
+                    picos: picos.clone(),
+                    link,
+                    ..ClusterConfig::balanced(shards, workers)
                 },
             }),
         }
@@ -345,7 +442,9 @@ mod tests {
             assert!(
                 matches!(
                     r,
-                    Err(BackendError::Config(_)) | Err(BackendError::Software(_))
+                    Err(BackendError::Config(_))
+                        | Err(BackendError::Software(_))
+                        | Err(BackendError::Cluster(_))
                 ),
                 "{spec}: zero workers must be an error, got {r:?}"
             );
@@ -358,5 +457,31 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let e: BackendError = SwError::Config("zero workers".into()).into();
         assert!(e.to_string().contains("zero workers"));
+        let e: BackendError = ClusterError::Config("shardless".into()).into();
+        assert!(e.to_string().contains("shardless"));
+    }
+
+    #[test]
+    fn cluster_spec_shards_and_axes() {
+        assert_eq!(BackendSpec::Cluster(4).shards(), 4);
+        assert_eq!(BackendSpec::Perfect.shards(), 1);
+        assert_eq!(BackendSpec::Cluster(4).label(), "cluster");
+        assert!(BackendSpec::Cluster(4).uses_picos_config());
+        assert!(!BackendSpec::Cluster(4).is_picos());
+        assert!(BackendSpec::Picos(HilMode::HwOnly).uses_picos_config());
+        assert_eq!(BackendSpec::parse("cluster"), Some(BackendSpec::Cluster(1)));
+    }
+
+    #[test]
+    fn cluster_backend_reports_merged_hw_counters() {
+        let tr = gen::synthetic(gen::Case::Case2);
+        let (r, stats) = BackendSpec::Cluster(2)
+            .build(4, &PicosConfig::balanced())
+            .run_with_stats(&tr)
+            .unwrap();
+        let stats = stats.expect("cluster reports hardware counters");
+        assert_eq!(stats.tasks_completed as usize, tr.len());
+        assert_eq!(r.engine, "cluster");
+        r.validate(&tr).unwrap();
     }
 }

@@ -36,6 +36,7 @@ pub mod par;
 mod sweep;
 
 pub use backends::{
-    BackendError, BackendSpec, ExecBackend, PerfectBackend, PicosBackend, SoftwareBackend,
+    BackendError, BackendSpec, ClusterBackend, ExecBackend, PerfectBackend, PicosBackend,
+    SoftwareBackend,
 };
 pub use sweep::{Sweep, SweepCell, SweepResult, SweepRow, Workload};

@@ -11,6 +11,7 @@
 use crate::backends::BackendSpec;
 use crate::par;
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
+use picos_hil::LinkModel;
 use picos_trace::gen::App;
 use picos_trace::{json_escape, Trace};
 use std::fmt;
@@ -70,6 +71,9 @@ pub struct SweepCell {
     pub dm: DmDesign,
     /// Picos TRS/DCT instance count (ignored by non-Picos backends).
     pub instances: usize,
+    /// Shard count of the cell's backend (1 for every single-accelerator
+    /// family).
+    pub shards: usize,
 }
 
 impl SweepCell {
@@ -86,8 +90,11 @@ impl fmt::Display for SweepCell {
             write!(f, "/bs{bs}")?;
         }
         write!(f, " {} w{}", self.backend, self.workers)?;
-        if self.backend.is_picos() {
+        if self.backend.uses_picos_config() {
             write!(f, " {} x{}", self.dm, self.instances)?;
+        }
+        if self.shards > 1 {
+            write!(f, " s{}", self.shards)?;
         }
         Ok(())
     }
@@ -108,6 +115,9 @@ pub struct SweepRow {
     pub dm: DmDesign,
     /// Picos instance count of the cell.
     pub instances: usize,
+    /// Shard count of the cell (1 for single-accelerator backends, so old
+    /// and new result files stay comparable).
+    pub shards: usize,
     /// Total simulated time (0 when the cell errored).
     pub makespan: u64,
     /// Sequential execution time of the workload.
@@ -170,19 +180,20 @@ impl SweepResult {
     /// Renders the result as CSV (stable column set, one row per cell).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "workload,block_size,backend,workers,dm,instances,makespan,sequential,\
+            "workload,block_size,backend,workers,dm,instances,shards,makespan,sequential,\
              speedup,dm_conflicts,vm_stalls,tm_stalls,error\n",
         );
         let opt = |v: &Option<u64>| v.map_or(String::new(), |v| v.to_string());
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{:.4},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{}\n",
                 csv_field(&r.workload),
                 r.block_size.map_or(String::new(), |v| v.to_string()),
                 r.backend,
                 r.workers,
                 r.dm.name().replace(' ', "-"),
                 r.instances,
+                r.shards,
                 r.makespan,
                 r.sequential,
                 r.speedup,
@@ -205,7 +216,8 @@ impl SweepResult {
             let opt = |v: &Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
             out.push_str(&format!(
                 "{{\"workload\":\"{}\",\"block_size\":{},\"backend\":\"{}\",\
-                 \"workers\":{},\"dm\":\"{}\",\"instances\":{},\"makespan\":{},\
+                 \"workers\":{},\"dm\":\"{}\",\"instances\":{},\"shards\":{},\
+                 \"makespan\":{},\
                  \"sequential\":{},\"speedup\":{:.6},\"dm_conflicts\":{},\
                  \"vm_stalls\":{},\"tm_stalls\":{},\"error\":{}}}",
                 json_escape(&r.workload),
@@ -214,6 +226,7 @@ impl SweepResult {
                 r.workers,
                 r.dm.name(),
                 r.instances,
+                r.shards,
                 r.makespan,
                 r.sequential,
                 r.speedup,
@@ -259,8 +272,10 @@ type CellFilter = Box<dyn Fn(&SweepCell) -> bool + Send + Sync>;
 ///
 /// Build with [`Sweep::new`] / [`Sweep::over_apps`], refine with the
 /// builder methods, then [`Sweep::run`]. Every axis defaults to the
-/// paper's baseline: 12 workers, all five backends, the balanced
-/// Pearson-hashed DM, a single TRS/DCT instance, FIFO scheduling.
+/// paper's baseline: 12 workers, all six backends of
+/// [`BackendSpec::ALL`] (including the one-shard cluster), the balanced
+/// Pearson-hashed DM, a single TRS/DCT instance, FIFO scheduling, the
+/// default interconnect.
 #[allow(missing_debug_implementations)] // the cell filter closure is opaque
 pub struct Sweep {
     workloads: Vec<Workload>,
@@ -269,6 +284,7 @@ pub struct Sweep {
     dm_designs: Vec<DmDesign>,
     instances: Vec<usize>,
     ts_policy: TsPolicy,
+    link: LinkModel,
     threads: Option<usize>,
     filter: Option<CellFilter>,
     fail_fast: bool,
@@ -284,6 +300,7 @@ impl Sweep {
             dm_designs: vec![DmDesign::PearsonEightWay],
             instances: vec![1],
             ts_policy: TsPolicy::Fifo,
+            link: LinkModel::interconnect(),
             threads: None,
             filter: None,
             fail_fast: false,
@@ -336,6 +353,13 @@ impl Sweep {
         self
     }
 
+    /// Sets the inter-shard interconnect cost model for all cluster cells
+    /// (single-accelerator backends ignore it).
+    pub fn interconnect(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
     /// Caps the number of OS threads executing cells.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
@@ -372,7 +396,7 @@ impl Sweep {
         let mut cells = Vec::new();
         for (workload_index, w) in self.workloads.iter().enumerate() {
             for &backend in &self.backends {
-                let (dms, insts): (&[DmDesign], &[usize]) = if backend.is_picos() {
+                let (dms, insts): (&[DmDesign], &[usize]) = if backend.uses_picos_config() {
                     (&self.dm_designs, &self.instances)
                 } else {
                     (
@@ -391,6 +415,7 @@ impl Sweep {
                                 workers,
                                 dm,
                                 instances,
+                                shards: backend.shards(),
                             };
                             if self.filter.as_ref().is_none_or(|keep| keep(&cell)) {
                                 cells.push(cell);
@@ -420,7 +445,7 @@ impl Sweep {
             // Cells carry the index of their workload, so duplicate labels
             // can never resolve to the wrong trace.
             let trace = &self.workloads[cell.workload_index].trace;
-            let row = run_cell(cell, trace, self.ts_policy);
+            let row = run_cell(cell, trace, self.ts_policy, self.link);
             if self.fail_fast && row.error.is_some() {
                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
             }
@@ -438,6 +463,7 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
         workers: cell.workers,
         dm: cell.dm,
         instances: cell.instances,
+        shards: cell.shards,
         makespan: 0,
         sequential: 0,
         speedup: 0.0,
@@ -448,10 +474,10 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
     }
 }
 
-fn run_cell(cell: &SweepCell, trace: &Trace, ts_policy: TsPolicy) -> SweepRow {
+fn run_cell(cell: &SweepCell, trace: &Trace, ts_policy: TsPolicy, link: LinkModel) -> SweepRow {
     let backend = cell
         .backend
-        .build(cell.workers, &cell.picos_config(ts_policy));
+        .build_with_link(cell.workers, &cell.picos_config(ts_policy), link);
     let mut row = skipped_row(cell);
     row.error = None;
     match backend.run_with_stats(trace) {
@@ -601,6 +627,58 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("evil,\\\"name\\\"\\nhere"));
         assert!(!json.contains("\"name\"\n"), "raw quote must not leak");
+    }
+
+    #[test]
+    fn shards_column_defaults_to_one_and_tracks_cluster_cells() {
+        let result = Sweep::over_apps([App::Cholesky], [256])
+            .workers([4])
+            .backends([
+                BackendSpec::Perfect,
+                BackendSpec::Cluster(1),
+                BackendSpec::Cluster(2),
+            ])
+            .run();
+        assert_eq!(result.first_error(), None);
+        let shards: Vec<usize> = result.rows().iter().map(|r| r.shards).collect();
+        assert_eq!(shards, vec![1, 1, 2]);
+        let csv = result.to_csv();
+        assert!(csv.starts_with("workload,block_size,backend,workers,dm,instances,shards,makespan"));
+        assert!(result.to_json().contains("\"shards\":2"));
+        // The one-shard cluster cell must agree with the raw HW model.
+        let hw = Sweep::over_apps([App::Cholesky], [256])
+            .workers([4])
+            .backends([BackendSpec::Picos(HilMode::HwOnly)])
+            .run();
+        assert_eq!(result.rows()[1].makespan, hw.rows()[0].makespan);
+    }
+
+    #[test]
+    fn interconnect_latency_slows_cluster_cells_only() {
+        let slow_link = picos_hil::LinkModel {
+            occupancy: 2_000,
+            latency: 10_000,
+            setup: 0,
+            width: 1,
+        };
+        let grid = |link| {
+            Sweep::over_apps([App::SparseLu], [128])
+                .workers([8])
+                .backends([BackendSpec::Picos(HilMode::HwOnly), BackendSpec::Cluster(4)])
+                .interconnect(link)
+                .run()
+        };
+        let fast = grid(picos_hil::LinkModel::interconnect());
+        let slow = grid(slow_link);
+        assert_eq!(
+            fast.rows()[0].makespan,
+            slow.rows()[0].makespan,
+            "non-cluster cells must ignore the interconnect"
+        );
+        assert!(
+            slow.rows()[1].makespan > fast.rows()[1].makespan,
+            "a slower interconnect must cost the cluster cycles"
+        );
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Bench smoke: quick engine + sweep throughput check for CI.
 //!
-//! Runs the `engine_throughput` workload (bare engine, instant workers)
-//! and the `sweep_throughput` grid in a short fixed sampling window and
-//! emits `BENCH_engine.json` with tasks/sec and cells/sec, alongside the
-//! pinned pre-rewrite baseline, so the perf trajectory of the event core
-//! is tracked from the timing-wheel PR onward.
+//! Runs the `engine_throughput` workload (bare engine, instant workers),
+//! the `sweep_throughput` grid, and a cluster-backend grid in a short
+//! fixed sampling window and emits `BENCH_engine.json` with tasks/sec and
+//! cells/sec, alongside the pinned pre-rewrite baseline, so the perf
+//! trajectory of the event core — and of the sharded cluster backend from
+//! its first day — is tracked across PRs.
 //!
 //! Knob: `BENCH_SMOKE_MS` — per-measurement sampling window (default 300).
 
-use picos_backend::{BackendSpec, Sweep};
+use picos_backend::{BackendSpec, Sweep, Workload};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem};
 use picos_hil::HilMode;
 use picos_trace::gen::{self, App};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pre-rewrite `engine/sparselu128/instant-workers` throughput (tasks/sec),
@@ -74,6 +76,19 @@ fn main() {
     });
     let cells_per_sec = sweeps_per_sec * cells;
 
+    // Cluster backend: shard counts over the open-loop stream workload
+    // (its home turf), so the new backend's perf trajectory is covered
+    // from day one.
+    let stream = Arc::new(gen::stream(gen::StreamConfig::heavy(800)));
+    let cluster_grid = Sweep::new([Workload::from_trace("stream", stream)])
+        .workers([8])
+        .backends([1usize, 2, 4].map(BackendSpec::Cluster));
+    let cluster_cells = cluster_grid.cells().len() as f64;
+    let cluster_runs_per_sec = sample(window, || {
+        std::hint::black_box(cluster_grid.run().rows().len());
+    });
+    let cluster_cells_per_sec = cluster_runs_per_sec * cluster_cells;
+
     let json = format!(
         "{{\n  \"workload\": \"sparselu128\",\n  \"tasks\": {},\n  \
          \"baseline_tasks_per_sec\": {:.0},\n  \
@@ -82,13 +97,16 @@ fn main() {
          compare tasks_per_sec between runs instead\",\n  \
          \"tasks_per_sec\": {:.0},\n  \
          \"speedup_vs_baseline\": {:.2},\n  \"sweep_cells\": {},\n  \
-         \"sweep_cells_per_sec\": {:.1}\n}}\n",
+         \"sweep_cells_per_sec\": {:.1},\n  \"cluster_cells\": {},\n  \
+         \"cluster_cells_per_sec\": {:.1}\n}}\n",
         tasks as u64,
         BASELINE_TASKS_PER_SEC,
         tasks_per_sec,
         tasks_per_sec / BASELINE_TASKS_PER_SEC,
         cells as u64,
-        cells_per_sec
+        cells_per_sec,
+        cluster_cells as u64,
+        cluster_cells_per_sec
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_engine.json", &json) {

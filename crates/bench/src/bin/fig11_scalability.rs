@@ -52,6 +52,7 @@ fn main() {
             BackendSpec::Picos(_) => "picos",
             BackendSpec::Perfect => "perfect",
             BackendSpec::Nanos => "nanos",
+            BackendSpec::Cluster(_) => "cluster",
         };
         let mut cells = vec![
             first.workload.clone(),

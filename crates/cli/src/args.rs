@@ -81,10 +81,14 @@ commands:
   gen <app> --block <bs> [--out trace.json]     generate a paper workload
   stats <workload>                              print a Table-I style row
   run <workload> --engine <e> --workers <w>     run one engine
-       engines: hw-only | hw-comm | full | nanos | perfect
+       engines: hw-only | hw-comm | full | nanos | perfect | cluster
        options: --dm <8way|16way|p8way>  --ts <fifo|lifo>  --instances <n>
+       cluster: --shards <n>  --policy <addr-hash|round-robin|locality>
+                --link-latency <c> --link-occupancy <c> --link-width <w>
+                (--backend is accepted as an alias for --engine)
   sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
        [--threads <n>] [--out results.csv]      cells run in parallel
+       [--shards <n>] [--link-latency <c>]      (cluster cells)
   resources [--dm <design>] [--instances <n>]   FPGA cost estimate
   apps                                          list available generators
   engines                                       list available backends

@@ -8,8 +8,10 @@
 mod args;
 
 use args::{usage, Args};
-use picos_backend::{BackendSpec, Sweep, Workload};
+use picos_backend::{BackendSpec, ClusterBackend, ExecBackend, Sweep, Workload};
+use picos_cluster::{ClusterConfig, ShardPolicy};
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
+use picos_hil::LinkModel;
 use picos_resources::{full_picos_resources, XC7Z020};
 use picos_trace::{gen, Trace};
 use std::sync::Arc;
@@ -37,6 +39,7 @@ fn dispatch(a: &Args) -> Result<(), String> {
                 println!("{app}  (block sizes: {:?})", app.paper_block_sizes());
             }
             println!("case1..case7  (synthetic testcases)");
+            println!("stream  (open-loop arrival; --block sets the inter-arrival gap)");
             Ok(())
         }
         "engines" => {
@@ -62,6 +65,14 @@ fn generate(name: &str, block: u64) -> Result<Trace, String> {
         .find(|c| c.name().eq_ignore_ascii_case(name))
     {
         return Ok(gen::synthetic(case));
+    }
+    if name == "stream" {
+        // --block doubles as the mean inter-arrival gap for the open-loop
+        // stream workload (its granularity knob).
+        return Ok(gen::stream(gen::StreamConfig {
+            interarrival: block,
+            ..gen::StreamConfig::default()
+        }));
     }
     Err(format!("unknown app {name}; try `picos apps`"))
 }
@@ -137,25 +148,73 @@ fn parse_ts(s: &str) -> Result<TsPolicy, String> {
     }
 }
 
-/// Parses a comma-separated engine list (`all` expands to every backend).
-fn parse_engines(s: &str) -> Result<Vec<BackendSpec>, String> {
-    if s == "all" {
-        return Ok(BackendSpec::ALL.to_vec());
-    }
-    s.split(',')
-        .map(|e| {
-            BackendSpec::parse(e.trim()).ok_or_else(|| format!("unknown engine {e}\n{}", usage()))
+/// Parses a comma-separated engine list (`all` expands to every backend);
+/// `--shards` applies to each cluster entry.
+fn parse_engines(s: &str, shards: usize) -> Result<Vec<BackendSpec>, String> {
+    let specs: Vec<BackendSpec> = if s == "all" {
+        BackendSpec::ALL.to_vec()
+    } else {
+        s.split(',')
+            .map(|e| {
+                BackendSpec::parse(e.trim())
+                    .ok_or_else(|| format!("unknown engine {e}\n{}", usage()))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    Ok(specs
+        .into_iter()
+        .map(|spec| match spec {
+            BackendSpec::Cluster(_) => BackendSpec::Cluster(shards),
+            other => other,
         })
-        .collect()
+        .collect())
+}
+
+/// The engine name of a run/sweep invocation (`--backend` is an alias for
+/// `--engine`, matching the cluster documentation).
+fn engine_name(a: &Args) -> Result<String, String> {
+    match a.options.get("backend") {
+        Some(b) => Ok(b.clone()),
+        None => a.opt("engine", "full".to_string()),
+    }
+}
+
+/// Interconnect model for cluster runs, with per-knob overrides.
+fn link_model(a: &Args) -> Result<LinkModel, String> {
+    let d = LinkModel::interconnect();
+    Ok(LinkModel {
+        occupancy: a.opt("link-occupancy", d.occupancy)?,
+        latency: a.opt("link-latency", d.latency)?,
+        setup: d.setup,
+        width: a.opt("link-width", d.width)?,
+    })
 }
 
 fn cmd_run(a: &Args) -> Result<(), String> {
     let trace = load_workload(a, a.pos(0, "trace")?)?;
-    let engine = a.opt("engine", "full".to_string())?;
+    let engine = engine_name(a)?;
     let workers = a.opt("workers", 12usize)?;
+    let shards = a.opt("shards", 1usize)?;
     let spec = BackendSpec::parse(&engine)
         .ok_or_else(|| format!("unknown engine {engine}\n{}", usage()))?;
-    let backend = spec.build(workers, &picos_config(a)?);
+    if shards > 1 && !matches!(spec, BackendSpec::Cluster(_)) {
+        return Err("--shards only applies to the cluster backend".into());
+    }
+    let backend: Box<dyn ExecBackend> = match spec {
+        BackendSpec::Cluster(_) => {
+            let mut cfg = ClusterConfig {
+                picos: picos_config(a)?,
+                link: link_model(a)?,
+                ..ClusterConfig::balanced(shards, workers)
+            };
+            if let Some(p) = a.options.get("policy") {
+                cfg.policy =
+                    ShardPolicy::parse(p).ok_or_else(|| format!("unknown placement policy {p}"))?;
+            }
+            Box::new(ClusterBackend { cfg })
+        }
+        spec => spec.build_with_link(workers, &picos_config(a)?, link_model(a)?),
+    };
     let (report, stats) = backend.run_with_stats(&trace).map_err(|e| e.to_string())?;
     if let Some(stats) = &stats {
         if stats.dm_conflicts > 0 || stats.vm_stalls > 0 {
@@ -180,7 +239,8 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     let arg = a.pos(0, "trace")?;
     let trace = Arc::new(load_workload(a, arg)?);
     let label = trace.name.clone();
-    let engines = parse_engines(&a.opt("engine", "full".to_string())?)?;
+    let shards = a.opt("shards", 1usize)?;
+    let engines = parse_engines(&engine_name(a)?, shards)?;
     let dm = parse_dm(a.opt("dm", "p8way".to_string())?.as_str())?;
     let ts = parse_ts(a.opt("ts", "fifo".to_string())?.as_str())?;
     let instances = a.opt("instances", 1usize)?;
@@ -189,7 +249,11 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         .backends(engines)
         .dm_designs([dm])
         .instances([instances])
-        .ts_policy(ts);
+        .ts_policy(ts)
+        .interconnect(link_model(a)?)
+        // Cluster cells need one worker per shard; prune the infeasible
+        // low end of the worker grid instead of reporting error rows.
+        .filter(|c| c.workers >= c.shards);
     if let Some(threads) = a.options.get("threads") {
         sweep = sweep.threads(threads.parse().map_err(|_| "invalid --threads")?);
     }

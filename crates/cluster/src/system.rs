@@ -1,0 +1,543 @@
+//! The cluster driver: N Picos shards, a Distributor, and the inter-shard
+//! interconnect, advanced as one deterministic discrete-event loop.
+//!
+//! # Protocol
+//!
+//! For every task the Distributor splits the dependence list into
+//! per-home-shard fragments (see [`crate::home_shard`]):
+//!
+//! 1. **Registration.** The local fragment (placement shard) enters that
+//!    shard's Gateway queue directly, exactly like the HW-only HIL driver's
+//!    pre-load. Remote fragments cross the interconnect as registration
+//!    messages of `deps + 1` payload words. Each shard **ingests fragments
+//!    in global task-creation order** (an ingress reorder stage buffers
+//!    early arrivals), so every per-address dependence chain sees the same
+//!    registration order a single Picos would — this is what preserves
+//!    TaskGraph-order correctness for any shard count.
+//! 2. **Wake-up.** A fragment popping out of a remote shard's Task
+//!    Scheduler sends a ready notice back to the placement shard (one
+//!    word). The task may start once its local fragment has popped *and*
+//!    every remote notice has arrived.
+//! 3. **Execution.** The placement shard's TS output port hands tasks to
+//!    workers with the HW-only dispatch cost. Remote-task fragments at the
+//!    head of the ready stream are consumed unconditionally; a local task
+//!    at the head waits for a free worker (the single-Picos discipline).
+//! 4. **Finish.** Worker completion notifies the local shard immediately
+//!    and every remote fragment shard over the interconnect, releasing
+//!    TM/DM/VM entries and waking successors there.
+//!
+//! With one shard, steps 2 and 4's remote halves never fire and the loop
+//! is statement-for-statement the HW-only driver: cycle-identical.
+
+use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
+use picos_core::{FinishedReq, PicosSystem, SlotRef, Stats};
+use picos_hil::Link;
+use picos_runtime::ExecReport;
+use picos_trace::{Dependence, TaskId, Trace};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Messages crossing the inter-shard interconnect.
+#[derive(Debug, Clone)]
+enum ClusterMsg {
+    /// A remote dependence-registration fragment travelling to the home
+    /// shard of its addresses. Sized by its dependence count on the link.
+    Register { task: u32, deps: Arc<[Dependence]> },
+    /// A remote fragment became ready; travels to the placement shard.
+    Ready { task: u32 },
+    /// The task finished; travels to a remote fragment's shard.
+    Finish { task: u32 },
+}
+
+/// Per-task placement and fragment plan, fixed before the clock starts.
+struct Plan {
+    /// Executing shard of each task.
+    placement: Vec<u16>,
+    /// Dependences homed at the placement shard (order preserved).
+    local: Vec<Arc<[Dependence]>>,
+    /// Remote fragments, ascending shard order.
+    remote: Vec<Vec<(u16, Arc<[Dependence]>)>>,
+}
+
+impl Plan {
+    fn build(trace: &Trace, cfg: &ClusterConfig) -> Plan {
+        let n = trace.len();
+        let k = cfg.shards;
+        let empty: Arc<[Dependence]> = Arc::from(Vec::new());
+        let mut placement = Vec::with_capacity(n);
+        let mut local = Vec::with_capacity(n);
+        let mut remote = Vec::with_capacity(n);
+        if k == 1 {
+            for t in trace.iter() {
+                placement.push(0);
+                local.push(t.deps.clone());
+                remote.push(Vec::new());
+            }
+            return Plan {
+                placement,
+                local,
+                remote,
+            };
+        }
+        let mut rr = 0usize; // fallback for dependence-free tasks
+        let mut counts = vec![0usize; k];
+        for (i, t) in trace.iter().enumerate() {
+            let p = match cfg.policy {
+                ShardPolicy::RoundRobin => i % k,
+                ShardPolicy::AddrHash => match t.deps.first() {
+                    Some(d) => home_shard(d.addr, k),
+                    None => {
+                        rr += 1;
+                        (rr - 1) % k
+                    }
+                },
+                ShardPolicy::LocalityAffine => {
+                    if t.deps.is_empty() {
+                        rr += 1;
+                        (rr - 1) % k
+                    } else {
+                        counts.iter_mut().for_each(|c| *c = 0);
+                        for d in t.deps.iter() {
+                            counts[home_shard(d.addr, k)] += 1;
+                        }
+                        let best = *counts.iter().max().expect("k > 0");
+                        counts.iter().position(|&c| c == best).expect("max exists")
+                    }
+                }
+            };
+            // Bucket the dependence list by home shard, preserving order.
+            let mut buckets: Vec<(usize, Vec<Dependence>)> = Vec::new();
+            for &d in t.deps.iter() {
+                let h = home_shard(d.addr, k);
+                match buckets.iter_mut().find(|(s, _)| *s == h) {
+                    Some((_, v)) => v.push(d),
+                    None => buckets.push((h, vec![d])),
+                }
+            }
+            buckets.sort_by_key(|(s, _)| *s);
+            let mut loc = empty.clone();
+            let mut rem = Vec::new();
+            for (s, deps) in buckets {
+                if s == p {
+                    loc = deps.into();
+                } else {
+                    rem.push((s as u16, Arc::<[Dependence]>::from(deps)));
+                }
+            }
+            placement.push(p as u16);
+            local.push(loc);
+            remote.push(rem);
+        }
+        Plan {
+            placement,
+            local,
+            remote,
+        }
+    }
+}
+
+fn min_next(cands: impl IntoIterator<Item = Option<u64>>) -> Option<u64> {
+    cands.into_iter().flatten().min()
+}
+
+/// Runs a trace through the cluster; returns the schedule with engine
+/// label `"cluster"`.
+///
+/// # Errors
+///
+/// [`ClusterError::Config`] on an invalid configuration,
+/// [`ClusterError::Stalled`] if the run cannot complete (an engine bug).
+pub fn run_cluster(trace: &Trace, cfg: &ClusterConfig) -> Result<ExecReport, ClusterError> {
+    run_cluster_with_stats(trace, cfg).map(|(r, _)| r)
+}
+
+/// Sums per-shard hardware counters into cluster totals (peaks add, the
+/// same convention [`PicosSystem::stats`] uses across its own instances).
+pub fn merged_stats(per_shard: &[Stats]) -> Stats {
+    let mut total = Stats::default();
+    for s in per_shard {
+        total.merge(s);
+    }
+    total
+}
+
+/// Like [`run_cluster`], but also returns each shard's hardware counters
+/// (index = shard id; aggregate with [`merged_stats`]).
+///
+/// # Errors
+///
+/// See [`run_cluster`].
+pub fn run_cluster_with_stats(
+    trace: &Trace,
+    cfg: &ClusterConfig,
+) -> Result<(ExecReport, Vec<Stats>), ClusterError> {
+    cfg.validate().map_err(ClusterError::Config)?;
+    let n = trace.len();
+    let k = cfg.shards;
+    let plan = Plan::build(trace, cfg);
+
+    let mut sys: Vec<PicosSystem> = (0..k)
+        .map(|_| PicosSystem::new(cfg.picos.clone()))
+        .collect();
+    let mut workers: Vec<picos_hil::Workers> = (0..k)
+        .map(|s| picos_hil::Workers::new(cfg.shard_workers(s)))
+        .collect();
+    let mut links: Vec<Link<ClusterMsg>> = (0..k).map(|_| Link::new(cfg.link)).collect();
+
+    // Ingress reorder stage: fragments enter each shard's Gateway strictly
+    // in task-creation order.
+    let mut expected: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
+    let mut arrived: Vec<HashMap<u32, Arc<[Dependence]>>> = vec![HashMap::new(); k];
+    // Remote fragments' TM slots, recorded when they pop ready.
+    let mut slot_at: Vec<HashMap<u32, SlotRef>> = vec![HashMap::new(); k];
+    // Readiness countdown: local pop + one notice per remote fragment.
+    let frag_total: Vec<u8> = plan.remote.iter().map(|r| 1 + r.len() as u8).collect();
+    let mut frag_ready: Vec<u8> = vec![0; n];
+    let mut local_popped: Vec<bool> = vec![false; n];
+    let mut local_slot: Vec<SlotRef> = vec![SlotRef::new(0, 0); n];
+    // Tasks fully ready (last notice arrived) awaiting a free worker.
+    let mut exec_q: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
+
+    let mut start = vec![0u64; n];
+    let mut end = vec![0u64; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+
+    // Starts a task on shard `s`'s workers with the HW-only dispatch cost.
+    // Both readiness paths (direct local pop, exec_q drain after the last
+    // remote notice) must stay byte-identical, so they share this helper.
+    #[allow(clippy::too_many_arguments)]
+    fn start_task(
+        workers: &mut picos_hil::Workers,
+        trace: &Trace,
+        dispatch: u64,
+        t: u64,
+        task: u32,
+        slot: SlotRef,
+        start: &mut [u64],
+        end: &mut [u64],
+        order: &mut Vec<u32>,
+    ) {
+        let st = t + dispatch;
+        let dur = trace.tasks()[task as usize].duration;
+        start[task as usize] = st;
+        end[task as usize] = st + dur;
+        order.push(task);
+        workers.start(st + dur, task, slot);
+    }
+
+    let mut next_submit = 0usize;
+    let mut done = 0usize;
+    let mut t = 0u64;
+    let mut touched = vec![false; k];
+    loop {
+        for s in sys.iter_mut() {
+            s.advance_to(t);
+        }
+        touched.iter_mut().for_each(|f| *f = false);
+        // Worker completions: notify the local shard now, remote fragment
+        // shards over the interconnect.
+        for s in 0..k {
+            while let Some((task, slot)) = workers[s].pop_done_at(t) {
+                sys[s].notify_finished(FinishedReq {
+                    task: TaskId::new(task),
+                    slot,
+                });
+                for &(r, _) in &plan.remote[task as usize] {
+                    links[r as usize].send(t, ClusterMsg::Finish { task });
+                }
+                done += 1;
+                touched[s] = true;
+            }
+        }
+        // Interconnect deliveries.
+        for s in 0..k {
+            while let Some(msg) = links[s].pop_delivery_at(t) {
+                match msg {
+                    ClusterMsg::Register { task, deps } => {
+                        arrived[s].insert(task, deps);
+                    }
+                    ClusterMsg::Ready { task } => {
+                        let ti = task as usize;
+                        frag_ready[ti] += 1;
+                        if frag_ready[ti] == frag_total[ti] {
+                            debug_assert!(local_popped[ti], "local pop counts toward the total");
+                            exec_q[s].push_back(task);
+                        }
+                    }
+                    ClusterMsg::Finish { task } => {
+                        let slot = slot_at[s]
+                            .remove(&task)
+                            .expect("remote fragment popped before its task ran");
+                        sys[s].notify_finished(FinishedReq {
+                            task: TaskId::new(task),
+                            slot,
+                        });
+                        touched[s] = true;
+                    }
+                }
+            }
+        }
+        // Distributor: create every task the taskwait structure allows.
+        while next_submit < trace.creation_limit(done) {
+            let i = next_submit as u32;
+            let p = plan.placement[next_submit] as usize;
+            expected[p].push_back(i);
+            arrived[p].insert(i, plan.local[next_submit].clone());
+            for (r, deps) in &plan.remote[next_submit] {
+                expected[*r as usize].push_back(i);
+                let words = deps.len() + 1;
+                links[*r as usize].send_words(
+                    t,
+                    ClusterMsg::Register {
+                        task: i,
+                        deps: deps.clone(),
+                    },
+                    words,
+                );
+            }
+            next_submit += 1;
+        }
+        // Ingress: feed each Gateway in creation order.
+        for s in 0..k {
+            while let Some(&head) = expected[s].front() {
+                let Some(deps) = arrived[s].remove(&head) else {
+                    break;
+                };
+                sys[s].submit(TaskId::new(head), deps);
+                expected[s].pop_front();
+                touched[s] = true;
+            }
+        }
+        for s in 0..k {
+            if touched[s] {
+                sys[s].advance_to(t);
+            }
+        }
+        // Execution: first the tasks whose last remote notice arrived
+        // earlier, then the shard's ready stream.
+        for s in 0..k {
+            while workers[s].idle() > 0 {
+                let Some(&task) = exec_q[s].front() else {
+                    break;
+                };
+                exec_q[s].pop_front();
+                start_task(
+                    &mut workers[s],
+                    trace,
+                    cfg.dispatch,
+                    t,
+                    task,
+                    local_slot[task as usize],
+                    &mut start,
+                    &mut end,
+                    &mut order,
+                );
+            }
+            while let Some(rt) = sys[s].peek_ready() {
+                let task = rt.task.raw();
+                let ti = task as usize;
+                if plan.placement[ti] as usize != s {
+                    // A remote fragment: consume it and wake the placement
+                    // shard over the interconnect.
+                    let rt = sys[s].pop_ready().expect("peeked");
+                    slot_at[s].insert(task, rt.slot);
+                    links[plan.placement[ti] as usize].send(t, ClusterMsg::Ready { task });
+                    continue;
+                }
+                if frag_ready[ti] + 1 == frag_total[ti] {
+                    // Popping the local fragment completes readiness: take
+                    // it only when a worker can start it (the single-Picos
+                    // TS discipline — otherwise it waits in the TS buffer).
+                    if workers[s].idle() == 0 {
+                        break;
+                    }
+                    let rt = sys[s].pop_ready().expect("peeked");
+                    local_slot[ti] = rt.slot;
+                    local_popped[ti] = true;
+                    frag_ready[ti] += 1;
+                    start_task(
+                        &mut workers[s],
+                        trace,
+                        cfg.dispatch,
+                        t,
+                        task,
+                        rt.slot,
+                        &mut start,
+                        &mut end,
+                        &mut order,
+                    );
+                } else {
+                    // Remote notices outstanding: park the fragment so it
+                    // cannot head-of-line-block tasks queued behind it.
+                    let rt = sys[s].pop_ready().expect("peeked");
+                    local_slot[ti] = rt.slot;
+                    local_popped[ti] = true;
+                    frag_ready[ti] += 1;
+                }
+            }
+        }
+        let next = min_next(
+            sys.iter()
+                .map(|s| s.next_event_time())
+                .chain(workers.iter().map(|w| w.next_done()))
+                .chain(links.iter().map(|l| l.next_delivery())),
+        );
+        match next {
+            Some(tn) => t = tn,
+            None => break,
+        }
+    }
+    let clean = order.len() == n
+        && sys.iter().all(|s| s.in_flight() == 0)
+        && links.iter().all(|l| l.in_flight() == 0)
+        && workers.iter().all(|w| !w.busy())
+        && exec_q.iter().all(VecDeque::is_empty)
+        && expected.iter().all(VecDeque::is_empty);
+    if !clean {
+        return Err(ClusterError::Stalled {
+            executed: order.len(),
+            total: n,
+            at: t,
+        });
+    }
+    let report = ExecReport {
+        engine: "cluster".into(),
+        workers: cfg.workers,
+        makespan: end.iter().copied().max().unwrap_or(0),
+        sequential: trace.sequential_time(),
+        order,
+        start,
+        end,
+    };
+    let stats = sys.iter().map(PicosSystem::stats).collect();
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picos_trace::gen;
+    use picos_trace::TaskGraph;
+
+    fn run(trace: &Trace, shards: usize, workers: usize) -> ExecReport {
+        let r = run_cluster(trace, &ClusterConfig::balanced(shards, workers))
+            .unwrap_or_else(|e| panic!("{shards} shards: {e}"));
+        r.validate(trace)
+            .unwrap_or_else(|e| panic!("{shards} shards: {e}"));
+        r
+    }
+
+    #[test]
+    fn all_shard_counts_complete_and_validate() {
+        let tr = gen::cholesky(gen::CholeskyConfig::paper(128));
+        for shards in [1usize, 2, 3, 4, 8] {
+            let r = run(&tr, shards, 16);
+            assert_eq!(r.order.len(), tr.len());
+        }
+    }
+
+    #[test]
+    fn all_policies_are_legal() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        for policy in ShardPolicy::ALL {
+            let cfg = ClusterConfig {
+                policy,
+                ..ClusterConfig::balanced(4, 12)
+            };
+            let r = run_cluster(&tr, &cfg).unwrap_or_else(|e| panic!("{policy}: {e}"));
+            r.validate(&tr).unwrap_or_else(|e| panic!("{policy}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_traces_are_legal_on_every_policy() {
+        for seed in 0..6u64 {
+            let tr = gen::random_trace(gen::RandomConfig::default(), seed);
+            let g = TaskGraph::build(&tr);
+            for policy in ShardPolicy::ALL {
+                for shards in [2usize, 4] {
+                    let cfg = ClusterConfig {
+                        policy,
+                        ..ClusterConfig::balanced(shards, 8)
+                    };
+                    let r = run_cluster(&tr, &cfg)
+                        .unwrap_or_else(|e| panic!("seed {seed} {policy} {shards}: {e}"));
+                    assert!(
+                        g.is_topological(&r.order),
+                        "seed {seed} {policy} {shards}: order illegal"
+                    );
+                    r.validate(&tr)
+                        .unwrap_or_else(|e| panic!("seed {seed} {policy} {shards}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let tr = gen::stream(gen::StreamConfig::heavy(600));
+        let cfg = ClusterConfig::balanced(4, 16);
+        let a = run_cluster_with_stats(&tr, &cfg).unwrap();
+        let b = run_cluster_with_stats(&tr, &cfg).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn taskwait_barriers_respected() {
+        let mut tr = Trace::new("barriered");
+        let kc = picos_trace::KernelClass::GENERIC;
+        for i in 0..20u64 {
+            tr.push(kc, [Dependence::inout(0x1000 + i * 0x40)], 50);
+        }
+        tr.push_taskwait();
+        for i in 0..20u64 {
+            tr.push(kc, [Dependence::inout(0x9000 + i * 0x40)], 50);
+        }
+        for shards in [1usize, 3] {
+            let r = run(&tr, shards, 6);
+            r.validate(&tr).unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_error_not_panic() {
+        let tr = gen::synthetic(gen::Case::Case1);
+        let e = run_cluster(&tr, &ClusterConfig::balanced(0, 4));
+        assert!(matches!(e, Err(ClusterError::Config(_))));
+        let e = run_cluster(&tr, &ClusterConfig::balanced(4, 2));
+        assert!(matches!(e, Err(ClusterError::Config(_))));
+        assert!(e.unwrap_err().to_string().contains("workers"));
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let tr = Trace::new("empty");
+        let (r, stats) = run_cluster_with_stats(&tr, &ClusterConfig::balanced(2, 4)).unwrap();
+        assert_eq!(r.makespan, 0);
+        assert_eq!(merged_stats(&stats).tasks_completed, 0);
+    }
+
+    #[test]
+    fn per_shard_stats_cover_all_tasks() {
+        let tr = gen::stream(gen::StreamConfig::heavy(500));
+        let (_, stats) = run_cluster_with_stats(&tr, &ClusterConfig::balanced(4, 16)).unwrap();
+        assert_eq!(stats.len(), 4);
+        let total = merged_stats(&stats);
+        // Every task submits a local fragment; remote fragments add more.
+        assert!(total.tasks_submitted >= tr.len() as u64);
+        assert_eq!(total.tasks_submitted, total.tasks_completed);
+        // Sharding must actually spread dependence processing.
+        let active = stats.iter().filter(|s| s.deps_processed > 0).count();
+        assert!(active >= 2, "only {active} shards processed dependences");
+    }
+
+    #[test]
+    fn lifo_policy_is_legal_on_clusters() {
+        let tr = gen::lu(gen::LuConfig::paper(64));
+        let mut cfg = ClusterConfig::balanced(3, 9);
+        cfg.picos = cfg.picos.with_ts_policy(picos_core::TsPolicy::Lifo);
+        let r = run_cluster(&tr, &cfg).unwrap();
+        r.validate(&tr).unwrap();
+    }
+}

@@ -429,6 +429,18 @@ impl PicosSystem {
         }
     }
 
+    /// Peeks at the ready task [`PicosSystem::pop_ready`] would return,
+    /// without removing it. Lets a driver decide whether to consume the
+    /// head of the ready stream (the cluster driver routes remote-task
+    /// fragments unconditionally but takes local tasks only when an
+    /// execution slot is free).
+    pub fn peek_ready(&self) -> Option<&ReadyTask> {
+        match self.cfg.ts_policy {
+            TsPolicy::Fifo => self.ready_buf.front(),
+            TsPolicy::Lifo => self.ready_buf.back(),
+        }
+    }
+
     /// Number of ready tasks waiting to be retrieved.
     pub fn ready_len(&self) -> usize {
         self.ready_buf.len()
@@ -1268,11 +1280,14 @@ mod tests {
         // Let everything become ready without executing anything.
         drain_events(&mut sys);
         assert_eq!(sys.ready_len(), 10);
+        assert_eq!(sys.peek_ready().unwrap().task.raw(), 9);
         let first = sys.pop_ready().unwrap();
         assert_eq!(first.task.raw(), 9, "LIFO pops youngest");
+        assert_eq!(sys.peek_ready().unwrap().task.raw(), 8, "peek follows pop");
         let mut fifo_sys = PicosSystem::new(PicosConfig::balanced());
         fifo_sys.submit_all(&tr);
         drain_events(&mut fifo_sys);
+        assert_eq!(fifo_sys.peek_ready().unwrap().task.raw(), 0);
         assert_eq!(
             fifo_sys.pop_ready().unwrap().task.raw(),
             0,

@@ -43,6 +43,33 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Accumulates another instance's counters into `self`, element-wise.
+    ///
+    /// Peaks are summed, matching how [`crate::PicosSystem::stats`] already
+    /// aggregates per-TRS/per-DCT peaks inside one system. This is the
+    /// aggregation used for per-shard statistics of a clustered
+    /// configuration: a one-shard cluster's merged stats equal the single
+    /// system's stats.
+    pub fn merge(&mut self, other: &Stats) {
+        self.tasks_submitted += other.tasks_submitted;
+        self.tasks_completed += other.tasks_completed;
+        self.deps_processed += other.deps_processed;
+        self.dm_conflicts += other.dm_conflicts;
+        self.vm_stalls += other.vm_stalls;
+        self.tm_stalls += other.tm_stalls;
+        self.wakes_sent += other.wakes_sent;
+        self.chain_wakes += other.chain_wakes;
+        self.peak_in_flight += other.peak_in_flight;
+        self.peak_dm_live += other.peak_dm_live;
+        self.peak_vm_live += other.peak_vm_live;
+        self.peak_ready += other.peak_ready;
+        self.busy_gw += other.busy_gw;
+        self.busy_trs += other.busy_trs;
+        self.busy_dct += other.busy_dct;
+        self.busy_arb += other.busy_arb;
+        self.busy_ts += other.busy_ts;
+    }
+
     /// Utilization of a unit class over a run of `makespan` cycles,
     /// normalized per instance.
     pub fn utilization(busy: u64, makespan: u64, instances: usize) -> f64 {
@@ -65,6 +92,32 @@ mod tests {
         assert_eq!(s.dm_conflicts, 0);
         assert_eq!(s.peak_ready, 0);
         assert_eq!(s.busy_gw, 0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Stats {
+            tasks_submitted: 1,
+            dm_conflicts: 2,
+            peak_ready: 3,
+            busy_dct: 4,
+            ..Stats::default()
+        };
+        let b = Stats {
+            tasks_submitted: 10,
+            dm_conflicts: 20,
+            peak_ready: 30,
+            busy_dct: 40,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks_submitted, 11);
+        assert_eq!(a.dm_conflicts, 22);
+        assert_eq!(a.peak_ready, 33);
+        assert_eq!(a.busy_dct, 44);
+        let mut c = Stats::default();
+        c.merge(&b);
+        assert_eq!(c, b, "merging into zero is the identity");
     }
 
     #[test]

@@ -11,6 +11,52 @@
 //!   task, packs its dependences, retrieves ready tasks and forwards
 //!   finishes, adding roughly 2000 serial cycles per task.
 
+/// Delivery cost model of a serializing link: the AXI Stream bus of the
+/// HIL platform and the inter-shard interconnect of the cluster model both
+/// follow this discipline (one message at a time, per-flit occupancy, a
+/// fixed delivery latency after the slot ends, a one-time setup cost).
+///
+/// A message of `w` payload words occupies the link for
+/// `occupancy * ceil(w / width)` cycles, so `width` is the knob that trades
+/// link wires for serialization: a wide link moves a long dependence list
+/// in one flit, a narrow one streams it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Link occupancy per flit (serializes all traffic on the link).
+    pub occupancy: u64,
+    /// Additional delivery latency after a message's last flit.
+    pub latency: u64,
+    /// One-time setup before the first message can flow.
+    pub setup: u64,
+    /// Payload words per flit (`>= 1`).
+    pub width: usize,
+}
+
+impl LinkModel {
+    /// Number of flits a message of `words` payload words occupies.
+    pub fn flits(&self, words: usize) -> u64 {
+        words.max(1).div_ceil(self.width.max(1)) as u64
+    }
+
+    /// Default inter-shard interconnect of the cluster model: an on-board
+    /// network an order of magnitude faster than the AXI Stream interface
+    /// (which crosses into the processing system), two words per flit.
+    pub fn interconnect() -> Self {
+        LinkModel {
+            occupancy: 8,
+            latency: 32,
+            setup: 0,
+            width: 2,
+        }
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::interconnect()
+    }
+}
+
 /// Per-operation costs of the HIL platform, in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HilCostModel {
@@ -61,6 +107,18 @@ impl Default for HilCostModel {
 }
 
 impl HilCostModel {
+    /// The AXI Stream interface as a [`LinkModel`]: single-word flits with
+    /// the platform's occupancy/latency/setup costs. The HIL bus and any
+    /// other consumer of the AXI discipline build their link from this.
+    pub fn axi_link(&self) -> LinkModel {
+        LinkModel {
+            occupancy: self.axi_occupancy,
+            latency: self.axi_latency,
+            setup: self.axi_setup,
+            width: 1,
+        }
+    }
+
     /// ARM-side submission cost for a task with `ndeps` dependences.
     pub fn arm_submit(&self, ndeps: usize) -> u64 {
         if ndeps == 0 {
@@ -102,6 +160,33 @@ mod tests {
         let m = HilCostModel::default();
         let t = m.full_system_per_task();
         assert!((2_400..3_100).contains(&t), "per-task {t}");
+    }
+
+    #[test]
+    fn axi_link_mirrors_cost_model() {
+        let m = HilCostModel::default();
+        let l = m.axi_link();
+        assert_eq!(l.occupancy, m.axi_occupancy);
+        assert_eq!(l.latency, m.axi_latency);
+        assert_eq!(l.setup, m.axi_setup);
+        assert_eq!(l.width, 1);
+    }
+
+    #[test]
+    fn flit_count_respects_width() {
+        let l = LinkModel {
+            occupancy: 10,
+            latency: 0,
+            setup: 0,
+            width: 4,
+        };
+        assert_eq!(l.flits(0), 1, "empty payloads still need a header flit");
+        assert_eq!(l.flits(1), 1);
+        assert_eq!(l.flits(4), 1);
+        assert_eq!(l.flits(5), 2);
+        assert_eq!(l.flits(16), 4);
+        let narrow = LinkModel { width: 0, ..l };
+        assert_eq!(narrow.flits(3), 3, "zero width is clamped to one word");
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod metrics;
 mod modes;
 mod pool;
 
-pub use cost::HilCostModel;
+pub use cost::{HilCostModel, LinkModel};
 pub use metrics::{synthetic_metrics, SyntheticMetrics};
 pub use modes::{run_hil, run_hil_with_stats, HilConfig, HilError, HilMode};
+pub use pool::{Link, Workers};

@@ -262,11 +262,7 @@ fn run_hw_comm_impl(
     let mut sys = PicosSystem::new(cfg.picos.clone());
     let n = trace.len();
     let mut workers = Workers::new(cfg.workers);
-    let mut bus = Bus::new(
-        cfg.cost.axi_occupancy,
-        cfg.cost.axi_latency,
-        cfg.cost.axi_setup,
-    );
+    let mut bus = Bus::new(cfg.cost.axi_link());
     let mut log = RunLog::new(n);
     let mut next_send = 0usize;
     let mut newtasks_in_bus = 0usize;
@@ -348,11 +344,7 @@ fn run_full_system_impl(
     let mut sys = PicosSystem::new(cfg.picos.clone());
     let n = trace.len();
     let mut workers = Workers::new(cfg.workers);
-    let mut bus = Bus::new(
-        cfg.cost.axi_occupancy,
-        cfg.cost.axi_latency,
-        cfg.cost.axi_setup,
-    );
+    let mut bus = Bus::new(cfg.cost.axi_link());
     let mut log = RunLog::new(n);
     let mut finish_q: VecDeque<(u32, SlotRef)> = VecDeque::new();
     let mut next_create = 0usize;

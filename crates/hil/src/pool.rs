@@ -1,18 +1,31 @@
-//! Worker pool and AXI bus helpers for the HIL drivers.
+//! Worker pool and serializing-link helpers shared by the HIL drivers and
+//! the cluster model.
+//!
+//! [`Link`] is the delivery/service discipline of the paper's AXI Stream
+//! interface, generalized over the message type and parameterized by a
+//! [`crate::LinkModel`]: one message at a time, per-flit occupancy, fixed
+//! delivery latency, one-time setup. The HIL bus is `Link<BusMsg>`; the
+//! cluster crate instantiates it with its own inter-shard message type.
 
+use crate::cost::LinkModel;
 use picos_core::SlotRef;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A pool of workers executing tasks for their trace duration.
 #[derive(Debug)]
-pub(crate) struct Workers {
+pub struct Workers {
     heap: BinaryHeap<Reverse<(u64, u32, SlotRef)>>,
     idle: usize,
     total: usize,
 }
 
 impl Workers {
+    /// Creates a pool of `total` workers, all idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
     pub fn new(total: usize) -> Self {
         assert!(total > 0, "need at least one worker");
         Workers {
@@ -62,7 +75,7 @@ impl Workers {
 }
 
 /// Messages crossing the AXI bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum BusMsg {
     /// A new task travelling to the Picos GW.
     NewTask(u32),
@@ -72,49 +85,94 @@ pub(crate) enum BusMsg {
     Finish(u32, SlotRef),
 }
 
-/// A serializing bus: one message at a time, each occupying the bus for
-/// `occupancy` cycles and arriving `latency` cycles after its slot ends.
+/// The HIL platform's AXI Stream bus.
+pub(crate) type Bus = Link<BusMsg>;
+
+/// A pending delivery; ordered by `(time, seq)` only, so the message type
+/// needs no ordering of its own.
 #[derive(Debug)]
-pub(crate) struct Bus {
-    occupancy: u64,
-    latency: u64,
+struct LinkEv<T> {
+    at: u64,
+    seq: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for LinkEv<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for LinkEv<T> {}
+impl<T> PartialOrd for LinkEv<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for LinkEv<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A serializing link following a [`LinkModel`]: one message at a time,
+/// each occupying the link for its flit count times the model's occupancy
+/// and arriving `latency` cycles after its slot ends. Deliveries preserve
+/// send order among equal-time messages.
+#[derive(Debug)]
+pub struct Link<T> {
+    model: LinkModel,
     free_at: u64,
-    deliveries: BinaryHeap<Reverse<(u64, u64, BusMsg)>>,
+    deliveries: BinaryHeap<Reverse<LinkEv<T>>>,
     seq: u64,
 }
 
-impl Bus {
-    pub fn new(occupancy: u64, latency: u64, setup: u64) -> Self {
-        Bus {
-            occupancy,
-            latency,
-            free_at: setup,
+impl<T> Link<T> {
+    /// Creates an idle link; the first slot starts after the model's setup.
+    pub fn new(model: LinkModel) -> Self {
+        Link {
+            free_at: model.setup,
+            model,
             deliveries: BinaryHeap::new(),
             seq: 0,
         }
     }
 
-    /// Queues a message at time `t`; returns the time its bus slot ends.
-    pub fn send(&mut self, t: u64, msg: BusMsg) -> u64 {
+    /// The cost model this link was built with.
+    pub fn model(&self) -> &LinkModel {
+        &self.model
+    }
+
+    /// Queues a single-word message at time `t`; returns the time its link
+    /// slot ends.
+    pub fn send(&mut self, t: u64, msg: T) -> u64 {
+        self.send_words(t, msg, 1)
+    }
+
+    /// Queues a message of `words` payload words at time `t`; the link is
+    /// occupied for one `occupancy` per flit. Returns the slot-end time.
+    pub fn send_words(&mut self, t: u64, msg: T, words: usize) -> u64 {
         let s = self.free_at.max(t);
-        self.free_at = s + self.occupancy;
+        self.free_at = s + self.model.occupancy * self.model.flits(words);
         self.seq += 1;
-        self.deliveries
-            .push(Reverse((self.free_at + self.latency, self.seq, msg)));
+        self.deliveries.push(Reverse(LinkEv {
+            at: self.free_at + self.model.latency,
+            seq: self.seq,
+            msg,
+        }));
         self.free_at
     }
 
     /// Earliest pending delivery time.
     pub fn next_delivery(&self) -> Option<u64> {
-        self.deliveries.peek().map(|Reverse((t, _, _))| *t)
+        self.deliveries.peek().map(|Reverse(e)| e.at)
     }
 
     /// Pops a message delivered exactly at `t`.
-    pub fn pop_delivery_at(&mut self, t: u64) -> Option<BusMsg> {
+    pub fn pop_delivery_at(&mut self, t: u64) -> Option<T> {
         match self.deliveries.peek() {
-            Some(Reverse((d, _, _))) if *d == t => {
-                let Reverse((_, _, m)) = self.deliveries.pop().expect("peeked");
-                Some(m)
+            Some(Reverse(e)) if e.at == t => {
+                let Reverse(e) = self.deliveries.pop().expect("peeked");
+                Some(e.msg)
             }
             _ => None,
         }
@@ -129,6 +187,15 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn link(occupancy: u64, latency: u64, setup: u64) -> Bus {
+        Link::new(LinkModel {
+            occupancy,
+            latency,
+            setup,
+            width: 1,
+        })
+    }
 
     #[test]
     fn workers_lifecycle() {
@@ -155,7 +222,7 @@ mod tests {
 
     #[test]
     fn bus_serializes_messages() {
-        let mut b = Bus::new(100, 10, 0);
+        let mut b = link(100, 10, 0);
         let e1 = b.send(0, BusMsg::NewTask(0));
         let e2 = b.send(0, BusMsg::NewTask(1));
         assert_eq!(e1, 100);
@@ -169,9 +236,42 @@ mod tests {
 
     #[test]
     fn bus_idle_gap_does_not_accumulate() {
-        let mut b = Bus::new(100, 0, 0);
+        let mut b = link(100, 0, 0);
         b.send(0, BusMsg::NewTask(0));
         let end = b.send(1_000, BusMsg::NewTask(1));
         assert_eq!(end, 1_100, "bus restarts from the request time");
+    }
+
+    #[test]
+    fn wide_payloads_occupy_per_flit() {
+        let mut l: Link<u32> = Link::new(LinkModel {
+            occupancy: 10,
+            latency: 5,
+            setup: 0,
+            width: 4,
+        });
+        // 9 words at width 4 = 3 flits = 30 cycles of occupancy.
+        assert_eq!(l.send_words(0, 7, 9), 30);
+        assert_eq!(l.next_delivery(), Some(35));
+        // A following single-word message queues behind all three flits.
+        assert_eq!(l.send(0, 8), 40);
+    }
+
+    #[test]
+    fn equal_time_deliveries_preserve_send_order() {
+        let mut l: Link<u32> = Link::new(LinkModel {
+            occupancy: 0,
+            latency: 0,
+            setup: 0,
+            width: 1,
+        });
+        for i in 0..4 {
+            l.send(0, i);
+        }
+        let mut got = Vec::new();
+        while let Some(m) = l.pop_delivery_at(0) {
+            got.push(m);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
     }
 }

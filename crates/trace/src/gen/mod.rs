@@ -12,6 +12,7 @@ pub mod layout;
 pub mod lu;
 pub mod random;
 pub mod sparselu;
+pub mod stream;
 pub mod synthetic;
 
 pub use calibration::{seq_exec_target, table1_row, Table1Row, TABLE1};
@@ -22,6 +23,7 @@ pub use layout::{ArrayLayout, HeapLayout};
 pub use lu::{lu, LuConfig, LuOrder};
 pub use random::{random_trace, RandomConfig};
 pub use sparselu::{sparselu, SparseLuConfig};
+pub use stream::{stream, StreamConfig};
 pub use synthetic::{synthetic, Case, SYNTHETIC_DURATION, SYNTHETIC_TASKS};
 
 use crate::trace::Trace;

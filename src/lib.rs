@@ -14,6 +14,8 @@
 //!   scheduler ([`picos_runtime`]).
 //! * [`hil`] — the hardware-in-the-loop platform with its three modes
 //!   ([`picos_hil`]).
+//! * [`cluster`] — the sharded multi-Picos cluster with distributed
+//!   dependence management ([`picos_cluster`]).
 //! * [`backend`] — the uniform [`ExecBackend`](picos_backend::ExecBackend)
 //!   trait over every engine plus the parallel experiment-sweep harness
 //!   ([`picos_backend`]).
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use picos_backend as backend;
+pub use picos_cluster as cluster;
 pub use picos_core as core;
 pub use picos_hil as hil;
 pub use picos_resources as resources;
@@ -54,13 +57,19 @@ pub use picos_trace as trace;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use picos_backend::{
-        BackendError, BackendSpec, ExecBackend, Sweep, SweepResult, SweepRow, Workload,
+        BackendError, BackendSpec, ClusterBackend, ExecBackend, Sweep, SweepResult, SweepRow,
+        Workload,
+    };
+    pub use picos_cluster::{
+        home_shard, merged_stats, run_cluster, run_cluster_with_stats, ClusterConfig, ClusterError,
+        ShardPolicy,
     };
     pub use picos_core::{
         DmDesign, EngineError, FinishedReq, PicosConfig, PicosSystem, Timing, TsPolicy,
     };
     pub use picos_hil::{
         run_hil, run_hil_with_stats, synthetic_metrics, HilConfig, HilCostModel, HilError, HilMode,
+        Link, LinkModel, Workers,
     };
     pub use picos_resources::{full_picos_resources, table3, ResourceEstimate, XC7Z020};
     pub use picos_runtime::{
