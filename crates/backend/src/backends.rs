@@ -1,4 +1,4 @@
-//! The [`ExecBackend`] trait and its three engine families.
+//! The [`ExecBackend`] trait and its engine families.
 //!
 //! One implementation per execution engine of the paper's evaluation:
 //!
@@ -10,13 +10,14 @@
 //!   management over an explicit interconnect (`picos_cluster`).
 //!
 //! [`BackendSpec`] is the declarative, copyable counterpart used by sweep
-//! grids and command lines: it names a backend family and builds the boxed
-//! backend for a concrete worker count and Picos configuration.
+//! grids and command lines; [`BackendBuilder`] is the one construction
+//! path from a spec to a boxed backend.
 
-use picos_cluster::{merged_stats, run_cluster_with_stats, ClusterConfig, ClusterError};
+use crate::session::{feed_trace, SessionConfig, SimSession};
+use picos_cluster::{ClusterConfig, ClusterError, ClusterSession, ShardPolicy};
 use picos_core::{PicosConfig, Stats};
-use picos_hil::{run_hil_with_stats, HilConfig, HilError, HilMode, LinkModel};
-use picos_runtime::{perfect_schedule, run_software, ExecReport, SwError, SwRuntimeConfig};
+use picos_hil::{HilConfig, HilError, HilMode, HilSession, LinkModel};
+use picos_runtime::{ExecReport, PerfectSession, SoftwareSession, SwError, SwRuntimeConfig};
 use picos_trace::Trace;
 use std::fmt;
 
@@ -67,14 +68,24 @@ impl From<ClusterError> for BackendError {
     }
 }
 
-/// A uniform execution engine: consumes a [`Trace`], produces an
-/// [`ExecReport`].
+/// A uniform execution engine: opens incremental, backpressure-aware
+/// [`SimSession`]s.
+///
+/// The session is the primary interface — the runtime submits tasks as it
+/// discovers them, handles [`Admission::Backpressured`](crate::Admission)
+/// when the engine's in-flight window is saturated, advances simulated
+/// time, drains [`SimEvent`](crate::SimEvent)s and finishes to collect the
+/// report. The batch entry points [`ExecBackend::run`] /
+/// [`ExecBackend::run_with_stats`] are **default methods** implemented on
+/// top of a session (feed the whole trace, then finish), so every engine
+/// has exactly one execution core.
 ///
 /// All engines of the reproduction — hardware model, software runtime,
-/// perfect scheduler — implement this trait, which is what lets the
-/// [`crate::Sweep`] harness, the figure binaries and the cross-engine tests
-/// treat them interchangeably. Implementations must be `Send + Sync`
-/// (sweeps run cells on OS threads) and deterministic: the same trace and
+/// perfect scheduler, sharded cluster — implement this trait, which is
+/// what lets the [`crate::Sweep`] harness, the figure binaries, the paced
+/// driver ([`crate::pace`]) and the cross-engine tests treat them
+/// interchangeably. Implementations must be `Send + Sync` (sweeps run
+/// cells on OS threads) and deterministic: the same submissions and
 /// configuration must yield the same report on every call.
 pub trait ExecBackend: Send + Sync + fmt::Debug {
     /// Stable engine label (e.g. `"perfect"`, `"nanos"`, `"picos-full"`);
@@ -84,23 +95,46 @@ pub trait ExecBackend: Send + Sync + fmt::Debug {
     /// Number of workers this backend executes tasks with.
     fn workers(&self) -> usize;
 
-    /// Runs the trace to completion.
+    /// Opens a streaming session with explicit per-session knobs
+    /// (in-flight window, event collection).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] when the engine configuration is invalid
+    /// (e.g. zero workers).
+    fn open_with(&self, cfg: SessionConfig) -> Result<Box<dyn SimSession>, BackendError>;
+
+    /// Opens a streaming session with batch-equivalent defaults
+    /// (unbounded window, no event collection).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecBackend::open_with`].
+    fn open(&self) -> Result<Box<dyn SimSession>, BackendError> {
+        self.open_with(SessionConfig::batch())
+    }
+
+    /// Runs the trace to completion: opens a session, feeds every task in
+    /// creation order (declaring the trace's taskwaits) and finishes it.
     ///
     /// # Errors
     ///
     /// Returns a [`BackendError`] when the engine cannot complete the
     /// trace (stall, deadlock, invalid configuration).
-    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError>;
+    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
+        self.run_with_stats(trace).map(|(r, _)| r)
+    }
 
     /// Runs the trace and also returns the hardware counters, when the
-    /// backend models Picos. The default forwards to [`ExecBackend::run`]
-    /// with no stats.
+    /// backend models Picos. Like [`ExecBackend::run`], a session drive.
     ///
     /// # Errors
     ///
     /// Same as [`ExecBackend::run`].
     fn run_with_stats(&self, trace: &Trace) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        self.run(trace).map(|r| (r, None))
+        let mut session = self.open()?;
+        feed_trace(&mut *session, trace).map_err(|e| BackendError::Config(e.to_string()))?;
+        session.finish()
     }
 }
 
@@ -120,15 +154,12 @@ impl ExecBackend for PerfectBackend {
         self.workers
     }
 
-    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
-        // perfect_schedule asserts on zero workers; surface it as an error
-        // row like the other backends so sweep cells never panic.
-        if self.workers == 0 {
-            return Err(BackendError::Config(
-                "perfect scheduler needs at least one worker".into(),
-            ));
-        }
-        Ok(perfect_schedule(trace, self.workers))
+    fn open_with(&self, cfg: SessionConfig) -> Result<Box<dyn SimSession>, BackendError> {
+        // PerfectSession rejects zero workers; surface it as an error row
+        // like the other backends so sweep cells never panic.
+        PerfectSession::new(self.workers, cfg)
+            .map(|s| Box::new(s) as Box<dyn SimSession>)
+            .map_err(BackendError::Config)
     }
 }
 
@@ -157,8 +188,10 @@ impl ExecBackend for SoftwareBackend {
         self.cfg.workers
     }
 
-    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
-        run_software(trace, self.cfg).map_err(BackendError::from)
+    fn open_with(&self, cfg: SessionConfig) -> Result<Box<dyn SimSession>, BackendError> {
+        SoftwareSession::new(self.cfg, cfg)
+            .map(|s| Box::new(s) as Box<dyn SimSession>)
+            .map_err(BackendError::from)
     }
 }
 
@@ -183,32 +216,17 @@ impl PicosBackend {
 
 impl ExecBackend for PicosBackend {
     fn name(&self) -> String {
-        match self.mode {
-            HilMode::HwOnly => "picos-hw-only".into(),
-            HilMode::HwComm => "picos-hw-comm".into(),
-            HilMode::FullSystem => "picos-full".into(),
-        }
+        self.mode.engine_label().into()
     }
 
     fn workers(&self) -> usize {
         self.cfg.workers
     }
 
-    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
-        self.run_with_stats(trace).map(|(r, _)| r)
-    }
-
-    fn run_with_stats(&self, trace: &Trace) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        // The HIL worker pool asserts on zero workers; surface it as an
-        // error row like the other backends so sweep cells never panic.
-        if self.cfg.workers == 0 {
-            return Err(BackendError::Config(
-                "picos platform needs at least one worker".into(),
-            ));
-        }
-        run_hil_with_stats(trace, self.mode, &self.cfg)
-            .map(|(r, s)| (r, Some(s)))
-            .map_err(BackendError::from)
+    fn open_with(&self, cfg: SessionConfig) -> Result<Box<dyn SimSession>, BackendError> {
+        HilSession::new(self.mode, self.cfg.clone(), cfg)
+            .map(|s| Box::new(s) as Box<dyn SimSession>)
+            .map_err(BackendError::Config)
     }
 }
 
@@ -241,13 +259,9 @@ impl ExecBackend for ClusterBackend {
         self.cfg.workers
     }
 
-    fn run(&self, trace: &Trace) -> Result<ExecReport, BackendError> {
-        self.run_with_stats(trace).map(|(r, _)| r)
-    }
-
-    fn run_with_stats(&self, trace: &Trace) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        run_cluster_with_stats(trace, &self.cfg)
-            .map(|(r, per_shard)| (r, Some(merged_stats(&per_shard))))
+    fn open_with(&self, cfg: SessionConfig) -> Result<Box<dyn SimSession>, BackendError> {
+        ClusterSession::new(self.cfg.clone(), cfg)
+            .map(|s| Box::new(s) as Box<dyn SimSession>)
             .map_err(BackendError::from)
     }
 }
@@ -293,9 +307,7 @@ impl BackendSpec {
         match self {
             BackendSpec::Perfect => "perfect",
             BackendSpec::Nanos => "nanos",
-            BackendSpec::Picos(HilMode::HwOnly) => "picos-hw-only",
-            BackendSpec::Picos(HilMode::HwComm) => "picos-hw-comm",
-            BackendSpec::Picos(HilMode::FullSystem) => "picos-full",
+            BackendSpec::Picos(mode) => mode.engine_label(),
             BackendSpec::Cluster(_) => "cluster",
         }
     }
@@ -341,11 +353,25 @@ impl BackendSpec {
         }
     }
 
+    /// Starts the one construction path from a spec to a boxed backend;
+    /// refine with the [`BackendBuilder`] methods and finish with
+    /// [`BackendBuilder::build`]. The CLI and the sweep harness both build
+    /// through here, so they cannot drift.
+    pub fn builder(self, workers: usize) -> BackendBuilder {
+        BackendBuilder {
+            spec: self,
+            workers,
+            picos: None,
+            link: None,
+            policy: None,
+        }
+    }
+
     /// Builds the boxed backend for a concrete worker count and Picos core
     /// configuration (ignored by the non-Picos families), with the default
     /// inter-shard interconnect for the cluster family.
     pub fn build(self, workers: usize, picos: &PicosConfig) -> Box<dyn ExecBackend> {
-        self.build_with_link(workers, picos, LinkModel::interconnect())
+        self.builder(workers).picos(picos).build()
     }
 
     /// Like [`BackendSpec::build`], with an explicit interconnect cost
@@ -356,30 +382,80 @@ impl BackendSpec {
         picos: &PicosConfig,
         link: LinkModel,
     ) -> Box<dyn ExecBackend> {
-        match self {
-            BackendSpec::Perfect => Box::new(PerfectBackend { workers }),
-            BackendSpec::Nanos => Box::new(SoftwareBackend::with_workers(workers)),
-            BackendSpec::Picos(mode) => Box::new(PicosBackend {
-                mode,
-                cfg: HilConfig {
-                    picos: picos.clone(),
-                    ..HilConfig::balanced(workers)
-                },
-            }),
-            BackendSpec::Cluster(shards) => Box::new(ClusterBackend {
-                cfg: ClusterConfig {
-                    picos: picos.clone(),
-                    link,
-                    ..ClusterConfig::balanced(shards, workers)
-                },
-            }),
-        }
+        self.builder(workers).picos(picos).link(Some(link)).build()
     }
 }
 
 impl fmt::Display for BackendSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// The single builder behind every [`BackendSpec`] construction: worker
+/// count plus the optional Picos core configuration, interconnect model
+/// and cluster placement policy. Knobs a family does not use are ignored,
+/// so one code path serves the CLI, the sweep harness and the tests.
+#[derive(Debug, Clone)]
+pub struct BackendBuilder {
+    spec: BackendSpec,
+    workers: usize,
+    picos: Option<PicosConfig>,
+    link: Option<LinkModel>,
+    policy: Option<ShardPolicy>,
+}
+
+impl BackendBuilder {
+    /// Sets the Picos core configuration (HIL and cluster families; the
+    /// balanced configuration when unset).
+    pub fn picos(mut self, cfg: &PicosConfig) -> Self {
+        self.picos = Some(cfg.clone());
+        self
+    }
+
+    /// Sets the inter-shard interconnect cost model (cluster family;
+    /// `None` keeps the default interconnect).
+    pub fn link(mut self, link: Option<LinkModel>) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the task-placement policy (cluster family; `None` keeps the
+    /// default).
+    pub fn policy(mut self, policy: Option<ShardPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the boxed backend.
+    pub fn build(self) -> Box<dyn ExecBackend> {
+        let picos = self.picos.unwrap_or_else(PicosConfig::balanced);
+        match self.spec {
+            BackendSpec::Perfect => Box::new(PerfectBackend {
+                workers: self.workers,
+            }),
+            BackendSpec::Nanos => Box::new(SoftwareBackend::with_workers(self.workers)),
+            BackendSpec::Picos(mode) => Box::new(PicosBackend {
+                mode,
+                cfg: HilConfig {
+                    picos,
+                    ..HilConfig::balanced(self.workers)
+                },
+            }),
+            BackendSpec::Cluster(shards) => {
+                let mut cfg = ClusterConfig {
+                    picos,
+                    ..ClusterConfig::balanced(shards, self.workers)
+                };
+                if let Some(link) = self.link {
+                    cfg.link = link;
+                }
+                if let Some(policy) = self.policy {
+                    cfg.policy = policy;
+                }
+                Box::new(ClusterBackend { cfg })
+            }
+        }
     }
 }
 
@@ -483,5 +559,55 @@ mod tests {
         assert_eq!(stats.tasks_completed as usize, tr.len());
         assert_eq!(r.engine, "cluster");
         r.validate(&tr).unwrap();
+    }
+
+    #[test]
+    fn builder_sets_cluster_policy_and_link() {
+        let slow = LinkModel {
+            occupancy: 5_000,
+            latency: 9_000,
+            setup: 0,
+            width: 1,
+        };
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let fast = BackendSpec::Cluster(4)
+            .builder(8)
+            .policy(Some(ShardPolicy::RoundRobin))
+            .build()
+            .run(&tr)
+            .unwrap();
+        let slowed = BackendSpec::Cluster(4)
+            .builder(8)
+            .policy(Some(ShardPolicy::RoundRobin))
+            .link(Some(slow))
+            .build()
+            .run(&tr)
+            .unwrap();
+        assert!(slowed.makespan > fast.makespan, "link knob must bite");
+        // Non-cluster families ignore the cluster knobs.
+        let a = BackendSpec::Perfect.builder(4).build().run(&tr).unwrap();
+        let b = BackendSpec::Perfect
+            .builder(4)
+            .link(Some(slow))
+            .policy(Some(ShardPolicy::RoundRobin))
+            .build()
+            .run(&tr)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_sessions_are_live_across_backends() {
+        // Open a session on every family, submit a couple of tasks and
+        // finish: the streamed result must match the batch run.
+        let tr = gen::synthetic(gen::Case::Case1);
+        for spec in BackendSpec::ALL {
+            let b = spec.build(4, &PicosConfig::balanced());
+            let batch = b.run_with_stats(&tr).unwrap();
+            let mut s = b.open().unwrap();
+            feed_trace(&mut *s, &tr).unwrap();
+            let streamed = s.finish().unwrap();
+            assert_eq!(batch, streamed, "{spec}");
+        }
     }
 }

@@ -1,17 +1,21 @@
-//! Uniform execution-backend abstraction and the experiment-sweep harness.
+//! Uniform execution-backend abstraction, streaming sessions and the
+//! experiment-sweep harness.
 //!
 //! The paper's evaluation is a head-to-head comparison of dependence
 //! managers: the Picos hardware model in its three HIL modes, the Nanos++
-//! software runtime, and the zero-overhead perfect scheduler. This crate
-//! puts all of them behind one trait, [`ExecBackend`], so every experiment
-//! — figure binaries, the CLI, integration tests — drives engines through
-//! the same `trace -> report` interface, and builds the [`Sweep`] harness
-//! on top: a declarative experiment grid (workloads × workers × backends ×
-//! DM designs × instance counts) whose cells execute in parallel on OS
-//! threads with deterministic result ordering.
+//! software runtime, the zero-overhead perfect scheduler and the sharded
+//! cluster. This crate puts all of them behind one trait, [`ExecBackend`],
+//! whose primary interface is the incremental, backpressure-aware
+//! [`SimSession`] (`open` → `submit`/`barrier`/`advance_to`/`step` →
+//! `finish`); the batch `run(&Trace)` entry points are default methods
+//! over sessions. On top sit the [`Sweep`] harness — a declarative
+//! experiment grid (workloads × workers × backends × DM designs ×
+//! instance counts) whose cells execute in parallel on OS threads with
+//! deterministic result ordering — and the open-loop paced driver
+//! ([`pace`]).
 //!
-//! See `ARCHITECTURE.md` at the repository root for the crate layering and
-//! a walkthrough of adding a new backend.
+//! See `ARCHITECTURE.md` at the repository root for the crate layering,
+//! the session sequence diagram and a walkthrough of adding a new backend.
 //!
 //! # Quick example
 //!
@@ -27,16 +31,46 @@
 //! let perfect = &result.rows()[0];
 //! assert!(perfect.error.is_none() && perfect.speedup >= 1.0);
 //! ```
+//!
+//! # Streaming a session
+//!
+//! ```
+//! use picos_backend::{Admission, BackendSpec, SessionCore};
+//! use picos_core::PicosConfig;
+//! use picos_trace::gen;
+//!
+//! let trace = gen::synthetic(gen::Case::Case1);
+//! let backend = BackendSpec::Picos(picos_hil::HilMode::HwOnly)
+//!     .build(4, &PicosConfig::balanced());
+//! let mut session = backend.open()?;
+//! for task in trace.iter() {
+//!     while session.submit(task) == Admission::Backpressured {
+//!         // step() returns false when the session cannot progress —
+//!         // treat that as a stall instead of spinning.
+//!         assert!(session.step(), "session stalled");
+//!     }
+//! }
+//! let (report, stats) = session.finish()?;
+//! assert_eq!(report.order.len(), trace.len());
+//! assert!(stats.is_some());
+//! # Ok::<(), picos_backend::BackendError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod backends;
+pub mod pace;
 pub mod par;
+mod session;
 mod sweep;
 
 pub use backends::{
-    BackendError, BackendSpec, ClusterBackend, ExecBackend, PerfectBackend, PicosBackend,
-    SoftwareBackend,
+    BackendBuilder, BackendError, BackendSpec, ClusterBackend, ExecBackend, PerfectBackend,
+    PicosBackend, SoftwareBackend,
+};
+pub use pace::{run_paced, ArrivalTrace, PaceReport, PacedTask, PacedTrace, TraceSource};
+pub use session::{
+    feed_trace, Admission, FeedStall, SessionConfig, SessionCore, SimEvent, SimSession,
 };
 pub use sweep::{Sweep, SweepCell, SweepResult, SweepRow, Workload};

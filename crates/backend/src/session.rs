@@ -1,0 +1,73 @@
+//! The uniform streaming-session object every backend opens.
+//!
+//! [`SimSession`] is the dyn-safe face of the per-engine concrete sessions
+//! ([`PerfectSession`], [`SoftwareSession`], [`HilSession`],
+//! [`ClusterSession`]): the incremental ingest interface of
+//! [`SessionCore`] plus a uniform `finish` that folds each engine's result
+//! and error types into ([`ExecReport`], optional hardware [`Stats`],
+//! [`BackendError`]). `ExecBackend::run` / `run_with_stats` are default
+//! methods driving one of these — no backend carries its own batch loop.
+
+use crate::backends::BackendError;
+use picos_cluster::{merged_stats, ClusterSession};
+use picos_core::Stats;
+use picos_hil::HilSession;
+use picos_runtime::{ExecReport, PerfectSession, SoftwareSession};
+use std::fmt;
+
+pub use picos_runtime::session::{
+    feed_trace, Admission, FeedStall, SessionConfig, SessionCore, SimEvent,
+};
+
+/// A streaming execution session, opened with `ExecBackend::open` /
+/// `open_with`.
+///
+/// Drive it with the [`SessionCore`] interface — `submit` tasks (handling
+/// [`Admission::Backpressured`]), declare `barrier`s, `advance_to` arrival
+/// times or `step` through backpressure, `drain_events` — then call
+/// [`SimSession::finish`] to run the simulation to quiescence and collect
+/// the report (plus hardware counters when the engine models Picos).
+pub trait SimSession: SessionCore + Send + fmt::Debug {
+    /// Closes the input stream, runs the simulation to quiescence and
+    /// returns the schedule report, plus the engine's hardware counters
+    /// when it models Picos.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's stall/deadlock condition as a
+    /// [`BackendError`].
+    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError>;
+}
+
+impl SimSession for PerfectSession {
+    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        Ok(((*self).into_report(), None))
+    }
+}
+
+impl SimSession for SoftwareSession {
+    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        (*self)
+            .into_report()
+            .map(|r| (r, None))
+            .map_err(BackendError::from)
+    }
+}
+
+impl SimSession for HilSession {
+    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        (*self)
+            .into_report()
+            .map(|(r, s)| (r, Some(s)))
+            .map_err(BackendError::from)
+    }
+}
+
+impl SimSession for ClusterSession {
+    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        (*self)
+            .into_report()
+            .map(|(r, per_shard)| (r, Some(merged_stats(&per_shard))))
+            .map_err(BackendError::from)
+    }
+}

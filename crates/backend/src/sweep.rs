@@ -477,7 +477,10 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
 fn run_cell(cell: &SweepCell, trace: &Trace, ts_policy: TsPolicy, link: LinkModel) -> SweepRow {
     let backend = cell
         .backend
-        .build_with_link(cell.workers, &cell.picos_config(ts_policy), link);
+        .builder(cell.workers)
+        .picos(&cell.picos_config(ts_policy))
+        .link(Some(link))
+        .build();
     let mut row = skipped_row(cell);
     row.error = None;
     match backend.run_with_stats(trace) {

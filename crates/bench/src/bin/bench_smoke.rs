@@ -1,15 +1,23 @@
 //! Bench smoke: quick engine + sweep throughput check for CI.
 //!
 //! Runs the `engine_throughput` workload (bare engine, instant workers),
-//! the `sweep_throughput` grid, and a cluster-backend grid in a short
-//! fixed sampling window and emits `BENCH_engine.json` with tasks/sec and
-//! cells/sec, alongside the pinned pre-rewrite baseline, so the perf
-//! trajectory of the event core — and of the sharded cluster backend from
-//! its first day — is tracked across PRs.
+//! the batch backend path (now session-driven), the paced streaming
+//! driver at saturation, the `sweep_throughput` grid, and a
+//! cluster-backend grid in a short fixed sampling window and emits
+//! `BENCH_engine.json` with tasks/sec and cells/sec, alongside the pinned
+//! pre-rewrite baseline, so the perf trajectory of the event core — and
+//! of the session API from its first day — is tracked across PRs.
+//!
+//! CI guard: the batch `ExecBackend::run` path is a default method over a
+//! streaming session since the SimSession redesign; this binary exits
+//! non-zero if that path falls below a quarter of the raw engine's
+//! throughput in the same process (the drivers add worker simulation on
+//! top of the same core, so the ratio is stable across machines —
+//! measured ~0.75 on the reference machine).
 //!
 //! Knob: `BENCH_SMOKE_MS` — per-measurement sampling window (default 300).
 
-use picos_backend::{BackendSpec, Sweep, Workload};
+use picos_backend::{pace, BackendSpec, Sweep, Workload};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem};
 use picos_hil::HilMode;
 use picos_trace::gen::{self, App};
@@ -61,6 +69,25 @@ fn main() {
     });
     let tasks_per_sec = runs_per_sec * tasks;
 
+    // The batch backend path: ExecBackend::run is a default method over a
+    // streaming session (feed the trace, finish). Same core as above plus
+    // worker/dispatch simulation.
+    let hw = BackendSpec::Picos(picos_hil::HilMode::HwOnly).build(8, &PicosConfig::balanced());
+    let batch_runs_per_sec = sample(window, || {
+        std::hint::black_box(hw.run(&trace).expect("batch run completes"));
+    });
+    let batch_tasks_per_sec = batch_runs_per_sec * tasks;
+
+    // The streaming session at saturation: open-loop arrivals every cycle
+    // against a bounded in-flight window, so admission backpressure and
+    // the step/drain machinery are on the measured path.
+    let session_runs_per_sec = sample(window, || {
+        let r = pace::run_paced(&*hw, pace::PacedTrace::new(&trace, 1), Some(64))
+            .expect("paced run completes");
+        std::hint::black_box(r.report.makespan);
+    });
+    let session_tasks_per_sec = session_runs_per_sec * tasks;
+
     // The sweep_throughput grid: two Cholesky granularities x three
     // backends x four worker counts, cell-parallel.
     let grid = Sweep::over_apps([App::Cholesky], [256, 128])
@@ -96,13 +123,17 @@ fn main() {
          speedup_vs_baseline is only meaningful there — across CI runners \
          compare tasks_per_sec between runs instead\",\n  \
          \"tasks_per_sec\": {:.0},\n  \
-         \"speedup_vs_baseline\": {:.2},\n  \"sweep_cells\": {},\n  \
+         \"speedup_vs_baseline\": {:.2},\n  \
+         \"batch_tasks_per_sec\": {:.0},\n  \
+         \"session_tasks_per_sec\": {:.0},\n  \"sweep_cells\": {},\n  \
          \"sweep_cells_per_sec\": {:.1},\n  \"cluster_cells\": {},\n  \
          \"cluster_cells_per_sec\": {:.1}\n}}\n",
         tasks as u64,
         BASELINE_TASKS_PER_SEC,
         tasks_per_sec,
         tasks_per_sec / BASELINE_TASKS_PER_SEC,
+        batch_tasks_per_sec,
+        session_tasks_per_sec,
         cells as u64,
         cells_per_sec,
         cluster_cells as u64,
@@ -111,5 +142,16 @@ fn main() {
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
         eprintln!("warning: could not write BENCH_engine.json: {e}");
+    }
+    // CI assertion: the session-backed batch path must stay within a
+    // sanity factor of the raw engine measured in the same process. A
+    // violation means the session refactor (or a later change) put
+    // something expensive on the batch hot path.
+    if batch_tasks_per_sec < tasks_per_sec / 4.0 {
+        eprintln!(
+            "FAIL: batch path {batch_tasks_per_sec:.0} tasks/s fell below a \
+             quarter of the raw engine's {tasks_per_sec:.0} tasks/s"
+        );
+        std::process::exit(1);
     }
 }

@@ -86,6 +86,9 @@ commands:
        cluster: --shards <n>  --policy <addr-hash|round-robin|locality>
                 --link-latency <c> --link-occupancy <c> --link-width <w>
                 (--backend is accepted as an alias for --engine)
+       paced:   --paced <interarrival-cycles> [--window <in-flight cap>]
+                open-loop streaming session; prints offered vs achieved
+                rate and the backpressure ratio
   sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
        [--threads <n>] [--out results.csv]      cells run in parallel
        [--shards <n>] [--link-latency <c>]      (cluster cells)

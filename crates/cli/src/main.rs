@@ -8,8 +8,8 @@
 mod args;
 
 use args::{usage, Args};
-use picos_backend::{BackendSpec, ClusterBackend, ExecBackend, Sweep, Workload};
-use picos_cluster::{ClusterConfig, ShardPolicy};
+use picos_backend::{pace, BackendSpec, ExecBackend, Sweep, Workload};
+use picos_cluster::ShardPolicy;
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
 use picos_hil::LinkModel;
 use picos_resources::{full_picos_resources, XC7Z020};
@@ -190,8 +190,10 @@ fn link_model(a: &Args) -> Result<LinkModel, String> {
     })
 }
 
-fn cmd_run(a: &Args) -> Result<(), String> {
-    let trace = load_workload(a, a.pos(0, "trace")?)?;
+/// Builds the backend of a `run` invocation through the one
+/// [`BackendSpec::builder`] path (cluster knobs apply only to cluster
+/// specs; the builder ignores them elsewhere).
+fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
     let engine = engine_name(a)?;
     let workers = a.opt("workers", 12usize)?;
     let shards = a.opt("shards", 1usize)?;
@@ -200,23 +202,28 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     if shards > 1 && !matches!(spec, BackendSpec::Cluster(_)) {
         return Err("--shards only applies to the cluster backend".into());
     }
-    let backend: Box<dyn ExecBackend> = match spec {
-        BackendSpec::Cluster(_) => {
-            let mut cfg = ClusterConfig {
-                picos: picos_config(a)?,
-                link: link_model(a)?,
-                ..ClusterConfig::balanced(shards, workers)
-            };
-            if let Some(p) = a.options.get("policy") {
-                cfg.policy =
-                    ShardPolicy::parse(p).ok_or_else(|| format!("unknown placement policy {p}"))?;
-            }
-            Box::new(ClusterBackend { cfg })
-        }
-        spec => spec.build_with_link(workers, &picos_config(a)?, link_model(a)?),
+    let spec = match spec {
+        BackendSpec::Cluster(_) => BackendSpec::Cluster(shards),
+        other => other,
     };
-    let (report, stats) = backend.run_with_stats(&trace).map_err(|e| e.to_string())?;
-    if let Some(stats) = &stats {
+    let policy = match a.options.get("policy") {
+        Some(p) => {
+            Some(ShardPolicy::parse(p).ok_or_else(|| format!("unknown placement policy {p}"))?)
+        }
+        None => None,
+    };
+    Ok(spec
+        .builder(workers)
+        .picos(&picos_config(a)?)
+        .link(Some(link_model(a)?))
+        .policy(policy)
+        .build())
+}
+
+/// Prints the hardware-counter note shared by the batch and paced run
+/// modes.
+fn note_stats(stats: &Option<picos_core::Stats>) {
+    if let Some(stats) = stats {
         if stats.dm_conflicts > 0 || stats.vm_stalls > 0 {
             eprintln!(
                 "note: {} DM conflicts, {} VM stalls",
@@ -224,13 +231,63 @@ fn cmd_run(a: &Args) -> Result<(), String> {
             );
         }
     }
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let trace = load_workload(a, a.pos(0, "trace")?)?;
+    let backend = build_backend(a)?;
+    if a.options.contains_key("paced") {
+        return cmd_run_paced(a, &trace, &*backend);
+    }
+    if a.options.contains_key("window") {
+        return Err("--window only applies to paced runs (add --paced <interarrival>)".into());
+    }
+    let (report, stats) = backend.run_with_stats(&trace).map_err(|e| e.to_string())?;
+    note_stats(&stats);
     report.validate(&trace)?;
     println!(
         "{}: makespan {} cycles, speedup {:.2} with {} workers",
         report.engine,
         report.makespan,
         report.speedup(),
-        workers
+        backend.workers()
+    );
+    Ok(())
+}
+
+/// `picos run <workload> --paced <interarrival> [--window <n>]`: feed the
+/// workload into a streaming session at an open-loop rate of one task per
+/// `interarrival` cycles, with an optional in-flight admission window.
+fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(), String> {
+    let interarrival = a.opt("paced", 100u64)?;
+    let window = match a.options.get("window") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid value for --window: {v}"))?,
+        ),
+        None => None,
+    };
+    let source = pace::PacedTrace::new(trace, interarrival);
+    let r = pace::run_paced(backend, source, window).map_err(|e| e.to_string())?;
+    note_stats(&r.stats);
+    r.report.validate(trace)?;
+    println!(
+        "{}: paced {} tasks @ 1/{} cycles{}: makespan {} cycles",
+        r.report.engine,
+        r.tasks,
+        interarrival,
+        window.map_or(String::new(), |w| format!(", window {w}")),
+        r.report.makespan,
+    );
+    println!(
+        "offered {:.3} tasks/kcycle, achieved {:.3} tasks/kcycle",
+        r.offered_per_kcycle(),
+        r.achieved_per_kcycle()
+    );
+    println!(
+        "backpressure: {:.1}% of tasks ({} retries)",
+        r.backpressure_ratio() * 100.0,
+        r.retries
     );
     Ok(())
 }

@@ -53,4 +53,4 @@ mod system;
 
 pub use config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
 pub use picos_hil::LinkModel;
-pub use system::{merged_stats, run_cluster, run_cluster_with_stats};
+pub use system::{merged_stats, run_cluster, run_cluster_with_stats, ClusterSession};

@@ -1,5 +1,7 @@
 //! The cluster driver: N Picos shards, a Distributor, and the inter-shard
-//! interconnect, advanced as one deterministic discrete-event loop.
+//! interconnect, advanced as one deterministic discrete-event loop — a
+//! resumable [`ClusterSession`] that ingests task fragments as they
+//! arrive.
 //!
 //! # Protocol
 //!
@@ -32,8 +34,12 @@
 use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
 use picos_core::{FinishedReq, PicosSystem, SlotRef, Stats};
 use picos_hil::Link;
+use picos_runtime::session::{
+    feed_trace, Admission, EventLog, EventLoopCore, Ingest, ScheduleLog, SessionConfig,
+    SessionCore, SimEvent,
+};
 use picos_runtime::ExecReport;
-use picos_trace::{Dependence, TaskId, Trace};
+use picos_trace::{Dependence, TaskDescriptor, TaskId, Trace};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -49,99 +55,443 @@ enum ClusterMsg {
     Finish { task: u32 },
 }
 
-/// Per-task placement and fragment plan, fixed before the clock starts.
-struct Plan {
-    /// Executing shard of each task.
-    placement: Vec<u16>,
-    /// Dependences homed at the placement shard (order preserved).
-    local: Vec<Arc<[Dependence]>>,
-    /// Remote fragments, ascending shard order.
-    remote: Vec<Vec<(u16, Arc<[Dependence]>)>>,
-}
-
-impl Plan {
-    fn build(trace: &Trace, cfg: &ClusterConfig) -> Plan {
-        let n = trace.len();
-        let k = cfg.shards;
-        let empty: Arc<[Dependence]> = Arc::from(Vec::new());
-        let mut placement = Vec::with_capacity(n);
-        let mut local = Vec::with_capacity(n);
-        let mut remote = Vec::with_capacity(n);
-        if k == 1 {
-            for t in trace.iter() {
-                placement.push(0);
-                local.push(t.deps.clone());
-                remote.push(Vec::new());
-            }
-            return Plan {
-                placement,
-                local,
-                remote,
-            };
-        }
-        let mut rr = 0usize; // fallback for dependence-free tasks
-        let mut counts = vec![0usize; k];
-        for (i, t) in trace.iter().enumerate() {
-            let p = match cfg.policy {
-                ShardPolicy::RoundRobin => i % k,
-                ShardPolicy::AddrHash => match t.deps.first() {
-                    Some(d) => home_shard(d.addr, k),
-                    None => {
-                        rr += 1;
-                        (rr - 1) % k
-                    }
-                },
-                ShardPolicy::LocalityAffine => {
-                    if t.deps.is_empty() {
-                        rr += 1;
-                        (rr - 1) % k
-                    } else {
-                        counts.iter_mut().for_each(|c| *c = 0);
-                        for d in t.deps.iter() {
-                            counts[home_shard(d.addr, k)] += 1;
-                        }
-                        let best = *counts.iter().max().expect("k > 0");
-                        counts.iter().position(|&c| c == best).expect("max exists")
-                    }
-                }
-            };
-            // Bucket the dependence list by home shard, preserving order.
-            let mut buckets: Vec<(usize, Vec<Dependence>)> = Vec::new();
-            for &d in t.deps.iter() {
-                let h = home_shard(d.addr, k);
-                match buckets.iter_mut().find(|(s, _)| *s == h) {
-                    Some((_, v)) => v.push(d),
-                    None => buckets.push((h, vec![d])),
-                }
-            }
-            buckets.sort_by_key(|(s, _)| *s);
-            let mut loc = empty.clone();
-            let mut rem = Vec::new();
-            for (s, deps) in buckets {
-                if s == p {
-                    loc = deps.into();
-                } else {
-                    rem.push((s as u16, Arc::<[Dependence]>::from(deps)));
-                }
-            }
-            placement.push(p as u16);
-            local.push(loc);
-            remote.push(rem);
-        }
-        Plan {
-            placement,
-            local,
-            remote,
-        }
-    }
-}
-
 fn min_next(cands: impl IntoIterator<Item = Option<u64>>) -> Option<u64> {
     cands.into_iter().flatten().min()
 }
 
+/// A resumable cluster stepper: shards ingest dependence-list fragments as
+/// tasks stream in, with placement and fragment planning performed
+/// per-task at submission (the policies only look at the task itself, so
+/// streaming placement equals the batch plan).
+///
+/// Feeding a whole trace and finishing is cycle-identical to
+/// [`run_cluster_with_stats`]; with one shard both are cycle-identical to
+/// the HW-only HIL driver.
+#[derive(Debug)]
+pub struct ClusterSession {
+    cfg: ClusterConfig,
+    sys: Vec<PicosSystem>,
+    workers: Vec<picos_hil::Workers>,
+    links: Vec<Link<ClusterMsg>>,
+    /// Ingress reorder stage: fragments enter each shard's Gateway
+    /// strictly in task-creation order.
+    expected: Vec<VecDeque<u32>>,
+    arrived: Vec<HashMap<u32, Arc<[Dependence]>>>,
+    /// Remote fragments' TM slots, recorded when they pop ready.
+    slot_at: Vec<HashMap<u32, SlotRef>>,
+    /// Tasks fully ready (last notice arrived) awaiting a free worker.
+    exec_q: Vec<VecDeque<u32>>,
+    // Per-task plan and readiness state, grown at submission.
+    placement: Vec<u16>,
+    local: Vec<Arc<[Dependence]>>,
+    remote: Vec<Vec<(u16, Arc<[Dependence]>)>>,
+    /// Readiness countdown target: local pop + one notice per remote
+    /// fragment.
+    frag_total: Vec<u8>,
+    frag_ready: Vec<u8>,
+    local_popped: Vec<bool>,
+    local_slot: Vec<SlotRef>,
+    durs: Vec<u64>,
+    /// Round-robin fallback for dependence-free tasks.
+    rr: usize,
+    /// Scratch for the locality-affine placement count.
+    counts: Vec<usize>,
+    empty_deps: Arc<[Dependence]>,
+    /// Distributor cursor: next admitted task to create.
+    next_feed: usize,
+    t: u64,
+    touched: Vec<bool>,
+    ingest: Ingest,
+    log: ScheduleLog,
+    events: EventLog,
+}
+
+impl ClusterSession {
+    /// Opens a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Config`] on an invalid configuration.
+    pub fn new(cfg: ClusterConfig, session: SessionConfig) -> Result<Self, ClusterError> {
+        cfg.validate().map_err(ClusterError::Config)?;
+        let k = cfg.shards;
+        Ok(ClusterSession {
+            sys: (0..k)
+                .map(|_| PicosSystem::new(cfg.picos.clone()))
+                .collect(),
+            workers: (0..k)
+                .map(|s| picos_hil::Workers::new(cfg.shard_workers(s)))
+                .collect(),
+            links: (0..k).map(|_| Link::new(cfg.link)).collect(),
+            expected: vec![VecDeque::new(); k],
+            arrived: vec![HashMap::new(); k],
+            slot_at: vec![HashMap::new(); k],
+            exec_q: vec![VecDeque::new(); k],
+            placement: Vec::new(),
+            local: Vec::new(),
+            remote: Vec::new(),
+            frag_total: Vec::new(),
+            frag_ready: Vec::new(),
+            local_popped: Vec::new(),
+            local_slot: Vec::new(),
+            durs: Vec::new(),
+            rr: 0,
+            counts: vec![0; k],
+            empty_deps: Arc::from(Vec::new()),
+            next_feed: 0,
+            t: 0,
+            touched: vec![false; k],
+            ingest: Ingest::new(session.window),
+            log: ScheduleLog::default(),
+            events: EventLog::new(session.collect_events),
+            cfg,
+        })
+    }
+
+    /// Places one task and splits its dependence list into per-home-shard
+    /// fragments (the streaming equivalent of the batch plan).
+    fn plan_task(&mut self, i: usize, task: &TaskDescriptor) {
+        let k = self.cfg.shards;
+        if k == 1 {
+            self.placement.push(0);
+            self.local.push(task.deps.clone());
+            self.remote.push(Vec::new());
+            return;
+        }
+        let p = match self.cfg.policy {
+            ShardPolicy::RoundRobin => i % k,
+            ShardPolicy::AddrHash => match task.deps.first() {
+                Some(d) => home_shard(d.addr, k),
+                None => {
+                    self.rr += 1;
+                    (self.rr - 1) % k
+                }
+            },
+            ShardPolicy::LocalityAffine => {
+                if task.deps.is_empty() {
+                    self.rr += 1;
+                    (self.rr - 1) % k
+                } else {
+                    self.counts.iter_mut().for_each(|c| *c = 0);
+                    for d in task.deps.iter() {
+                        self.counts[home_shard(d.addr, k)] += 1;
+                    }
+                    let best = *self.counts.iter().max().expect("k > 0");
+                    self.counts
+                        .iter()
+                        .position(|&c| c == best)
+                        .expect("max exists")
+                }
+            }
+        };
+        // Bucket the dependence list by home shard, preserving order.
+        let mut buckets: Vec<(usize, Vec<Dependence>)> = Vec::new();
+        for &d in task.deps.iter() {
+            let h = home_shard(d.addr, k);
+            match buckets.iter_mut().find(|(s, _)| *s == h) {
+                Some((_, v)) => v.push(d),
+                None => buckets.push((h, vec![d])),
+            }
+        }
+        buckets.sort_by_key(|(s, _)| *s);
+        let mut loc = self.empty_deps.clone();
+        let mut rem = Vec::new();
+        for (s, deps) in buckets {
+            if s == p {
+                loc = deps.into();
+            } else {
+                rem.push((s as u16, Arc::<[Dependence]>::from(deps)));
+            }
+        }
+        self.placement.push(p as u16);
+        self.local.push(loc);
+        self.remote.push(rem);
+    }
+
+    /// Starts a task on shard `s`'s workers with the HW-only dispatch
+    /// cost. Both readiness paths (direct local pop, `exec_q` drain after
+    /// the last remote notice) share this helper so they stay identical.
+    fn start_task(&mut self, s: usize, task: u32, slot: SlotRef) {
+        let st = self.t + self.cfg.dispatch;
+        let dur = self.durs[task as usize];
+        let end = self.log.begin(task, st, dur);
+        self.events.push(SimEvent::TaskStarted { task, at: st });
+        self.workers[s].start(end, task, slot);
+    }
+
+    /// Runs the session to quiescence and returns the schedule report plus
+    /// each shard's hardware counters (index = shard id; aggregate with
+    /// [`merged_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Stalled`] if work remains that no event
+    /// will release (an engine bug).
+    pub fn into_report(mut self) -> Result<(ExecReport, Vec<Stats>), ClusterError> {
+        self.drive_finish();
+        let n = self.ingest.admitted;
+        let clean = self.log.order.len() == n
+            && self.sys.iter().all(|s| s.in_flight() == 0)
+            && self.links.iter().all(|l| l.in_flight() == 0)
+            && self.workers.iter().all(|w| !w.busy())
+            && self.exec_q.iter().all(VecDeque::is_empty)
+            && self.expected.iter().all(VecDeque::is_empty)
+            && self.next_feed == n;
+        if !clean {
+            return Err(ClusterError::Stalled {
+                executed: self.log.order.len(),
+                total: n,
+                at: self.t,
+            });
+        }
+        let stats = self.sys.iter().map(PicosSystem::stats).collect();
+        Ok((self.log.into_report("cluster", self.cfg.workers), stats))
+    }
+}
+
+impl EventLoopCore for ClusterSession {
+    /// Runs the loop body of the batch driver at the current time.
+    fn pump(&mut self) {
+        let k = self.cfg.shards;
+        let t = self.t;
+        for s in self.sys.iter_mut() {
+            s.advance_to(t);
+        }
+        self.touched.iter_mut().for_each(|f| *f = false);
+        // Worker completions: notify the local shard now, remote fragment
+        // shards over the interconnect.
+        for s in 0..k {
+            while let Some((task, slot)) = self.workers[s].pop_done_at(t) {
+                self.sys[s].notify_finished(FinishedReq {
+                    task: TaskId::new(task),
+                    slot,
+                });
+                for &(r, _) in &self.remote[task as usize] {
+                    self.links[r as usize].send(t, ClusterMsg::Finish { task });
+                    self.events.push(SimEvent::ShardMsg {
+                        from: s as u16,
+                        to: r,
+                        at: t,
+                    });
+                }
+                self.ingest.finished += 1;
+                self.events.push(SimEvent::TaskFinished { task, at: t });
+                self.touched[s] = true;
+            }
+        }
+        // Interconnect deliveries.
+        for s in 0..k {
+            while let Some(msg) = self.links[s].pop_delivery_at(t) {
+                match msg {
+                    ClusterMsg::Register { task, deps } => {
+                        self.arrived[s].insert(task, deps);
+                    }
+                    ClusterMsg::Ready { task } => {
+                        let ti = task as usize;
+                        self.frag_ready[ti] += 1;
+                        if self.frag_ready[ti] == self.frag_total[ti] {
+                            debug_assert!(
+                                self.local_popped[ti],
+                                "local pop counts toward the total"
+                            );
+                            self.exec_q[s].push_back(task);
+                        }
+                    }
+                    ClusterMsg::Finish { task } => {
+                        let slot = self.slot_at[s]
+                            .remove(&task)
+                            .expect("remote fragment popped before its task ran");
+                        self.sys[s].notify_finished(FinishedReq {
+                            task: TaskId::new(task),
+                            slot,
+                        });
+                        self.touched[s] = true;
+                    }
+                }
+            }
+        }
+        // Distributor: create every task the taskwait structure allows.
+        while self.ingest.feedable(self.next_feed, self.ingest.finished) {
+            let i = self.next_feed as u32;
+            let p = self.placement[self.next_feed] as usize;
+            self.expected[p].push_back(i);
+            self.arrived[p].insert(i, self.local[self.next_feed].clone());
+            for (r, deps) in &self.remote[self.next_feed] {
+                self.expected[*r as usize].push_back(i);
+                let words = deps.len() + 1;
+                self.links[*r as usize].send_words(
+                    t,
+                    ClusterMsg::Register {
+                        task: i,
+                        deps: deps.clone(),
+                    },
+                    words,
+                );
+                self.events.push(SimEvent::ShardMsg {
+                    from: p as u16,
+                    to: *r,
+                    at: t,
+                });
+            }
+            self.next_feed += 1;
+        }
+        // Ingress: feed each Gateway in creation order.
+        for s in 0..k {
+            while let Some(&head) = self.expected[s].front() {
+                let Some(deps) = self.arrived[s].remove(&head) else {
+                    break;
+                };
+                self.sys[s].submit(TaskId::new(head), deps);
+                self.expected[s].pop_front();
+                self.touched[s] = true;
+            }
+        }
+        for s in 0..k {
+            if self.touched[s] {
+                self.sys[s].advance_to(t);
+            }
+        }
+        // Execution: first the tasks whose last remote notice arrived
+        // earlier, then the shard's ready stream.
+        for s in 0..k {
+            while self.workers[s].idle() > 0 {
+                let Some(&task) = self.exec_q[s].front() else {
+                    break;
+                };
+                self.exec_q[s].pop_front();
+                self.start_task(s, task, self.local_slot[task as usize]);
+            }
+            while let Some(rt) = self.sys[s].peek_ready() {
+                let task = rt.task.raw();
+                let ti = task as usize;
+                if self.placement[ti] as usize != s {
+                    // A remote fragment: consume it and wake the placement
+                    // shard over the interconnect.
+                    let rt = self.sys[s].pop_ready().expect("peeked");
+                    self.slot_at[s].insert(task, rt.slot);
+                    let p = self.placement[ti];
+                    self.links[p as usize].send(t, ClusterMsg::Ready { task });
+                    self.events.push(SimEvent::ShardMsg {
+                        from: s as u16,
+                        to: p,
+                        at: t,
+                    });
+                    continue;
+                }
+                if self.frag_ready[ti] + 1 == self.frag_total[ti] {
+                    // Popping the local fragment completes readiness: take
+                    // it only when a worker can start it (the single-Picos
+                    // TS discipline — otherwise it waits in the TS buffer).
+                    if self.workers[s].idle() == 0 {
+                        break;
+                    }
+                    let rt = self.sys[s].pop_ready().expect("peeked");
+                    self.local_slot[ti] = rt.slot;
+                    self.local_popped[ti] = true;
+                    self.frag_ready[ti] += 1;
+                    self.start_task(s, task, rt.slot);
+                } else {
+                    // Remote notices outstanding: park the fragment so it
+                    // cannot head-of-line-block tasks queued behind it.
+                    let rt = self.sys[s].pop_ready().expect("peeked");
+                    self.local_slot[ti] = rt.slot;
+                    self.local_popped[ti] = true;
+                    self.frag_ready[ti] += 1;
+                }
+            }
+        }
+    }
+
+    fn next_time(&self) -> Option<u64> {
+        min_next(
+            self.sys
+                .iter()
+                .map(|s| s.next_event_time())
+                .chain(self.workers.iter().map(|w| w.next_done()))
+                .chain(self.links.iter().map(|l| l.next_delivery())),
+        )
+    }
+
+    fn clock(&self) -> u64 {
+        self.t
+    }
+
+    fn set_clock(&mut self, t: u64) {
+        self.t = t;
+    }
+
+    fn on_clock_jump(&mut self) {
+        for s in self.sys.iter_mut() {
+            s.advance_to(self.t);
+        }
+    }
+
+    /// Whether the next submission cannot be ingested right now.
+    fn ingest_blocked(&self) -> bool {
+        self.ingest.saturated()
+            || (self.next_feed < self.ingest.admitted
+                && !self.ingest.feedable(self.next_feed, self.ingest.finished))
+    }
+}
+
+impl SessionCore for ClusterSession {
+    fn submit(&mut self, task: &TaskDescriptor) -> Admission {
+        if self.ingest.saturated() {
+            return Admission::Backpressured;
+        }
+        let id = self.ingest.admit() as usize;
+        self.log.admit(task.duration);
+        self.plan_task(id, task);
+        self.frag_total.push(1 + self.remote[id].len() as u8);
+        self.frag_ready.push(0);
+        self.local_popped.push(false);
+        self.local_slot.push(SlotRef::new(0, 0));
+        self.durs.push(task.duration);
+        Admission::Accepted
+    }
+
+    fn barrier(&mut self) {
+        self.ingest.barrier();
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        self.drive_to(cycle);
+    }
+
+    fn step(&mut self) -> bool {
+        self.drive_step()
+    }
+
+    fn now(&self) -> u64 {
+        self.t
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ingest.in_flight()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        self.events.drain_into(out);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.ingest.reserve(additional);
+        self.log.reserve(additional);
+        for v in [&mut self.frag_ready, &mut self.frag_total] {
+            v.reserve(additional);
+        }
+        self.placement.reserve(additional);
+        self.local.reserve(additional);
+        self.remote.reserve(additional);
+        self.local_popped.reserve(additional);
+        self.local_slot.reserve(additional);
+        self.durs.reserve(additional);
+    }
+}
+
 /// Runs a trace through the cluster; returns the schedule with engine
-/// label `"cluster"`.
+/// label `"cluster"`. Opens a [`ClusterSession`], feeds the whole trace
+/// and finishes it.
 ///
 /// # Errors
 ///
@@ -171,246 +521,9 @@ pub fn run_cluster_with_stats(
     trace: &Trace,
     cfg: &ClusterConfig,
 ) -> Result<(ExecReport, Vec<Stats>), ClusterError> {
-    cfg.validate().map_err(ClusterError::Config)?;
-    let n = trace.len();
-    let k = cfg.shards;
-    let plan = Plan::build(trace, cfg);
-
-    let mut sys: Vec<PicosSystem> = (0..k)
-        .map(|_| PicosSystem::new(cfg.picos.clone()))
-        .collect();
-    let mut workers: Vec<picos_hil::Workers> = (0..k)
-        .map(|s| picos_hil::Workers::new(cfg.shard_workers(s)))
-        .collect();
-    let mut links: Vec<Link<ClusterMsg>> = (0..k).map(|_| Link::new(cfg.link)).collect();
-
-    // Ingress reorder stage: fragments enter each shard's Gateway strictly
-    // in task-creation order.
-    let mut expected: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
-    let mut arrived: Vec<HashMap<u32, Arc<[Dependence]>>> = vec![HashMap::new(); k];
-    // Remote fragments' TM slots, recorded when they pop ready.
-    let mut slot_at: Vec<HashMap<u32, SlotRef>> = vec![HashMap::new(); k];
-    // Readiness countdown: local pop + one notice per remote fragment.
-    let frag_total: Vec<u8> = plan.remote.iter().map(|r| 1 + r.len() as u8).collect();
-    let mut frag_ready: Vec<u8> = vec![0; n];
-    let mut local_popped: Vec<bool> = vec![false; n];
-    let mut local_slot: Vec<SlotRef> = vec![SlotRef::new(0, 0); n];
-    // Tasks fully ready (last notice arrived) awaiting a free worker.
-    let mut exec_q: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
-
-    let mut start = vec![0u64; n];
-    let mut end = vec![0u64; n];
-    let mut order: Vec<u32> = Vec::with_capacity(n);
-
-    // Starts a task on shard `s`'s workers with the HW-only dispatch cost.
-    // Both readiness paths (direct local pop, exec_q drain after the last
-    // remote notice) must stay byte-identical, so they share this helper.
-    #[allow(clippy::too_many_arguments)]
-    fn start_task(
-        workers: &mut picos_hil::Workers,
-        trace: &Trace,
-        dispatch: u64,
-        t: u64,
-        task: u32,
-        slot: SlotRef,
-        start: &mut [u64],
-        end: &mut [u64],
-        order: &mut Vec<u32>,
-    ) {
-        let st = t + dispatch;
-        let dur = trace.tasks()[task as usize].duration;
-        start[task as usize] = st;
-        end[task as usize] = st + dur;
-        order.push(task);
-        workers.start(st + dur, task, slot);
-    }
-
-    let mut next_submit = 0usize;
-    let mut done = 0usize;
-    let mut t = 0u64;
-    let mut touched = vec![false; k];
-    loop {
-        for s in sys.iter_mut() {
-            s.advance_to(t);
-        }
-        touched.iter_mut().for_each(|f| *f = false);
-        // Worker completions: notify the local shard now, remote fragment
-        // shards over the interconnect.
-        for s in 0..k {
-            while let Some((task, slot)) = workers[s].pop_done_at(t) {
-                sys[s].notify_finished(FinishedReq {
-                    task: TaskId::new(task),
-                    slot,
-                });
-                for &(r, _) in &plan.remote[task as usize] {
-                    links[r as usize].send(t, ClusterMsg::Finish { task });
-                }
-                done += 1;
-                touched[s] = true;
-            }
-        }
-        // Interconnect deliveries.
-        for s in 0..k {
-            while let Some(msg) = links[s].pop_delivery_at(t) {
-                match msg {
-                    ClusterMsg::Register { task, deps } => {
-                        arrived[s].insert(task, deps);
-                    }
-                    ClusterMsg::Ready { task } => {
-                        let ti = task as usize;
-                        frag_ready[ti] += 1;
-                        if frag_ready[ti] == frag_total[ti] {
-                            debug_assert!(local_popped[ti], "local pop counts toward the total");
-                            exec_q[s].push_back(task);
-                        }
-                    }
-                    ClusterMsg::Finish { task } => {
-                        let slot = slot_at[s]
-                            .remove(&task)
-                            .expect("remote fragment popped before its task ran");
-                        sys[s].notify_finished(FinishedReq {
-                            task: TaskId::new(task),
-                            slot,
-                        });
-                        touched[s] = true;
-                    }
-                }
-            }
-        }
-        // Distributor: create every task the taskwait structure allows.
-        while next_submit < trace.creation_limit(done) {
-            let i = next_submit as u32;
-            let p = plan.placement[next_submit] as usize;
-            expected[p].push_back(i);
-            arrived[p].insert(i, plan.local[next_submit].clone());
-            for (r, deps) in &plan.remote[next_submit] {
-                expected[*r as usize].push_back(i);
-                let words = deps.len() + 1;
-                links[*r as usize].send_words(
-                    t,
-                    ClusterMsg::Register {
-                        task: i,
-                        deps: deps.clone(),
-                    },
-                    words,
-                );
-            }
-            next_submit += 1;
-        }
-        // Ingress: feed each Gateway in creation order.
-        for s in 0..k {
-            while let Some(&head) = expected[s].front() {
-                let Some(deps) = arrived[s].remove(&head) else {
-                    break;
-                };
-                sys[s].submit(TaskId::new(head), deps);
-                expected[s].pop_front();
-                touched[s] = true;
-            }
-        }
-        for s in 0..k {
-            if touched[s] {
-                sys[s].advance_to(t);
-            }
-        }
-        // Execution: first the tasks whose last remote notice arrived
-        // earlier, then the shard's ready stream.
-        for s in 0..k {
-            while workers[s].idle() > 0 {
-                let Some(&task) = exec_q[s].front() else {
-                    break;
-                };
-                exec_q[s].pop_front();
-                start_task(
-                    &mut workers[s],
-                    trace,
-                    cfg.dispatch,
-                    t,
-                    task,
-                    local_slot[task as usize],
-                    &mut start,
-                    &mut end,
-                    &mut order,
-                );
-            }
-            while let Some(rt) = sys[s].peek_ready() {
-                let task = rt.task.raw();
-                let ti = task as usize;
-                if plan.placement[ti] as usize != s {
-                    // A remote fragment: consume it and wake the placement
-                    // shard over the interconnect.
-                    let rt = sys[s].pop_ready().expect("peeked");
-                    slot_at[s].insert(task, rt.slot);
-                    links[plan.placement[ti] as usize].send(t, ClusterMsg::Ready { task });
-                    continue;
-                }
-                if frag_ready[ti] + 1 == frag_total[ti] {
-                    // Popping the local fragment completes readiness: take
-                    // it only when a worker can start it (the single-Picos
-                    // TS discipline — otherwise it waits in the TS buffer).
-                    if workers[s].idle() == 0 {
-                        break;
-                    }
-                    let rt = sys[s].pop_ready().expect("peeked");
-                    local_slot[ti] = rt.slot;
-                    local_popped[ti] = true;
-                    frag_ready[ti] += 1;
-                    start_task(
-                        &mut workers[s],
-                        trace,
-                        cfg.dispatch,
-                        t,
-                        task,
-                        rt.slot,
-                        &mut start,
-                        &mut end,
-                        &mut order,
-                    );
-                } else {
-                    // Remote notices outstanding: park the fragment so it
-                    // cannot head-of-line-block tasks queued behind it.
-                    let rt = sys[s].pop_ready().expect("peeked");
-                    local_slot[ti] = rt.slot;
-                    local_popped[ti] = true;
-                    frag_ready[ti] += 1;
-                }
-            }
-        }
-        let next = min_next(
-            sys.iter()
-                .map(|s| s.next_event_time())
-                .chain(workers.iter().map(|w| w.next_done()))
-                .chain(links.iter().map(|l| l.next_delivery())),
-        );
-        match next {
-            Some(tn) => t = tn,
-            None => break,
-        }
-    }
-    let clean = order.len() == n
-        && sys.iter().all(|s| s.in_flight() == 0)
-        && links.iter().all(|l| l.in_flight() == 0)
-        && workers.iter().all(|w| !w.busy())
-        && exec_q.iter().all(VecDeque::is_empty)
-        && expected.iter().all(VecDeque::is_empty);
-    if !clean {
-        return Err(ClusterError::Stalled {
-            executed: order.len(),
-            total: n,
-            at: t,
-        });
-    }
-    let report = ExecReport {
-        engine: "cluster".into(),
-        workers: cfg.workers,
-        makespan: end.iter().copied().max().unwrap_or(0),
-        sequential: trace.sequential_time(),
-        order,
-        start,
-        end,
-    };
-    let stats = sys.iter().map(PicosSystem::stats).collect();
-    Ok((report, stats))
+    let mut s = ClusterSession::new(cfg.clone(), SessionConfig::batch())?;
+    feed_trace(&mut s, trace).expect("unbounded window cannot stall");
+    s.into_report()
 }
 
 #[cfg(test)]
@@ -539,5 +652,79 @@ mod tests {
         cfg.picos = cfg.picos.with_ts_policy(picos_core::TsPolicy::Lifo);
         let r = run_cluster(&tr, &cfg).unwrap();
         r.validate(&tr).unwrap();
+    }
+
+    #[test]
+    fn session_matches_batch_run() {
+        let tr = gen::stream(gen::StreamConfig::heavy(400));
+        let cfg = ClusterConfig::balanced(3, 12);
+        let batch = run_cluster_with_stats(&tr, &cfg).unwrap();
+        let mut s = ClusterSession::new(cfg, SessionConfig::batch()).unwrap();
+        feed_trace(&mut s, &tr).unwrap();
+        let streamed = s.into_report().unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn session_emits_shard_messages() {
+        let tr = gen::stream(gen::StreamConfig::heavy(200));
+        let mut s = ClusterSession::new(
+            ClusterConfig::balanced(4, 8),
+            SessionConfig {
+                collect_events: true,
+                ..SessionConfig::batch()
+            },
+        )
+        .unwrap();
+        feed_trace(&mut s, &tr).unwrap();
+        let mut events = Vec::new();
+        // Settle nothing yet: events materialize as the session runs.
+        s.drain_events(&mut events);
+        let n = tr.len();
+        let (r, _) = {
+            let mut s = s;
+            s.advance_to(u64::MAX / 2);
+            s.drain_events(&mut events);
+            s.into_report().unwrap()
+        };
+        assert_eq!(r.order.len(), n);
+        let shard_msgs = events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::ShardMsg { .. }))
+            .count();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::TaskStarted { .. }))
+            .count();
+        assert!(shard_msgs > 0, "a 4-shard run must cross the interconnect");
+        assert_eq!(starts, n, "every task start must be reported");
+    }
+
+    #[test]
+    fn windowed_session_backpressures_and_completes() {
+        let tr = gen::stream(gen::StreamConfig::heavy(300));
+        let mut s = ClusterSession::new(ClusterConfig::balanced(2, 8), SessionConfig::windowed(16))
+            .unwrap();
+        let mut retries = 0u64;
+        for task in tr.iter() {
+            loop {
+                match s.submit(task) {
+                    Admission::Accepted => break,
+                    Admission::Backpressured => {
+                        retries += 1;
+                        assert!(s.step(), "blocked session must drain");
+                    }
+                }
+            }
+            assert!(s.in_flight() <= 16);
+        }
+        assert!(retries > 0, "a 16-task window must backpressure");
+        let (r, stats) = s.into_report().unwrap();
+        r.validate(&tr).unwrap();
+        assert_eq!(r.order.len(), tr.len(), "no task may be dropped");
+        let total = merged_stats(&stats);
+        // Per-shard counters count fragments, so they can exceed the task
+        // count but must balance.
+        assert_eq!(total.tasks_submitted, total.tasks_completed);
     }
 }

@@ -407,6 +407,13 @@ impl PicosSystem {
         }
     }
 
+    /// Pre-sizes the new-task input queue for `additional` more
+    /// submissions (the incremental counterpart of
+    /// [`PicosSystem::submit_all`]'s one-shot reservation).
+    pub fn reserve_new(&mut self, additional: usize) {
+        self.ext_new.reserve(additional);
+    }
+
     /// Number of submitted tasks the GW has not accepted yet.
     pub fn pending_new(&self) -> usize {
         self.ext_new.len()

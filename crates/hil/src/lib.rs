@@ -29,5 +29,5 @@ mod pool;
 
 pub use cost::{HilCostModel, LinkModel};
 pub use metrics::{synthetic_metrics, SyntheticMetrics};
-pub use modes::{run_hil, run_hil_with_stats, HilConfig, HilError, HilMode};
+pub use modes::{run_hil, run_hil_with_stats, HilConfig, HilError, HilMode, HilSession};
 pub use pool::{Link, Workers};

@@ -7,13 +7,25 @@
 //! * [`HilMode::FullSystem`] — the closed loop: the ARM core creates each
 //!   task, submits it over the bus, retrieves ready tasks, dispatches them
 //!   to workers and forwards finishes.
+//!
+//! All three modes are driven by one resumable stepper, [`HilSession`]:
+//! tasks stream in through [`SessionCore::submit`] and the platform model
+//! decides when they are created/submitted according to its own timing
+//! (immediately for HW-only, behind the SR0 FIFO for HW+comm, behind the
+//! serial ARM core for Full-system). [`run_hil`] is the batch driver over
+//! a session.
 
 use crate::cost::HilCostModel;
 use crate::pool::{Bus, BusMsg, Workers};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem, SlotRef};
+use picos_runtime::session::{
+    feed_trace, Admission, EventLog, EventLoopCore, Ingest, ScheduleLog, SessionConfig,
+    SessionCore, SimEvent,
+};
 use picos_runtime::ExecReport;
-use picos_trace::{TaskId, Trace};
+use picos_trace::{Dependence, TaskDescriptor, TaskId, Trace};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Operational mode of the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +48,15 @@ impl HilMode {
             HilMode::HwOnly => "HW-only",
             HilMode::HwComm => "HW+comm.",
             HilMode::FullSystem => "Full-system",
+        }
+    }
+
+    /// Engine label of the reports this mode produces.
+    pub fn engine_label(self) -> &'static str {
+        match self {
+            HilMode::HwOnly => "picos-hw-only",
+            HilMode::HwComm => "picos-hw-comm",
+            HilMode::FullSystem => "picos-full",
         }
     }
 }
@@ -101,21 +122,384 @@ impl std::fmt::Display for HilError {
 
 impl std::error::Error for HilError {}
 
+fn min_next(cands: &[Option<u64>]) -> Option<u64> {
+    cands.iter().flatten().copied().min()
+}
+
+/// What the platform needs to remember about an admitted task.
+#[derive(Debug)]
+struct TaskMeta {
+    dur: u64,
+    deps: Arc<[Dependence]>,
+}
+
+/// A resumable HIL platform stepper: the Picos core, the worker pool and —
+/// depending on the [`HilMode`] — the AXI bus and the serial ARM core,
+/// advanced on demand.
+///
+/// Submitted tasks enter the platform's ingest queue; the model itself
+/// decides when each is created (the SR0 FIFO and the ARM core throttle
+/// the two communication modes exactly as in the batch drivers), so a
+/// session fed a whole trace and finished is cycle-identical to
+/// [`run_hil`].
+#[derive(Debug)]
+pub struct HilSession {
+    mode: HilMode,
+    cfg: HilConfig,
+    sys: PicosSystem,
+    workers: Workers,
+    /// The AXI bus (`HwComm` / `FullSystem` only).
+    bus: Option<Bus>,
+    tasks: Vec<TaskMeta>,
+    /// Next admitted task the platform will create/submit.
+    next_feed: usize,
+    /// Completions awaiting ARM forwarding (`FullSystem` only).
+    finish_q: VecDeque<(u32, SlotRef)>,
+    newtasks_in_bus: usize,
+    inflight_ready: usize,
+    arm_free: u64,
+    t: u64,
+    ingest: Ingest,
+    log: ScheduleLog,
+    events: EventLog,
+}
+
+impl HilSession {
+    /// Opens a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration has zero workers (the
+    /// Picos core configuration itself is validated by
+    /// [`PicosSystem::new`], which panics on invalid configs).
+    pub fn new(mode: HilMode, cfg: HilConfig, session: SessionConfig) -> Result<Self, String> {
+        if cfg.workers == 0 {
+            return Err("picos platform needs at least one worker".into());
+        }
+        Ok(HilSession {
+            sys: PicosSystem::new(cfg.picos.clone()),
+            workers: Workers::new(cfg.workers),
+            bus: match mode {
+                HilMode::HwOnly => None,
+                HilMode::HwComm | HilMode::FullSystem => Some(Bus::new(cfg.cost.axi_link())),
+            },
+            tasks: Vec::new(),
+            next_feed: 0,
+            finish_q: VecDeque::new(),
+            newtasks_in_bus: 0,
+            inflight_ready: 0,
+            arm_free: cfg.cost.arm_startup,
+            t: 0,
+            ingest: Ingest::new(session.window),
+            log: ScheduleLog::default(),
+            events: EventLog::new(session.collect_events),
+            mode,
+            cfg,
+        })
+    }
+
+    /// Whether the platform could create admitted task `next_feed` once it
+    /// has cycles for it.
+    fn feed_ready(&self) -> bool {
+        self.ingest.feedable(self.next_feed, self.ingest.finished)
+    }
+
+    fn pump_hw_only(&mut self) {
+        let t = self.t;
+        self.sys.advance_to(t);
+        let mut touched = false;
+        while let Some((task, slot)) = self.workers.pop_done_at(t) {
+            self.sys.notify_finished(FinishedReq {
+                task: TaskId::new(task),
+                slot,
+            });
+            self.ingest.finished += 1;
+            self.events.push(SimEvent::TaskFinished { task, at: t });
+            touched = true;
+        }
+        // Pre-load every task the taskwait structure allows.
+        while self.feed_ready() {
+            let meta = &self.tasks[self.next_feed];
+            self.sys
+                .submit(TaskId::new(self.next_feed as u32), meta.deps.clone());
+            self.next_feed += 1;
+            touched = true;
+        }
+        if touched {
+            self.sys.advance_to(t);
+        }
+        while self.workers.idle() > 0 {
+            let Some(r) = self.sys.pop_ready() else { break };
+            let st = t + self.cfg.cost.dispatch;
+            let task = r.task.raw();
+            let end = self.log.begin(task, st, self.tasks[r.task.index()].dur);
+            self.events.push(SimEvent::TaskStarted { task, at: st });
+            self.workers.start(end, task, r.slot);
+        }
+    }
+
+    fn pump_hw_comm(&mut self) {
+        let t = self.t;
+        let bus = self.bus.as_mut().expect("HwComm has a bus");
+        self.sys.advance_to(t);
+        let mut touched = false;
+        while let Some((task, slot)) = self.workers.pop_done_at(t) {
+            bus.send(t, BusMsg::Finish(task, slot));
+            self.ingest.finished += 1;
+            self.events.push(SimEvent::TaskFinished { task, at: t });
+            touched = true;
+        }
+        while let Some(msg) = bus.pop_delivery_at(t) {
+            touched = true;
+            match msg {
+                BusMsg::NewTask(i) => {
+                    self.sys
+                        .submit(TaskId::new(i), self.tasks[i as usize].deps.clone());
+                    self.newtasks_in_bus -= 1;
+                }
+                BusMsg::Ready(task, slot) => {
+                    let end = self.log.begin(task, t, self.tasks[task as usize].dur);
+                    self.events.push(SimEvent::TaskStarted { task, at: t });
+                    self.workers.start(end, task, slot);
+                    self.inflight_ready -= 1;
+                }
+                BusMsg::Finish(task, slot) => {
+                    self.sys.notify_finished(FinishedReq {
+                        task: TaskId::new(task),
+                        slot,
+                    });
+                }
+            }
+        }
+        if touched {
+            self.sys.advance_to(t);
+        }
+        // Feed new tasks while the SR0 FIFO has room and the taskwait
+        // structure allows.
+        while self.ingest.feedable(self.next_feed, self.ingest.finished)
+            && self.newtasks_in_bus + self.sys.pending_new() < self.cfg.cost.sr_queue
+        {
+            bus.send(t, BusMsg::NewTask(self.next_feed as u32));
+            self.newtasks_in_bus += 1;
+            self.next_feed += 1;
+        }
+        // Retrieve ready tasks for free workers.
+        while self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready {
+            let r = self.sys.pop_ready().expect("ready_len checked");
+            bus.send(t, BusMsg::Ready(r.task.raw(), r.slot));
+            self.inflight_ready += 1;
+        }
+    }
+
+    fn pump_full_system(&mut self) {
+        let t = self.t;
+        let bus = self.bus.as_mut().expect("FullSystem has a bus");
+        self.sys.advance_to(t);
+        let mut touched = false;
+        while let Some((task, slot)) = self.workers.pop_done_at(t) {
+            self.finish_q.push_back((task, slot));
+            self.ingest.finished += 1;
+            self.events.push(SimEvent::TaskFinished { task, at: t });
+            touched = true;
+        }
+        while let Some(msg) = bus.pop_delivery_at(t) {
+            touched = true;
+            match msg {
+                BusMsg::NewTask(i) => {
+                    self.sys
+                        .submit(TaskId::new(i), self.tasks[i as usize].deps.clone());
+                    self.newtasks_in_bus -= 1;
+                }
+                BusMsg::Ready(task, slot) => {
+                    let end = self.log.begin(task, t, self.tasks[task as usize].dur);
+                    self.events.push(SimEvent::TaskStarted { task, at: t });
+                    self.workers.start(end, task, slot);
+                    self.inflight_ready -= 1;
+                }
+                BusMsg::Finish(task, slot) => {
+                    self.sys.notify_finished(FinishedReq {
+                        task: TaskId::new(task),
+                        slot,
+                    });
+                }
+            }
+        }
+        if touched {
+            self.sys.advance_to(t);
+        }
+        // The ARM core is a serial resource; one action per free slot, with
+        // finish forwarding first (it releases downstream resources), then
+        // ready retrieval, then creation of the next task.
+        while self.arm_free <= t {
+            if let Some((task, slot)) = self.finish_q.pop_front() {
+                let done = t + self.cfg.cost.arm_finish;
+                self.arm_free = bus.send(done, BusMsg::Finish(task, slot));
+            } else if self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready {
+                let r = self.sys.pop_ready().expect("ready_len checked");
+                let done = t + self.cfg.cost.arm_retrieve;
+                let slot_end = bus.send(done, BusMsg::Ready(r.task.raw(), r.slot));
+                self.arm_free = slot_end + self.cfg.cost.arm_dispatch;
+                self.inflight_ready += 1;
+            } else if self.ingest.feedable(self.next_feed, self.ingest.finished)
+                && self.newtasks_in_bus + self.sys.pending_new() < self.cfg.cost.sr_queue
+            {
+                let ndeps = self.tasks[self.next_feed].deps.len();
+                let done = t + self.cfg.cost.arm_create + self.cfg.cost.arm_submit(ndeps);
+                self.arm_free = bus.send(done, BusMsg::NewTask(self.next_feed as u32));
+                self.newtasks_in_bus += 1;
+                self.next_feed += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Runs the session to quiescence and returns the schedule report plus
+    /// the core's hardware counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HilError::Stalled`] if work remains that no event will
+    /// release (an engine bug).
+    pub fn into_report(mut self) -> Result<(ExecReport, picos_core::Stats), HilError> {
+        self.drive_finish();
+        let n = self.ingest.admitted;
+        let clean = self.log.order.len() == n
+            && self.sys.in_flight() == 0
+            && self.bus.as_ref().is_none_or(|b| b.in_flight() == 0)
+            && self.finish_q.is_empty()
+            && !self.workers.busy()
+            && self.next_feed == n;
+        if !clean {
+            return Err(HilError::Stalled {
+                executed: self.log.order.len(),
+                total: n,
+                at: self.t,
+            });
+        }
+        let stats = self.sys.stats();
+        Ok((
+            self.log
+                .into_report(self.mode.engine_label(), self.cfg.workers),
+            stats,
+        ))
+    }
+}
+
+impl EventLoopCore for HilSession {
+    /// Runs the loop body of the batch driver at the current time:
+    /// completions, bus deliveries, task feeding and ready dispatch.
+    /// Idempotent at a fixed time, so clients may interleave submissions
+    /// with settling freely.
+    fn pump(&mut self) {
+        match self.mode {
+            HilMode::HwOnly => self.pump_hw_only(),
+            HilMode::HwComm => self.pump_hw_comm(),
+            HilMode::FullSystem => self.pump_full_system(),
+        }
+    }
+
+    /// Time of the next internal event: core, workers, bus and — in
+    /// Full-system mode — the pending ARM action.
+    fn next_time(&self) -> Option<u64> {
+        let bus_next = self.bus.as_ref().and_then(Bus::next_delivery);
+        let arm_cand = if self.mode == HilMode::FullSystem {
+            let arm_pending = !self.finish_q.is_empty()
+                || (self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready)
+                || (self.feed_ready()
+                    && self.newtasks_in_bus + self.sys.pending_new() < self.cfg.cost.sr_queue);
+            (arm_pending && self.arm_free > self.t).then_some(self.arm_free)
+        } else {
+            None
+        };
+        min_next(&[
+            self.sys.next_event_time(),
+            self.workers.next_done(),
+            bus_next,
+            arm_cand,
+        ])
+    }
+
+    fn clock(&self) -> u64 {
+        self.t
+    }
+
+    fn set_clock(&mut self, t: u64) {
+        self.t = t;
+    }
+
+    fn on_clock_jump(&mut self) {
+        self.sys.advance_to(self.t);
+    }
+
+    /// Whether the next submission cannot be ingested right now.
+    fn ingest_blocked(&self) -> bool {
+        self.ingest.saturated() || (self.next_feed < self.ingest.admitted && !self.feed_ready())
+    }
+}
+
+impl SessionCore for HilSession {
+    fn submit(&mut self, task: &TaskDescriptor) -> Admission {
+        if self.ingest.saturated() {
+            return Admission::Backpressured;
+        }
+        self.ingest.admit();
+        self.log.admit(task.duration);
+        self.tasks.push(TaskMeta {
+            dur: task.duration,
+            deps: task.deps.clone(),
+        });
+        Admission::Accepted
+    }
+
+    fn barrier(&mut self) {
+        self.ingest.barrier();
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        self.drive_to(cycle);
+    }
+
+    fn step(&mut self) -> bool {
+        self.drive_step()
+    }
+
+    fn now(&self) -> u64 {
+        self.t
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ingest.in_flight()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        self.events.drain_into(out);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.ingest.reserve(additional);
+        self.log.reserve(additional);
+        self.tasks.reserve(additional);
+        self.sys.reserve_new(additional);
+    }
+}
+
 /// Runs a trace through the platform in the given mode; returns the
 /// schedule and, in the report's `engine` field, a label like
-/// `"picos-hw-only"`.
+/// `"picos-hw-only"`. Opens a [`HilSession`], feeds the whole trace and
+/// finishes it.
 ///
 /// # Errors
 ///
 /// Returns [`HilError::Stalled`] if the run cannot complete (this would
 /// indicate an engine bug; the configuration itself is validated by
 /// [`PicosSystem::new`]).
+///
+/// # Panics
+///
+/// Panics on a zero worker count.
 pub fn run_hil(trace: &Trace, mode: HilMode, cfg: &HilConfig) -> Result<ExecReport, HilError> {
-    match mode {
-        HilMode::HwOnly => run_hw_only(trace, cfg),
-        HilMode::HwComm => run_hw_comm(trace, cfg),
-        HilMode::FullSystem => run_full_system(trace, cfg),
-    }
+    run_hil_with_stats(trace, mode, cfg).map(|(r, _)| r)
 }
 
 /// Collects the per-run Picos statistics alongside the report.
@@ -126,324 +510,19 @@ pub fn run_hil(trace: &Trace, mode: HilMode, cfg: &HilConfig) -> Result<ExecRepo
 /// # Errors
 ///
 /// See [`run_hil`].
+///
+/// # Panics
+///
+/// Panics on a zero worker count.
 pub fn run_hil_with_stats(
     trace: &Trace,
     mode: HilMode,
     cfg: &HilConfig,
 ) -> Result<(ExecReport, picos_core::Stats), HilError> {
-    // The drivers below each build their own system; rebuild here with the
-    // same deterministic behaviour to expose the stats.
-    match mode {
-        HilMode::HwOnly => run_hw_only_impl(trace, cfg),
-        HilMode::HwComm => run_hw_comm_impl(trace, cfg),
-        HilMode::FullSystem => run_full_system_impl(trace, cfg),
-    }
-}
-
-fn run_hw_only(trace: &Trace, cfg: &HilConfig) -> Result<ExecReport, HilError> {
-    run_hw_only_impl(trace, cfg).map(|(r, _)| r)
-}
-
-fn run_hw_comm(trace: &Trace, cfg: &HilConfig) -> Result<ExecReport, HilError> {
-    run_hw_comm_impl(trace, cfg).map(|(r, _)| r)
-}
-
-fn run_full_system(trace: &Trace, cfg: &HilConfig) -> Result<ExecReport, HilError> {
-    run_full_system_impl(trace, cfg).map(|(r, _)| r)
-}
-
-struct RunLog {
-    start: Vec<u64>,
-    end: Vec<u64>,
-    order: Vec<u32>,
-}
-
-impl RunLog {
-    fn new(n: usize) -> Self {
-        RunLog {
-            start: vec![0; n],
-            end: vec![0; n],
-            order: Vec::with_capacity(n),
-        }
-    }
-
-    fn begin(&mut self, task: u32, at: u64, dur: u64) -> u64 {
-        self.start[task as usize] = at;
-        self.end[task as usize] = at + dur;
-        self.order.push(task);
-        at + dur
-    }
-
-    fn into_report(self, engine: &str, workers: usize, trace: &Trace) -> ExecReport {
-        ExecReport {
-            engine: engine.into(),
-            workers,
-            makespan: self.end.iter().copied().max().unwrap_or(0),
-            sequential: trace.sequential_time(),
-            order: self.order,
-            start: self.start,
-            end: self.end,
-        }
-    }
-}
-
-fn min_next(cands: &[Option<u64>]) -> Option<u64> {
-    cands.iter().flatten().copied().min()
-}
-
-fn run_hw_only_impl(
-    trace: &Trace,
-    cfg: &HilConfig,
-) -> Result<(ExecReport, picos_core::Stats), HilError> {
-    let mut sys = PicosSystem::new(cfg.picos.clone());
-    let n = trace.len();
-    let mut workers = Workers::new(cfg.workers);
-    let mut log = RunLog::new(n);
-    let mut next_submit = 0usize;
-    // Without taskwait barriers every task is pre-loadable: bulk-submit
-    // once with a pre-sized queue instead of drip-feeding in the loop
-    // (cycle-identical — the first loop pass would submit all of them at
-    // t = 0 anyway).
-    if trace.barriers().is_empty() {
-        sys.submit_all(trace);
-        next_submit = n;
-    }
-    let mut done_count = 0usize;
-    let mut t = 0u64;
-    loop {
-        sys.advance_to(t);
-        let mut touched = false;
-        while let Some((task, slot)) = workers.pop_done_at(t) {
-            sys.notify_finished(FinishedReq {
-                task: TaskId::new(task),
-                slot,
-            });
-            done_count += 1;
-            touched = true;
-        }
-        // Pre-load every task the taskwait structure allows (all of them
-        // when the trace has no barriers).
-        while next_submit < trace.creation_limit(done_count) {
-            let task = &trace.tasks()[next_submit];
-            sys.submit(task.id, task.deps.clone());
-            next_submit += 1;
-            touched = true;
-        }
-        if touched {
-            sys.advance_to(t);
-        }
-        while workers.idle() > 0 {
-            let Some(r) = sys.pop_ready() else { break };
-            let st = t + cfg.cost.dispatch;
-            let dur = trace.tasks()[r.task.index()].duration;
-            let end = log.begin(r.task.raw(), st, dur);
-            workers.start(end, r.task.raw(), r.slot);
-        }
-        match min_next(&[sys.next_event_time(), workers.next_done()]) {
-            Some(tn) => t = tn,
-            None => break,
-        }
-    }
-    if log.order.len() != n || sys.in_flight() != 0 || workers.busy() {
-        return Err(HilError::Stalled {
-            executed: log.order.len(),
-            total: n,
-            at: t,
-        });
-    }
-    let stats = sys.stats();
-    Ok((log.into_report("picos-hw-only", cfg.workers, trace), stats))
-}
-
-fn run_hw_comm_impl(
-    trace: &Trace,
-    cfg: &HilConfig,
-) -> Result<(ExecReport, picos_core::Stats), HilError> {
-    let mut sys = PicosSystem::new(cfg.picos.clone());
-    let n = trace.len();
-    let mut workers = Workers::new(cfg.workers);
-    let mut bus = Bus::new(cfg.cost.axi_link());
-    let mut log = RunLog::new(n);
-    let mut next_send = 0usize;
-    let mut newtasks_in_bus = 0usize;
-    let mut inflight_ready = 0usize;
-    let mut done_count = 0usize;
-    let mut t = 0u64;
-    loop {
-        sys.advance_to(t);
-        let mut touched = false;
-        while let Some((task, slot)) = workers.pop_done_at(t) {
-            bus.send(t, BusMsg::Finish(task, slot));
-            done_count += 1;
-            touched = true;
-        }
-        while let Some(msg) = bus.pop_delivery_at(t) {
-            touched = true;
-            match msg {
-                BusMsg::NewTask(i) => {
-                    let task = &trace.tasks()[i as usize];
-                    sys.submit(task.id, task.deps.clone());
-                    newtasks_in_bus -= 1;
-                }
-                BusMsg::Ready(task, slot) => {
-                    let dur = trace.tasks()[task as usize].duration;
-                    let end = log.begin(task, t, dur);
-                    workers.start(end, task, slot);
-                    inflight_ready -= 1;
-                }
-                BusMsg::Finish(task, slot) => {
-                    sys.notify_finished(FinishedReq {
-                        task: TaskId::new(task),
-                        slot,
-                    });
-                }
-            }
-        }
-        if touched {
-            sys.advance_to(t);
-        }
-        // Feed new tasks while the SR0 FIFO has room and the taskwait
-        // structure allows.
-        while next_send < trace.creation_limit(done_count)
-            && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue
-        {
-            bus.send(t, BusMsg::NewTask(next_send as u32));
-            newtasks_in_bus += 1;
-            next_send += 1;
-        }
-        // Retrieve ready tasks for free workers.
-        while sys.ready_len() > 0 && workers.idle() > inflight_ready {
-            let r = sys.pop_ready().expect("ready_len checked");
-            bus.send(t, BusMsg::Ready(r.task.raw(), r.slot));
-            inflight_ready += 1;
-        }
-        match min_next(&[
-            sys.next_event_time(),
-            workers.next_done(),
-            bus.next_delivery(),
-        ]) {
-            Some(tn) => t = tn,
-            None => break,
-        }
-    }
-    if log.order.len() != n || sys.in_flight() != 0 || bus.in_flight() != 0 || workers.busy() {
-        return Err(HilError::Stalled {
-            executed: log.order.len(),
-            total: n,
-            at: t,
-        });
-    }
-    let stats = sys.stats();
-    Ok((log.into_report("picos-hw-comm", cfg.workers, trace), stats))
-}
-
-fn run_full_system_impl(
-    trace: &Trace,
-    cfg: &HilConfig,
-) -> Result<(ExecReport, picos_core::Stats), HilError> {
-    let mut sys = PicosSystem::new(cfg.picos.clone());
-    let n = trace.len();
-    let mut workers = Workers::new(cfg.workers);
-    let mut bus = Bus::new(cfg.cost.axi_link());
-    let mut log = RunLog::new(n);
-    let mut finish_q: VecDeque<(u32, SlotRef)> = VecDeque::new();
-    let mut next_create = 0usize;
-    let mut newtasks_in_bus = 0usize;
-    let mut inflight_ready = 0usize;
-    let mut done_count = 0usize;
-    let mut arm_free = cfg.cost.arm_startup;
-    let mut t = 0u64;
-    loop {
-        sys.advance_to(t);
-        let mut touched = false;
-        while let Some((task, slot)) = workers.pop_done_at(t) {
-            finish_q.push_back((task, slot));
-            done_count += 1;
-            touched = true;
-        }
-        while let Some(msg) = bus.pop_delivery_at(t) {
-            touched = true;
-            match msg {
-                BusMsg::NewTask(i) => {
-                    let task = &trace.tasks()[i as usize];
-                    sys.submit(task.id, task.deps.clone());
-                    newtasks_in_bus -= 1;
-                }
-                BusMsg::Ready(task, slot) => {
-                    let dur = trace.tasks()[task as usize].duration;
-                    let end = log.begin(task, t, dur);
-                    workers.start(end, task, slot);
-                    inflight_ready -= 1;
-                }
-                BusMsg::Finish(task, slot) => {
-                    sys.notify_finished(FinishedReq {
-                        task: TaskId::new(task),
-                        slot,
-                    });
-                }
-            }
-        }
-        if touched {
-            sys.advance_to(t);
-        }
-        // The ARM core is a serial resource; one action per free slot, with
-        // finish forwarding first (it releases downstream resources), then
-        // ready retrieval, then creation of the next task.
-        while arm_free <= t {
-            if let Some((task, slot)) = finish_q.pop_front() {
-                let done = t + cfg.cost.arm_finish;
-                arm_free = bus.send(done, BusMsg::Finish(task, slot));
-            } else if sys.ready_len() > 0 && workers.idle() > inflight_ready {
-                let r = sys.pop_ready().expect("ready_len checked");
-                let done = t + cfg.cost.arm_retrieve;
-                let slot_end = bus.send(done, BusMsg::Ready(r.task.raw(), r.slot));
-                arm_free = slot_end + cfg.cost.arm_dispatch;
-                inflight_ready += 1;
-            } else if next_create < trace.creation_limit(done_count)
-                && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue
-            {
-                let task = &trace.tasks()[next_create];
-                let done = t + cfg.cost.arm_create + cfg.cost.arm_submit(task.num_deps());
-                arm_free = bus.send(done, BusMsg::NewTask(next_create as u32));
-                newtasks_in_bus += 1;
-                next_create += 1;
-            } else {
-                break;
-            }
-        }
-        let arm_pending = !finish_q.is_empty()
-            || (sys.ready_len() > 0 && workers.idle() > inflight_ready)
-            || (next_create < trace.creation_limit(done_count)
-                && newtasks_in_bus + sys.pending_new() < cfg.cost.sr_queue);
-        let arm_cand = if arm_pending && arm_free > t {
-            Some(arm_free)
-        } else {
-            None
-        };
-        match min_next(&[
-            sys.next_event_time(),
-            workers.next_done(),
-            bus.next_delivery(),
-            arm_cand,
-        ]) {
-            Some(tn) => t = tn,
-            None => break,
-        }
-    }
-    if log.order.len() != n
-        || sys.in_flight() != 0
-        || bus.in_flight() != 0
-        || !finish_q.is_empty()
-        || workers.busy()
-    {
-        return Err(HilError::Stalled {
-            executed: log.order.len(),
-            total: n,
-            at: t,
-        });
-    }
-    let stats = sys.stats();
-    Ok((log.into_report("picos-full", cfg.workers, trace), stats))
+    let mut s = HilSession::new(mode, cfg.clone(), SessionConfig::batch())
+        .expect("need at least one worker");
+    feed_trace(&mut s, trace).expect("unbounded window cannot stall");
+    s.into_report()
 }
 
 #[cfg(test)]
@@ -543,5 +622,71 @@ mod tests {
     fn mode_names() {
         assert_eq!(HilMode::HwOnly.to_string(), "HW-only");
         assert_eq!(HilMode::FullSystem.name(), "Full-system");
+        assert_eq!(HilMode::HwComm.engine_label(), "picos-hw-comm");
+    }
+
+    #[test]
+    fn session_open_stream_holds_the_clock() {
+        // While the platform can ingest, step() must not advance time —
+        // the property that makes any submit/step interleaving bit-exact.
+        let tr = gen::synthetic(gen::Case::Case1);
+        for mode in HilMode::ALL {
+            let mut s =
+                HilSession::new(mode, HilConfig::balanced(4), SessionConfig::batch()).unwrap();
+            assert_eq!(s.submit(&tr.tasks()[0]), Admission::Accepted);
+            assert!(!s.step(), "{mode}: open unblocked session must hold");
+            assert_eq!(s.now(), 0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn session_matches_batch_per_mode() {
+        let tr = gen::synthetic(gen::Case::Case5);
+        for mode in HilMode::ALL {
+            let cfg = HilConfig::balanced(6);
+            let batch = run_hil_with_stats(&tr, mode, &cfg).unwrap();
+            let mut s = HilSession::new(mode, cfg.clone(), SessionConfig::batch()).unwrap();
+            feed_trace(&mut s, &tr).unwrap();
+            let streamed = s.into_report().unwrap();
+            assert_eq!(batch, streamed, "{mode}");
+        }
+    }
+
+    #[test]
+    fn windowed_session_backpressures_and_completes() {
+        let tr = gen::synthetic(gen::Case::Case2);
+        let mut s = HilSession::new(
+            HilMode::HwOnly,
+            HilConfig::balanced(2),
+            SessionConfig::windowed(4),
+        )
+        .unwrap();
+        let mut retries = 0u64;
+        for task in tr.iter() {
+            loop {
+                match s.submit(task) {
+                    Admission::Accepted => break,
+                    Admission::Backpressured => {
+                        retries += 1;
+                        assert!(s.step(), "blocked session must drain");
+                    }
+                }
+            }
+            assert!(s.in_flight() <= 4);
+        }
+        assert!(retries > 0, "a 4-task window must backpressure");
+        let (r, stats) = s.into_report().unwrap();
+        r.validate(&tr).unwrap();
+        assert_eq!(stats.tasks_completed as usize, tr.len());
+    }
+
+    #[test]
+    fn zero_workers_is_a_session_error() {
+        assert!(HilSession::new(
+            HilMode::HwOnly,
+            HilConfig::balanced(0),
+            SessionConfig::batch()
+        )
+        .is_err());
     }
 }

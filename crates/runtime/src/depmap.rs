@@ -52,9 +52,18 @@ impl SoftwareDeps {
     /// Registers a task's dependences; returns `true` when the task is
     /// ready to run immediately (no unfinished predecessor).
     ///
-    /// Must be called in creation order, as the runtime does.
+    /// Must be called in creation order, as the runtime does. The tracker
+    /// grows on demand, so streaming sessions need not know the final task
+    /// count up front.
     pub fn submit(&mut self, task: &TaskDescriptor) -> bool {
         let me = task.id.raw();
+        if me as usize >= self.succs.len() {
+            let n = me as usize + 1;
+            self.succs.resize_with(n, Vec::new);
+            self.pred_remaining.resize(n, 0);
+            self.finished.resize(n, false);
+            self.submitted.resize(n, false);
+        }
         debug_assert!(!self.submitted[me as usize], "double submit of {me}");
         self.submitted[me as usize] = true;
         let mut preds = std::mem::take(&mut self.preds_scratch);

@@ -10,6 +10,12 @@
 //! * [`perfect_schedule`] — the **Perfect Simulator**: zero-overhead list
 //!   scheduling, giving the roofline speedup of each application.
 //!
+//! Both engines are built as incremental streaming sessions
+//! ([`SoftwareSession`], [`PerfectSession`]); this crate also hosts the
+//! session vocabulary every engine shares ([`SessionCore`], [`Admission`],
+//! [`SimEvent`], [`SessionConfig`], [`feed_trace`]) — see the [`session`]
+//! module for the timing semantics.
+//!
 //! # Quick example
 //!
 //! ```
@@ -30,10 +36,14 @@ mod cost;
 mod depmap;
 mod perfect;
 mod report;
+pub mod session;
 mod simrt;
 
 pub use cost::NanosCostModel;
 pub use depmap::SoftwareDeps;
-pub use perfect::perfect_schedule;
+pub use perfect::{perfect_schedule, PerfectSession};
 pub use report::ExecReport;
-pub use simrt::{run_software, SwError, SwRuntimeConfig};
+pub use session::{
+    feed_trace, Admission, EventLoopCore, FeedStall, SessionConfig, SessionCore, SimEvent,
+};
+pub use simrt::{run_software, SoftwareSession, SwError, SwRuntimeConfig};

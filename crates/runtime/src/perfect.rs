@@ -2,98 +2,211 @@
 //!
 //! The paper feeds the same traces to a "Perfect Simulator which measures
 //! critical-path task execution to show the roofline speedup of each OmpSs
-//! application" (Section IV-A). This module implements it: tasks start the
-//! moment a worker is free and every predecessor has finished; scheduling,
-//! dependence management and communication cost nothing.
+//! application" (Section IV-A). This module implements it as an
+//! incremental [`PerfectSession`]: tasks start the moment a worker is free
+//! and every predecessor has finished; scheduling, dependence management
+//! and communication cost nothing. [`perfect_schedule`] is the batch
+//! driver over a session.
 
+use crate::depmap::SoftwareDeps;
 use crate::report::ExecReport;
-use picos_trace::{TaskGraph, TaskId, Trace};
+use crate::session::{
+    feed_trace, Admission, EventLog, Ingest, ScheduleLog, SessionConfig, SessionCore, SimEvent,
+};
+use picos_trace::{TaskDescriptor, TaskId, Trace};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// Runs the zero-overhead list scheduler with `workers` workers.
+/// An incremental zero-overhead list scheduler.
 ///
-/// Ready tasks are started in creation order (the same tie-break the
-/// runtime's FIFO queue would produce).
+/// Ready tasks start in creation order (the tie-break the runtime's FIFO
+/// queue would produce) the instant a worker is free; dependence analysis
+/// is the real incremental algorithm ([`SoftwareDeps`]) at zero cycle
+/// cost. Feeding a whole trace and finishing reproduces
+/// [`perfect_schedule`] bit-exactly.
+#[derive(Debug)]
+pub struct PerfectSession {
+    workers: usize,
+    idle: usize,
+    now: u64,
+    deps: SoftwareDeps,
+    /// Admitted tasks not yet handed to the dependence tracker (taskwait
+    /// gates hold them back), as `(dense id, descriptor)`.
+    pending: VecDeque<(u32, TaskDescriptor)>,
+    /// Ready tasks by ascending id.
+    ready: BinaryHeap<Reverse<u32>>,
+    /// Running tasks by `(completion time, id)`.
+    running: BinaryHeap<Reverse<(u64, u32)>>,
+    durs: Vec<u64>,
+    ingest: Ingest,
+    log: ScheduleLog,
+    events: EventLog,
+    /// Scratch for [`SoftwareDeps::finish_into`].
+    newly: Vec<TaskId>,
+}
+
+impl PerfectSession {
+    /// Opens a session with `workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `workers` is zero.
+    pub fn new(workers: usize, cfg: SessionConfig) -> Result<Self, String> {
+        if workers == 0 {
+            return Err("perfect scheduler needs at least one worker".into());
+        }
+        Ok(PerfectSession {
+            workers,
+            idle: workers,
+            now: 0,
+            deps: SoftwareDeps::new(0),
+            pending: VecDeque::new(),
+            ready: BinaryHeap::new(),
+            running: BinaryHeap::new(),
+            durs: Vec::new(),
+            ingest: Ingest::new(cfg.window),
+            log: ScheduleLog::default(),
+            events: EventLog::new(cfg.collect_events),
+            newly: Vec::new(),
+        })
+    }
+
+    /// Hands gate-cleared pending tasks to the dependence tracker and
+    /// starts every ready task a free worker can take, all at the current
+    /// time (zero-cost operations). One pass suffices: starting a task
+    /// cannot clear a gate (only completions can) or add ready tasks.
+    fn pump(&mut self) {
+        while let Some(&(id, _)) = self.pending.front() {
+            if !self.ingest.feedable(id as usize, self.ingest.finished) {
+                break;
+            }
+            let (id, task) = self.pending.pop_front().expect("peeked");
+            if self.deps.submit(&task) {
+                self.ready.push(Reverse(id));
+            }
+        }
+        while self.idle > 0 {
+            let Some(Reverse(id)) = self.ready.pop() else {
+                break;
+            };
+            let end = self.log.begin(id, self.now, self.durs[id as usize]);
+            self.events.push(SimEvent::TaskStarted {
+                task: id,
+                at: self.now,
+            });
+            self.running.push(Reverse((end, id)));
+            self.idle -= 1;
+        }
+    }
+
+    /// Pops the earliest completion, releases its successors and pumps.
+    /// Returns `false` when nothing is running.
+    fn fire_next(&mut self) -> bool {
+        let Some(Reverse((fin, id))) = self.running.pop() else {
+            return false;
+        };
+        self.now = fin;
+        self.idle += 1;
+        self.ingest.finished += 1;
+        self.events
+            .push(SimEvent::TaskFinished { task: id, at: fin });
+        self.newly.clear();
+        let mut newly = std::mem::take(&mut self.newly);
+        self.deps.finish_into(TaskId::new(id), &mut newly);
+        for t in newly.drain(..) {
+            self.ready.push(Reverse(t.raw()));
+        }
+        self.newly = newly;
+        self.pump();
+        true
+    }
+
+    /// Whether the next submission cannot be ingested right now (window
+    /// saturated or the pending head gated behind a taskwait).
+    fn ingest_blocked(&self) -> bool {
+        if self.ingest.saturated() {
+            return true;
+        }
+        match self.pending.front() {
+            Some(&(id, _)) => !self.ingest.feedable(id as usize, self.ingest.finished),
+            None => false,
+        }
+    }
+
+    /// Runs the session to quiescence and returns the schedule report.
+    pub fn into_report(mut self) -> ExecReport {
+        self.pump();
+        while self.fire_next() {}
+        debug_assert!(self.pending.is_empty(), "gated tasks never released");
+        self.log.into_report("perfect", self.workers)
+    }
+}
+
+impl SessionCore for PerfectSession {
+    fn submit(&mut self, task: &TaskDescriptor) -> Admission {
+        if self.ingest.saturated() {
+            return Admission::Backpressured;
+        }
+        let id = self.ingest.admit();
+        self.durs.push(task.duration);
+        self.log.admit(task.duration);
+        let mut t = task.clone();
+        t.id = TaskId::new(id);
+        self.pending.push_back((id, t));
+        Admission::Accepted
+    }
+
+    fn barrier(&mut self) {
+        self.ingest.barrier();
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        self.pump();
+        while matches!(self.running.peek(), Some(&Reverse((fin, _))) if fin <= cycle) {
+            self.fire_next();
+        }
+        self.now = self.now.max(cycle);
+    }
+
+    fn step(&mut self) -> bool {
+        self.pump();
+        if self.ingest_blocked() {
+            self.fire_next()
+        } else {
+            false
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ingest.in_flight()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        self.events.drain_into(out);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.ingest.reserve(additional);
+        self.log.reserve(additional);
+        self.durs.reserve(additional);
+    }
+}
+
+/// Runs the zero-overhead list scheduler with `workers` workers: opens a
+/// [`PerfectSession`], feeds the whole trace and finishes it.
 ///
 /// # Panics
 ///
 /// Panics if `workers` is zero.
 pub fn perfect_schedule(trace: &Trace, workers: usize) -> ExecReport {
-    assert!(workers > 0, "need at least one worker");
-    let graph = TaskGraph::build(trace);
-    let n = trace.len();
-    let mut pred_remaining: Vec<u32> = (0..n)
-        .map(|i| graph.preds(TaskId::new(i as u32)).len() as u32)
-        .collect();
-    let mut start = vec![0u64; n];
-    let mut end = vec![0u64; n];
-    let mut order = Vec::with_capacity(n);
-    // Taskwait segments schedule one after another; the offset of each
-    // segment is the completion time of everything before it.
-    let mut offset = 0u64;
-
-    for segment in trace.segments() {
-        // Min-heaps: ready tasks by creation order; completions by time.
-        let mut ready: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
-        let mut completions: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        let seg_len = segment.len();
-        for i in segment.clone() {
-            // Cross-segment predecessors finished before `offset` by
-            // construction, so only in-segment edges can still be pending.
-            let pending = graph
-                .preds(TaskId::new(i as u32))
-                .iter()
-                .filter(|&&p| segment.contains(&(p as usize)))
-                .count() as u32;
-            pred_remaining[i] = pending;
-            if pending == 0 {
-                ready.push(Reverse(i as u32));
-            }
-        }
-        let mut idle = workers;
-        let mut now = offset;
-        let mut done = 0usize;
-        while done < seg_len {
-            while idle > 0 {
-                let Some(Reverse(t)) = ready.pop() else {
-                    break;
-                };
-                start[t as usize] = now;
-                order.push(t);
-                let fin = now + trace.tasks()[t as usize].duration;
-                end[t as usize] = fin;
-                completions.push(Reverse((fin, t)));
-                idle -= 1;
-            }
-            let Some(Reverse((t_fin, task))) = completions.pop() else {
-                unreachable!("tasks remain but nothing is running: cyclic graph?");
-            };
-            now = t_fin;
-            idle += 1;
-            done += 1;
-            for &s in graph.succs(TaskId::new(task)) {
-                if !segment.contains(&(s as usize)) {
-                    continue; // satisfied by the barrier itself
-                }
-                pred_remaining[s as usize] -= 1;
-                if pred_remaining[s as usize] == 0 {
-                    ready.push(Reverse(s));
-                }
-            }
-            offset = offset.max(t_fin);
-        }
-    }
-
-    ExecReport {
-        engine: "perfect".into(),
-        workers,
-        makespan: end.iter().copied().max().unwrap_or(0),
-        sequential: trace.sequential_time(),
-        order,
-        start,
-        end,
-    }
+    let mut s =
+        PerfectSession::new(workers, SessionConfig::batch()).expect("need at least one worker");
+    feed_trace(&mut s, trace).expect("unbounded window cannot stall");
+    s.into_report()
 }
 
 #[cfg(test)]
@@ -167,5 +280,103 @@ mod tests {
         let tr = gen::sparselu(gen::SparseLuConfig::paper(256));
         let r = perfect_schedule(&tr, 1);
         assert_eq!(r.makespan, tr.sequential_time());
+    }
+
+    #[test]
+    fn zero_workers_is_a_session_error() {
+        assert!(PerfectSession::new(0, SessionConfig::batch()).is_err());
+    }
+
+    #[test]
+    fn session_respects_taskwait_gates() {
+        let mut tr = Trace::new("barriered");
+        for _ in 0..4 {
+            tr.push(KernelClass::GENERIC, [], 100);
+        }
+        tr.push_taskwait();
+        tr.push(KernelClass::GENERIC, [], 100);
+        let r = perfect_schedule(&tr, 4);
+        r.validate(&tr).unwrap();
+        assert_eq!(r.start[4], 100, "post-barrier task waits for the prefix");
+    }
+
+    #[test]
+    fn open_session_does_not_run_ahead_of_input() {
+        // The bit-exactness mechanism: while the session can ingest, step()
+        // refuses to move the clock.
+        let mut tr = Trace::new("t");
+        tr.push(KernelClass::GENERIC, [], 50);
+        let mut s = PerfectSession::new(2, SessionConfig::batch()).unwrap();
+        assert_eq!(s.submit(&tr.tasks()[0]), Admission::Accepted);
+        assert!(!s.step(), "open unblocked session must not advance");
+        assert_eq!(s.now(), 0);
+        let r = s.into_report();
+        assert_eq!(r.makespan, 50);
+    }
+
+    #[test]
+    fn windowed_session_backpressures_and_completes() {
+        let mut tr = Trace::new("t");
+        for _ in 0..10 {
+            tr.push(KernelClass::GENERIC, [], 10);
+        }
+        let mut s = PerfectSession::new(1, SessionConfig::windowed(2)).unwrap();
+        let mut backpressured = 0;
+        for t in tr.iter() {
+            loop {
+                match s.submit(t) {
+                    Admission::Accepted => break,
+                    Admission::Backpressured => {
+                        backpressured += 1;
+                        assert!(s.step(), "blocked session must drain");
+                    }
+                }
+            }
+        }
+        assert!(backpressured > 0);
+        let r = s.into_report();
+        r.validate(&tr).unwrap();
+        assert_eq!(r.makespan, 100);
+    }
+
+    #[test]
+    fn paced_arrivals_delay_starts() {
+        let mut tr = Trace::new("t");
+        tr.push(KernelClass::GENERIC, [], 10);
+        tr.push(KernelClass::GENERIC, [], 10);
+        let mut s = PerfectSession::new(2, SessionConfig::batch()).unwrap();
+        s.submit(&tr.tasks()[0]);
+        s.advance_to(500);
+        s.submit(&tr.tasks()[1]);
+        let r = s.into_report();
+        assert_eq!(r.start[0], 0);
+        assert_eq!(r.start[1], 500, "second task arrived at cycle 500");
+    }
+
+    #[test]
+    fn events_record_schedule_activity() {
+        let mut tr = Trace::new("t");
+        tr.push(KernelClass::GENERIC, [], 10);
+        let mut s = PerfectSession::new(
+            1,
+            SessionConfig {
+                collect_events: true,
+                ..SessionConfig::batch()
+            },
+        )
+        .unwrap();
+        s.submit(&tr.tasks()[0]);
+        let mut out = Vec::new();
+        s.drain_events(&mut out);
+        assert!(out.is_empty(), "no activity before the session runs");
+        s.advance_to(10);
+        s.drain_events(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                SimEvent::TaskStarted { task: 0, at: 0 },
+                SimEvent::TaskFinished { task: 0, at: 10 },
+            ]
+        );
     }
 }

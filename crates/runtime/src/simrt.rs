@@ -9,6 +9,11 @@
 //! order of the dataflow graph — only its *timing* reflects the software
 //! overheads.
 //!
+//! The model is an incremental [`SoftwareSession`]: the master pulls from
+//! the session's ingest queue (starving when the client has not submitted
+//! the next task yet, parking at declared taskwaits) instead of walking a
+//! pre-loaded trace. [`run_software`] is the batch driver over a session.
+//!
 //! This is the reproduction's stand-in for the paper's Nanos++ baseline: its
 //! throughput is bounded by the master (creation + submission per task) and
 //! by scheduler-lock contention that grows with the thread count, which is
@@ -17,7 +22,10 @@
 use crate::cost::NanosCostModel;
 use crate::depmap::SoftwareDeps;
 use crate::report::ExecReport;
-use picos_trace::{TaskId, Trace};
+use crate::session::{
+    feed_trace, Admission, EventLog, Ingest, ScheduleLog, SessionConfig, SessionCore, SimEvent,
+};
+use picos_trace::{TaskDescriptor, TaskId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -89,7 +97,314 @@ enum WorkerState {
     Running,
 }
 
-/// Runs a trace on the software runtime model.
+/// What the master thread is doing between events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Master {
+    /// A `MasterDone` event is in the heap.
+    Busy,
+    /// Out of ingested tasks; resumes on the next submission (or joins the
+    /// workers when the session closes). Idle since `master_free`.
+    Starved,
+    /// Waiting at a taskwait for the gate's tasks to finish.
+    Parked(u32),
+}
+
+/// The scheduler lock: serializes enqueues, dequeues and releases.
+fn acquire(lock_free: &mut u64, at: u64, hold: u64) -> u64 {
+    let s = (*lock_free).max(at);
+    *lock_free = s + hold;
+    s + hold
+}
+
+/// An incremental session of the Nanos++ runtime model.
+///
+/// Feeding a whole trace and finishing reproduces [`run_software`]
+/// bit-exactly; submitting after advancing the clock models tasks the
+/// program discovered late (open-loop arrival).
+#[derive(Debug)]
+pub struct SoftwareSession {
+    cfg: SwRuntimeConfig,
+    deps: SoftwareDeps,
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    ready_q: VecDeque<u32>,
+    state: Vec<WorkerState>,
+    lock_free: u64,
+    /// Admitted tasks, dense ids (the master's creation queue).
+    tasks: Vec<TaskDescriptor>,
+    /// Arrival cycle of each admitted task (the session clock at submit):
+    /// the master cannot create a task before the program discovered it.
+    arrivals: Vec<u64>,
+    /// Next task the master will create.
+    created: usize,
+    master: Master,
+    /// Time the master went idle (meaningful when starved or parked).
+    master_free: u64,
+    master_done: bool,
+    closed: bool,
+    now: u64,
+    ingest: Ingest,
+    log: ScheduleLog,
+    events: EventLog,
+    /// Scratch for [`SoftwareDeps::finish_into`].
+    newly: Vec<TaskId>,
+}
+
+impl SoftwareSession {
+    /// Opens a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwError::Config`] for a zero worker count, or one worker
+    /// with `master_executes` disabled.
+    pub fn new(cfg: SwRuntimeConfig, session: SessionConfig) -> Result<Self, SwError> {
+        if cfg.workers == 0 {
+            return Err(SwError::Config("need at least one thread".into()));
+        }
+        if cfg.workers == 1 && !cfg.master_executes {
+            return Err(SwError::Config(
+                "a single thread must execute tasks (enable master_executes)".into(),
+            ));
+        }
+        Ok(SoftwareSession {
+            cfg,
+            deps: SoftwareDeps::new(0),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            ready_q: VecDeque::new(),
+            state: vec![WorkerState::Parked; cfg.workers],
+            lock_free: 0,
+            tasks: Vec::new(),
+            arrivals: Vec::new(),
+            created: 0,
+            master: Master::Starved,
+            master_free: 0,
+            master_done: false,
+            closed: false,
+            now: 0,
+            ingest: Ingest::new(session.window),
+            log: ScheduleLog::default(),
+            events: EventLog::new(session.collect_events),
+            newly: Vec::new(),
+        })
+    }
+
+    fn push_ev(&mut self, t: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, self.seq, ev)));
+    }
+
+    /// Wakes one parked worker for a task enqueued at time `at` (worker 0
+    /// is the master and only executes once creation is done).
+    fn wake_one(&mut self, at: u64) {
+        let master_done = self.master_done;
+        if let Some(w) = self
+            .state
+            .iter()
+            .enumerate()
+            .filter(|&(w, s)| *s == WorkerState::Parked && (w != 0 || master_done))
+            .map(|(w, _)| w)
+            .next()
+        {
+            self.state[w] = WorkerState::Scheduled;
+            self.push_ev(at, Ev::TryDequeue(w));
+        }
+    }
+
+    /// Moves the master to its next action, idle since `at`: create the
+    /// next ingested task, park at a gate, starve, or — once the session
+    /// is closed and drained — finish creation and join the workers.
+    fn master_try_next(&mut self, at: u64) {
+        if self.created < self.ingest.admitted {
+            let gate = self.ingest.gates[self.created];
+            if gate as usize > self.ingest.finished {
+                // taskwait: the master blocks until every earlier task
+                // finished (paper, Section II-A).
+                self.master = Master::Parked(gate);
+                self.master_free = at;
+            } else {
+                let task = &self.tasks[self.created];
+                let cost = self.cfg.cost.per_task(task.num_deps(), self.cfg.workers);
+                let t0 = at.max(self.arrivals[self.created]);
+                self.push_ev(t0 + cost, Ev::MasterDone(self.created as u32));
+                self.master = Master::Busy;
+            }
+        } else {
+            if self.closed && !self.master_done {
+                self.master_done = true;
+                if self.cfg.master_executes && self.ingest.admitted > 0 {
+                    self.state[0] = WorkerState::Scheduled;
+                    self.push_ev(at, Ev::TryDequeue(0));
+                }
+            }
+            self.master = Master::Starved;
+            self.master_free = at;
+        }
+    }
+
+    /// Pops and handles the earliest event. Returns `false` on an empty
+    /// heap.
+    fn fire(&mut self) -> bool {
+        let Some(Reverse((now, _, ev))) = self.heap.pop() else {
+            return false;
+        };
+        self.now = now;
+        match ev {
+            Ev::MasterDone(i) => {
+                let is_ready = self.deps.submit(&self.tasks[i as usize]);
+                let mut master_free = now;
+                if is_ready {
+                    let t_enq = acquire(&mut self.lock_free, now, self.cfg.cost.enqueue);
+                    self.ready_q.push_back(i);
+                    self.wake_one(t_enq);
+                    master_free = t_enq;
+                }
+                self.created = i as usize + 1;
+                self.master_try_next(master_free);
+            }
+            Ev::TryDequeue(w) => {
+                if self.ready_q.is_empty() {
+                    self.state[w] = WorkerState::Parked;
+                } else {
+                    let t_got = acquire(
+                        &mut self.lock_free,
+                        now,
+                        self.cfg.cost.dequeue(self.cfg.workers),
+                    );
+                    let task = self.ready_q.pop_front().expect("checked non-empty");
+                    self.state[w] = WorkerState::Running;
+                    let dur = self.tasks[task as usize].duration;
+                    let t_end = self.log.begin(task, t_got, dur);
+                    self.events.push(SimEvent::TaskStarted { task, at: t_got });
+                    self.push_ev(t_end, Ev::TaskDone(w, task));
+                }
+            }
+            Ev::TaskDone(w, task) => {
+                self.ingest.finished += 1;
+                self.events.push(SimEvent::TaskFinished { task, at: now });
+                let mut newly = std::mem::take(&mut self.newly);
+                newly.clear();
+                self.deps.finish_into(TaskId::new(task), &mut newly);
+                let mut cur = now;
+                for s in newly.drain(..) {
+                    cur = acquire(&mut self.lock_free, cur, self.cfg.cost.release_per_succ);
+                    self.ready_q.push_back(s.raw());
+                    self.wake_one(cur);
+                }
+                self.newly = newly;
+                // A completed taskwait releases the parked master.
+                if self.master == Master::Parked(self.ingest.finished as u32) {
+                    self.master_try_next(cur);
+                }
+                self.state[w] = WorkerState::Scheduled;
+                self.push_ev(cur, Ev::TryDequeue(w));
+            }
+        }
+        true
+    }
+
+    /// Handles every event at or before the current time; returns whether
+    /// anything fired.
+    fn settle(&mut self) -> bool {
+        let mut fired = false;
+        while matches!(self.heap.peek(), Some(&Reverse((t, _, _))) if t <= self.now) {
+            self.fire();
+            fired = true;
+        }
+        fired
+    }
+
+    /// Whether the next submission cannot be ingested right now.
+    fn ingest_blocked(&self) -> bool {
+        self.ingest.saturated() || matches!(self.master, Master::Parked(_))
+    }
+
+    /// Closes the session, runs it to quiescence and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwError::Stuck`] if tasks remain unfinished (an engine
+    /// bug).
+    pub fn into_report(mut self) -> Result<ExecReport, SwError> {
+        self.closed = true;
+        if self.master == Master::Starved {
+            let at = self.master_free.max(self.now);
+            self.master_try_next(at);
+        }
+        while self.fire() {}
+        if self.ingest.finished != self.ingest.admitted {
+            return Err(SwError::Stuck {
+                finished: self.ingest.finished,
+                total: self.ingest.admitted,
+            });
+        }
+        Ok(self.log.into_report("nanos", self.cfg.workers))
+    }
+}
+
+impl SessionCore for SoftwareSession {
+    fn submit(&mut self, task: &TaskDescriptor) -> Admission {
+        if self.ingest.saturated() {
+            return Admission::Backpressured;
+        }
+        let id = self.ingest.admit();
+        self.arrivals.push(self.now);
+        self.log.admit(task.duration);
+        let mut t = task.clone();
+        t.id = TaskId::new(id);
+        self.tasks.push(t);
+        if self.master == Master::Starved {
+            self.master_try_next(self.master_free);
+        }
+        Admission::Accepted
+    }
+
+    fn barrier(&mut self) {
+        self.ingest.barrier();
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        while matches!(self.heap.peek(), Some(&Reverse((t, _, _))) if t <= cycle) {
+            self.fire();
+        }
+        self.now = self.now.max(cycle);
+    }
+
+    fn step(&mut self) -> bool {
+        // Settling same-time events is progress in itself: it can retire a
+        // task and free the in-flight window, in which case the session is
+        // no longer blocked and the caller must retry its submission
+        // rather than read `false` as a terminal stall.
+        let settled = self.settle();
+        if self.ingest_blocked() {
+            self.fire() || settled
+        } else {
+            settled
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ingest.in_flight()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        self.events.drain_into(out);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.ingest.reserve(additional);
+        self.log.reserve(additional);
+        self.tasks.reserve(additional);
+        self.arrivals.reserve(additional);
+    }
+}
+
+/// Runs a trace on the software runtime model: opens a
+/// [`SoftwareSession`], feeds the whole trace and finishes it.
 ///
 /// # Errors
 ///
@@ -97,151 +412,9 @@ enum WorkerState {
 /// `master_executes` disabled) and [`SwError::Stuck`] if the simulation
 /// cannot finish (which would indicate an internal bug).
 pub fn run_software(trace: &Trace, cfg: SwRuntimeConfig) -> Result<ExecReport, SwError> {
-    if cfg.workers == 0 {
-        return Err(SwError::Config("need at least one thread".into()));
-    }
-    if cfg.workers == 1 && !cfg.master_executes {
-        return Err(SwError::Config(
-            "a single thread must execute tasks (enable master_executes)".into(),
-        ));
-    }
-    let n = trace.len();
-    let w_total = cfg.workers;
-    let threads = w_total;
-    let mut deps = SoftwareDeps::new(n);
-    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, t: u64, e: Ev| {
-        seq += 1;
-        heap.push(Reverse((t, seq, e)));
-    };
-
-    let mut ready_q: VecDeque<u32> = VecDeque::new();
-    // Worker 0 is the master; it participates only after creation.
-    let mut state = vec![WorkerState::Parked; w_total];
-    let mut lock_free = 0u64;
-    let mut start = vec![0u64; n];
-    let mut end = vec![0u64; n];
-    let mut order = Vec::with_capacity(n);
-    let mut finished = 0usize;
-
-    // The scheduler lock: serializes enqueues, dequeues and releases.
-    let acquire = |lock_free: &mut u64, at: u64, hold: u64| -> u64 {
-        let s = (*lock_free).max(at);
-        *lock_free = s + hold;
-        s + hold
-    };
-
-    if n > 0 {
-        let first_cost = cfg.cost.per_task(trace.tasks()[0].num_deps(), threads);
-        push(&mut heap, first_cost, Ev::MasterDone(0));
-    }
-
-    let mut master_done = n == 0;
-
-    // Wakes one parked worker for a task enqueued at time `at`.
-    macro_rules! wake_one {
-        ($at:expr) => {
-            if let Some(w) = state
-                .iter()
-                .enumerate()
-                .filter(|&(w, s)| *s == WorkerState::Parked && (w != 0 || master_done))
-                .map(|(w, _)| w)
-                .next()
-            {
-                state[w] = WorkerState::Scheduled;
-                push(&mut heap, $at, Ev::TryDequeue(w));
-            }
-        };
-    }
-
-    // Master parked at a taskwait: waiting for `j` tasks to finish before
-    // creating task `j`.
-    let mut master_parked_at: Option<u32> = None;
-
-    // Reusable buffer for the successors released by each finish.
-    let mut newly: Vec<TaskId> = Vec::new();
-
-    while let Some(Reverse((now, _, ev))) = heap.pop() {
-        match ev {
-            Ev::MasterDone(i) => {
-                let task = &trace.tasks()[i as usize];
-                let is_ready = deps.submit(task);
-                let mut master_free = now;
-                if is_ready {
-                    let t_enq = acquire(&mut lock_free, now, cfg.cost.enqueue);
-                    ready_q.push_back(i);
-                    wake_one!(t_enq);
-                    master_free = t_enq;
-                }
-                let j = i + 1;
-                if (j as usize) < n {
-                    if trace.barriers().contains(&j) && finished < j as usize {
-                        // taskwait: the master blocks until every earlier
-                        // task finished (paper, Section II-A).
-                        master_parked_at = Some(j);
-                    } else {
-                        let next = &trace.tasks()[j as usize];
-                        let cost = cfg.cost.per_task(next.num_deps(), threads);
-                        push(&mut heap, master_free + cost, Ev::MasterDone(j));
-                    }
-                } else {
-                    master_done = true;
-                    if cfg.master_executes {
-                        state[0] = WorkerState::Scheduled;
-                        push(&mut heap, master_free, Ev::TryDequeue(0));
-                    }
-                }
-            }
-            Ev::TryDequeue(w) => {
-                if ready_q.is_empty() {
-                    state[w] = WorkerState::Parked;
-                } else {
-                    let t_got = acquire(&mut lock_free, now, cfg.cost.dequeue(threads));
-                    let task = ready_q.pop_front().expect("checked non-empty");
-                    state[w] = WorkerState::Running;
-                    start[task as usize] = t_got;
-                    order.push(task);
-                    let t_end = t_got + trace.tasks()[task as usize].duration;
-                    end[task as usize] = t_end;
-                    push(&mut heap, t_end, Ev::TaskDone(w, task));
-                }
-            }
-            Ev::TaskDone(w, task) => {
-                finished += 1;
-                newly.clear();
-                deps.finish_into(TaskId::new(task), &mut newly);
-                let mut cur = now;
-                for s in newly.drain(..) {
-                    cur = acquire(&mut lock_free, cur, cfg.cost.release_per_succ);
-                    ready_q.push_back(s.raw());
-                    wake_one!(cur);
-                }
-                // A completed taskwait releases the parked master.
-                if master_parked_at == Some(finished as u32) {
-                    master_parked_at = None;
-                    let next = &trace.tasks()[finished];
-                    let cost = cfg.cost.per_task(next.num_deps(), threads);
-                    push(&mut heap, cur + cost, Ev::MasterDone(finished as u32));
-                }
-                state[w] = WorkerState::Scheduled;
-                push(&mut heap, cur, Ev::TryDequeue(w));
-            }
-        }
-    }
-
-    if finished != n {
-        return Err(SwError::Stuck { finished, total: n });
-    }
-    Ok(ExecReport {
-        engine: "nanos".into(),
-        workers: w_total,
-        makespan: end.iter().copied().max().unwrap_or(0),
-        sequential: trace.sequential_time(),
-        order,
-        start,
-        end,
-    })
+    let mut s = SoftwareSession::new(cfg, SessionConfig::batch())?;
+    feed_trace(&mut s, trace).expect("unbounded window cannot stall");
+    s.into_report()
 }
 
 #[cfg(test)]
@@ -354,5 +527,59 @@ mod tests {
         let r = run_software(&tr, SwRuntimeConfig::with_workers(1)).unwrap();
         r.validate(&tr).unwrap();
         assert_eq!(r.order.len(), 100);
+    }
+
+    #[test]
+    fn session_matches_batch_run_one_task_at_a_time() {
+        let tr = gen::synthetic(gen::Case::Case3);
+        let cfg = SwRuntimeConfig::with_workers(6);
+        let batch = run_software(&tr, cfg).unwrap();
+        let mut s = SoftwareSession::new(cfg, SessionConfig::batch()).unwrap();
+        feed_trace(&mut s, &tr).unwrap();
+        assert_eq!(s.in_flight(), tr.len());
+        let streamed = s.into_report().unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn step_reports_settle_progress_that_frees_the_window() {
+        // Regression: a TaskDone can share its timestamp with a MasterDone
+        // that sorts first in the heap. The step() that settles the
+        // TaskDone frees the window and must return true — callers treat
+        // false as a terminal stall.
+        let mut tr = picos_trace::Trace::new("same-time");
+        for _ in 0..3 {
+            tr.push(picos_trace::KernelClass::GENERIC, [], 6_400);
+        }
+        let mut s =
+            SoftwareSession::new(SwRuntimeConfig::with_workers(4), SessionConfig::windowed(2))
+                .unwrap();
+        feed_trace(&mut s, &tr).expect("no spurious FeedStall");
+        let r = s.into_report().unwrap();
+        assert_eq!(r.order.len(), 3);
+        r.validate(&tr).unwrap();
+    }
+
+    #[test]
+    fn windowed_session_backpressures_and_completes() {
+        let tr = gen::synthetic(gen::Case::Case1);
+        let mut s =
+            SoftwareSession::new(SwRuntimeConfig::with_workers(4), SessionConfig::windowed(3))
+                .unwrap();
+        let mut retries = 0;
+        for t in tr.iter() {
+            loop {
+                match s.submit(t) {
+                    Admission::Accepted => break,
+                    Admission::Backpressured => {
+                        retries += 1;
+                        assert!(s.step(), "blocked session must drain");
+                    }
+                }
+            }
+        }
+        assert!(retries > 0, "a 3-task window must backpressure");
+        let r = s.into_report().unwrap();
+        r.validate(&tr).unwrap();
     }
 }

@@ -23,7 +23,7 @@ pub use layout::{ArrayLayout, HeapLayout};
 pub use lu::{lu, LuConfig, LuOrder};
 pub use random::{random_trace, RandomConfig};
 pub use sparselu::{sparselu, SparseLuConfig};
-pub use stream::{stream, StreamConfig};
+pub use stream::{stream, stream_requests, StreamConfig};
 pub use synthetic::{synthetic, Case, SYNTHETIC_DURATION, SYNTHETIC_TASKS};
 
 use crate::trace::Trace;

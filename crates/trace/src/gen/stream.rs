@@ -87,6 +87,47 @@ impl Default for StreamConfig {
     }
 }
 
+/// Draws one request's data dependences (appended to `deps`) and returns
+/// its duration: the shared request body of [`stream`] and
+/// [`stream_requests`], so the two generators can never drift apart.
+/// `used` is caller-provided scratch for slot deduplication.
+fn draw_request(
+    rng: &mut SplitMix64,
+    cfg: &StreamConfig,
+    max_deps: usize,
+    deps: &mut Vec<Dependence>,
+    used: &mut Vec<u64>,
+) -> u64 {
+    let streams = cfg.streams.max(1) as u64;
+    let s = rng.below(streams);
+    let ndeps = if max_deps == 0 {
+        0
+    } else {
+        rng.range_usize(0, max_deps)
+    };
+    used.clear();
+    for _ in 0..ndeps {
+        let slot = rng.below(POOL_SLOTS);
+        if used.contains(&slot) {
+            continue; // duplicates would merge; keep the draw count bounded
+        }
+        used.push(slot);
+        let addr = POOL_BASE + s * 0x10_0000 + slot * 0x40;
+        let dir = if rng.bool(cfg.write_fraction) {
+            if rng.bool(0.5) {
+                Direction::Out
+            } else {
+                Direction::InOut
+            }
+        } else {
+            Direction::In
+        };
+        deps.push(Dependence::new(addr, dir));
+    }
+    let mean = cfg.mean_duration.max(1);
+    rng.range_u64((mean / 2).max(1), mean + mean / 2)
+}
+
 /// Generates an open-loop stream trace from the configuration; the same
 /// configuration (including seed) always produces the same trace.
 pub fn stream(cfg: StreamConfig) -> Trace {
@@ -94,7 +135,6 @@ pub fn stream(cfg: StreamConfig) -> Trace {
     let tick = cfg.interarrival.max(1);
     // One dependence is reserved for the arrival tick input.
     let max_deps = cfg.max_deps.min(MAX_DEPS_PER_TASK - 1);
-    let streams = cfg.streams.max(1) as u64;
     let mut tr = Trace::new("stream").with_sizes(cfg.tasks as u64, tick);
     let k_tick = tr.kernel("tick");
     let k_req = tr.kernel("request");
@@ -130,36 +170,46 @@ pub fn stream(cfg: StreamConfig) -> Trace {
         if tick_idx > 0 {
             deps.push(Dependence::input(tick_addr(tick_idx - 1)));
         }
-        let s = rng.below(streams);
-        let ndeps = if max_deps == 0 {
-            0
-        } else {
-            rng.range_usize(0, max_deps)
-        };
-        used.clear();
-        for _ in 0..ndeps {
-            let slot = rng.below(POOL_SLOTS);
-            if used.contains(&slot) {
-                continue; // duplicates would merge; keep the draw count bounded
-            }
-            used.push(slot);
-            let addr = POOL_BASE + s * 0x10_0000 + slot * 0x40;
-            let dir = if rng.bool(cfg.write_fraction) {
-                if rng.bool(0.5) {
-                    Direction::Out
-                } else {
-                    Direction::InOut
-                }
-            } else {
-                Direction::In
-            };
-            deps.push(Dependence::new(addr, dir));
-        }
-        let mean = cfg.mean_duration.max(1);
-        let dur = rng.range_u64((mean / 2).max(1), mean + mean / 2);
+        let dur = draw_request(&mut rng, &cfg, max_deps, &mut deps, &mut used);
         tr.push(k_req, deps.iter().copied(), dur);
     }
     tr
+}
+
+/// Generates the request tasks of an open-loop stream **without** the
+/// pacer chain, paired with each request's arrival cycle.
+///
+/// [`stream`] encodes arrival structurally (tick tasks) so the pacing
+/// works inside any batch engine; this variant instead returns the
+/// arrival times out of band, for drivers that pace a *streaming session*
+/// directly (`picos_backend::pace::ArrivalTrace`): no dedicated pacer
+/// worker, no extra dependence per request. Request bodies draw from the
+/// same per-stream address pools as [`stream`]; the same configuration
+/// always produces the same `(trace, arrivals)` pair.
+pub fn stream_requests(cfg: StreamConfig) -> (Trace, Vec<u64>) {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let tick = cfg.interarrival.max(1);
+    let max_deps = cfg.max_deps.min(MAX_DEPS_PER_TASK);
+    let mut tr = Trace::new("stream-requests").with_sizes(cfg.tasks as u64, tick);
+    let k_req = tr.kernel("request");
+
+    let mut arrival = 0u64;
+    let mut arrivals = Vec::with_capacity(cfg.tasks);
+    let mut deps: Vec<Dependence> = Vec::with_capacity(max_deps);
+    let mut used: Vec<u64> = Vec::with_capacity(max_deps);
+    for _ in 0..cfg.tasks {
+        // Uniform inter-arrival gap in [1, 2*tick - 1]: mean ~ tick.
+        arrival += if tick == 1 {
+            1
+        } else {
+            rng.range_u64(1, 2 * tick - 1)
+        };
+        arrivals.push(arrival);
+        deps.clear();
+        let dur = draw_request(&mut rng, &cfg, max_deps, &mut deps, &mut used);
+        tr.push(k_req, deps.iter().copied(), dur);
+    }
+    (tr, arrivals)
 }
 
 #[cfg(test)]
@@ -263,6 +313,22 @@ mod tests {
             .count();
         assert_eq!(requests, cfg.tasks);
         assert!(tr.len() > cfg.tasks, "pacer ticks ride on top");
+    }
+
+    #[test]
+    fn stream_requests_deterministic_with_monotone_arrivals() {
+        let cfg = StreamConfig::heavy(300);
+        let (ta, aa) = stream_requests(cfg);
+        let (tb, ab) = stream_requests(cfg);
+        assert_eq!(ta, tb);
+        assert_eq!(aa, ab);
+        assert_eq!(ta.len(), 300, "no pacer ticks ride on top");
+        assert_eq!(aa.len(), ta.len());
+        assert!(
+            aa.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals nondecreasing"
+        );
+        assert!(ta.iter().all(|t| t.num_deps() <= MAX_DEPS_PER_TASK));
     }
 
     #[test]

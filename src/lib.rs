@@ -57,8 +57,9 @@ pub use picos_trace as trace;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use picos_backend::{
-        BackendError, BackendSpec, ClusterBackend, ExecBackend, Sweep, SweepResult, SweepRow,
-        Workload,
+        feed_trace, run_paced, Admission, ArrivalTrace, BackendBuilder, BackendError, BackendSpec,
+        ClusterBackend, ExecBackend, PaceReport, PacedTask, PacedTrace, SessionConfig, SessionCore,
+        SimEvent, SimSession, Sweep, SweepResult, SweepRow, Workload,
     };
     pub use picos_cluster::{
         home_shard, merged_stats, run_cluster, run_cluster_with_stats, ClusterConfig, ClusterError,
