@@ -13,7 +13,7 @@
 //! grids and command lines; [`BackendBuilder`] is the one construction
 //! path from a spec to a boxed backend.
 
-use crate::session::{feed_trace, SessionConfig, SimSession};
+use crate::session::{feed_trace, SessionConfig, SessionOutput, SimSession};
 use picos_cluster::{ClusterConfig, ClusterError, ClusterSession, ShardPolicy};
 use picos_core::{PicosConfig, Stats};
 use picos_hil::{HilConfig, HilError, HilMode, HilSession, LinkModel};
@@ -135,6 +135,26 @@ pub trait ExecBackend: Send + Sync + fmt::Debug {
         let mut session = self.open()?;
         feed_trace(&mut *session, trace).map_err(|e| BackendError::Config(e.to_string()))?;
         session.finish()
+    }
+
+    /// Runs the trace under explicit session knobs and returns everything
+    /// the run produced — report, hardware counters, the cycle-windowed
+    /// [`Timeline`](picos_metrics::Timeline) (when
+    /// [`SessionConfig::timeline_window`] is set) and the labeled metrics
+    /// registry. Telemetry is observation-only: the report and counters
+    /// are bit-identical to [`ExecBackend::run_with_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecBackend::run`].
+    fn run_with_telemetry(
+        &self,
+        trace: &Trace,
+        cfg: SessionConfig,
+    ) -> Result<SessionOutput, BackendError> {
+        let mut session = self.open_with(cfg)?;
+        feed_trace(&mut *session, trace).map_err(|e| BackendError::Config(e.to_string()))?;
+        session.finish_full()
     }
 }
 
@@ -338,16 +358,19 @@ impl BackendSpec {
 
     /// Parses a backend name as used by the CLI: the short engine names
     /// (`perfect`, `nanos`, `hw-only`, `hw-comm`, `full`, `cluster`) and
-    /// the report labels (`picos-hw-only`, ...) are both accepted.
-    /// `cluster` parses to one shard; shard counts are a separate axis
-    /// (`--shards`, [`Sweep`](crate::Sweep) backends list).
+    /// the report labels (`picos-hw-only`, ...) are both accepted; `hil`
+    /// is an alias for the full HIL platform (`picos-full`). `cluster`
+    /// parses to one shard; shard counts are a separate axis (`--shards`,
+    /// [`Sweep`](crate::Sweep) backends list).
     pub fn parse(s: &str) -> Option<BackendSpec> {
         match s {
             "perfect" => Some(BackendSpec::Perfect),
             "nanos" | "software" => Some(BackendSpec::Nanos),
             "hw-only" | "picos-hw-only" => Some(BackendSpec::Picos(HilMode::HwOnly)),
             "hw-comm" | "picos-hw-comm" => Some(BackendSpec::Picos(HilMode::HwComm)),
-            "full" | "picos-full" | "picos" => Some(BackendSpec::Picos(HilMode::FullSystem)),
+            "full" | "picos-full" | "picos" | "hil" => {
+                Some(BackendSpec::Picos(HilMode::FullSystem))
+            }
             "cluster" => Some(BackendSpec::Cluster(1)),
             _ => None,
         }

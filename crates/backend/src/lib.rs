@@ -69,8 +69,15 @@ pub use backends::{
     BackendBuilder, BackendError, BackendSpec, ClusterBackend, ExecBackend, PerfectBackend,
     PicosBackend, SoftwareBackend,
 };
-pub use pace::{run_paced, ArrivalTrace, PaceReport, PacedTask, PacedTrace, TraceSource};
+pub use pace::{
+    run_paced, run_paced_with_telemetry, ArrivalTrace, PaceReport, PacedTask, PacedTrace,
+    TraceSource,
+};
+pub use picos_metrics::{
+    MergeRule, Metric, MetricSet, MetricValue, SeriesKind, SeriesSpec, Timeline,
+};
 pub use session::{
-    feed_trace, Admission, FeedStall, SessionConfig, SessionCore, SimEvent, SimSession,
+    feed_trace, Admission, FeedStall, SessionConfig, SessionCore, SessionOutput, SimEvent,
+    SimSession,
 };
 pub use sweep::{Sweep, SweepCell, SweepResult, SweepRow, Workload};

@@ -12,6 +12,7 @@
 use crate::backends::{BackendError, ExecBackend};
 use crate::session::{Admission, SessionConfig};
 use picos_core::Stats;
+use picos_metrics::{MergeRule, MetricSet, SeriesSpec, Timeline, WindowSampler};
 use picos_runtime::ExecReport;
 use picos_trace::{TaskDescriptor, Trace};
 
@@ -144,6 +145,15 @@ pub struct PaceReport {
     pub retries: u64,
     /// Arrival cycle of the last task (the offered-load horizon).
     pub last_arrival: u64,
+    /// Cycle-windowed telemetry, when requested: the driver's own series
+    /// (`pace.inflight`, `pace.backpressured`, `pace.retries` — windowed
+    /// backpressure and in-flight occupancy on the arrival clock) stitched
+    /// with the engine session's timeline.
+    pub timeline: Option<Timeline>,
+    /// Driver-side admission counters under the unified metrics
+    /// vocabulary, including an in-flight occupancy histogram sampled at
+    /// each arrival.
+    pub metrics: MetricSet,
 }
 
 impl PaceReport {
@@ -187,23 +197,63 @@ impl PaceReport {
 /// barrier's prefix).
 pub fn run_paced(
     backend: &dyn ExecBackend,
+    source: impl TraceSource,
+    window: Option<usize>,
+) -> Result<PaceReport, BackendError> {
+    run_paced_with_telemetry(backend, source, window, None)
+}
+
+/// [`run_paced`] with an optional cycle-windowed telemetry timeline: the
+/// driver samples its own backpressure and in-flight occupancy on the
+/// arrival clock, the session records its engine-side series, and the
+/// report's timeline stitches both (driver series under the `pace.`
+/// scope). Telemetry is observation-only — the schedule and admission
+/// counts are identical to a plain [`run_paced`].
+///
+/// # Errors
+///
+/// See [`run_paced`].
+pub fn run_paced_with_telemetry(
+    backend: &dyn ExecBackend,
     mut source: impl TraceSource,
     window: Option<usize>,
+    timeline_window: Option<u64>,
 ) -> Result<PaceReport, BackendError> {
     let mut session = backend.open_with(SessionConfig {
         window,
-        collect_events: false,
+        timeline_window,
+        ..SessionConfig::batch()
     })?;
+    let mut sampler = timeline_window.map(|w| {
+        WindowSampler::new(
+            w,
+            vec![
+                SeriesSpec::gauge("inflight"),
+                SeriesSpec::delta("backpressured"),
+                SeriesSpec::delta("retries"),
+            ],
+        )
+    });
     let mut tasks = 0usize;
     let mut backpressured_tasks = 0usize;
     let mut retries = 0u64;
     let mut last_arrival = 0u64;
+    let mut inflight_obs = Vec::new();
     while let Some(item) = source.next_paced() {
         if item.barrier_before {
             session.barrier();
         }
         if item.arrival > session.now() {
             session.advance_to(item.arrival);
+        }
+        if let Some(s) = &mut sampler {
+            let (inflight, now) = (session.in_flight() as u64, session.now());
+            s.advance(now, |out| {
+                out[0] = inflight;
+                out[1] = backpressured_tasks as u64;
+                out[2] = retries;
+            });
+            inflight_obs.push(inflight);
         }
         last_arrival = item.arrival;
         let mut first = true;
@@ -227,14 +277,47 @@ pub fn run_paced(
         }
         tasks += 1;
     }
-    let (report, stats) = session.finish()?;
+    let driver_tl = sampler.map(|s| {
+        let inflight = session.in_flight() as u64;
+        s.finish(session.now(), |out| {
+            out[0] = inflight;
+            out[1] = backpressured_tasks as u64;
+            out[2] = retries;
+        })
+    });
+    let out = session.finish_full()?;
+    let timeline = driver_tl.map(|driver| match &out.timeline {
+        // The engine timeline spans the full makespan; the driver's
+        // arrival-clock series pad out once arrivals stop.
+        Some(engine) => Timeline::stitch(&[("", engine), ("pace.", &driver)]),
+        None => driver,
+    });
+    let mut metrics = out.metrics;
+    metrics
+        .counter("pace.tasks", tasks as u64, MergeRule::Sum)
+        .counter(
+            "pace.backpressured_tasks",
+            backpressured_tasks as u64,
+            MergeRule::Sum,
+        )
+        .counter("pace.retries", retries, MergeRule::Sum)
+        .counter("pace.last_arrival", last_arrival, MergeRule::Max);
+    if !inflight_obs.is_empty() {
+        metrics.histogram(
+            "pace.inflight_hist",
+            vec![0, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+            inflight_obs,
+        );
+    }
     Ok(PaceReport {
-        report,
-        stats,
+        report: out.report,
+        stats: out.stats,
         tasks,
         backpressured_tasks,
         retries,
         last_arrival,
+        timeline,
+        metrics,
     })
 }
 

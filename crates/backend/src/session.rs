@@ -3,15 +3,18 @@
 //! [`SimSession`] is the dyn-safe face of the per-engine concrete sessions
 //! ([`PerfectSession`], [`SoftwareSession`], [`HilSession`],
 //! [`ClusterSession`]): the incremental ingest interface of
-//! [`SessionCore`] plus a uniform `finish` that folds each engine's result
-//! and error types into ([`ExecReport`], optional hardware [`Stats`],
-//! [`BackendError`]). `ExecBackend::run` / `run_with_stats` are default
-//! methods driving one of these — no backend carries its own batch loop.
+//! [`SessionCore`] plus a uniform finish that folds each engine's result
+//! and error types into one [`SessionOutput`] ([`ExecReport`], optional
+//! hardware [`Stats`], optional [`Timeline`], labeled [`MetricSet`]).
+//! `ExecBackend::run` / `run_with_stats` / `run_with_telemetry` are
+//! default methods driving one of these — no backend carries its own
+//! batch loop.
 
 use crate::backends::BackendError;
 use picos_cluster::{merged_stats, ClusterSession};
 use picos_core::Stats;
 use picos_hil::HilSession;
+use picos_metrics::{MergeRule, MetricSet, Timeline};
 use picos_runtime::{ExecReport, PerfectSession, SoftwareSession};
 use std::fmt;
 
@@ -19,55 +22,123 @@ pub use picos_runtime::session::{
     feed_trace, Admission, FeedStall, SessionConfig, SessionCore, SimEvent,
 };
 
+/// Everything a finished session reports: the schedule, the engine's
+/// hardware counters (when it models Picos), the cycle-windowed telemetry
+/// (when the session was opened with
+/// [`SessionConfig::timeline_window`]), and the unified metrics registry
+/// with one labeled scope per layer (`core.` for a single accelerator,
+/// `shardK.` for cluster shards, `run.` for schedule-level facts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutput {
+    /// The schedule, as from a batch run.
+    pub report: ExecReport,
+    /// Hardware counters, when the engine models Picos.
+    pub stats: Option<Stats>,
+    /// Cycle-windowed telemetry, when a timeline window was requested.
+    pub timeline: Option<Timeline>,
+    /// The run's counters under the unified metrics vocabulary.
+    pub metrics: MetricSet,
+}
+
+/// Schedule-level facts every engine shares, under the `run.` scope.
+fn run_metrics(report: &ExecReport) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.counter("run.tasks", report.order.len() as u64, MergeRule::Sum)
+        .counter("run.makespan", report.makespan, MergeRule::Max)
+        .counter("run.sequential", report.sequential, MergeRule::Sum)
+        .counter("run.workers", report.workers as u64, MergeRule::Sum);
+    set
+}
+
+/// Output of an engine without modelled hardware: schedule facts plus a
+/// schedule-derived worker-occupancy timeline when one was requested.
+fn plain_output(report: ExecReport, timeline_window: Option<u64>) -> SessionOutput {
+    let timeline = timeline_window
+        .map(|w| Timeline::from_schedule(w, &report.start, &report.end, report.makespan));
+    let metrics = run_metrics(&report);
+    SessionOutput {
+        report,
+        stats: None,
+        timeline,
+        metrics,
+    }
+}
+
 /// A streaming execution session, opened with `ExecBackend::open` /
 /// `open_with`.
 ///
 /// Drive it with the [`SessionCore`] interface — `submit` tasks (handling
 /// [`Admission::Backpressured`]), declare `barrier`s, `advance_to` arrival
 /// times or `step` through backpressure, `drain_events` — then call
-/// [`SimSession::finish`] to run the simulation to quiescence and collect
-/// the report (plus hardware counters when the engine models Picos).
+/// [`SimSession::finish`] (or [`SimSession::finish_full`] for telemetry)
+/// to run the simulation to quiescence and collect the results.
 pub trait SimSession: SessionCore + Send + fmt::Debug {
+    /// Closes the input stream, runs the simulation to quiescence and
+    /// returns everything the run produced: report, hardware counters,
+    /// telemetry timeline and the labeled metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's stall/deadlock condition as a
+    /// [`BackendError`].
+    fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError>;
+
     /// Closes the input stream, runs the simulation to quiescence and
     /// returns the schedule report, plus the engine's hardware counters
     /// when it models Picos.
     ///
     /// # Errors
     ///
-    /// Returns the engine's stall/deadlock condition as a
-    /// [`BackendError`].
-    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError>;
+    /// See [`SimSession::finish_full`].
+    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
+        self.finish_full().map(|o| (o.report, o.stats))
+    }
 }
 
 impl SimSession for PerfectSession {
-    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        Ok(((*self).into_report(), None))
+    fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
+        let window = self.timeline_window();
+        Ok(plain_output((*self).into_report(), window))
     }
 }
 
 impl SimSession for SoftwareSession {
-    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        (*self)
-            .into_report()
-            .map(|r| (r, None))
-            .map_err(BackendError::from)
+    fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
+        let window = self.timeline_window();
+        let report = (*self).into_report().map_err(BackendError::from)?;
+        Ok(plain_output(report, window))
     }
 }
 
 impl SimSession for HilSession {
-    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        (*self)
-            .into_report()
-            .map(|(r, s)| (r, Some(s)))
-            .map_err(BackendError::from)
+    fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
+        let (report, stats, timeline) = (*self).into_report_full().map_err(BackendError::from)?;
+        let mut metrics = run_metrics(&report);
+        metrics.extend_scoped("core.", &stats.metric_set());
+        Ok(SessionOutput {
+            report,
+            stats: Some(stats),
+            timeline,
+            metrics,
+        })
     }
 }
 
 impl SimSession for ClusterSession {
-    fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
-        (*self)
-            .into_report()
-            .map(|(r, per_shard)| (r, Some(merged_stats(&per_shard))))
-            .map_err(BackendError::from)
+    fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
+        let (report, per_shard, timeline) =
+            (*self).into_report_full().map_err(BackendError::from)?;
+        let mut metrics = run_metrics(&report);
+        for (k, stats) in per_shard.iter().enumerate() {
+            metrics.extend_scoped(&format!("shard{k}."), &stats.metric_set());
+        }
+        let merged = merged_stats(&per_shard);
+        metrics.extend_scoped("core.", &merged.metric_set());
+        Ok(SessionOutput {
+            report,
+            stats: Some(merged),
+            timeline,
+            metrics,
+        })
     }
 }

@@ -10,8 +10,10 @@
 
 use crate::backends::BackendSpec;
 use crate::par;
+use crate::session::SessionConfig;
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
 use picos_hil::LinkModel;
+use picos_metrics::Timeline;
 use picos_trace::gen::App;
 use picos_trace::{json_escape, Trace};
 use std::fmt;
@@ -130,6 +132,11 @@ pub struct SweepRow {
     pub vm_stalls: Option<u64>,
     /// TM-capacity stalls (Picos backends only).
     pub tm_stalls: Option<u64>,
+    /// Cycle-windowed telemetry of the cell's run, when the sweep was
+    /// built with [`Sweep::timeline`] (in-flight occupancy, per-unit busy
+    /// cycles over time; see [`SweepResult::timelines_csv`] for the
+    /// long-format emit).
+    pub timeline: Option<Timeline>,
     /// Error description when the cell failed or was skipped.
     pub error: Option<String>,
 }
@@ -242,7 +249,39 @@ impl SweepResult {
         out
     }
 
-    /// Writes `<name>.csv` and `<name>.json` into `dir`.
+    /// Renders every cell's telemetry timeline (when the sweep was built
+    /// with [`Sweep::timeline`]) as one long-format CSV: the cell's grid
+    /// coordinates, the window bounds, the series name and its value —
+    /// the shape utilization-vs-time plots consume directly.
+    pub fn timelines_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,block_size,backend,workers,dm,instances,shards,\
+             window_start,window_end,series,value\n",
+        );
+        for r in &self.rows {
+            let Some(tl) = &r.timeline else { continue };
+            let prefix = format!(
+                "{},{},{},{},{},{},{}",
+                csv_field(&r.workload),
+                r.block_size.map_or(String::new(), |v| v.to_string()),
+                r.backend,
+                r.workers,
+                r.dm.name().replace(' ', "-"),
+                r.instances,
+                r.shards,
+            );
+            for i in 0..tl.len() {
+                let (start, end, values) = tl.sample(i);
+                for (spec, v) in tl.series().iter().zip(values) {
+                    out.push_str(&format!("{prefix},{start},{end},{},{v}\n", spec.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes `<name>.csv` and `<name>.json` into `dir`, plus
+    /// `<name>_timeline.csv` when any cell recorded telemetry.
     ///
     /// # Errors
     ///
@@ -250,7 +289,14 @@ impl SweepResult {
     pub fn write_files(&self, dir: &std::path::Path, name: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{name}.csv")), self.to_csv())?;
-        std::fs::write(dir.join(format!("{name}.json")), self.to_json())
+        std::fs::write(dir.join(format!("{name}.json")), self.to_json())?;
+        if self.rows.iter().any(|r| r.timeline.is_some()) {
+            std::fs::write(
+                dir.join(format!("{name}_timeline.csv")),
+                self.timelines_csv(),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -285,6 +331,7 @@ pub struct Sweep {
     instances: Vec<usize>,
     ts_policy: TsPolicy,
     link: LinkModel,
+    timeline: Option<u64>,
     threads: Option<usize>,
     filter: Option<CellFilter>,
     fail_fast: bool,
@@ -301,6 +348,7 @@ impl Sweep {
             instances: vec![1],
             ts_policy: TsPolicy::Fifo,
             link: LinkModel::interconnect(),
+            timeline: None,
             threads: None,
             filter: None,
             fail_fast: false,
@@ -357,6 +405,16 @@ impl Sweep {
     /// (single-accelerator backends ignore it).
     pub fn interconnect(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Records a cycle-windowed telemetry [`Timeline`] for every cell
+    /// (in-flight occupancy, per-unit busy cycles over time), stored on
+    /// [`SweepRow::timeline`] and emitted by
+    /// [`SweepResult::timelines_csv`]. Observation-only: makespans and
+    /// counters are unchanged.
+    pub fn timeline(mut self, window: u64) -> Self {
+        self.timeline = Some(window);
         self
     }
 
@@ -445,7 +503,7 @@ impl Sweep {
             // Cells carry the index of their workload, so duplicate labels
             // can never resolve to the wrong trace.
             let trace = &self.workloads[cell.workload_index].trace;
-            let row = run_cell(cell, trace, self.ts_policy, self.link);
+            let row = run_cell(cell, trace, self.ts_policy, self.link, self.timeline);
             if self.fail_fast && row.error.is_some() {
                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
             }
@@ -470,11 +528,18 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
         dm_conflicts: None,
         vm_stalls: None,
         tm_stalls: None,
+        timeline: None,
         error: Some("skipped: an earlier cell failed (fail-fast)".into()),
     }
 }
 
-fn run_cell(cell: &SweepCell, trace: &Trace, ts_policy: TsPolicy, link: LinkModel) -> SweepRow {
+fn run_cell(
+    cell: &SweepCell,
+    trace: &Trace,
+    ts_policy: TsPolicy,
+    link: LinkModel,
+    timeline: Option<u64>,
+) -> SweepRow {
     let backend = cell
         .backend
         .builder(cell.workers)
@@ -483,16 +548,21 @@ fn run_cell(cell: &SweepCell, trace: &Trace, ts_policy: TsPolicy, link: LinkMode
         .build();
     let mut row = skipped_row(cell);
     row.error = None;
-    match backend.run_with_stats(trace) {
-        Ok((report, stats)) => {
-            row.makespan = report.makespan;
-            row.sequential = report.sequential;
-            row.speedup = report.speedup();
-            if let Some(s) = stats {
+    let cfg = SessionConfig {
+        timeline_window: timeline,
+        ..SessionConfig::batch()
+    };
+    match backend.run_with_telemetry(trace, cfg) {
+        Ok(out) => {
+            row.makespan = out.report.makespan;
+            row.sequential = out.report.sequential;
+            row.speedup = out.report.speedup();
+            if let Some(s) = out.stats {
                 row.dm_conflicts = Some(s.dm_conflicts);
                 row.vm_stalls = Some(s.vm_stalls);
                 row.tm_stalls = Some(s.tm_stalls);
             }
+            row.timeline = out.timeline;
         }
         Err(e) => {
             row.sequential = trace.sequential_time();

@@ -55,8 +55,17 @@ fn main() {
     let trace = gen::sparselu(gen::SparseLuConfig::paper(128));
     let tasks = trace.len() as f64;
 
-    let runs_per_sec = sample(window, || {
+    // Metrics overhead guard: the same raw-engine run with and without a
+    // coarse-window telemetry timeline attached, interleaved A/B within
+    // one sampling window so host noise hits both sides equally. Probes
+    // themselves are always-on plain field increments; the guard measures
+    // what *attaching a sampler* adds (one branch per clock move plus one
+    // probe per window).
+    let engine_run = |timeline: Option<u64>| {
         let mut sys = PicosSystem::new(PicosConfig::balanced());
+        if let Some(w) = timeline {
+            sys.attach_timeline(w);
+        }
         sys.submit_all(&trace);
         sys.run_to_quiescence(200_000_000, |r| {
             Some(FinishedReq {
@@ -66,7 +75,32 @@ fn main() {
         })
         .expect("engine run completes");
         std::hint::black_box(sys.now());
-    });
+        std::hint::black_box(sys.take_timeline().map(|t| t.len()));
+    };
+    let mut off_on = [0.0f64; 2];
+    {
+        // Interleaved measurement: alternate off/on runs over a shared
+        // wall-clock window, accumulating each side's own time.
+        engine_run(None);
+        engine_run(Some(65_536));
+        let mut spent = [Duration::ZERO; 2];
+        let mut iters = [0u64; 2];
+        let start = Instant::now();
+        while start.elapsed() < window * 2 || iters[1] == 0 {
+            for (side, timeline) in [(0, None), (1, Some(65_536u64))] {
+                let t0 = Instant::now();
+                engine_run(timeline);
+                spent[side] += t0.elapsed();
+                iters[side] += 1;
+            }
+        }
+        for side in 0..2 {
+            off_on[side] = iters[side] as f64 / spent[side].as_secs_f64() * tasks;
+        }
+    }
+    let [metrics_off_tasks_per_sec, metrics_timeline_tasks_per_sec] = off_on;
+
+    let runs_per_sec = sample(window, || engine_run(None));
     let tasks_per_sec = runs_per_sec * tasks;
 
     // The batch backend path: ExecBackend::run is a default method over a
@@ -124,6 +158,8 @@ fn main() {
          compare tasks_per_sec between runs instead\",\n  \
          \"tasks_per_sec\": {:.0},\n  \
          \"speedup_vs_baseline\": {:.2},\n  \
+         \"metrics_off_tasks_per_sec\": {:.0},\n  \
+         \"metrics_timeline_tasks_per_sec\": {:.0},\n  \
          \"batch_tasks_per_sec\": {:.0},\n  \
          \"session_tasks_per_sec\": {:.0},\n  \"sweep_cells\": {},\n  \
          \"sweep_cells_per_sec\": {:.1},\n  \"cluster_cells\": {},\n  \
@@ -132,6 +168,8 @@ fn main() {
         BASELINE_TASKS_PER_SEC,
         tasks_per_sec,
         tasks_per_sec / BASELINE_TASKS_PER_SEC,
+        metrics_off_tasks_per_sec,
+        metrics_timeline_tasks_per_sec,
         batch_tasks_per_sec,
         session_tasks_per_sec,
         cells as u64,
@@ -151,6 +189,18 @@ fn main() {
         eprintln!(
             "FAIL: batch path {batch_tasks_per_sec:.0} tasks/s fell below a \
              quarter of the raw engine's {tasks_per_sec:.0} tasks/s"
+        );
+        std::process::exit(1);
+    }
+    // CI assertion: attaching a coarse-window (65536-cycle) timeline must
+    // cost no more than 10% of engine throughput — the telemetry layer's
+    // overhead contract (one branch per clock move, one probe per window).
+    // Interleaved A/B measurement above keeps host noise symmetric.
+    if metrics_timeline_tasks_per_sec < metrics_off_tasks_per_sec * 0.9 {
+        eprintln!(
+            "FAIL: coarse-window timeline run {metrics_timeline_tasks_per_sec:.0} \
+             tasks/s fell more than 10% below the probes-only \
+             {metrics_off_tasks_per_sec:.0} tasks/s"
         );
         std::process::exit(1);
     }

@@ -81,7 +81,8 @@ commands:
   gen <app> --block <bs> [--out trace.json]     generate a paper workload
   stats <workload>                              print a Table-I style row
   run <workload> --engine <e> --workers <w>     run one engine
-       engines: hw-only | hw-comm | full | nanos | perfect | cluster
+       engines: hw-only | hw-comm | full (alias: hil) | nanos | perfect
+                | cluster
        options: --dm <8way|16way|p8way>  --ts <fifo|lifo>  --instances <n>
        cluster: --shards <n>  --policy <addr-hash|round-robin|locality>
                 --link-latency <c> --link-occupancy <c> --link-width <w>
@@ -89,9 +90,15 @@ commands:
        paced:   --paced <interarrival-cycles> [--window <in-flight cap>]
                 open-loop streaming session; prints offered vs achieved
                 rate and the backpressure ratio
+       telemetry: --timeline <window-cycles> attaches a cycle-windowed
+                sampler (per-unit busy cycles, queue/memory occupancy);
+                emit with --metrics-json <path> and/or --metrics-csv <path>
   sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
        [--threads <n>] [--out results.csv]      cells run in parallel
        [--shards <n>] [--link-latency <c>]      (cluster cells)
+       [--timeline <w>]                         per-cell telemetry; with
+                                                --out also writes
+                                                <out>.timeline.csv
   resources [--dm <design>] [--instances <n>]   FPGA cost estimate
   apps                                          list available generators
   engines                                       list available backends

@@ -8,10 +8,11 @@
 mod args;
 
 use args::{usage, Args};
-use picos_backend::{pace, BackendSpec, ExecBackend, Sweep, Workload};
+use picos_backend::{pace, BackendSpec, ExecBackend, SessionConfig, Sweep, Workload};
 use picos_cluster::ShardPolicy;
-use picos_core::{DmDesign, PicosConfig, TsPolicy};
+use picos_core::{DmDesign, PicosConfig, Stats, TsPolicy};
 use picos_hil::LinkModel;
+use picos_metrics::{MetricSet, Timeline};
 use picos_resources::{full_picos_resources, XC7Z020};
 use picos_trace::{gen, Trace};
 use std::sync::Arc;
@@ -220,9 +221,60 @@ fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
         .build())
 }
 
+/// An optional `--key <u64>` option.
+fn opt_u64(a: &Args, key: &str) -> Result<Option<u64>, String> {
+    match a.options.get(key) {
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("invalid value for --{key}: {v}")),
+        None => Ok(None),
+    }
+}
+
+/// Writes the telemetry of a run to the `--metrics-json` / `--metrics-csv`
+/// paths, prints a one-line timeline summary, and rejects emit options
+/// without an attached timeline.
+fn emit_metrics(
+    a: &Args,
+    engine: &str,
+    workers: usize,
+    makespan: u64,
+    metrics: &MetricSet,
+    timeline: Option<&Timeline>,
+) -> Result<(), String> {
+    let json_path = a.options.get("metrics-json");
+    let csv_path = a.options.get("metrics-csv");
+    if timeline.is_none() && (json_path.is_some() || csv_path.is_some()) {
+        return Err("--metrics-json/--metrics-csv need --timeline <window-cycles>".into());
+    }
+    let Some(tl) = timeline else { return Ok(()) };
+    println!(
+        "timeline: {} windows of {} cycles, {} series",
+        tl.len(),
+        tl.window(),
+        tl.series().len()
+    );
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\"engine\":\"{engine}\",\"workers\":{workers},\"makespan\":{makespan},\
+             \"metrics\":{},\"timeline\":{}}}\n",
+            metrics.to_json(),
+            tl.to_json()
+        );
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(path, tl.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// Prints the hardware-counter note shared by the batch and paced run
 /// modes.
-fn note_stats(stats: &Option<picos_core::Stats>) {
+fn note_stats(stats: &Option<Stats>) {
     if let Some(stats) = stats {
         if stats.dm_conflicts > 0 || stats.vm_stalls > 0 {
             eprintln!(
@@ -242,17 +294,30 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     if a.options.contains_key("window") {
         return Err("--window only applies to paced runs (add --paced <interarrival>)".into());
     }
-    let (report, stats) = backend.run_with_stats(&trace).map_err(|e| e.to_string())?;
-    note_stats(&stats);
-    report.validate(&trace)?;
+    let cfg = SessionConfig {
+        timeline_window: opt_u64(a, "timeline")?,
+        ..SessionConfig::batch()
+    };
+    let out = backend
+        .run_with_telemetry(&trace, cfg)
+        .map_err(|e| e.to_string())?;
+    note_stats(&out.stats);
+    out.report.validate(&trace)?;
     println!(
         "{}: makespan {} cycles, speedup {:.2} with {} workers",
-        report.engine,
-        report.makespan,
-        report.speedup(),
+        out.report.engine,
+        out.report.makespan,
+        out.report.speedup(),
         backend.workers()
     );
-    Ok(())
+    emit_metrics(
+        a,
+        &out.report.engine,
+        backend.workers(),
+        out.report.makespan,
+        &out.metrics,
+        out.timeline.as_ref(),
+    )
 }
 
 /// `picos run <workload> --paced <interarrival> [--window <n>]`: feed the
@@ -268,7 +333,8 @@ fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(
         None => None,
     };
     let source = pace::PacedTrace::new(trace, interarrival);
-    let r = pace::run_paced(backend, source, window).map_err(|e| e.to_string())?;
+    let r = pace::run_paced_with_telemetry(backend, source, window, opt_u64(a, "timeline")?)
+        .map_err(|e| e.to_string())?;
     note_stats(&r.stats);
     r.report.validate(trace)?;
     println!(
@@ -289,7 +355,14 @@ fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(
         r.backpressure_ratio() * 100.0,
         r.retries
     );
-    Ok(())
+    emit_metrics(
+        a,
+        &r.report.engine,
+        r.report.workers,
+        r.report.makespan,
+        &r.metrics,
+        r.timeline.as_ref(),
+    )
 }
 
 fn cmd_sweep(a: &Args) -> Result<(), String> {
@@ -314,6 +387,9 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     if let Some(threads) = a.options.get("threads") {
         sweep = sweep.threads(threads.parse().map_err(|_| "invalid --threads")?);
     }
+    if let Some(w) = opt_u64(a, "timeline")? {
+        sweep = sweep.timeline(w);
+    }
     let result = sweep.run();
     println!("engine          workers  speedup  makespan");
     for row in result.rows() {
@@ -328,6 +404,12 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     if let Some(out) = a.options.get("out") {
         std::fs::write(out, result.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("wrote {out}");
+        if result.rows().iter().any(|r| r.timeline.is_some()) {
+            let tl_out = format!("{}.timeline.csv", out.trim_end_matches(".csv"));
+            std::fs::write(&tl_out, result.timelines_csv())
+                .map_err(|e| format!("writing {tl_out}: {e}"))?;
+            eprintln!("wrote {tl_out}");
+        }
     }
     match result.first_error() {
         None => Ok(()),

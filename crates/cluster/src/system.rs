@@ -34,6 +34,7 @@
 use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
 use picos_core::{FinishedReq, PicosSystem, SlotRef, Stats};
 use picos_hil::Link;
+use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
 use picos_runtime::session::{
     feed_trace, Admission, EventLog, EventLoopCore, Ingest, ScheduleLog, SessionConfig,
     SessionCore, SimEvent,
@@ -104,6 +105,13 @@ pub struct ClusterSession {
     ingest: Ingest,
     log: ScheduleLog,
     events: EventLog,
+    /// Messages ever sent into each shard's ingress link (cumulative; the
+    /// windowed-delta probe of the interconnect series).
+    link_sent: Vec<u64>,
+    /// Cluster-level telemetry (worker occupancy, per-link interconnect
+    /// occupancy); each shard's core sampler rides inside its
+    /// [`PicosSystem`]. `None` keeps every clock move sampling-free.
+    sampler: Option<WindowSampler>,
 }
 
 impl ClusterSession {
@@ -114,11 +122,24 @@ impl ClusterSession {
     /// Returns [`ClusterError::Config`] on an invalid configuration.
     pub fn new(cfg: ClusterConfig, session: SessionConfig) -> Result<Self, ClusterError> {
         cfg.validate().map_err(ClusterError::Config)?;
+        session.validate().map_err(ClusterError::Config)?;
         let k = cfg.shards;
+        let mut sys: Vec<PicosSystem> = (0..k)
+            .map(|_| PicosSystem::new(cfg.picos.clone()))
+            .collect();
+        let sampler = session.timeline_window.map(|w| {
+            let mut series = vec![SeriesSpec::gauge("workers.busy")];
+            for s in 0..k {
+                series.push(SeriesSpec::gauge(format!("link{s}.inflight")));
+                series.push(SeriesSpec::delta(format!("link{s}.sent")));
+            }
+            for shard in sys.iter_mut() {
+                shard.attach_timeline(w);
+            }
+            WindowSampler::new(w, series)
+        });
         Ok(ClusterSession {
-            sys: (0..k)
-                .map(|_| PicosSystem::new(cfg.picos.clone()))
-                .collect(),
+            sys,
             workers: (0..k)
                 .map(|s| picos_hil::Workers::new(cfg.shard_workers(s)))
                 .collect(),
@@ -144,8 +165,22 @@ impl ClusterSession {
             ingest: Ingest::new(session.window),
             log: ScheduleLog::default(),
             events: EventLog::new(session.collect_events),
+            link_sent: vec![0; k],
+            sampler,
             cfg,
         })
+    }
+
+    /// Reads the cluster-level probe points (worker occupancy, per-link
+    /// interconnect occupancy and traffic) in the sampler's series order.
+    fn probe_cluster(&self, out: &mut [u64]) {
+        out[0] = (0..self.cfg.shards)
+            .map(|s| (self.cfg.shard_workers(s) - self.workers[s].idle()) as u64)
+            .sum();
+        for (s, link) in self.links.iter().enumerate() {
+            out[1 + 2 * s] = link.in_flight() as u64;
+            out[2 + 2 * s] = self.link_sent[s];
+        }
     }
 
     /// Places one task and splits its dependence list into per-home-shard
@@ -227,7 +262,22 @@ impl ClusterSession {
     ///
     /// Returns [`ClusterError::Stalled`] if work remains that no event
     /// will release (an engine bug).
-    pub fn into_report(mut self) -> Result<(ExecReport, Vec<Stats>), ClusterError> {
+    pub fn into_report(self) -> Result<(ExecReport, Vec<Stats>), ClusterError> {
+        self.into_report_full().map(|(r, s, _)| (r, s))
+    }
+
+    /// Like [`ClusterSession::into_report`], and also returns the run's
+    /// [`Timeline`] when the session was opened with a telemetry window:
+    /// the cluster series (`workers.busy`, per-link `linkK.inflight` /
+    /// `linkK.sent`) stitched with every shard core's probe series under
+    /// the `sK.core.` scopes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterSession::into_report`].
+    pub fn into_report_full(
+        mut self,
+    ) -> Result<(ExecReport, Vec<Stats>, Option<Timeline>), ClusterError> {
         self.drive_finish();
         let n = self.ingest.admitted;
         let clean = self.log.order.len() == n
@@ -245,7 +295,33 @@ impl ClusterSession {
             });
         }
         let stats = self.sys.iter().map(PicosSystem::stats).collect();
-        Ok((self.log.into_report("cluster", self.cfg.workers), stats))
+        let timeline = match self.sampler.take() {
+            Some(sampler) => {
+                let end = self.t;
+                let cluster = sampler.finish(end, |out| self.probe_cluster(out));
+                let shard_tls: Vec<Timeline> = self
+                    .sys
+                    .iter_mut()
+                    .map(|s| {
+                        s.take_timeline()
+                            .expect("every shard sampler attached alongside the cluster sampler")
+                    })
+                    .collect();
+                let mut parts: Vec<(String, &Timeline)> = vec![(String::new(), &cluster)];
+                for (k, tl) in shard_tls.iter().enumerate() {
+                    parts.push((format!("s{k}.core."), tl));
+                }
+                let borrowed: Vec<(&str, &Timeline)> =
+                    parts.iter().map(|(p, t)| (p.as_str(), *t)).collect();
+                Some(Timeline::stitch(&borrowed))
+            }
+            None => None,
+        };
+        Ok((
+            self.log.into_report("cluster", self.cfg.workers),
+            stats,
+            timeline,
+        ))
     }
 }
 
@@ -268,6 +344,7 @@ impl EventLoopCore for ClusterSession {
                 });
                 for &(r, _) in &self.remote[task as usize] {
                     self.links[r as usize].send(t, ClusterMsg::Finish { task });
+                    self.link_sent[r as usize] += 1;
                     self.events.push(SimEvent::ShardMsg {
                         from: s as u16,
                         to: r,
@@ -319,6 +396,7 @@ impl EventLoopCore for ClusterSession {
             for (r, deps) in &self.remote[self.next_feed] {
                 self.expected[*r as usize].push_back(i);
                 let words = deps.len() + 1;
+                self.link_sent[*r as usize] += 1;
                 self.links[*r as usize].send_words(
                     t,
                     ClusterMsg::Register {
@@ -371,6 +449,7 @@ impl EventLoopCore for ClusterSession {
                     self.slot_at[s].insert(task, rt.slot);
                     let p = self.placement[ti];
                     self.links[p as usize].send(t, ClusterMsg::Ready { task });
+                    self.link_sent[p as usize] += 1;
                     self.events.push(SimEvent::ShardMsg {
                         from: s as u16,
                         to: p,
@@ -417,6 +496,14 @@ impl EventLoopCore for ClusterSession {
     }
 
     fn set_clock(&mut self, t: u64) {
+        // Telemetry boundary crossing: cluster state is constant between
+        // pumps, so sampling before the clock moves observes the state
+        // each crossed boundary lived under.
+        if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
+            let mut sampler = self.sampler.take().expect("checked above");
+            sampler.advance(t, |out| self.probe_cluster(out));
+            self.sampler = Some(sampler);
+        }
         self.t = t;
     }
 
@@ -501,8 +588,15 @@ pub fn run_cluster(trace: &Trace, cfg: &ClusterConfig) -> Result<ExecReport, Clu
     run_cluster_with_stats(trace, cfg).map(|(r, _)| r)
 }
 
-/// Sums per-shard hardware counters into cluster totals (peaks add, the
-/// same convention [`PicosSystem::stats`] uses across its own instances).
+/// Aggregates per-shard hardware counters into cluster totals under the
+/// explicit [`Stats::merge`] rules: monotone totals (busy cycles, stalls,
+/// processed dependences) sum across shards; `peak_*` high-water marks
+/// take the maximum — shards peak at different times, so summing their
+/// peaks would fabricate an occupancy no memory ever held. (Within one
+/// shard, [`PicosSystem::stats`] still sums its own per-TRS/per-DCT peaks:
+/// those describe disjoint memories of one accelerator, the
+/// [`Stats::merge_sum`] convention.) A one-shard cluster's merged stats
+/// equal the single system's stats bit-for-bit.
 pub fn merged_stats(per_shard: &[Stats]) -> Stats {
     let mut total = Stats::default();
     for s in per_shard {

@@ -53,6 +53,7 @@ use crate::stats::Stats;
 use crate::trs::{Trs, TrsEmit};
 use crate::vm::Vm;
 use crate::Cycle;
+use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
 use picos_trace::{Dependence, TaskId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -242,6 +243,12 @@ pub struct PicosSystem {
 
     in_flight: usize,
     stats: Stats,
+
+    /// Optional cycle-windowed telemetry. `None` (the default) keeps the
+    /// hot path sampling-free: every probe point is a plain field the
+    /// engine maintains anyway, and time advancement pays exactly one
+    /// branch to see that no sampler is attached.
+    sampler: Option<WindowSampler>,
 }
 
 /// Wheel size for a configuration: a power of two strictly larger than the
@@ -358,8 +365,74 @@ impl PicosSystem {
             scratch_dct: Vec::new(),
             in_flight: 0,
             stats: Stats::default(),
+            sampler: None,
             cfg,
         }
+    }
+
+    /// The timeline vocabulary of the core: queue/memory occupancy gauges
+    /// and per-unit busy/stall/progress deltas, in probe order.
+    pub fn timeline_series() -> Vec<SeriesSpec> {
+        vec![
+            SeriesSpec::gauge("occ.input"),
+            SeriesSpec::gauge("occ.ready"),
+            SeriesSpec::gauge("occ.inflight"),
+            SeriesSpec::gauge("occ.tm"),
+            SeriesSpec::gauge("occ.dm"),
+            SeriesSpec::gauge("occ.vm"),
+            SeriesSpec::delta("busy.gw"),
+            SeriesSpec::delta("busy.trs"),
+            SeriesSpec::delta("busy.dct"),
+            SeriesSpec::delta("busy.arb"),
+            SeriesSpec::delta("busy.ts"),
+            SeriesSpec::delta("stall.tm"),
+            SeriesSpec::delta("stall.dm"),
+            SeriesSpec::delta("stall.vm"),
+            SeriesSpec::delta("done.tasks"),
+            SeriesSpec::delta("done.deps"),
+        ]
+    }
+
+    /// Reads every probe point into `out`, in [`PicosSystem::timeline_series`]
+    /// order. Pure observation: nothing in the engine changes.
+    fn probe(&self, out: &mut [u64]) {
+        out[0] = self.ext_new.len() as u64;
+        out[1] = self.ready_buf.len() as u64;
+        out[2] = self.in_flight as u64;
+        out[3] = self.trs.iter().map(|t| t.tm.live()).sum::<usize>() as u64;
+        out[4] = self.dct.iter().map(|d| d.dm.live()).sum::<usize>() as u64;
+        out[5] = self.dct.iter().map(|d| d.vm.live()).sum::<usize>() as u64;
+        out[6] = self.stats.busy_gw;
+        out[7] = self.stats.busy_trs;
+        out[8] = self.stats.busy_dct;
+        out[9] = self.stats.busy_arb;
+        out[10] = self.stats.busy_ts;
+        out[11] = self.stats.tm_stalls;
+        out[12] = self.dct.iter().map(|d| d.dm.conflicts()).sum();
+        out[13] = self.dct.iter().map(|d| d.vm.stalls()).sum();
+        out[14] = self.stats.tasks_completed;
+        out[15] = self.dct.iter().map(Dct::deps_processed).sum();
+    }
+
+    /// Attaches a cycle-windowed telemetry sampler: from now on, every
+    /// window boundary the simulation clock crosses snapshots the probe
+    /// points of [`PicosSystem::timeline_series`]. Observation-only — the
+    /// schedule, the event order and every counter are bit-identical with
+    /// and without a sampler attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn attach_timeline(&mut self, window: Cycle) {
+        self.sampler = Some(WindowSampler::new(window, Self::timeline_series()));
+    }
+
+    /// Detaches the sampler and returns the finished [`Timeline`],
+    /// finalized at the current time (the last sample may cover a partial
+    /// window). `None` when no sampler was attached.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        let sampler = self.sampler.take()?;
+        Some(sampler.finish(self.now, |out| self.probe(out)))
     }
 
     /// Current simulation time.
@@ -629,6 +702,15 @@ impl PicosSystem {
     /// wheel horizon. Migration happens before anything is emitted at the
     /// new time, so slot FIFO order stays equal to global emission order.
     fn set_now(&mut self, t: Cycle) {
+        // Telemetry boundary crossing. State is constant between event
+        // batches, so sampling *before* `now` moves observes exactly the
+        // state each crossed boundary lived under (events scheduled at the
+        // boundary itself have not been served yet).
+        if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
+            let mut sampler = self.sampler.take().expect("checked above");
+            sampler.advance(t, |out| self.probe(out));
+            self.sampler = Some(sampler);
+        }
         self.now = t;
         while let Some(Reverse(head)) = self.overflow.peek() {
             if head.t - self.now > self.wheel_mask {
@@ -1406,6 +1488,46 @@ mod tests {
         assert_eq!(o1, o2);
         assert_eq!(s1.now(), s2.now());
         assert_eq!(s1.stats(), s2.stats());
+    }
+
+    #[test]
+    fn timeline_is_observation_only_and_sums_exactly() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let (plain_order, plain) = run_instant(PicosConfig::balanced(), &tr);
+        let mut sys = PicosSystem::new(PicosConfig::balanced());
+        sys.attach_timeline(500);
+        sys.submit_all(&tr);
+        let mut order = Vec::new();
+        sys.run_to_quiescence(200_000_000, |r| {
+            order.push(r.task.raw());
+            Some(FinishedReq {
+                task: r.task,
+                slot: r.slot,
+            })
+        })
+        .expect("run must complete");
+        // Probes change no cycle: same schedule, same clock, same stats.
+        assert_eq!(order, plain_order);
+        assert_eq!(sys.now(), plain.now());
+        assert_eq!(sys.stats(), plain.stats());
+        let tl = sys.take_timeline().expect("sampler attached");
+        assert!(sys.take_timeline().is_none(), "sampler detaches once");
+        assert!(tl.len() >= 2, "a multi-kilocycle run spans several windows");
+        // Delta series reproduce the end-of-run counters exactly.
+        let stats = plain.stats();
+        let sum = |name: &str| tl.column(name).unwrap().iter().sum::<u64>();
+        assert_eq!(sum("busy.gw"), stats.busy_gw);
+        assert_eq!(sum("busy.dct"), stats.busy_dct);
+        assert_eq!(sum("done.tasks"), stats.tasks_completed);
+        assert_eq!(sum("done.deps"), stats.deps_processed);
+        // The single-ported Arbiter cannot book much more than one window
+        // of busy time per window (bookings land at service start, so one
+        // in-progress service may spill over the boundary).
+        let arb = tl.series_index("busy.arb").unwrap();
+        for i in 0..tl.len() {
+            let (s, e, v) = tl.sample(i);
+            assert!(v[arb] <= (e - s) + 64, "window [{s},{e}) overfull ARB");
+        }
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! Aggregate statistics of a Picos run.
+//!
+//! [`Stats`] is the flat, field-addressable view the hot path increments;
+//! its vocabulary — which fields are monotone totals and which are
+//! high-water marks — lives in one table ([`Stats::FIELDS`]) shared with
+//! the [`picos_metrics::MetricSet`] registry view, so merge semantics can
+//! never drift between the struct and the registry.
+
+use picos_metrics::{MergeRule, MetricSet};
 
 /// Counters and high-water marks collected by the engine.
 ///
@@ -42,32 +50,169 @@ pub struct Stats {
     pub busy_ts: u64,
 }
 
+/// Field accessor table: name, merge rule, getter, setter. One row per
+/// [`Stats`] field, in declaration order.
+type FieldRow = (
+    &'static str,
+    MergeRule,
+    fn(&Stats) -> u64,
+    fn(&mut Stats, u64),
+);
+
 impl Stats {
-    /// Accumulates another instance's counters into `self`, element-wise.
+    /// The metric vocabulary of a Picos run: every field with its name and
+    /// merge rule. Totals (task/dependence counts, stalls, busy cycles)
+    /// merge by sum; `peak_*` high-water marks merge by max — peaks
+    /// observed on different shards at different times must not be added.
+    pub const FIELDS: [FieldRow; 17] = [
+        (
+            "tasks_submitted",
+            MergeRule::Sum,
+            |s| s.tasks_submitted,
+            |s, v| s.tasks_submitted = v,
+        ),
+        (
+            "tasks_completed",
+            MergeRule::Sum,
+            |s| s.tasks_completed,
+            |s, v| s.tasks_completed = v,
+        ),
+        (
+            "deps_processed",
+            MergeRule::Sum,
+            |s| s.deps_processed,
+            |s, v| s.deps_processed = v,
+        ),
+        (
+            "dm_conflicts",
+            MergeRule::Sum,
+            |s| s.dm_conflicts,
+            |s, v| s.dm_conflicts = v,
+        ),
+        (
+            "vm_stalls",
+            MergeRule::Sum,
+            |s| s.vm_stalls,
+            |s, v| s.vm_stalls = v,
+        ),
+        (
+            "tm_stalls",
+            MergeRule::Sum,
+            |s| s.tm_stalls,
+            |s, v| s.tm_stalls = v,
+        ),
+        (
+            "wakes_sent",
+            MergeRule::Sum,
+            |s| s.wakes_sent,
+            |s, v| s.wakes_sent = v,
+        ),
+        (
+            "chain_wakes",
+            MergeRule::Sum,
+            |s| s.chain_wakes,
+            |s, v| s.chain_wakes = v,
+        ),
+        (
+            "peak_in_flight",
+            MergeRule::Max,
+            |s| s.peak_in_flight as u64,
+            |s, v| s.peak_in_flight = v as usize,
+        ),
+        (
+            "peak_dm_live",
+            MergeRule::Max,
+            |s| s.peak_dm_live as u64,
+            |s, v| s.peak_dm_live = v as usize,
+        ),
+        (
+            "peak_vm_live",
+            MergeRule::Max,
+            |s| s.peak_vm_live as u64,
+            |s, v| s.peak_vm_live = v as usize,
+        ),
+        (
+            "peak_ready",
+            MergeRule::Max,
+            |s| s.peak_ready as u64,
+            |s, v| s.peak_ready = v as usize,
+        ),
+        (
+            "busy_gw",
+            MergeRule::Sum,
+            |s| s.busy_gw,
+            |s, v| s.busy_gw = v,
+        ),
+        (
+            "busy_trs",
+            MergeRule::Sum,
+            |s| s.busy_trs,
+            |s, v| s.busy_trs = v,
+        ),
+        (
+            "busy_dct",
+            MergeRule::Sum,
+            |s| s.busy_dct,
+            |s, v| s.busy_dct = v,
+        ),
+        (
+            "busy_arb",
+            MergeRule::Sum,
+            |s| s.busy_arb,
+            |s, v| s.busy_arb = v,
+        ),
+        (
+            "busy_ts",
+            MergeRule::Sum,
+            |s| s.busy_ts,
+            |s, v| s.busy_ts = v,
+        ),
+    ];
+
+    /// Accumulates another instance's counters into `self` by each field's
+    /// [`MergeRule`]: totals sum, peaks take the maximum.
     ///
-    /// Peaks are summed, matching how [`crate::PicosSystem::stats`] already
-    /// aggregates per-TRS/per-DCT peaks inside one system. This is the
-    /// aggregation used for per-shard statistics of a clustered
-    /// configuration: a one-shard cluster's merged stats equal the single
-    /// system's stats.
+    /// This is the aggregation for *concurrent* systems — the per-shard
+    /// statistics of a clustered configuration. A one-shard cluster's
+    /// merged stats equal the single system's stats (merging into the
+    /// zeroed default is the identity under both rules). For peaks the max
+    /// is itself conservative — shard peaks need not coincide in time —
+    /// but unlike the old element-wise sum it never reports an occupancy
+    /// that no memory ever held.
     pub fn merge(&mut self, other: &Stats) {
-        self.tasks_submitted += other.tasks_submitted;
-        self.tasks_completed += other.tasks_completed;
-        self.deps_processed += other.deps_processed;
-        self.dm_conflicts += other.dm_conflicts;
-        self.vm_stalls += other.vm_stalls;
-        self.tm_stalls += other.tm_stalls;
-        self.wakes_sent += other.wakes_sent;
-        self.chain_wakes += other.chain_wakes;
-        self.peak_in_flight += other.peak_in_flight;
-        self.peak_dm_live += other.peak_dm_live;
-        self.peak_vm_live += other.peak_vm_live;
-        self.peak_ready += other.peak_ready;
-        self.busy_gw += other.busy_gw;
-        self.busy_trs += other.busy_trs;
-        self.busy_dct += other.busy_dct;
-        self.busy_arb += other.busy_arb;
-        self.busy_ts += other.busy_ts;
+        for (_, rule, get, set) in Self::FIELDS {
+            set(self, rule.apply(get(self), get(other)));
+        }
+    }
+
+    /// Accumulates another instance element-wise, summing *every* field,
+    /// peaks included. This is the intra-system convention of
+    /// [`crate::PicosSystem::stats`] — per-TRS/per-DCT peaks within one
+    /// accelerator describe disjoint memories, so their capacities (and
+    /// peaks) add. Use [`Stats::merge`] for cross-system aggregation.
+    pub fn merge_sum(&mut self, other: &Stats) {
+        for (_, _, get, set) in Self::FIELDS {
+            set(self, get(self) + get(other));
+        }
+    }
+
+    /// The registry view of these counters: one metric per field, under
+    /// the shared names and merge rules of [`Stats::FIELDS`]. Peaks become
+    /// gauges (peak-only; the live value is a timeline concern), totals
+    /// become counters.
+    pub fn metric_set(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        for (name, rule, get, _) in Self::FIELDS {
+            match rule {
+                MergeRule::Sum => {
+                    set.counter(name, get(self), MergeRule::Sum);
+                }
+                MergeRule::Max => {
+                    set.gauge(name, get(self), get(self));
+                }
+            }
+        }
+        set
     }
 
     /// Utilization of a unit class over a run of `makespan` cycles,
@@ -94,8 +239,16 @@ mod tests {
         assert_eq!(s.busy_gw, 0);
     }
 
+    fn sample(scale: u64) -> Stats {
+        let mut s = Stats::default();
+        for (i, (_, _, _, set)) in Stats::FIELDS.iter().enumerate() {
+            set(&mut s, (i as u64 + 1) * scale);
+        }
+        s
+    }
+
     #[test]
-    fn merge_sums_everything() {
+    fn merge_sums_totals_and_maxes_peaks() {
         let mut a = Stats {
             tasks_submitted: 1,
             dm_conflicts: 2,
@@ -113,11 +266,47 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.tasks_submitted, 11);
         assert_eq!(a.dm_conflicts, 22);
-        assert_eq!(a.peak_ready, 33);
+        assert_eq!(a.peak_ready, 30, "peaks take the max, never the sum");
         assert_eq!(a.busy_dct, 44);
+    }
+
+    #[test]
+    fn one_shard_merge_is_the_identity() {
+        // The documented invariant: merging a single system's stats into
+        // the zeroed default reproduces them exactly, so a one-shard
+        // cluster reports the single system's counters bit-for-bit.
+        let b = sample(7);
         let mut c = Stats::default();
         c.merge(&b);
-        assert_eq!(c, b, "merging into zero is the identity");
+        assert_eq!(c, b);
+        let mut c = Stats::default();
+        c.merge_sum(&b);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn merge_sum_regression_peaks_add_intra_system() {
+        // Old lossy cross-shard behaviour, now available only under its
+        // honest name: every field sums, peaks included.
+        let mut a = sample(1);
+        a.merge_sum(&sample(2));
+        assert_eq!(a.peak_ready, 3 * 12, "peak_ready is field 12 (1-based)");
+        assert_eq!(a.tasks_submitted, 3);
+    }
+
+    #[test]
+    fn merge_agrees_with_metric_set_merge() {
+        // The struct merge and the registry merge share one rule table;
+        // pin that they cannot drift.
+        let mut a = sample(3);
+        let b = sample(5);
+        let mut view = a.metric_set();
+        view.merge(&b.metric_set());
+        a.merge(&b);
+        for (name, _, get, _) in Stats::FIELDS {
+            assert_eq!(view.value(name), Some(get(&a)), "{name}");
+        }
+        assert_eq!(view.len(), Stats::FIELDS.len());
     }
 
     #[test]

@@ -11,20 +11,16 @@
 //!   by the average number of dependences per task (undefined for
 //!   dependence-free streams, printed as `-` in the paper).
 
+//!
+//! The extraction itself lives in `picos_metrics` and works on *any*
+//! engine's [`ExecReport`] (see [`ExecReport::synthetic_metrics`]); this
+//! module keeps the historical HIL-flavoured entry point that reads the
+//! average dependence count off the trace.
+
 use picos_runtime::ExecReport;
 use picos_trace::Trace;
 
-/// The Table IV metrics of one run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SyntheticMetrics {
-    /// Latency of the first task, in cycles.
-    pub l1st: u64,
-    /// Cycles per additional task.
-    pub thr_task: f64,
-    /// Cycles per additional dependence (`None` when the trace has no
-    /// dependences).
-    pub thr_dep: Option<f64>,
-}
+pub use picos_metrics::SyntheticMetrics;
 
 /// Extracts the Table IV metrics from a run.
 ///
@@ -32,32 +28,7 @@ pub struct SyntheticMetrics {
 ///
 /// Panics if the report is empty.
 pub fn synthetic_metrics(report: &ExecReport, trace: &Trace) -> SyntheticMetrics {
-    assert!(!report.order.is_empty(), "cannot measure an empty run");
-    let mut starts: Vec<u64> = report
-        .order
-        .iter()
-        .map(|&i| report.start[i as usize])
-        .collect();
-    starts.sort_unstable();
-    let l1st = starts[0];
-    let n = starts.len();
-    let thr_task = if n > 1 {
-        (starts[n - 1] - starts[0]) as f64 / (n - 1) as f64
-    } else {
-        0.0
-    };
-    let stats = trace.stats();
-    let avg = stats.avg_deps();
-    let thr_dep = if avg > 0.0 {
-        Some(thr_task / avg)
-    } else {
-        None
-    };
-    SyntheticMetrics {
-        l1st,
-        thr_task,
-        thr_dep,
-    }
+    report.synthetic_metrics(trace.stats().avg_deps())
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 use crate::cost::HilCostModel;
 use crate::pool::{Bus, BusMsg, Workers};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem, SlotRef};
+use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
 use picos_runtime::session::{
     feed_trace, Admission, EventLog, EventLoopCore, Ingest, ScheduleLog, SessionConfig,
     SessionCore, SimEvent,
@@ -162,6 +163,10 @@ pub struct HilSession {
     ingest: Ingest,
     log: ScheduleLog,
     events: EventLog,
+    /// Platform-level telemetry (worker occupancy, bus occupancy); the
+    /// core's own sampler rides inside `sys`. `None` keeps every clock
+    /// move sampling-free.
+    sampler: Option<WindowSampler>,
 }
 
 impl HilSession {
@@ -176,8 +181,18 @@ impl HilSession {
         if cfg.workers == 0 {
             return Err("picos platform needs at least one worker".into());
         }
+        session.validate()?;
+        let mut sys = PicosSystem::new(cfg.picos.clone());
+        let sampler = session.timeline_window.map(|w| {
+            sys.attach_timeline(w);
+            let mut series = vec![SeriesSpec::gauge("workers.busy")];
+            if mode != HilMode::HwOnly {
+                series.push(SeriesSpec::gauge("bus.inflight"));
+            }
+            WindowSampler::new(w, series)
+        });
         Ok(HilSession {
-            sys: PicosSystem::new(cfg.picos.clone()),
+            sys,
             workers: Workers::new(cfg.workers),
             bus: match mode {
                 HilMode::HwOnly => None,
@@ -193,9 +208,19 @@ impl HilSession {
             ingest: Ingest::new(session.window),
             log: ScheduleLog::default(),
             events: EventLog::new(session.collect_events),
+            sampler,
             mode,
             cfg,
         })
+    }
+
+    /// Reads the platform-level probe points (worker occupancy, bus
+    /// occupancy) in the sampler's series order.
+    fn probe_platform(&self, out: &mut [u64]) {
+        out[0] = (self.cfg.workers - self.workers.idle()) as u64;
+        if let Some(bus) = &self.bus {
+            out[1] = bus.in_flight() as u64;
+        }
     }
 
     /// Whether the platform could create admitted task `next_feed` once it
@@ -361,7 +386,21 @@ impl HilSession {
     ///
     /// Returns [`HilError::Stalled`] if work remains that no event will
     /// release (an engine bug).
-    pub fn into_report(mut self) -> Result<(ExecReport, picos_core::Stats), HilError> {
+    pub fn into_report(self) -> Result<(ExecReport, picos_core::Stats), HilError> {
+        self.into_report_full().map(|(r, s, _)| (r, s))
+    }
+
+    /// Like [`HilSession::into_report`], and also returns the run's
+    /// [`Timeline`] when the session was opened with a telemetry window:
+    /// the platform series (`workers.busy`, `bus.inflight`) stitched with
+    /// the core's probe series under the `core.` scope.
+    ///
+    /// # Errors
+    ///
+    /// See [`HilSession::into_report`].
+    pub fn into_report_full(
+        mut self,
+    ) -> Result<(ExecReport, picos_core::Stats, Option<Timeline>), HilError> {
         self.drive_finish();
         let n = self.ingest.admitted;
         let clean = self.log.order.len() == n
@@ -378,10 +417,23 @@ impl HilSession {
             });
         }
         let stats = self.sys.stats();
+        let timeline = match self.sampler.take() {
+            Some(sampler) => {
+                let end = self.t;
+                let platform = sampler.finish(end, |out| self.probe_platform(out));
+                let core = self
+                    .sys
+                    .take_timeline()
+                    .expect("core sampler attached alongside the platform sampler");
+                Some(Timeline::stitch(&[("", &platform), ("core.", &core)]))
+            }
+            None => None,
+        };
         Ok((
             self.log
                 .into_report(self.mode.engine_label(), self.cfg.workers),
             stats,
+            timeline,
         ))
     }
 }
@@ -425,6 +477,14 @@ impl EventLoopCore for HilSession {
     }
 
     fn set_clock(&mut self, t: u64) {
+        // Telemetry boundary crossing: platform state is constant between
+        // pumps, so sampling before the clock moves observes the state
+        // each crossed boundary lived under.
+        if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
+            let mut sampler = self.sampler.take().expect("checked above");
+            sampler.advance(t, |out| self.probe_platform(out));
+            self.sampler = Some(sampler);
+        }
         self.t = t;
     }
 

@@ -41,6 +41,10 @@ pub struct PerfectSession {
     ingest: Ingest,
     log: ScheduleLog,
     events: EventLog,
+    /// Requested telemetry window; the zero-cost scheduler has no live
+    /// units to probe, so its timeline is derived from the finished
+    /// schedule at `finish` time.
+    timeline_window: Option<u64>,
     /// Scratch for [`SoftwareDeps::finish_into`].
     newly: Vec<TaskId>,
 }
@@ -55,6 +59,7 @@ impl PerfectSession {
         if workers == 0 {
             return Err("perfect scheduler needs at least one worker".into());
         }
+        cfg.validate()?;
         Ok(PerfectSession {
             workers,
             idle: workers,
@@ -67,8 +72,14 @@ impl PerfectSession {
             ingest: Ingest::new(cfg.window),
             log: ScheduleLog::default(),
             events: EventLog::new(cfg.collect_events),
+            timeline_window: cfg.timeline_window,
             newly: Vec::new(),
         })
+    }
+
+    /// The telemetry window this session was opened with, if any.
+    pub fn timeline_window(&self) -> Option<u64> {
+        self.timeline_window
     }
 
     /// Hands gate-cleared pending tasks to the dependence tracker and

@@ -1,5 +1,6 @@
 //! Execution reports shared by all execution engines.
 
+use picos_metrics::SyntheticMetrics;
 use picos_trace::{TaskGraph, Trace};
 
 /// The outcome of running a trace on some engine with a worker count.
@@ -32,6 +33,19 @@ impl ExecReport {
         } else {
             self.sequential as f64 / self.makespan as f64
         }
+    }
+
+    /// The paper's Table IV processing-capacity metrics (first-task
+    /// latency, per-task and per-dependence throughput), extracted from
+    /// this schedule. Works on the report of *any* backend — the
+    /// extraction needs only start cycles plus the workload's average
+    /// dependence count (`trace.stats().avg_deps()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report.
+    pub fn synthetic_metrics(&self, avg_deps: f64) -> SyntheticMetrics {
+        picos_metrics::synthetic_metrics(&self.start, avg_deps)
     }
 
     /// Checks the schedule against the ground-truth dataflow graph: every

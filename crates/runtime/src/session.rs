@@ -83,10 +83,17 @@ pub struct SessionConfig {
     /// Whether to record [`SimEvent`]s. Off by default: the batch driver
     /// never drains them, so collecting would grow an unread queue.
     pub collect_events: bool,
+    /// Cycle width of the telemetry sampling windows. `None` (the
+    /// default) attaches no sampler: probe points stay plain field
+    /// increments and the run produces no
+    /// [`Timeline`](picos_metrics::Timeline). Attaching one is
+    /// observation-only — it changes no cycle of the schedule.
+    pub timeline_window: Option<u64>,
 }
 
 impl SessionConfig {
-    /// Batch-equivalent defaults: unbounded window, no event collection.
+    /// Batch-equivalent defaults: unbounded window, no event collection,
+    /// no telemetry sampler.
     pub fn batch() -> Self {
         SessionConfig::default()
     }
@@ -96,8 +103,34 @@ impl SessionConfig {
     pub fn windowed(window: usize) -> Self {
         SessionConfig {
             window: Some(window),
-            collect_events: false,
+            ..SessionConfig::default()
         }
+    }
+
+    /// Batch defaults plus a cycle-windowed telemetry sampler.
+    pub fn timed(timeline_window: u64) -> Self {
+        SessionConfig {
+            timeline_window: Some(timeline_window),
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Sets the telemetry sampling window.
+    pub fn with_timeline(mut self, timeline_window: u64) -> Self {
+        self.timeline_window = Some(timeline_window);
+        self
+    }
+
+    /// Rejects a zero-cycle telemetry window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for a backend configuration error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.timeline_window == Some(0) {
+            return Err("telemetry timeline window must be at least one cycle".into());
+        }
+        Ok(())
     }
 }
 

@@ -146,6 +146,10 @@ pub struct SoftwareSession {
     ingest: Ingest,
     log: ScheduleLog,
     events: EventLog,
+    /// Requested telemetry window; the software model's only occupancy is
+    /// its worker pool, so its timeline is derived from the finished
+    /// schedule at `finish` time.
+    timeline_window: Option<u64>,
     /// Scratch for [`SoftwareDeps::finish_into`].
     newly: Vec<TaskId>,
 }
@@ -166,6 +170,7 @@ impl SoftwareSession {
                 "a single thread must execute tasks (enable master_executes)".into(),
             ));
         }
+        session.validate().map_err(SwError::Config)?;
         Ok(SoftwareSession {
             cfg,
             deps: SoftwareDeps::new(0),
@@ -185,8 +190,14 @@ impl SoftwareSession {
             ingest: Ingest::new(session.window),
             log: ScheduleLog::default(),
             events: EventLog::new(session.collect_events),
+            timeline_window: session.timeline_window,
             newly: Vec::new(),
         })
+    }
+
+    /// The telemetry window this session was opened with, if any.
+    pub fn timeline_window(&self) -> Option<u64> {
+        self.timeline_window
     }
 
     fn push_ev(&mut self, t: u64, ev: Ev) {

@@ -50,6 +50,7 @@ pub use picos_backend as backend;
 pub use picos_cluster as cluster;
 pub use picos_core as core;
 pub use picos_hil as hil;
+pub use picos_metrics as metrics;
 pub use picos_resources as resources;
 pub use picos_runtime as runtime;
 pub use picos_trace as trace;
@@ -57,10 +58,13 @@ pub use picos_trace as trace;
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
     pub use picos_backend::{
-        feed_trace, run_paced, Admission, ArrivalTrace, BackendBuilder, BackendError, BackendSpec,
-        ClusterBackend, ExecBackend, PaceReport, PacedTask, PacedTrace, SessionConfig, SessionCore,
-        SimEvent, SimSession, Sweep, SweepResult, SweepRow, Workload,
+        feed_trace, run_paced, run_paced_with_telemetry, Admission, ArrivalTrace, BackendBuilder,
+        BackendError, BackendSpec, ClusterBackend, ExecBackend, PaceReport, PacedTask, PacedTrace,
+        SessionConfig, SessionCore, SessionOutput, SimEvent, SimSession, Sweep, SweepResult,
+        SweepRow, Workload,
     };
+    // `SyntheticMetrics` / `synthetic_metrics` come in through `picos_hil`
+    // above (the HIL-flavoured wrapper re-exports the metrics-crate type).
     pub use picos_cluster::{
         home_shard, merged_stats, run_cluster, run_cluster_with_stats, ClusterConfig, ClusterError,
         ShardPolicy,
@@ -70,7 +74,10 @@ pub mod prelude {
     };
     pub use picos_hil::{
         run_hil, run_hil_with_stats, synthetic_metrics, HilConfig, HilCostModel, HilError, HilMode,
-        Link, LinkModel, Workers,
+        Link, LinkModel, SyntheticMetrics, Workers,
+    };
+    pub use picos_metrics::{
+        MergeRule, Metric, MetricSet, MetricValue, SeriesKind, SeriesSpec, Timeline, WindowSampler,
     };
     pub use picos_resources::{full_picos_resources, table3, ResourceEstimate, XC7Z020};
     pub use picos_runtime::{
