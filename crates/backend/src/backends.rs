@@ -387,6 +387,7 @@ impl BackendSpec {
             picos: None,
             link: None,
             policy: None,
+            threads: None,
         }
     }
 
@@ -426,6 +427,7 @@ pub struct BackendBuilder {
     picos: Option<PicosConfig>,
     link: Option<LinkModel>,
     policy: Option<ShardPolicy>,
+    threads: Option<usize>,
 }
 
 impl BackendBuilder {
@@ -447,6 +449,15 @@ impl BackendBuilder {
     /// default).
     pub fn policy(mut self, policy: Option<ShardPolicy>) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the cluster family's simulation thread count (`None` or `1`
+    /// keeps the serial reference engine; values above one drive the
+    /// shards with the conservative-parallel epoch engine, bit-identical
+    /// to serial). Rejected at construction if it exceeds the shard count.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -475,6 +486,9 @@ impl BackendBuilder {
                 }
                 if let Some(policy) = self.policy {
                     cfg.policy = policy;
+                }
+                if let Some(threads) = self.threads {
+                    cfg.threads = threads;
                 }
                 Box::new(ClusterBackend { cfg })
             }
@@ -613,6 +627,44 @@ mod tests {
             .builder(4)
             .link(Some(slow))
             .policy(Some(ShardPolicy::RoundRobin))
+            .build()
+            .run(&tr)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_threads_knob_is_bit_identical_and_validated() {
+        let tr = gen::stream(gen::StreamConfig::heavy(400));
+        let serial = BackendSpec::Cluster(4)
+            .builder(8)
+            .build()
+            .run_with_stats(&tr)
+            .unwrap();
+        let parallel = BackendSpec::Cluster(4)
+            .builder(8)
+            .threads(Some(4))
+            .build()
+            .run_with_stats(&tr)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        // threads > shards is a configuration error, surfaced at open.
+        let err = BackendSpec::Cluster(2)
+            .builder(8)
+            .threads(Some(3))
+            .build()
+            .run(&tr)
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("3 simulation threads exceed 2 shards"),
+            "unhelpful error: {err}"
+        );
+        // Non-cluster families ignore the knob.
+        let a = BackendSpec::Perfect.builder(4).build().run(&tr).unwrap();
+        let b = BackendSpec::Perfect
+            .builder(4)
+            .threads(Some(64))
             .build()
             .run(&tr)
             .unwrap();

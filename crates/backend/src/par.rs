@@ -6,9 +6,16 @@
 //! written back into its item's slot. Output order therefore equals input
 //! order regardless of thread count or scheduling — the property the
 //! sweep determinism guarantee rests on.
+//!
+//! Result slots are write-once `Option<R>` cells behind a
+//! [`DisjointSlice`] (see `picos_runtime::par`), not `Mutex<Option<R>>`:
+//! the cursor already guarantees each index is claimed by exactly one
+//! thread, so the per-item lock/unlock round trip was pure churn on
+//! sweeps with many tiny cells. The same primitive backs the cluster's
+//! epoch-parallel shard lanes.
 
+use picos_runtime::par::DisjointSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item, using up to `threads` OS threads, and
 /// returns the results in input order.
@@ -30,7 +37,12 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // `Option<R>` (not bare `MaybeUninit<R>`) keeps the unwind path clean:
+    // if a worker panics, the slots vector still drops every result that
+    // was already written.
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let slots = DisjointSlice::new(&mut out);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -38,7 +50,10 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let r = f(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                // SAFETY: the cursor hands index `i` to exactly one
+                // thread, so no other thread touches this slot; the
+                // scoped join below publishes the write to the caller.
+                unsafe { *slots.get(i) = Some(r) };
             }));
         }
         for h in handles {
@@ -47,26 +62,20 @@ where
             }
         }
     });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index visited exactly once")
-        })
+    out.into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
         .collect()
 }
 
 /// The default worker-thread count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1)
+    picos_runtime::par::available_threads()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn preserves_input_order() {
@@ -104,6 +113,18 @@ mod tests {
             ids.into_inner().unwrap().len() > 1,
             "expected >1 worker thread"
         );
+    }
+
+    #[test]
+    fn results_with_heap_allocations_survive() {
+        // The write-once slots must move owned values intact across the
+        // thread boundary (this used to go through a Mutex).
+        let items: Vec<u32> = (0..50).collect();
+        let out = par_map(&items, 4, |i, &x| vec![x; i % 3 + 1]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 3 + 1);
+            assert!(v.iter().all(|&x| x == i as u32));
+        }
     }
 
     #[test]

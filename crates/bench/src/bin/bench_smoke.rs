@@ -3,10 +3,11 @@
 //! Runs the `engine_throughput` workload (bare engine, instant workers),
 //! the batch backend path (now session-driven), the paced streaming
 //! driver at saturation, the `sweep_throughput` grid, and a
-//! cluster-backend grid in a short fixed sampling window and emits
-//! `BENCH_engine.json` with tasks/sec and cells/sec, alongside the pinned
-//! pre-rewrite baseline, so the perf trajectory of the event core — and
-//! of the session API from its first day — is tracked across PRs.
+//! cluster-backend grid, and the serial-vs-parallel cluster engine A/B
+//! in a short fixed sampling window and emits `BENCH_engine.json` with
+//! tasks/sec and cells/sec, alongside the pinned pre-rewrite baseline,
+//! so the perf trajectory of the event core — and of the session API
+//! from its first day — is tracked across PRs.
 //!
 //! CI guard: the batch `ExecBackend::run` path is a default method over a
 //! streaming session since the SimSession redesign; this binary exits
@@ -150,6 +151,49 @@ fn main() {
     });
     let cluster_cells_per_sec = cluster_runs_per_sec * cluster_cells;
 
+    // Serial vs parallel cluster engine at 4 shards on the same stream
+    // workload, interleaved A/B within one window so host noise hits both
+    // sides equally. The parallel engine is bit-identical to serial, so
+    // this measures pure wall-clock: the epoch engine's O(events)
+    // processing against the serial driver's O(shards)-per-event pump
+    // scans, plus real threads when the host has cores to give (the
+    // thread count clamps to available parallelism, so single-core CI
+    // runners measure the inline epoch engine).
+    let stream4 = gen::stream(gen::StreamConfig::heavy(800));
+    let cluster_at = |threads: usize| {
+        BackendSpec::Cluster(4)
+            .builder(8)
+            .picos(&PicosConfig::balanced())
+            .threads(Some(threads))
+            .build()
+    };
+    let serial4 = cluster_at(1);
+    let par4 = cluster_at(4);
+    let serial_makespan = serial4.run(&stream4).expect("serial cluster completes");
+    let par_makespan = par4.run(&stream4).expect("parallel cluster completes");
+    assert_eq!(
+        serial_makespan, par_makespan,
+        "parallel cluster engine must be bit-identical to serial"
+    );
+    let mut serial_par = [0.0f64; 2];
+    {
+        let mut spent = [Duration::ZERO; 2];
+        let mut iters = [0u64; 2];
+        let start = Instant::now();
+        while start.elapsed() < window * 2 || iters[1] == 0 {
+            for (side, backend) in [(0, &serial4), (1, &par4)] {
+                let t0 = Instant::now();
+                std::hint::black_box(backend.run(&stream4).expect("cluster run completes"));
+                spent[side] += t0.elapsed();
+                iters[side] += 1;
+            }
+        }
+        for side in 0..2 {
+            serial_par[side] = iters[side] as f64 / spent[side].as_secs_f64();
+        }
+    }
+    let [cluster_serial4_cells_per_sec, cluster_par_cells_per_sec] = serial_par;
+
     let json = format!(
         "{{\n  \"workload\": \"sparselu128\",\n  \"tasks\": {},\n  \
          \"baseline_tasks_per_sec\": {:.0},\n  \
@@ -163,7 +207,9 @@ fn main() {
          \"batch_tasks_per_sec\": {:.0},\n  \
          \"session_tasks_per_sec\": {:.0},\n  \"sweep_cells\": {},\n  \
          \"sweep_cells_per_sec\": {:.1},\n  \"cluster_cells\": {},\n  \
-         \"cluster_cells_per_sec\": {:.1}\n}}\n",
+         \"cluster_cells_per_sec\": {:.1},\n  \
+         \"cluster_serial4_cells_per_sec\": {:.1},\n  \
+         \"cluster_par_cells_per_sec\": {:.1}\n}}\n",
         tasks as u64,
         BASELINE_TASKS_PER_SEC,
         tasks_per_sec,
@@ -175,7 +221,9 @@ fn main() {
         cells as u64,
         cells_per_sec,
         cluster_cells as u64,
-        cluster_cells_per_sec
+        cluster_cells_per_sec,
+        cluster_serial4_cells_per_sec,
+        cluster_par_cells_per_sec
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
@@ -201,6 +249,19 @@ fn main() {
             "FAIL: coarse-window timeline run {metrics_timeline_tasks_per_sec:.0} \
              tasks/s fell more than 10% below the probes-only \
              {metrics_off_tasks_per_sec:.0} tasks/s"
+        );
+        std::process::exit(1);
+    }
+    // CI assertion: the parallel cluster engine must never be slower than
+    // the serial reference (5% sampling-noise allowance; measured >= 1.7x
+    // faster even single-core, where the win is the epoch engine's
+    // O(events) processing replacing the serial driver's per-event shard
+    // scans — multi-core runners add near-linear thread speedup on top).
+    if cluster_par_cells_per_sec < cluster_serial4_cells_per_sec * 0.95 {
+        eprintln!(
+            "FAIL: parallel 4-shard cluster {cluster_par_cells_per_sec:.1} \
+             cells/s fell below the serial engine's \
+             {cluster_serial4_cells_per_sec:.1} cells/s"
         );
         std::process::exit(1);
     }

@@ -86,6 +86,8 @@ commands:
        options: --dm <8way|16way|p8way>  --ts <fifo|lifo>  --instances <n>
        cluster: --shards <n>  --policy <addr-hash|round-robin|locality>
                 --link-latency <c> --link-occupancy <c> --link-width <w>
+                --threads <n> parallel simulation threads (bit-identical
+                to serial; needs threads <= shards)
                 (--backend is accepted as an alias for --engine)
        paced:   --paced <interarrival-cycles> [--window <in-flight cap>]
                 open-loop streaming session; prints offered vs achieved
@@ -96,6 +98,9 @@ commands:
   sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
        [--threads <n>] [--out results.csv]      cells run in parallel
        [--shards <n>] [--link-latency <c>]      (cluster cells)
+       [--cluster-threads <n>]                  parallel cluster engine,
+                                                capped at each cell's
+                                                shard count
        [--timeline <w>]                         per-cell telemetry; with
                                                 --out also writes
                                                 <out>.timeline.csv

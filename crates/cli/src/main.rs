@@ -198,10 +198,16 @@ fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
     let engine = engine_name(a)?;
     let workers = a.opt("workers", 12usize)?;
     let shards = a.opt("shards", 1usize)?;
+    let threads = a.opt("threads", 1usize)?;
     let spec = BackendSpec::parse(&engine)
         .ok_or_else(|| format!("unknown engine {engine}\n{}", usage()))?;
     if shards > 1 && !matches!(spec, BackendSpec::Cluster(_)) {
         return Err("--shards only applies to the cluster backend".into());
+    }
+    if threads > 1 && !matches!(spec, BackendSpec::Cluster(_)) {
+        return Err("--threads only applies to the cluster backend \
+                    (other engines have no parallel simulation engine)"
+            .into());
     }
     let spec = match spec {
         BackendSpec::Cluster(_) => BackendSpec::Cluster(shards),
@@ -218,6 +224,7 @@ fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
         .picos(&picos_config(a)?)
         .link(Some(link_model(a)?))
         .policy(policy)
+        .threads(Some(threads))
         .build())
 }
 
@@ -386,6 +393,9 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         .filter(|c| c.workers >= c.shards);
     if let Some(threads) = a.options.get("threads") {
         sweep = sweep.threads(threads.parse().map_err(|_| "invalid --threads")?);
+    }
+    if let Some(ct) = a.options.get("cluster-threads") {
+        sweep = sweep.cluster_threads(ct.parse().map_err(|_| "invalid --cluster-threads")?);
     }
     if let Some(w) = opt_u64(a, "timeline")? {
         sweep = sweep.timeline(w);

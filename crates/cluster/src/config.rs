@@ -95,6 +95,12 @@ pub struct ClusterConfig {
     /// platform's HW-only dispatch so a one-shard cluster is
     /// cycle-identical to `HilMode::HwOnly`.
     pub dispatch: u64,
+    /// Simulation threads for the conservative-parallel event engine
+    /// (default `1` = the serial reference engine). Values above one run
+    /// shard lanes on scoped OS threads, bit-identical to serial; at most
+    /// one thread per shard is ever useful, so `threads > shards` is
+    /// rejected by [`ClusterConfig::validate`].
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -108,7 +114,15 @@ impl ClusterConfig {
             workers,
             link: LinkModel::interconnect(),
             dispatch: HilCostModel::default().dispatch,
+            threads: 1,
         }
+    }
+
+    /// The same cluster simulated by `threads` OS threads (see
+    /// [`ClusterConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Workers assigned to shard `s` (even split, earlier shards take the
@@ -124,7 +138,8 @@ impl ClusterConfig {
     ///
     /// Returns a message describing the first violated constraint: at
     /// least one shard, at most 4096 (result files use small ids), at
-    /// least one worker per shard, and a valid per-shard core config.
+    /// least one worker per shard, at least one and at most one simulation
+    /// thread per shard, and a valid per-shard core config.
     pub fn validate(&self) -> Result<(), String> {
         if self.shards == 0 {
             return Err("cluster needs at least one shard".into());
@@ -137,6 +152,17 @@ impl ClusterConfig {
                 "{} workers cannot cover {} shards (each shard executes \
                  its placed tasks and needs at least one worker)",
                 self.workers, self.shards
+            ));
+        }
+        if self.threads == 0 {
+            return Err("cluster needs at least one simulation thread".into());
+        }
+        if self.threads > self.shards {
+            return Err(format!(
+                "{} simulation threads exceed {} shards (each thread drives \
+                 whole shard lanes, so extra threads could never be used; \
+                 pass threads <= shards)",
+                self.threads, self.shards
             ));
         }
         self.picos.validate()
@@ -230,6 +256,26 @@ mod tests {
         let mut cfg = ClusterConfig::balanced(2, 4);
         cfg.picos.tm_entries = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_simulation_threads() {
+        assert!(ClusterConfig::balanced(4, 8)
+            .with_threads(4)
+            .validate()
+            .is_ok());
+        assert!(ClusterConfig::balanced(4, 8)
+            .with_threads(0)
+            .validate()
+            .is_err());
+        let err = ClusterConfig::balanced(4, 8)
+            .with_threads(5)
+            .validate()
+            .unwrap_err();
+        assert!(
+            err.contains("5 simulation threads exceed 4 shards"),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! With one shard, steps 2 and 4's remote halves never fire and the loop
 //! is statement-for-statement the HW-only driver: cycle-identical.
 
+mod par_drive;
+
 use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
 use picos_core::{FinishedReq, PicosSystem, SlotRef, Stats};
 use picos_hil::Link;
@@ -278,7 +280,13 @@ impl ClusterSession {
     pub fn into_report_full(
         mut self,
     ) -> Result<(ExecReport, Vec<Stats>, Option<Timeline>), ClusterError> {
-        self.drive_finish();
+        if self.par_eligible() {
+            // Unbounded drive: the epoch engine stops when every lane is
+            // quiescent, exactly where drive_finish would.
+            self.drive_events_par(u64::MAX);
+        } else {
+            self.drive_finish();
+        }
         let n = self.ingest.admitted;
         let clean = self.log.order.len() == n
             && self.sys.iter().all(|s| s.in_flight() == 0)
@@ -542,7 +550,16 @@ impl SessionCore for ClusterSession {
     }
 
     fn advance_to(&mut self, cycle: u64) {
-        self.drive_to(cycle);
+        if self.par_eligible() {
+            self.drive_events_par(cycle);
+            // The serial drive's trailing jump: land exactly on `cycle`.
+            if cycle > self.t {
+                self.set_clock(cycle);
+                self.on_clock_jump();
+            }
+        } else {
+            self.drive_to(cycle);
+        }
     }
 
     fn step(&mut self) -> bool {
@@ -792,6 +809,121 @@ mod tests {
             .count();
         assert!(shard_msgs > 0, "a 4-shard run must cross the interconnect");
         assert_eq!(starts, n, "every task start must be reported");
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial() {
+        let tr = gen::stream(gen::StreamConfig::heavy(600));
+        for shards in [2usize, 4] {
+            let serial = run_cluster_with_stats(&tr, &ClusterConfig::balanced(shards, 16)).unwrap();
+            for threads in 2..=shards {
+                let cfg = ClusterConfig::balanced(shards, 16).with_threads(threads);
+                let par = run_cluster_with_stats(&tr, &cfg).unwrap();
+                assert_eq!(serial, par, "{shards} shards, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_epoch_loop_matches_inline() {
+        // Force real OS threads past the available-parallelism cap so the
+        // barrier/coordinator path runs even on a one-core machine. The
+        // variable is process-global, but its only effect is choosing the
+        // threaded loop, which is result-identical by design.
+        std::env::set_var("PICOS_CLUSTER_FORCE_THREADS", "1");
+        let tr = gen::stream(gen::StreamConfig::heavy(400));
+        let serial = run_cluster_with_stats(&tr, &ClusterConfig::balanced(4, 12)).unwrap();
+        for threads in [2usize, 4] {
+            let cfg = ClusterConfig::balanced(4, 12).with_threads(threads);
+            let par = run_cluster_with_stats(&tr, &cfg).unwrap();
+            assert_eq!(serial, par, "{threads} forced threads");
+        }
+        std::env::remove_var("PICOS_CLUSTER_FORCE_THREADS");
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_event_stream() {
+        let tr = gen::stream(gen::StreamConfig::heavy(300));
+        let collect = |threads: usize| {
+            let cfg = ClusterConfig::balanced(4, 12).with_threads(threads);
+            let mut s = ClusterSession::new(
+                cfg,
+                SessionConfig {
+                    collect_events: true,
+                    ..SessionConfig::batch()
+                },
+            )
+            .unwrap();
+            feed_trace(&mut s, &tr).unwrap();
+            s.advance_to(u64::MAX / 2);
+            let mut events = Vec::new();
+            s.drain_events(&mut events);
+            (events, s.into_report().unwrap())
+        };
+        let (serial_events, serial_report) = collect(1);
+        let (par_events, par_report) = collect(4);
+        assert_eq!(serial_report, par_report);
+        assert_eq!(
+            serial_events, par_events,
+            "the merged event stream must reproduce serial order"
+        );
+    }
+
+    #[test]
+    fn parallel_engine_respects_taskwait_gates() {
+        // Gated creation keeps the Distributor live mid-run, so the drive
+        // must fall back to serial pumping until each gate clears.
+        let mut tr = Trace::new("barriered");
+        let kc = picos_trace::KernelClass::GENERIC;
+        for i in 0..40u64 {
+            tr.push(kc, [Dependence::inout(0x1000 + (i % 11) * 0x40)], 60);
+        }
+        tr.push_taskwait();
+        for i in 0..40u64 {
+            tr.push(kc, [Dependence::inout(0x9000 + (i % 7) * 0x40)], 45);
+        }
+        let serial = run_cluster_with_stats(&tr, &ClusterConfig::balanced(4, 8)).unwrap();
+        let par =
+            run_cluster_with_stats(&tr, &ClusterConfig::balanced(4, 8).with_threads(4)).unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_windowed_session_matches_serial() {
+        let tr = gen::stream(gen::StreamConfig::heavy(300));
+        let drive = |threads: usize| {
+            let cfg = ClusterConfig::balanced(2, 8).with_threads(threads);
+            let mut s = ClusterSession::new(cfg, SessionConfig::windowed(16)).unwrap();
+            for task in tr.iter() {
+                loop {
+                    match s.submit(task) {
+                        Admission::Accepted => break,
+                        Admission::Backpressured => assert!(s.step(), "blocked session drains"),
+                    }
+                }
+            }
+            s.into_report().unwrap()
+        };
+        assert_eq!(drive(1), drive(2));
+    }
+
+    #[test]
+    fn timed_sessions_fall_back_to_the_serial_engine() {
+        // The cluster sampler probes global state, so timed runs are
+        // serial regardless of the thread knob — and therefore identical.
+        let tr = gen::stream(gen::StreamConfig::heavy(200));
+        let run_timed = |threads: usize| {
+            let cfg = ClusterConfig::balanced(4, 8).with_threads(threads);
+            let mut s = ClusterSession::new(cfg, SessionConfig::timed(512)).unwrap();
+            feed_trace(&mut s, &tr).unwrap();
+            s.into_report_full().unwrap()
+        };
+        let (sr, ss, stl) = run_timed(1);
+        let (pr, ps, ptl) = run_timed(4);
+        assert_eq!(sr, pr);
+        assert_eq!(ss, ps);
+        let (stl, ptl) = (stl.expect("timed"), ptl.expect("timed"));
+        assert_eq!(stl, ptl, "attached timelines must match bit-for-bit");
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Conservative (Chandy–Misra–Bryant-style) parallel event engine for the
+//! cluster: shard *lanes* driven by scoped OS threads, with the
+//! interconnect's delivery cost as lookahead and an epoch barrier instead
+//! of null messages.
+//!
+//! # Why this is safe — and bit-identical to the serial pump
+//!
+//! Every cross-shard interaction travels over a [`Link`], and
+//! `Link::send_words` delivers no earlier than
+//! `t + occupancy + latency` (one flit minimum occupies the link for
+//! `occupancy`, then the message ages `latency`). That sum is the engine's
+//! **lookahead** `L`: inside a window `[T, T + L)` no shard can observe
+//! anything another shard does within the same window, so each lane may
+//! simulate its own events in the window with no synchronization at all.
+//! Cross-shard sends are buffered in a per-lane **outbox** — the
+//! single-producer message window replacing the serially-pumped link
+//! writes — and replayed into the destination links by the coordinator at
+//! the epoch barrier.
+//!
+//! Bit-identity with the serial engine comes from replaying those sends in
+//! exactly the order the serial pump would have issued them. At one event
+//! time the serial pump runs its phases over shards `0..k` in a fixed
+//! order, and re-runs the whole pump ("rounds") while zero-cost cascades
+//! keep producing same-time work, so the serial send order into any link
+//! is precisely the lexicographic key
+//! `(time, round, phase, sender shard, per-lane sequence)`. Each lane
+//! stamps that key on everything it emits; the coordinator sorts and
+//! replays, which also reproduces the link's internal `free_at`/sequence
+//! evolution — and therefore every future delivery time — bit-for-bit.
+//! Schedule-log order and the event stream are merged under the same keys.
+//! Same-time rounds are lane-local by construction (a lane's round `r`
+//! work can only be caused by its own round `r - 1` work, since everything
+//! remote is at least `L` away), so per-lane round counters agree with the
+//! serial pump's global ones.
+//!
+//! Epoch start times jump to the global minimum next event (idle gaps cost
+//! nothing), and the epoch ends `L` after it, so every buffered send
+//! delivers strictly beyond the epoch — the merge can never deliver into
+//! the past, and each epoch makes strict progress (deadlock freedom
+//! without null messages).
+//!
+//! The shard lanes live in a [`DisjointSlice`]: each worker thread owns
+//! its contiguous lane chunk during an epoch's compute phase, and the
+//! coordinator owns all lanes between the two barrier waits that delimit
+//! it. Per-task readiness state (`frag_ready`, `local_popped`,
+//! `local_slot`) is only ever touched by the task's *placement* shard —
+//! readiness notices travel to the placement shard, and local pops happen
+//! there — so those arrays ride in `DisjointSlice`s under the same
+//! contract with task-granular ownership.
+//!
+//! The engine is *observationally* identical for any thread count
+//! (including the inline path used when only one core is available),
+//! because lane scheduling never influences what a lane computes — only
+//! the merge order does, and that is sorted.
+
+use super::{min_next, ClusterMsg, ClusterSession};
+use picos_core::{FinishedReq, PicosSystem, SlotRef};
+use picos_hil::Link;
+use picos_runtime::par::{available_threads, DisjointSlice, PhaseCell, SpinBarrier};
+use picos_runtime::session::{EventLog, EventLoopCore, ScheduleLog, SimEvent};
+use picos_trace::{Dependence, TaskId};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Pump-phase tags, in serial pump order at one event time: worker
+/// completions (`Finish` sends, `TaskFinished` events) come before
+/// execution (`Ready` sends, `TaskStarted` events). Deliveries and ingress
+/// sit between but emit nothing, so two tags suffice.
+const PH_FINISH: u8 = 0;
+const PH_EXEC: u8 = 1;
+
+/// A buffered cross-shard send, replayed at the epoch barrier.
+struct OutMsg {
+    t: u64,
+    round: u32,
+    phase: u8,
+    src: u16,
+    dest: u16,
+    seq: u32,
+    words: u32,
+    msg: ClusterMsg,
+}
+
+/// A task start recorded by a lane, merged into the global schedule log.
+struct StartRec {
+    t: u64,
+    round: u32,
+    lane: u16,
+    seq: u32,
+    task: u32,
+    start: u64,
+    dur: u64,
+}
+
+/// A simulation event recorded by a lane, merged into the global stream.
+struct EvRec {
+    t: u64,
+    round: u32,
+    phase: u8,
+    lane: u16,
+    seq: u32,
+    ev: SimEvent,
+}
+
+/// One task's remote registrations: `(home shard, fragment)` pairs.
+type RemoteFrags = Vec<(u16, Arc<[Dependence]>)>;
+
+/// Read-only plan data plus the placement-owned per-task state, shared by
+/// every lane during an epoch.
+struct World<'a> {
+    placement: &'a [u16],
+    remote: &'a [RemoteFrags],
+    frag_total: &'a [u8],
+    durs: &'a [u64],
+    frag_ready: DisjointSlice<'a, u8>,
+    local_popped: DisjointSlice<'a, bool>,
+    local_slot: DisjointSlice<'a, SlotRef>,
+    dispatch: u64,
+    collect_events: bool,
+}
+
+/// One shard's private simulation state: exactly the per-shard columns of
+/// [`ClusterSession`], plus the epoch buffers.
+struct Lane {
+    id: u16,
+    sys: PicosSystem,
+    workers: picos_hil::Workers,
+    link: Link<ClusterMsg>,
+    expected: VecDeque<u32>,
+    arrived: HashMap<u32, Arc<[Dependence]>>,
+    slot_at: HashMap<u32, SlotRef>,
+    exec_q: VecDeque<u32>,
+    outbox: Vec<OutMsg>,
+    starts: Vec<StartRec>,
+    events: Vec<EvRec>,
+    /// Completions this epoch (summed into `Ingest::finished` at merge).
+    finished: usize,
+    /// Last local event time processed (the global clock is their max).
+    now: u64,
+    /// Per-epoch emission counter behind every record's `seq`.
+    seq: u32,
+}
+
+/// The coordinator's exclusive borrows of the session's global state,
+/// plus reusable merge scratch.
+struct MergeState<'a> {
+    log: &'a mut ScheduleLog,
+    events: &'a mut EventLog,
+    link_sent: &'a mut [u64],
+    finished: &'a mut usize,
+    clock: &'a mut u64,
+    sends: Vec<OutMsg>,
+    starts: Vec<StartRec>,
+    evs: Vec<EvRec>,
+}
+
+/// Epoch control block, written by the coordinator between barriers.
+#[derive(Clone, Copy, Default)]
+struct Ctl {
+    end: u64,
+    done: bool,
+}
+
+impl Lane {
+    fn next_time(&self) -> Option<u64> {
+        min_next([
+            self.sys.next_event_time(),
+            self.workers.next_done(),
+            self.link.next_delivery(),
+        ])
+    }
+
+    /// Simulates every local event strictly before `end`.
+    fn run_epoch(&mut self, end: u64, w: &World<'_>) {
+        self.seq = 0;
+        let mut cur = u64::MAX;
+        let mut round = 0u32;
+        while let Some(t) = self.next_time() {
+            if t >= end {
+                break;
+            }
+            round = if t == cur { round + 1 } else { 0 };
+            cur = t;
+            self.pump_at(t, round, w);
+        }
+    }
+
+    fn out(&mut self, t: u64, round: u32, phase: u8, dest: u16, words: usize, msg: ClusterMsg) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.outbox.push(OutMsg {
+            t,
+            round,
+            phase,
+            src: self.id,
+            dest,
+            seq,
+            words: words as u32,
+            msg,
+        });
+    }
+
+    fn event(&mut self, t: u64, round: u32, phase: u8, ev: SimEvent, w: &World<'_>) {
+        if !w.collect_events {
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(EvRec {
+            t,
+            round,
+            phase,
+            lane: self.id,
+            seq,
+            ev,
+        });
+    }
+
+    fn start_task(&mut self, t: u64, round: u32, task: u32, slot: SlotRef, w: &World<'_>) {
+        let start = t + w.dispatch;
+        let dur = w.durs[task as usize];
+        let seq = self.seq;
+        self.seq += 1;
+        self.starts.push(StartRec {
+            t,
+            round,
+            lane: self.id,
+            seq,
+            task,
+            start,
+            dur,
+        });
+        self.event(
+            t,
+            round,
+            PH_EXEC,
+            SimEvent::TaskStarted { task, at: start },
+            w,
+        );
+        self.workers.start(start + dur, task, slot);
+    }
+
+    /// The serial pump body restricted to this shard, at one of its own
+    /// event times — minus the Distributor (drained before epochs begin),
+    /// with cross-shard sends buffered instead of sent. Phase structure
+    /// and within-phase statement order mirror `ClusterSession::pump`
+    /// exactly; keep the two in lockstep.
+    fn pump_at(&mut self, t: u64, round: u32, w: &World<'_>) {
+        self.now = t;
+        self.sys.advance_to(t);
+        let mut touched = false;
+        let s = self.id;
+        // Worker completions: notify the local shard now, remote fragment
+        // shards at the barrier.
+        while let Some((task, slot)) = self.workers.pop_done_at(t) {
+            self.sys.notify_finished(FinishedReq {
+                task: TaskId::new(task),
+                slot,
+            });
+            for ri in 0..w.remote[task as usize].len() {
+                let r = w.remote[task as usize][ri].0;
+                self.out(t, round, PH_FINISH, r, 1, ClusterMsg::Finish { task });
+                self.event(
+                    t,
+                    round,
+                    PH_FINISH,
+                    SimEvent::ShardMsg {
+                        from: s,
+                        to: r,
+                        at: t,
+                    },
+                    w,
+                );
+            }
+            self.finished += 1;
+            self.event(
+                t,
+                round,
+                PH_FINISH,
+                SimEvent::TaskFinished { task, at: t },
+                w,
+            );
+            touched = true;
+        }
+        // Interconnect deliveries (sent at least one epoch ago).
+        while let Some(msg) = self.link.pop_delivery_at(t) {
+            match msg {
+                ClusterMsg::Register { task, deps } => {
+                    self.arrived.insert(task, deps);
+                }
+                ClusterMsg::Ready { task } => {
+                    let ti = task as usize;
+                    // SAFETY: `Ready` travels to the placement shard, and
+                    // every per-task readiness cell is owned by the task's
+                    // placement lane — this one.
+                    let ready = unsafe { w.frag_ready.get(ti) };
+                    *ready += 1;
+                    if *ready == w.frag_total[ti] {
+                        debug_assert!(
+                            // SAFETY: placement-lane-owned, as above.
+                            unsafe { *w.local_popped.get(ti) },
+                            "local pop counts toward the total"
+                        );
+                        self.exec_q.push_back(task);
+                    }
+                }
+                ClusterMsg::Finish { task } => {
+                    let slot = self
+                        .slot_at
+                        .remove(&task)
+                        .expect("remote fragment popped before its task ran");
+                    self.sys.notify_finished(FinishedReq {
+                        task: TaskId::new(task),
+                        slot,
+                    });
+                    touched = true;
+                }
+            }
+        }
+        // Ingress: feed the Gateway in creation order.
+        while let Some(&head) = self.expected.front() {
+            let Some(deps) = self.arrived.remove(&head) else {
+                break;
+            };
+            self.sys.submit(TaskId::new(head), deps);
+            self.expected.pop_front();
+            touched = true;
+        }
+        if touched {
+            self.sys.advance_to(t);
+        }
+        // Execution: first the tasks whose last remote notice arrived
+        // earlier, then the shard's ready stream.
+        while self.workers.idle() > 0 {
+            let Some(&task) = self.exec_q.front() else {
+                break;
+            };
+            self.exec_q.pop_front();
+            // SAFETY: placement-lane-owned (the task executes here).
+            let slot = unsafe { *w.local_slot.get(task as usize) };
+            self.start_task(t, round, task, slot, w);
+        }
+        while let Some(rt) = self.sys.peek_ready() {
+            let task = rt.task.raw();
+            let ti = task as usize;
+            if w.placement[ti] != s {
+                // A remote fragment: consume it and wake the placement
+                // shard at the barrier.
+                let rt = self.sys.pop_ready().expect("peeked");
+                self.slot_at.insert(task, rt.slot);
+                let p = w.placement[ti];
+                self.out(t, round, PH_EXEC, p, 1, ClusterMsg::Ready { task });
+                self.event(
+                    t,
+                    round,
+                    PH_EXEC,
+                    SimEvent::ShardMsg {
+                        from: s,
+                        to: p,
+                        at: t,
+                    },
+                    w,
+                );
+                continue;
+            }
+            // SAFETY (all three cells): placement-lane-owned.
+            let ready_now = unsafe { *w.frag_ready.get(ti) };
+            if ready_now + 1 == w.frag_total[ti] {
+                // Popping the local fragment completes readiness: take it
+                // only when a worker can start it (the single-Picos TS
+                // discipline — otherwise it waits in the TS buffer).
+                if self.workers.idle() == 0 {
+                    break;
+                }
+                let rt = self.sys.pop_ready().expect("peeked");
+                unsafe {
+                    *w.local_slot.get(ti) = rt.slot;
+                    *w.local_popped.get(ti) = true;
+                    *w.frag_ready.get(ti) += 1;
+                }
+                self.start_task(t, round, task, rt.slot, w);
+            } else {
+                // Remote notices outstanding: park the fragment so it
+                // cannot head-of-line-block tasks queued behind it.
+                let rt = self.sys.pop_ready().expect("peeked");
+                unsafe {
+                    *w.local_slot.get(ti) = rt.slot;
+                    *w.local_popped.get(ti) = true;
+                    *w.frag_ready.get(ti) += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Picks the next epoch window, or `None` when every lane is quiescent or
+/// past `bound`: start at the global minimum next event, end `lookahead`
+/// later (clamped so events exactly at `bound` still run).
+fn plan_epoch(lanes: &[Lane], lookahead: u64, bound: u64) -> Option<u64> {
+    let tmin = lanes.iter().filter_map(Lane::next_time).min()?;
+    if tmin > bound {
+        return None;
+    }
+    Some(tmin.saturating_add(lookahead).min(bound.saturating_add(1)))
+}
+
+/// Replays one epoch's buffered emissions in serial-pump order.
+fn merge_epoch(lanes: &mut [Lane], m: &mut MergeState<'_>) {
+    m.sends.clear();
+    m.starts.clear();
+    m.evs.clear();
+    for lane in lanes.iter_mut() {
+        m.sends.append(&mut lane.outbox);
+        m.starts.append(&mut lane.starts);
+        m.evs.append(&mut lane.events);
+        *m.finished += lane.finished;
+        lane.finished = 0;
+        *m.clock = (*m.clock).max(lane.now);
+    }
+    // The serial pump's send order into every link: time, then pump round,
+    // then phase, then sender shard, then the sender's emission order.
+    // Replaying in that order reproduces each link's free_at/seq evolution
+    // (and so every delivery time) bit-for-bit.
+    m.sends
+        .sort_unstable_by_key(|o| (o.t, o.round, o.phase, o.src, o.seq));
+    for o in m.sends.drain(..) {
+        m.link_sent[o.dest as usize] += 1;
+        lanes[o.dest as usize]
+            .link
+            .send_words(o.t, o.msg, o.words as usize);
+    }
+    // All starts happen in the execution phase, so the schedule-log key
+    // needs no phase component.
+    m.starts
+        .sort_unstable_by_key(|r| (r.t, r.round, r.lane, r.seq));
+    for r in m.starts.drain(..) {
+        m.log.begin(r.task, r.start, r.dur);
+    }
+    m.evs
+        .sort_unstable_by_key(|e| (e.t, e.round, e.phase, e.lane, e.seq));
+    for e in m.evs.drain(..) {
+        m.events.push(e.ev);
+    }
+}
+
+/// The epoch loop on the caller's thread — the engine when only one core
+/// (or one configured thread) is effectively available. Identical results
+/// to the threaded loop: scheduling never influences what a lane computes.
+fn run_inline(lanes: &mut [Lane], world: &World<'_>, m: &mut MergeState<'_>, la: u64, bound: u64) {
+    while let Some(end) = plan_epoch(lanes, la, bound) {
+        for lane in lanes.iter_mut() {
+            lane.run_epoch(end, world);
+        }
+        merge_epoch(lanes, m);
+    }
+}
+
+/// The epoch loop on `threads` scoped OS threads. Thread 0 is the
+/// coordinator *and* drives lane chunk 0; two barrier waits delimit each
+/// epoch: plan → **barrier** → compute → **barrier** → merge/plan …
+fn run_threaded(
+    lanes: &mut [Lane],
+    world: &World<'_>,
+    m: &mut MergeState<'_>,
+    la: u64,
+    bound: u64,
+    threads: usize,
+) {
+    let chunk = lanes.len().div_ceil(threads);
+    let barrier = SpinBarrier::new(threads);
+    let ctl = PhaseCell::new(Ctl::default());
+    let shared = DisjointSlice::new(lanes);
+    std::thread::scope(|scope| {
+        for tid in 1..threads {
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(shared.len());
+            let (barrier, ctl, shared) = (&barrier, &ctl, &shared);
+            scope.spawn(move || {
+                let work = || loop {
+                    barrier.wait();
+                    // SAFETY: the coordinator wrote `ctl` before releasing
+                    // this barrier and won't touch it until the next one.
+                    let c = unsafe { *ctl.get() };
+                    if c.done {
+                        break;
+                    }
+                    for i in lo..hi {
+                        // SAFETY: lane chunk [lo, hi) is this thread's
+                        // alone during the compute phase.
+                        unsafe { shared.get(i) }.run_epoch(c.end, world);
+                    }
+                    barrier.wait();
+                };
+                if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
+                    // Unblock everyone else before propagating, or they
+                    // would spin on a participant that never arrives.
+                    barrier.poison();
+                    resume_unwind(p);
+                }
+            });
+        }
+        let coordinate = || loop {
+            // SAFETY: every worker is parked at (or headed to) the first
+            // barrier and touches no shared state until it releases — the
+            // coordinator owns all lanes and the control block here.
+            let done = unsafe {
+                let all = shared.as_mut_slice();
+                merge_epoch(all, m);
+                let c = ctl.get();
+                match plan_epoch(all, la, bound) {
+                    Some(end) => {
+                        *c = Ctl { end, done: false };
+                        false
+                    }
+                    None => {
+                        *c = Ctl { end: 0, done: true };
+                        true
+                    }
+                }
+            };
+            barrier.wait();
+            if done {
+                break;
+            }
+            // SAFETY: written before the barrier, stable until the next.
+            let end = unsafe { ctl.get() }.end;
+            for i in 0..chunk.min(shared.len()) {
+                // SAFETY: lane chunk 0 is thread 0's during compute.
+                unsafe { shared.get(i) }.run_epoch(end, world);
+            }
+            barrier.wait();
+        };
+        if let Err(p) = catch_unwind(AssertUnwindSafe(coordinate)) {
+            barrier.poison();
+            resume_unwind(p);
+        }
+    });
+}
+
+impl ClusterSession {
+    /// The conservative engine's lookahead: a message sent at `t` delivers
+    /// no earlier than `t + occupancy + latency` (`Link::send_words` costs
+    /// at least one `occupancy` flit plus `latency`, and link backpressure
+    /// only delays further).
+    fn lookahead(&self) -> u64 {
+        self.cfg.link.occupancy + self.cfg.link.latency
+    }
+
+    /// Whether the epoch engine may drive this session:
+    ///
+    /// * more than one configured thread and more than one shard;
+    /// * nonzero lookahead (a zero-cost interconnect leaves no safe
+    ///   window);
+    /// * no telemetry sampler — the cluster's windowed series probe
+    ///   *global* state (summed worker occupancy, every link's flight
+    ///   count) at every boundary, an inherently serial observation, so
+    ///   timed sessions run the serial reference engine and "parallel
+    ///   equals serial with timelines attached" holds by construction.
+    pub(super) fn par_eligible(&self) -> bool {
+        self.cfg.threads > 1
+            && self.cfg.shards > 1
+            && self.lookahead() > 0
+            && self.sampler.is_none()
+    }
+
+    /// Drives every event at time ≤ `bound` through the parallel engine:
+    /// serial pumping while the Distributor still owes task creations
+    /// (their gates watch the *global* finished count, which only the
+    /// serial engine tracks continuously), then lane epochs once the feed
+    /// is drained. Leaves the clock at the last processed event time, like
+    /// the serial event loop.
+    pub(super) fn drive_events_par(&mut self, bound: u64) {
+        loop {
+            self.pump();
+            if self.next_feed == self.ingest.admitted {
+                break;
+            }
+            match self.next_time() {
+                Some(tn) if tn <= bound => self.set_clock(tn),
+                _ => return,
+            }
+        }
+        self.run_epochs(bound);
+    }
+
+    /// Splits the session into shard lanes, runs the epoch loop, and
+    /// reassembles — the serial representation stays authoritative between
+    /// drives.
+    fn run_epochs(&mut self, bound: u64) {
+        let k = self.cfg.shards;
+        let lookahead = self.lookahead();
+        debug_assert!(lookahead > 0, "guarded by par_eligible");
+        let mut sys = std::mem::take(&mut self.sys).into_iter();
+        let mut workers = std::mem::take(&mut self.workers).into_iter();
+        let mut links = std::mem::take(&mut self.links).into_iter();
+        let mut expected = std::mem::take(&mut self.expected).into_iter();
+        let mut arrived = std::mem::take(&mut self.arrived).into_iter();
+        let mut slot_at = std::mem::take(&mut self.slot_at).into_iter();
+        let mut exec_q = std::mem::take(&mut self.exec_q).into_iter();
+        let mut lanes: Vec<Lane> = (0..k)
+            .map(|id| Lane {
+                id: id as u16,
+                sys: sys.next().expect("k shards"),
+                workers: workers.next().expect("k shards"),
+                link: links.next().expect("k shards"),
+                expected: expected.next().expect("k shards"),
+                arrived: arrived.next().expect("k shards"),
+                slot_at: slot_at.next().expect("k shards"),
+                exec_q: exec_q.next().expect("k shards"),
+                outbox: Vec::new(),
+                starts: Vec::new(),
+                events: Vec::new(),
+                finished: 0,
+                now: self.t,
+                seq: 0,
+            })
+            .collect();
+        let world = World {
+            placement: &self.placement,
+            remote: &self.remote,
+            frag_total: &self.frag_total,
+            durs: &self.durs,
+            frag_ready: DisjointSlice::new(&mut self.frag_ready),
+            local_popped: DisjointSlice::new(&mut self.local_popped),
+            local_slot: DisjointSlice::new(&mut self.local_slot),
+            dispatch: self.cfg.dispatch,
+            collect_events: self.events.is_enabled(),
+        };
+        let mut merge = MergeState {
+            log: &mut self.log,
+            events: &mut self.events,
+            link_sent: &mut self.link_sent,
+            finished: &mut self.ingest.finished,
+            clock: &mut self.t,
+            sends: Vec::new(),
+            starts: Vec::new(),
+            evs: Vec::new(),
+        };
+        // The configured count caps OS threads; the machine caps them
+        // further (spawning beyond the cores only adds barrier traffic,
+        // and results are identical for any thread count). Setting
+        // PICOS_CLUSTER_FORCE_THREADS skips the machine cap so the
+        // threaded path is exercised even on starved boxes.
+        let mut threads = self.cfg.threads.min(k).max(1);
+        if std::env::var_os("PICOS_CLUSTER_FORCE_THREADS").is_none() {
+            threads = threads.min(available_threads());
+        }
+        if threads <= 1 {
+            run_inline(&mut lanes, &world, &mut merge, lookahead, bound);
+        } else {
+            run_threaded(&mut lanes, &world, &mut merge, lookahead, bound, threads);
+        }
+        for lane in lanes {
+            self.sys.push(lane.sys);
+            self.workers.push(lane.workers);
+            self.links.push(lane.link);
+            self.expected.push(lane.expected);
+            self.arrived.push(lane.arrived);
+            self.slot_at.push(lane.slot_at);
+            self.exec_q.push(lane.exec_q);
+        }
+        // Serial parity: every pump advances every shard core to the
+        // current event time; lanes only advanced to their own last event.
+        let t = self.t;
+        for s in self.sys.iter_mut() {
+            s.advance_to(t);
+        }
+    }
+}

@@ -34,6 +34,7 @@
 
 mod cost;
 mod depmap;
+pub mod par;
 mod perfect;
 mod report;
 pub mod session;

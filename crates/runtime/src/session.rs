@@ -415,6 +415,12 @@ impl EventLog {
         }
     }
 
+    /// Whether pushes are recorded (callers batching events elsewhere can
+    /// skip the bookkeeping entirely when recording is off).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Records one event (no-op when disabled).
     #[inline]
     pub fn push(&mut self, ev: SimEvent) {

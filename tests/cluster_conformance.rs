@@ -133,6 +133,99 @@ fn cluster_is_deterministic_through_the_backend() {
     assert_eq!(a, b);
 }
 
+/// Thread counts the parallel-engine pins run at. Defaults to every count
+/// in `1..=8`; `CLUSTER_TEST_THREADS=2,8` narrows the sweep (CI runs the
+/// suite twice, once per thread count, with
+/// `PICOS_CLUSTER_FORCE_THREADS=1` so real OS threads are exercised even
+/// on single-core runners).
+fn test_thread_counts() -> Vec<usize> {
+    match std::env::var("CLUSTER_TEST_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("CLUSTER_TEST_THREADS: bad count"))
+            .collect(),
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+#[test]
+fn parallel_engine_is_bit_identical_on_every_golden_workload() {
+    // The conservative-parallel engine must be indistinguishable from the
+    // serial reference — same makespan, same schedule, same per-task
+    // times, same hardware counters — on every golden workload, every DM
+    // design, and every thread count, with threads striding an 8-shard
+    // cluster unevenly (8 % 3 != 0) as well as exactly.
+    for (label, trace) in golden_workloads() {
+        for dm in DmDesign::ALL {
+            let cfg = ClusterConfig {
+                picos: PicosConfig::baseline(dm),
+                ..ClusterConfig::balanced(8, WORKERS)
+            };
+            let (serial, serial_stats) =
+                run_cluster_with_stats(&trace, &cfg).expect("serial reference completes");
+            for threads in test_thread_counts() {
+                let cfg_t = cfg.clone().with_threads(threads);
+                let (par, par_stats) = run_cluster_with_stats(&trace, &cfg_t)
+                    .unwrap_or_else(|e| panic!("{label} {dm} t{threads}: {e}"));
+                assert_eq!(
+                    par.makespan, serial.makespan,
+                    "{label} {dm} t{threads}: makespan drifted"
+                );
+                assert_eq!(
+                    par.order, serial.order,
+                    "{label} {dm} t{threads}: execution order drifted"
+                );
+                assert_eq!(
+                    par.start, serial.start,
+                    "{label} {dm} t{threads}: start times drifted"
+                );
+                assert_eq!(
+                    par.end, serial.end,
+                    "{label} {dm} t{threads}: end times drifted"
+                );
+                assert_eq!(
+                    par_stats, serial_stats,
+                    "{label} {dm} t{threads}: hardware counters drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_serial_with_attached_timelines() {
+    // Timed sessions probe global state mid-run, so the cluster falls
+    // back to the serial engine whenever a sampler is attached; the
+    // telemetry (and everything else) of a threads-N run must therefore
+    // equal the serial run exactly. This pins the fallback: if the
+    // parallel engine ever runs under a sampler and skews a window, this
+    // breaks.
+    use picos_backend::SessionConfig;
+    let trace = gen::stream(gen::StreamConfig::heavy(600));
+    let cfg = SessionConfig {
+        timeline_window: Some(1_000),
+        ..SessionConfig::batch()
+    };
+    let run = |threads: usize| {
+        BackendSpec::Cluster(4)
+            .builder(WORKERS)
+            .threads(Some(threads))
+            .build()
+            .run_with_telemetry(&trace, cfg)
+            .expect("cluster completes")
+    };
+    let serial = run(1);
+    for threads in [2usize, 4] {
+        let par = run(threads);
+        assert_eq!(par.report, serial.report, "t{threads}: report drifted");
+        assert_eq!(par.stats, serial.stats, "t{threads}: counters drifted");
+        assert_eq!(
+            par.timeline, serial.timeline,
+            "t{threads}: telemetry drifted"
+        );
+    }
+}
+
 #[test]
 fn sharded_dm_beats_one_big_dm_under_sustained_load() {
     // The tentpole's raison d'être: open-loop arrival faster than one

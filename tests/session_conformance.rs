@@ -123,6 +123,43 @@ fn random_interleavings_are_bit_exact_with_batch() {
 }
 
 #[test]
+fn parallel_cluster_sessions_are_bit_exact_with_serial_batch() {
+    // The conservative-parallel cluster engine under every session call
+    // pattern, compared against the *serial* engine's batch result: this
+    // pins session bit-exactness and parallel==serial in one assertion.
+    // (Feeds still admit through the serial path; the epoch engine takes
+    // over once the input stream closes or the session jumps time.)
+    for trace in workloads() {
+        let serial = BackendSpec::Cluster(4)
+            .build(8, &PicosConfig::balanced())
+            .run_with_stats(&trace)
+            .unwrap();
+        for threads in [2usize, 4] {
+            let backend = BackendSpec::Cluster(4)
+                .builder(8)
+                .picos(&PicosConfig::balanced())
+                .threads(Some(threads))
+                .build();
+            let streamed = drive_one_at_a_time(&*backend, &trace);
+            assert_eq!(
+                serial, streamed,
+                "cluster t{threads} on {}: one-at-a-time diverged from serial batch",
+                trace.name
+            );
+            for seed in [0x5EED, 0xD1CE] {
+                let streamed = drive_randomly(&*backend, &trace, seed);
+                assert_eq!(
+                    serial, streamed,
+                    "cluster t{threads} on {} seed {seed:#x}: random interleaving \
+                     diverged from serial batch",
+                    trace.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_default_methods_agree_with_each_other() {
     // run() must be run_with_stats() minus the counters, for every family.
     let trace = gen::synthetic(gen::Case::Case4);
