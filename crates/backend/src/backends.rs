@@ -14,7 +14,7 @@
 //! path from a spec to a boxed backend.
 
 use crate::session::{feed_trace, SessionConfig, SessionOutput, SimSession};
-use picos_cluster::{ClusterConfig, ClusterError, ClusterSession, ShardPolicy};
+use picos_cluster::{ClusterConfig, ClusterError, ClusterSession, FaultPlan, ShardPolicy};
 use picos_core::{PicosConfig, Stats};
 use picos_hil::{HilConfig, HilError, HilMode, HilSession, LinkModel};
 use picos_runtime::{ExecReport, PerfectSession, SoftwareSession, SwError, SwRuntimeConfig};
@@ -388,6 +388,7 @@ impl BackendSpec {
             link: None,
             policy: None,
             threads: None,
+            faults: None,
         }
     }
 
@@ -428,6 +429,7 @@ pub struct BackendBuilder {
     link: Option<LinkModel>,
     policy: Option<ShardPolicy>,
     threads: Option<usize>,
+    faults: Option<FaultPlan>,
 }
 
 impl BackendBuilder {
@@ -461,6 +463,16 @@ impl BackendBuilder {
         self
     }
 
+    /// Attaches a deterministic fault schedule (cluster family; the other
+    /// families have no interconnect to fault and ignore it, like the
+    /// link/policy/threads knobs). A zero-fault plan is bit-identical to
+    /// `None`; an invalid plan surfaces as a configuration error when the
+    /// session opens.
+    pub fn faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Builds the boxed backend.
     pub fn build(self) -> Box<dyn ExecBackend> {
         let picos = self.picos.unwrap_or_else(PicosConfig::balanced);
@@ -490,6 +502,7 @@ impl BackendBuilder {
                 if let Some(threads) = self.threads {
                     cfg.threads = threads;
                 }
+                cfg.faults = self.faults;
                 Box::new(ClusterBackend { cfg })
             }
         }
@@ -669,6 +682,55 @@ mod tests {
             .run(&tr)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_faults_knob_zero_plan_is_identity_and_faulty_runs_terminate() {
+        let tr = gen::stream(gen::StreamConfig::heavy(200));
+        let base = BackendSpec::Cluster(4)
+            .builder(8)
+            .build()
+            .run_with_stats(&tr)
+            .unwrap();
+        let zero = BackendSpec::Cluster(4)
+            .builder(8)
+            .faults(Some(FaultPlan::new(11)))
+            .build()
+            .run_with_stats(&tr)
+            .unwrap();
+        assert_eq!(base, zero, "zero-fault plan must be bit-identical");
+        // A lossy link either completes (retries absorbed the drops) or
+        // surfaces the typed timeout — never a stall or a panic.
+        let faulty = BackendSpec::Cluster(4)
+            .builder(8)
+            .faults(Some(FaultPlan::new(7).with_drop_rate(0.2)))
+            .build()
+            .run(&tr);
+        match faulty {
+            Ok(r) => r.validate(&tr).unwrap(),
+            Err(BackendError::Cluster(ClusterError::LinkTimeout { .. })) => {}
+            other => panic!("faulted run must terminate typed, got {other:?}"),
+        }
+        // Non-cluster families ignore the knob.
+        let a = BackendSpec::Perfect.builder(4).build().run(&tr).unwrap();
+        let b = BackendSpec::Perfect
+            .builder(4)
+            .faults(Some(FaultPlan::new(1).with_drop_rate(0.5)))
+            .build()
+            .run(&tr)
+            .unwrap();
+        assert_eq!(a, b);
+        // An invalid plan is a configuration error at open, not a panic.
+        let err = BackendSpec::Cluster(2)
+            .builder(4)
+            .faults(Some(FaultPlan::new(1).with_drop_rate(1.5)))
+            .build()
+            .run(&tr)
+            .unwrap_err();
+        assert!(
+            matches!(err, BackendError::Cluster(ClusterError::Config(_))),
+            "bad plan must surface as config error, got {err:?}"
+        );
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub use pace::{
     run_paced, run_paced_with_telemetry, ArrivalTrace, PaceReport, PacedTask, PacedTrace,
     TraceSource,
 };
+pub use picos_cluster::{FaultCounters, FaultPlan, ShardPause, WorkerFault};
 pub use picos_metrics::{
     MergeRule, Metric, MetricSet, MetricValue, SeriesKind, SeriesSpec, Timeline,
 };

@@ -126,14 +126,23 @@ impl SimSession for HilSession {
 
 impl SimSession for ClusterSession {
     fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
-        let (report, per_shard, timeline) =
-            (*self).into_report_full().map_err(BackendError::from)?;
+        let (report, per_shard, timeline, faults) =
+            (*self).into_output().map_err(BackendError::from)?;
         let mut metrics = run_metrics(&report);
         for (k, stats) in per_shard.iter().enumerate() {
             metrics.extend_scoped(&format!("shard{k}."), &stats.metric_set());
         }
         let merged = merged_stats(&per_shard);
         metrics.extend_scoped("core.", &merged.metric_set());
+        if let Some(fc) = faults {
+            // Fault-protocol counters, only when an active plan is
+            // attached — a fault-free session registers no faults.* scope.
+            metrics
+                .counter("faults.drops", fc.drops, MergeRule::Sum)
+                .counter("faults.retries", fc.retries, MergeRule::Sum)
+                .counter("faults.redeliveries", fc.redeliveries, MergeRule::Sum)
+                .counter("faults.recoveries", fc.recoveries, MergeRule::Sum);
+        }
         Ok(SessionOutput {
             report,
             stats: Some(merged),

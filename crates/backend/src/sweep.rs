@@ -11,6 +11,7 @@
 use crate::backends::BackendSpec;
 use crate::par;
 use crate::session::SessionConfig;
+use picos_cluster::FaultPlan;
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
 use picos_hil::LinkModel;
 use picos_metrics::Timeline;
@@ -81,6 +82,10 @@ pub struct SweepCell {
     /// default; [`Sweep::cluster_threads`] raises it, capped at the
     /// cell's shard count).
     pub threads: usize,
+    /// Deterministic fault schedule of the cell ([`Sweep::faults`] axis;
+    /// cluster cells only — the other families have no interconnect to
+    /// fault, so the axis collapses to its first entry for them).
+    pub fault: Option<FaultPlan>,
 }
 
 impl SweepCell {
@@ -105,6 +110,9 @@ impl fmt::Display for SweepCell {
         }
         if self.threads > 1 {
             write!(f, " t{}", self.threads)?;
+        }
+        if let Some(plan) = &self.fault {
+            write!(f, " fault#{}", plan.seed)?;
         }
         Ok(())
     }
@@ -144,6 +152,15 @@ pub struct SweepRow {
     pub vm_stalls: Option<u64>,
     /// TM-capacity stalls (Picos backends only).
     pub tm_stalls: Option<u64>,
+    /// Link drop probability of the cell's fault plan (`None` when the
+    /// cell ran without one).
+    pub drop_rate: Option<f64>,
+    /// Interconnect messages dropped by fault injection (cells with an
+    /// active fault plan only).
+    pub link_drops: Option<u64>,
+    /// Interconnect retransmissions by the retry protocol (cells with an
+    /// active fault plan only).
+    pub link_retries: Option<u64>,
     /// Cycle-windowed telemetry of the cell's run, when the sweep was
     /// built with [`Sweep::timeline`] (in-flight occupancy, per-unit busy
     /// cycles over time; see [`SweepResult::timelines_csv`] for the
@@ -200,12 +217,13 @@ impl SweepResult {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "workload,block_size,backend,workers,dm,instances,shards,threads,makespan,\
-             sequential,speedup,dm_conflicts,vm_stalls,tm_stalls,error\n",
+             sequential,speedup,dm_conflicts,vm_stalls,tm_stalls,drop_rate,link_drops,\
+             link_retries,error\n",
         );
         let opt = |v: &Option<u64>| v.map_or(String::new(), |v| v.to_string());
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{}\n",
                 csv_field(&r.workload),
                 r.block_size.map_or(String::new(), |v| v.to_string()),
                 r.backend,
@@ -220,6 +238,9 @@ impl SweepResult {
                 opt(&r.dm_conflicts),
                 opt(&r.vm_stalls),
                 opt(&r.tm_stalls),
+                r.drop_rate.map_or(String::new(), |v| format!("{v}")),
+                opt(&r.link_drops),
+                opt(&r.link_retries),
                 csv_field(r.error.as_deref().unwrap_or("")),
             ));
         }
@@ -239,7 +260,8 @@ impl SweepResult {
                  \"workers\":{},\"dm\":\"{}\",\"instances\":{},\"shards\":{},\
                  \"threads\":{},\"makespan\":{},\
                  \"sequential\":{},\"speedup\":{:.6},\"dm_conflicts\":{},\
-                 \"vm_stalls\":{},\"tm_stalls\":{},\"error\":{}}}",
+                 \"vm_stalls\":{},\"tm_stalls\":{},\"drop_rate\":{},\
+                 \"link_drops\":{},\"link_retries\":{},\"error\":{}}}",
                 json_escape(&r.workload),
                 r.block_size.map_or("null".to_string(), |v| v.to_string()),
                 r.backend,
@@ -254,6 +276,9 @@ impl SweepResult {
                 opt(&r.dm_conflicts),
                 opt(&r.vm_stalls),
                 opt(&r.tm_stalls),
+                r.drop_rate.map_or("null".to_string(), |v| format!("{v}")),
+                opt(&r.link_drops),
+                opt(&r.link_retries),
                 r.error
                     .as_deref()
                     .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e))),
@@ -349,6 +374,7 @@ pub struct Sweep {
     timeline: Option<u64>,
     threads: Option<usize>,
     cluster_threads: usize,
+    faults: Vec<Option<FaultPlan>>,
     filter: Option<CellFilter>,
     fail_fast: bool,
 }
@@ -367,6 +393,7 @@ impl Sweep {
             timeline: None,
             threads: None,
             cluster_threads: 1,
+            faults: vec![None],
             filter: None,
             fail_fast: false,
         }
@@ -459,6 +486,22 @@ impl Sweep {
         self
     }
 
+    /// Sets the fault-schedule axis: each entry runs every cluster cell
+    /// once under that plan (`None` = the fault-free engine). Only cluster
+    /// cells expand this axis — the other families have no interconnect to
+    /// fault, so they take the first entry only (put `None` first to keep
+    /// them fault-free). Fault rows report the plan's drop rate plus the
+    /// run's drop/retry counters in the `drop_rate`, `link_drops` and
+    /// `link_retries` columns. An empty iterator resets the axis to the
+    /// fault-free default.
+    pub fn faults(mut self, faults: impl IntoIterator<Item = Option<FaultPlan>>) -> Self {
+        self.faults = faults.into_iter().collect();
+        if self.faults.is_empty() {
+            self.faults.push(None);
+        }
+        self
+    }
+
     /// Keeps only cells for which `keep` returns true. Filtering happens at
     /// grid-enumeration time, so a filtered sweep is still deterministic.
     pub fn filter(mut self, keep: impl Fn(&SweepCell) -> bool + Send + Sync + 'static) -> Self {
@@ -492,24 +535,35 @@ impl Sweep {
                         &self.instances[..1.min(self.instances.len())],
                     )
                 };
+                // Only the cluster family has an interconnect to fault;
+                // the other families collapse the fault axis like the
+                // degenerate DM/instances axes above.
+                let faults: &[Option<FaultPlan>] = if matches!(backend, BackendSpec::Cluster(_)) {
+                    &self.faults
+                } else {
+                    &self.faults[..1.min(self.faults.len())]
+                };
                 for &dm in dms {
                     for &instances in insts {
-                        for &workers in &self.workers {
-                            let cell = SweepCell {
-                                workload_index,
-                                workload: w.label.clone(),
-                                block_size: w.block_size,
-                                backend,
-                                workers,
-                                dm,
-                                instances,
-                                shards: backend.shards(),
-                                // Per-cell cap: a grid mixing shard
-                                // counts keeps every cell valid.
-                                threads: self.cluster_threads.min(backend.shards()).max(1),
-                            };
-                            if self.filter.as_ref().is_none_or(|keep| keep(&cell)) {
-                                cells.push(cell);
+                        for fault in faults {
+                            for &workers in &self.workers {
+                                let cell = SweepCell {
+                                    workload_index,
+                                    workload: w.label.clone(),
+                                    block_size: w.block_size,
+                                    backend,
+                                    workers,
+                                    dm,
+                                    instances,
+                                    shards: backend.shards(),
+                                    // Per-cell cap: a grid mixing shard
+                                    // counts keeps every cell valid.
+                                    threads: self.cluster_threads.min(backend.shards()).max(1),
+                                    fault: fault.clone(),
+                                };
+                                if self.filter.as_ref().is_none_or(|keep| keep(&cell)) {
+                                    cells.push(cell);
+                                }
                             }
                         }
                     }
@@ -562,6 +616,11 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
         dm_conflicts: None,
         vm_stalls: None,
         tm_stalls: None,
+        // The plan is a grid coordinate, so its drop rate labels even
+        // errored/skipped rows; the counters are outcomes and stay empty.
+        drop_rate: cell.fault.as_ref().map(|p| p.drop_rate),
+        link_drops: None,
+        link_retries: None,
         timeline: None,
         error: Some("skipped: an earlier cell failed (fail-fast)".into()),
     }
@@ -580,6 +639,7 @@ fn run_cell(
         .picos(&cell.picos_config(ts_policy))
         .link(Some(link))
         .threads(Some(cell.threads))
+        .faults(cell.fault.clone())
         .build();
     let mut row = skipped_row(cell);
     row.error = None;
@@ -597,6 +657,9 @@ fn run_cell(
                 row.vm_stalls = Some(s.vm_stalls);
                 row.tm_stalls = Some(s.tm_stalls);
             }
+            // Present exactly when the cell ran under an active plan.
+            row.link_drops = out.metrics.value("faults.drops");
+            row.link_retries = out.metrics.value("faults.retries");
             row.timeline = out.timeline;
         }
         Err(e) => {
@@ -820,6 +883,53 @@ mod tests {
             slow.rows()[1].makespan > fast.rows()[1].makespan,
             "a slower interconnect must cost the cluster cycles"
         );
+    }
+
+    #[test]
+    fn fault_axis_expands_cluster_cells_only_and_reports_counters() {
+        let grid = || {
+            Sweep::over_apps([App::SparseLu], [128])
+                .workers([8])
+                .backends([BackendSpec::Perfect, BackendSpec::Cluster(4)])
+                .faults([
+                    None,
+                    Some(FaultPlan::new(3)),
+                    Some(FaultPlan::new(3).with_drop_rate(0.05)),
+                ])
+        };
+        let cells = grid().cells();
+        // Perfect collapses the axis (first entry = None); the cluster
+        // runs all three plans.
+        assert_eq!(cells.len(), 1 + 3);
+        assert!(cells
+            .iter()
+            .all(|c| c.fault.is_none() || matches!(c.backend, BackendSpec::Cluster(_))));
+
+        let result = grid().run();
+        let rows = result.rows();
+        // Fault-free and zero-fault cluster rows are identical outcomes
+        // with no fault columns (the zero-fault plan is bit-identical and
+        // registers no counters).
+        assert_eq!(rows[1].makespan, rows[2].makespan);
+        assert_eq!(rows[1].link_drops, None);
+        assert_eq!(rows[2].link_drops, None);
+        assert_eq!(rows[2].drop_rate, Some(0.0));
+        // The lossy row carries its plan's rate and the run's counters.
+        let lossy = &rows[3];
+        assert_eq!(lossy.drop_rate, Some(0.05));
+        if lossy.error.is_none() {
+            assert!(lossy.link_drops.is_some() && lossy.link_retries.is_some());
+            assert!(lossy.makespan >= rows[1].makespan);
+        }
+        let csv = result.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("drop_rate,link_drops,link_retries,error"));
+        assert!(result.to_json().contains("\"drop_rate\":0.05"));
+        // Determinism: the same faulted grid reruns identically.
+        assert_eq!(result, grid().run());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!
 //! Knob: `BENCH_SMOKE_MS` — per-measurement sampling window (default 300).
 
-use picos_backend::{pace, BackendSpec, Sweep, Workload};
+use picos_backend::{pace, BackendSpec, FaultPlan, Sweep, Workload};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem};
 use picos_hil::HilMode;
 use picos_trace::gen::{self, App};
@@ -159,40 +159,54 @@ fn main() {
     // scans, plus real threads when the host has cores to give (the
     // thread count clamps to available parallelism, so single-core CI
     // runners measure the inline epoch engine).
+    // A third side measures the fault layer's zero-fault overhead: a
+    // cluster with an attached all-zero-rates FaultPlan runs the exact
+    // same schedule bit-identically (pinned below), so the delta vs the
+    // plain serial engine is the pure cost of the packet wrapper and the
+    // per-pump fault-phase checks.
     let stream4 = gen::stream(gen::StreamConfig::heavy(800));
-    let cluster_at = |threads: usize| {
+    let cluster_at = |threads: usize, faults: Option<FaultPlan>| {
         BackendSpec::Cluster(4)
             .builder(8)
             .picos(&PicosConfig::balanced())
             .threads(Some(threads))
+            .faults(faults)
             .build()
     };
-    let serial4 = cluster_at(1);
-    let par4 = cluster_at(4);
+    let serial4 = cluster_at(1, None);
+    let par4 = cluster_at(4, None);
+    let fault0 = cluster_at(1, Some(FaultPlan::new(1)));
     let serial_makespan = serial4.run(&stream4).expect("serial cluster completes");
     let par_makespan = par4.run(&stream4).expect("parallel cluster completes");
+    let fault0_makespan = fault0.run(&stream4).expect("zero-fault cluster completes");
     assert_eq!(
         serial_makespan, par_makespan,
         "parallel cluster engine must be bit-identical to serial"
     );
-    let mut serial_par = [0.0f64; 2];
+    assert_eq!(
+        serial_makespan, fault0_makespan,
+        "zero-fault plan must be bit-identical to no plan"
+    );
+    // Median-of-iterations per side: the 3% fault-overhead guard is
+    // tighter than host noise on a mean, but the interleaved medians are
+    // stable. fault0 runs adjacent to serial4 (its comparison side), so
+    // the multi-threaded par4 run's thermal wake biases neither.
+    let mut times: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     {
-        let mut spent = [Duration::ZERO; 2];
-        let mut iters = [0u64; 2];
         let start = Instant::now();
-        while start.elapsed() < window * 2 || iters[1] == 0 {
-            for (side, backend) in [(0, &serial4), (1, &par4)] {
+        while start.elapsed() < window * 3 || times[1].is_empty() {
+            for (side, backend) in [(0, &serial4), (2, &fault0), (1, &par4)] {
                 let t0 = Instant::now();
                 std::hint::black_box(backend.run(&stream4).expect("cluster run completes"));
-                spent[side] += t0.elapsed();
-                iters[side] += 1;
+                times[side].push(t0.elapsed().as_secs_f64());
             }
         }
-        for side in 0..2 {
-            serial_par[side] = iters[side] as f64 / spent[side].as_secs_f64();
-        }
     }
-    let [cluster_serial4_cells_per_sec, cluster_par_cells_per_sec] = serial_par;
+    let [cluster_serial4_cells_per_sec, cluster_par_cells_per_sec, cluster_fault0_cells_per_sec] =
+        times.map(|mut v| {
+            v.sort_unstable_by(f64::total_cmp);
+            1.0 / v[v.len() / 2]
+        });
 
     let json = format!(
         "{{\n  \"workload\": \"sparselu128\",\n  \"tasks\": {},\n  \
@@ -209,7 +223,8 @@ fn main() {
          \"sweep_cells_per_sec\": {:.1},\n  \"cluster_cells\": {},\n  \
          \"cluster_cells_per_sec\": {:.1},\n  \
          \"cluster_serial4_cells_per_sec\": {:.1},\n  \
-         \"cluster_par_cells_per_sec\": {:.1}\n}}\n",
+         \"cluster_par_cells_per_sec\": {:.1},\n  \
+         \"cluster_fault0_cells_per_sec\": {:.1}\n}}\n",
         tasks as u64,
         BASELINE_TASKS_PER_SEC,
         tasks_per_sec,
@@ -223,7 +238,8 @@ fn main() {
         cluster_cells as u64,
         cluster_cells_per_sec,
         cluster_serial4_cells_per_sec,
-        cluster_par_cells_per_sec
+        cluster_par_cells_per_sec,
+        cluster_fault0_cells_per_sec
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
@@ -261,6 +277,18 @@ fn main() {
         eprintln!(
             "FAIL: parallel 4-shard cluster {cluster_par_cells_per_sec:.1} \
              cells/s fell below the serial engine's \
+             {cluster_serial4_cells_per_sec:.1} cells/s"
+        );
+        std::process::exit(1);
+    }
+    // CI assertion: an attached zero-fault plan must cost no more than 3%
+    // of serial cluster throughput — the fault layer's overhead contract
+    // (the packet wrapper adds one u32 + bool per message and the pump
+    // adds constant-time empty-queue checks; no RNG draws at zero rates).
+    if cluster_fault0_cells_per_sec < cluster_serial4_cells_per_sec * 0.97 {
+        eprintln!(
+            "FAIL: zero-fault 4-shard cluster {cluster_fault0_cells_per_sec:.1} \
+             cells/s fell more than 3% below the plain serial engine's \
              {cluster_serial4_cells_per_sec:.1} cells/s"
         );
         std::process::exit(1);

@@ -89,6 +89,10 @@ commands:
                 --threads <n> parallel simulation threads (bit-identical
                 to serial; needs threads <= shards)
                 (--backend is accepted as an alias for --engine)
+       faults:  --fault-seed <s> --drop-rate <p> --link-timeout <cycles>
+                deterministic link-fault injection on the cluster
+                interconnect (seeded drops with ack/retry recovery);
+                prints faults: drops/retries/redeliveries/recoveries
        paced:   --paced <interarrival-cycles> [--window <in-flight cap>]
                 open-loop streaming session; prints offered vs achieved
                 rate and the backpressure ratio

@@ -9,7 +9,7 @@ mod args;
 
 use args::{usage, Args};
 use picos_backend::{pace, BackendSpec, ExecBackend, SessionConfig, Sweep, Workload};
-use picos_cluster::ShardPolicy;
+use picos_cluster::{FaultPlan, ShardPolicy};
 use picos_core::{DmDesign, PicosConfig, Stats, TsPolicy};
 use picos_hil::LinkModel;
 use picos_metrics::{MetricSet, Timeline};
@@ -191,6 +191,21 @@ fn link_model(a: &Args) -> Result<LinkModel, String> {
     })
 }
 
+/// The deterministic fault plan of a `run` invocation, when any fault
+/// option is present (`--fault-seed`, `--drop-rate`, `--link-timeout`).
+fn fault_plan(a: &Args) -> Result<Option<FaultPlan>, String> {
+    let keys = ["fault-seed", "drop-rate", "link-timeout"];
+    if !keys.iter().any(|k| a.options.contains_key(*k)) {
+        return Ok(None);
+    }
+    let mut plan =
+        FaultPlan::new(a.opt("fault-seed", 0u64)?).with_drop_rate(a.opt("drop-rate", 0.0f64)?);
+    if let Some(t) = opt_u64(a, "link-timeout")? {
+        plan = plan.with_link_timeout(t);
+    }
+    Ok(Some(plan))
+}
+
 /// Builds the backend of a `run` invocation through the one
 /// [`BackendSpec::builder`] path (cluster knobs apply only to cluster
 /// specs; the builder ignores them elsewhere).
@@ -209,6 +224,12 @@ fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
                     (other engines have no parallel simulation engine)"
             .into());
     }
+    let faults = fault_plan(a)?;
+    if faults.is_some() && !matches!(spec, BackendSpec::Cluster(_)) {
+        return Err("--fault-seed/--drop-rate/--link-timeout only apply to the \
+                    cluster backend (other engines have no interconnect)"
+            .into());
+    }
     let spec = match spec {
         BackendSpec::Cluster(_) => BackendSpec::Cluster(shards),
         other => other,
@@ -225,6 +246,7 @@ fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
         .link(Some(link_model(a)?))
         .policy(policy)
         .threads(Some(threads))
+        .faults(faults)
         .build())
 }
 
@@ -279,6 +301,20 @@ fn emit_metrics(
     Ok(())
 }
 
+/// Prints the fault-protocol counters of a run with an active fault plan
+/// (a fault-free run registers no `faults.*` metrics and prints nothing).
+fn note_faults(metrics: &MetricSet) {
+    if let Some(drops) = metrics.value("faults.drops") {
+        eprintln!(
+            "faults: {} drops, {} retries, {} redeliveries, {} recoveries",
+            drops,
+            metrics.value("faults.retries").unwrap_or(0),
+            metrics.value("faults.redeliveries").unwrap_or(0),
+            metrics.value("faults.recoveries").unwrap_or(0)
+        );
+    }
+}
+
 /// Prints the hardware-counter note shared by the batch and paced run
 /// modes.
 fn note_stats(stats: &Option<Stats>) {
@@ -309,6 +345,7 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         .run_with_telemetry(&trace, cfg)
         .map_err(|e| e.to_string())?;
     note_stats(&out.stats);
+    note_faults(&out.metrics);
     out.report.validate(&trace)?;
     println!(
         "{}: makespan {} cycles, speedup {:.2} with {} workers",
@@ -343,6 +380,7 @@ fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(
     let r = pace::run_paced_with_telemetry(backend, source, window, opt_u64(a, "timeline")?)
         .map_err(|e| e.to_string())?;
     note_stats(&r.stats);
+    note_faults(&r.metrics);
     r.report.validate(trace)?;
     println!(
         "{}: paced {} tasks @ 1/{} cycles{}: makespan {} cycles",

@@ -1,6 +1,7 @@
 //! Cluster configuration: shard count, task-placement policy, per-shard
 //! core configuration and the interconnect cost model.
 
+use crate::fault::FaultPlan;
 use picos_core::PicosConfig;
 use picos_hil::{HilCostModel, LinkModel};
 use std::fmt;
@@ -101,6 +102,12 @@ pub struct ClusterConfig {
     /// one thread per shard is ever useful, so `threads > shards` is
     /// rejected by [`ClusterConfig::validate`].
     pub threads: usize,
+    /// Deterministic fault schedule, or `None` for the fault-free engine.
+    /// Attaching a plan arms the interconnect's ack/timeout/retry protocol
+    /// and (for inherently global fault bookkeeping) runs the serial
+    /// reference engine regardless of `threads`. A zero-fault plan is
+    /// bit-identical to `None`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -115,6 +122,7 @@ impl ClusterConfig {
             link: LinkModel::interconnect(),
             dispatch: HilCostModel::default().dispatch,
             threads: 1,
+            faults: None,
         }
     }
 
@@ -122,6 +130,13 @@ impl ClusterConfig {
     /// [`ClusterConfig::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// The same cluster under a deterministic fault schedule (see
+    /// [`ClusterConfig::faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -165,6 +180,9 @@ impl ClusterConfig {
                 self.threads, self.shards
             ));
         }
+        if let Some(plan) = &self.faults {
+            plan.validate(self)?;
+        }
         self.picos.validate()
     }
 }
@@ -183,6 +201,25 @@ pub enum ClusterError {
         /// Time of the stall.
         at: u64,
     },
+    /// An interconnect message exhausted its retry budget and the run
+    /// could not complete without it (fault injection; see
+    /// [`crate::FaultPlan`]).
+    LinkTimeout {
+        /// Sending shard.
+        from: u16,
+        /// Destination shard.
+        to: u16,
+        /// Cycle the final retry deadline fired.
+        at: u64,
+        /// Resends attempted before giving up.
+        attempts: u32,
+    },
+    /// A parallel-engine shard lane panicked; the panic was caught and the
+    /// session is dead (no further progress is possible).
+    LanePanic {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -197,6 +234,19 @@ impl fmt::Display for ClusterError {
                 f,
                 "cluster stalled at cycle {at} after {executed}/{total} tasks"
             ),
+            ClusterError::LinkTimeout {
+                from,
+                to,
+                at,
+                attempts,
+            } => write!(
+                f,
+                "interconnect message {from}->{to} lost after {attempts} \
+                 retries (gave up at cycle {at})"
+            ),
+            ClusterError::LanePanic { detail } => {
+                write!(f, "parallel engine lane panicked: {detail}")
+            }
         }
     }
 }

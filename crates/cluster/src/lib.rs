@@ -49,8 +49,12 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod fault;
 mod system;
 
 pub use config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
+pub use fault::{FaultCounters, FaultPlan, ShardPause, WorkerFault};
 pub use picos_hil::LinkModel;
-pub use system::{merged_stats, run_cluster, run_cluster_with_stats, ClusterSession};
+pub use system::{
+    merged_stats, run_cluster, run_cluster_with_stats, ClusterOutput, ClusterSession,
+};

@@ -34,6 +34,7 @@
 mod par_drive;
 
 use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
+use crate::fault::{FaultCounters, FaultPlan, FaultState, Packet};
 use picos_core::{FinishedReq, PicosSystem, SlotRef, Stats};
 use picos_hil::Link;
 use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
@@ -43,7 +44,7 @@ use picos_runtime::session::{
 };
 use picos_runtime::ExecReport;
 use picos_trace::{Dependence, TaskDescriptor, TaskId, Trace};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Messages crossing the inter-shard interconnect.
@@ -62,6 +63,17 @@ fn min_next(cands: impl IntoIterator<Item = Option<u64>>) -> Option<u64> {
     cands.into_iter().flatten().min()
 }
 
+/// Everything a finished cluster session yields: the report, per-shard
+/// hardware counters, the stitched [`Timeline`] when a telemetry window
+/// was attached, and the [`FaultCounters`] when an active [`FaultPlan`]
+/// was.
+pub type ClusterOutput = (
+    ExecReport,
+    Vec<Stats>,
+    Option<Timeline>,
+    Option<FaultCounters>,
+);
+
 /// A resumable cluster stepper: shards ingest dependence-list fragments as
 /// tasks stream in, with placement and fragment planning performed
 /// per-task at submission (the policies only look at the task itself, so
@@ -75,7 +87,7 @@ pub struct ClusterSession {
     cfg: ClusterConfig,
     sys: Vec<PicosSystem>,
     workers: Vec<picos_hil::Workers>,
-    links: Vec<Link<ClusterMsg>>,
+    links: Vec<Link<Packet<ClusterMsg>>>,
     /// Ingress reorder stage: fragments enter each shard's Gateway
     /// strictly in task-creation order.
     expected: Vec<VecDeque<u32>>,
@@ -114,6 +126,15 @@ pub struct ClusterSession {
     /// occupancy); each shard's core sampler rides inside its
     /// [`PicosSystem`]. `None` keeps every clock move sampling-free.
     sampler: Option<WindowSampler>,
+    /// The attached fault layer (ack/retry protocol, fault draws, pause
+    /// deferral, worker-fault schedule), or `None` for the plain engine.
+    faults: Option<Box<FaultState<ClusterMsg>>>,
+    /// Tasks whose first execution a fail-stop worker fault killed; their
+    /// restart updates the schedule log instead of appending to it.
+    restarts: HashSet<u32>,
+    /// A caught parallel-lane panic: the session is dead and reports this
+    /// instead of driving further.
+    engine_err: Option<ClusterError>,
 }
 
 impl ClusterSession {
@@ -135,11 +156,32 @@ impl ClusterSession {
                 series.push(SeriesSpec::gauge(format!("link{s}.inflight")));
                 series.push(SeriesSpec::delta(format!("link{s}.sent")));
             }
+            // Fault series only for an *active* plan: a zero-fault plan's
+            // timeline must match a plan-free run column for column.
+            if cfg.faults.as_ref().is_some_and(FaultPlan::is_active) {
+                for name in [
+                    "faults.drops",
+                    "faults.retries",
+                    "faults.redeliveries",
+                    "faults.recoveries",
+                ] {
+                    series.push(SeriesSpec::delta(name));
+                }
+            }
             for shard in sys.iter_mut() {
                 shard.attach_timeline(w);
             }
             WindowSampler::new(w, series)
         });
+        // An inactive plan (nothing it could ever inject) attaches no
+        // runtime state at all: the session runs the literal plain engine,
+        // so zero-fault bit-identity — and the fault layer's 3% overhead
+        // budget — hold structurally.
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(FaultPlan::is_active)
+            .map(|p| Box::new(FaultState::new(p, k)));
         Ok(ClusterSession {
             sys,
             workers: (0..k)
@@ -169,6 +211,9 @@ impl ClusterSession {
             events: EventLog::new(session.collect_events),
             link_sent: vec![0; k],
             sampler,
+            faults,
+            restarts: HashSet::new(),
+            engine_err: None,
             cfg,
         })
     }
@@ -183,6 +228,23 @@ impl ClusterSession {
             out[1 + 2 * s] = link.in_flight() as u64;
             out[2 + 2 * s] = self.link_sent[s];
         }
+        if let Some(c) = self.fault_counters() {
+            let base = 1 + 2 * self.cfg.shards;
+            out[base] = c.drops;
+            out[base + 1] = c.retries;
+            out[base + 2] = c.redeliveries;
+            out[base + 3] = c.recoveries;
+        }
+    }
+
+    /// End-of-run fault/recovery counters, present only when an *active*
+    /// fault plan is attached (a zero-fault plan reports nothing, keeping
+    /// it observationally identical to no plan at all).
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults
+            .as_ref()
+            .filter(|f| f.plan_active())
+            .map(|f| f.counters())
     }
 
     /// Places one task and splits its dependence list into per-home-shard
@@ -251,9 +313,68 @@ impl ClusterSession {
     fn start_task(&mut self, s: usize, task: u32, slot: SlotRef) {
         let st = self.t + self.cfg.dispatch;
         let dur = self.durs[task as usize];
-        let end = self.log.begin(task, st, dur);
+        let end = if self.restarts.remove(&task) {
+            // A fail-stop fault killed the first execution; the restart
+            // replaces its schedule entry instead of appending a new one.
+            self.log.rebegin(task, st, dur)
+        } else {
+            self.log.begin(task, st, dur)
+        };
         self.events.push(SimEvent::TaskStarted { task, at: st });
         self.workers[s].start(end, task, slot);
+    }
+
+    /// Sends one interconnect message: through the fault layer when one is
+    /// attached (packet id, fate draws, retry deadline), plain otherwise.
+    fn send_msg(
+        &mut self,
+        faults: &mut Option<Box<FaultState<ClusterMsg>>>,
+        from: usize,
+        to: usize,
+        msg: ClusterMsg,
+        words: usize,
+    ) {
+        self.link_sent[to] += 1;
+        match faults.as_mut() {
+            Some(f) => f.send(self.t, from as u16, to as u16, msg, words, &mut self.links),
+            None => {
+                self.links[to].send_words(self.t, Packet::plain(msg), words);
+            }
+        }
+        self.events.push(SimEvent::ShardMsg {
+            from: from as u16,
+            to: to as u16,
+            at: self.t,
+        });
+    }
+
+    /// Handles one delivered interconnect message at shard `s` — the
+    /// shared body behind fresh link deliveries and pause-released
+    /// deferrals.
+    fn deliver(&mut self, s: usize, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::Register { task, deps } => {
+                self.arrived[s].insert(task, deps);
+            }
+            ClusterMsg::Ready { task } => {
+                let ti = task as usize;
+                self.frag_ready[ti] += 1;
+                if self.frag_ready[ti] == self.frag_total[ti] {
+                    debug_assert!(self.local_popped[ti], "local pop counts toward the total");
+                    self.exec_q[s].push_back(task);
+                }
+            }
+            ClusterMsg::Finish { task } => {
+                let slot = self.slot_at[s]
+                    .remove(&task)
+                    .expect("remote fragment popped before its task ran");
+                self.sys[s].notify_finished(FinishedReq {
+                    task: TaskId::new(task),
+                    slot,
+                });
+                self.touched[s] = true;
+            }
+        }
     }
 
     /// Runs the session to quiescence and returns the schedule report plus
@@ -268,6 +389,18 @@ impl ClusterSession {
         self.into_report_full().map(|(r, s, _)| (r, s))
     }
 
+    /// Like [`ClusterSession::into_report_full`], and also returns the
+    /// final fault-protocol counters when an *active* [`FaultPlan`] is
+    /// attached (`None` for fault-free sessions and zero-fault plans, whose
+    /// runs are bit-identical to no plan at all).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterSession::into_report`].
+    pub fn into_output(self) -> Result<ClusterOutput, ClusterError> {
+        self.finish_parts()
+    }
+
     /// Like [`ClusterSession::into_report`], and also returns the run's
     /// [`Timeline`] when the session was opened with a telemetry window:
     /// the cluster series (`workers.busy`, per-link `linkK.inflight` /
@@ -278,14 +411,21 @@ impl ClusterSession {
     ///
     /// See [`ClusterSession::into_report`].
     pub fn into_report_full(
-        mut self,
+        self,
     ) -> Result<(ExecReport, Vec<Stats>, Option<Timeline>), ClusterError> {
+        self.finish_parts().map(|(r, s, tl, _)| (r, s, tl))
+    }
+
+    fn finish_parts(mut self) -> Result<ClusterOutput, ClusterError> {
         if self.par_eligible() {
             // Unbounded drive: the epoch engine stops when every lane is
             // quiescent, exactly where drive_finish would.
             self.drive_events_par(u64::MAX);
-        } else {
+        } else if self.engine_err.is_none() {
             self.drive_finish();
+        }
+        if let Some(e) = self.engine_err.take() {
+            return Err(e);
         }
         let n = self.ingest.admitted;
         let clean = self.log.order.len() == n
@@ -296,6 +436,11 @@ impl ClusterSession {
             && self.expected.iter().all(VecDeque::is_empty)
             && self.next_feed == n;
         if !clean {
+            // A run that completed despite timed-out messages reports
+            // success; only an *incomplete* run surfaces the fault error.
+            if let Some(e) = self.faults.as_ref().and_then(|f| f.error().cloned()) {
+                return Err(e);
+            }
             return Err(ClusterError::Stalled {
                 executed: self.log.order.len(),
                 total: n,
@@ -325,10 +470,12 @@ impl ClusterSession {
             }
             None => None,
         };
+        let fault_counters = self.fault_counters();
         Ok((
             self.log.into_report("cluster", self.cfg.workers),
             stats,
             timeline,
+            fault_counters,
         ))
     }
 }
@@ -338,10 +485,31 @@ impl EventLoopCore for ClusterSession {
     fn pump(&mut self) {
         let k = self.cfg.shards;
         let t = self.t;
+        // The fault layer moves into a local for the pump's duration so
+        // its methods can borrow the links/session state alongside it.
+        let mut faults = self.faults.take();
         for s in self.sys.iter_mut() {
             s.advance_to(t);
         }
         self.touched.iter_mut().for_each(|f| *f = false);
+        // Fault layer first: fail-stop worker faults (a killed in-flight
+        // task re-enters the execution queue for deterministic
+        // re-execution), then due retry deadlines.
+        if let Some(f) = faults.as_mut() {
+            while let Some(sh) = f.due_worker_fault(t) {
+                let s = sh as usize;
+                if let Some((task, slot)) = self.workers[s].fail_one() {
+                    self.local_slot[task as usize] = slot;
+                    self.restarts.insert(task);
+                    self.exec_q[s].push_back(task);
+                    f.note_recovery();
+                }
+            }
+            for (from, to) in f.pump_retries(t, &mut self.links) {
+                self.link_sent[to as usize] += 1;
+                self.events.push(SimEvent::ShardMsg { from, to, at: t });
+            }
+        }
         // Worker completions: notify the local shard now, remote fragment
         // shards over the interconnect.
         for s in 0..k {
@@ -350,48 +518,34 @@ impl EventLoopCore for ClusterSession {
                     task: TaskId::new(task),
                     slot,
                 });
-                for &(r, _) in &self.remote[task as usize] {
-                    self.links[r as usize].send(t, ClusterMsg::Finish { task });
-                    self.link_sent[r as usize] += 1;
-                    self.events.push(SimEvent::ShardMsg {
-                        from: s as u16,
-                        to: r,
-                        at: t,
-                    });
+                for ri in 0..self.remote[task as usize].len() {
+                    let r = self.remote[task as usize][ri].0 as usize;
+                    self.send_msg(&mut faults, s, r, ClusterMsg::Finish { task }, 1);
                 }
                 self.ingest.finished += 1;
                 self.events.push(SimEvent::TaskFinished { task, at: t });
                 self.touched[s] = true;
             }
         }
-        // Interconnect deliveries.
+        // Interconnect deliveries: pause-released deferrals first (they
+        // arrived earlier), then fresh arrivals, each through the fault
+        // layer's receive path when one is attached.
         for s in 0..k {
-            while let Some(msg) = self.links[s].pop_delivery_at(t) {
-                match msg {
-                    ClusterMsg::Register { task, deps } => {
-                        self.arrived[s].insert(task, deps);
+            if let Some(f) = faults.as_mut() {
+                while let Some(pkt) = f.pop_deferred(s, t) {
+                    if let Some(msg) = f.receive(s, t, pkt) {
+                        self.deliver(s, msg);
                     }
-                    ClusterMsg::Ready { task } => {
-                        let ti = task as usize;
-                        self.frag_ready[ti] += 1;
-                        if self.frag_ready[ti] == self.frag_total[ti] {
-                            debug_assert!(
-                                self.local_popped[ti],
-                                "local pop counts toward the total"
-                            );
-                            self.exec_q[s].push_back(task);
+                }
+            }
+            while let Some(pkt) = self.links[s].pop_delivery_at(t) {
+                match faults.as_mut() {
+                    Some(f) => {
+                        if let Some(msg) = f.receive(s, t, pkt) {
+                            self.deliver(s, msg);
                         }
                     }
-                    ClusterMsg::Finish { task } => {
-                        let slot = self.slot_at[s]
-                            .remove(&task)
-                            .expect("remote fragment popped before its task ran");
-                        self.sys[s].notify_finished(FinishedReq {
-                            task: TaskId::new(task),
-                            slot,
-                        });
-                        self.touched[s] = true;
-                    }
+                    None => self.deliver(s, pkt.msg),
                 }
             }
         }
@@ -401,23 +555,17 @@ impl EventLoopCore for ClusterSession {
             let p = self.placement[self.next_feed] as usize;
             self.expected[p].push_back(i);
             self.arrived[p].insert(i, self.local[self.next_feed].clone());
-            for (r, deps) in &self.remote[self.next_feed] {
-                self.expected[*r as usize].push_back(i);
+            for ri in 0..self.remote[self.next_feed].len() {
+                let (r, deps) = self.remote[self.next_feed][ri].clone();
+                self.expected[r as usize].push_back(i);
                 let words = deps.len() + 1;
-                self.link_sent[*r as usize] += 1;
-                self.links[*r as usize].send_words(
-                    t,
-                    ClusterMsg::Register {
-                        task: i,
-                        deps: deps.clone(),
-                    },
+                self.send_msg(
+                    &mut faults,
+                    p,
+                    r as usize,
+                    ClusterMsg::Register { task: i, deps },
                     words,
                 );
-                self.events.push(SimEvent::ShardMsg {
-                    from: p as u16,
-                    to: *r,
-                    at: t,
-                });
             }
             self.next_feed += 1;
         }
@@ -455,14 +603,8 @@ impl EventLoopCore for ClusterSession {
                     // shard over the interconnect.
                     let rt = self.sys[s].pop_ready().expect("peeked");
                     self.slot_at[s].insert(task, rt.slot);
-                    let p = self.placement[ti];
-                    self.links[p as usize].send(t, ClusterMsg::Ready { task });
-                    self.link_sent[p as usize] += 1;
-                    self.events.push(SimEvent::ShardMsg {
-                        from: s as u16,
-                        to: p,
-                        at: t,
-                    });
+                    let p = self.placement[ti] as usize;
+                    self.send_msg(&mut faults, s, p, ClusterMsg::Ready { task }, 1);
                     continue;
                 }
                 if self.frag_ready[ti] + 1 == self.frag_total[ti] {
@@ -487,6 +629,7 @@ impl EventLoopCore for ClusterSession {
                 }
             }
         }
+        self.faults = faults;
     }
 
     fn next_time(&self) -> Option<u64> {
@@ -495,7 +638,10 @@ impl EventLoopCore for ClusterSession {
                 .iter()
                 .map(|s| s.next_event_time())
                 .chain(self.workers.iter().map(|w| w.next_done()))
-                .chain(self.links.iter().map(|l| l.next_delivery())),
+                .chain(self.links.iter().map(|l| l.next_delivery()))
+                .chain(std::iter::once(
+                    self.faults.as_ref().and_then(|f| f.next_time()),
+                )),
         )
     }
 
@@ -550,10 +696,16 @@ impl SessionCore for ClusterSession {
     }
 
     fn advance_to(&mut self, cycle: u64) {
+        if self.engine_err.is_some() {
+            // A caught lane panic killed the session; the error surfaces
+            // from `into_report`.
+            return;
+        }
         if self.par_eligible() {
             self.drive_events_par(cycle);
-            // The serial drive's trailing jump: land exactly on `cycle`.
-            if cycle > self.t {
+            // The serial drive's trailing jump: land exactly on `cycle`
+            // (unless a lane panic just killed the session).
+            if self.engine_err.is_none() && cycle > self.t {
                 self.set_clock(cycle);
                 self.on_clock_jump();
             }
@@ -563,6 +715,9 @@ impl SessionCore for ClusterSession {
     }
 
     fn step(&mut self) -> bool {
+        if self.engine_err.is_some() {
+            return false;
+        }
         self.drive_step()
     }
 

@@ -54,14 +54,16 @@
 //! the merge order does, and that is sorted.
 
 use super::{min_next, ClusterMsg, ClusterSession};
+use crate::config::ClusterError;
+use crate::fault::Packet;
 use picos_core::{FinishedReq, PicosSystem, SlotRef};
 use picos_hil::Link;
 use picos_runtime::par::{available_threads, DisjointSlice, PhaseCell, SpinBarrier};
 use picos_runtime::session::{EventLog, EventLoopCore, ScheduleLog, SimEvent};
 use picos_trace::{Dependence, TaskId};
 use std::collections::{HashMap, VecDeque};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 
 /// Pump-phase tags, in serial pump order at one event time: worker
 /// completions (`Finish` sends, `TaskFinished` events) come before
@@ -118,6 +120,9 @@ struct World<'a> {
     local_slot: DisjointSlice<'a, SlotRef>,
     dispatch: u64,
     collect_events: bool,
+    /// Test hook: the lane id that must panic on its first epoch, so the
+    /// caught-panic path is exercisable without corrupting real state.
+    test_panic: Option<u16>,
 }
 
 /// One shard's private simulation state: exactly the per-shard columns of
@@ -126,7 +131,7 @@ struct Lane {
     id: u16,
     sys: PicosSystem,
     workers: picos_hil::Workers,
-    link: Link<ClusterMsg>,
+    link: Link<Packet<ClusterMsg>>,
     expected: VecDeque<u32>,
     arrived: HashMap<u32, Arc<[Dependence]>>,
     slot_at: HashMap<u32, SlotRef>,
@@ -173,6 +178,9 @@ impl Lane {
 
     /// Simulates every local event strictly before `end`.
     fn run_epoch(&mut self, end: u64, w: &World<'_>) {
+        if w.test_panic == Some(self.id) {
+            panic!("injected test panic in lane {}", self.id);
+        }
         self.seq = 0;
         let mut cur = u64::MAX;
         let mut round = 0u32;
@@ -283,9 +291,11 @@ impl Lane {
             );
             touched = true;
         }
-        // Interconnect deliveries (sent at least one epoch ago).
-        while let Some(msg) = self.link.pop_delivery_at(t) {
-            match msg {
+        // Interconnect deliveries (sent at least one epoch ago). The
+        // parallel engine only ever runs without a fault layer, so every
+        // packet is plain and unwraps directly.
+        while let Some(pkt) = self.link.pop_delivery_at(t) {
+            match pkt.msg {
                 ClusterMsg::Register { task, deps } => {
                     self.arrived.insert(task, deps);
                 }
@@ -428,7 +438,7 @@ fn merge_epoch(lanes: &mut [Lane], m: &mut MergeState<'_>) {
         m.link_sent[o.dest as usize] += 1;
         lanes[o.dest as usize]
             .link
-            .send_words(o.t, o.msg, o.words as usize);
+            .send_words(o.t, Packet::plain(o.msg), o.words as usize);
     }
     // All starts happen in the execution phase, so the schedule-log key
     // needs no phase component.
@@ -456,9 +466,37 @@ fn run_inline(lanes: &mut [Lane], world: &World<'_>, m: &mut MergeState<'_>, la:
     }
 }
 
+/// The panic payload as a message, for [`ClusterError::LanePanic`].
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Records the *first* caught panic. Must be called before poisoning the
+/// barrier so the original panic outranks the secondary poison panics it
+/// releases in the other threads.
+fn note_panic(note: &Mutex<Option<String>>, p: Box<dyn std::any::Any + Send>) {
+    if let Ok(mut slot) = note.lock() {
+        if slot.is_none() {
+            *slot = Some(panic_message(p));
+        }
+    }
+}
+
 /// The epoch loop on `threads` scoped OS threads. Thread 0 is the
 /// coordinator *and* drives lane chunk 0; two barrier waits delimit each
 /// epoch: plan → **barrier** → compute → **barrier** → merge/plan …
+///
+/// A panicking lane (or coordinator) is *caught*: the catcher records the
+/// first panic message, poisons the barrier so every other participant
+/// unblocks (their poison panics are caught and discarded in turn), and
+/// the loop returns the message instead of unwinding — the caller turns it
+/// into a typed [`ClusterError::LanePanic`].
 fn run_threaded(
     lanes: &mut [Lane],
     world: &World<'_>,
@@ -466,16 +504,17 @@ fn run_threaded(
     la: u64,
     bound: u64,
     threads: usize,
-) {
+) -> Option<String> {
     let chunk = lanes.len().div_ceil(threads);
     let barrier = SpinBarrier::new(threads);
     let ctl = PhaseCell::new(Ctl::default());
     let shared = DisjointSlice::new(lanes);
+    let note: Mutex<Option<String>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for tid in 1..threads {
             let lo = tid * chunk;
             let hi = ((tid + 1) * chunk).min(shared.len());
-            let (barrier, ctl, shared) = (&barrier, &ctl, &shared);
+            let (barrier, ctl, shared, note) = (&barrier, &ctl, &shared, &note);
             scope.spawn(move || {
                 let work = || loop {
                     barrier.wait();
@@ -493,10 +532,10 @@ fn run_threaded(
                     barrier.wait();
                 };
                 if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
-                    // Unblock everyone else before propagating, or they
-                    // would spin on a participant that never arrives.
+                    // Record, then unblock everyone else — they would
+                    // otherwise spin on a participant that never arrives.
+                    note_panic(note, p);
                     barrier.poison();
-                    resume_unwind(p);
                 }
             });
         }
@@ -532,10 +571,11 @@ fn run_threaded(
             barrier.wait();
         };
         if let Err(p) = catch_unwind(AssertUnwindSafe(coordinate)) {
+            note_panic(&note, p);
             barrier.poison();
-            resume_unwind(p);
         }
     });
+    note.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 
 impl ClusterSession {
@@ -556,12 +596,19 @@ impl ClusterSession {
     ///   *global* state (summed worker occupancy, every link's flight
     ///   count) at every boundary, an inherently serial observation, so
     ///   timed sessions run the serial reference engine and "parallel
-    ///   equals serial with timelines attached" holds by construction.
+    ///   equals serial with timelines attached" holds by construction;
+    /// * no fault plan — the fault layer's ack/retry and pause bookkeeping
+    ///   is global state threaded through every pump, so faulted sessions
+    ///   run the serial reference engine (bit-identical by the same
+    ///   conformance that pins the parallel engine);
+    /// * no caught lane panic — a dead session must not be driven.
     pub(super) fn par_eligible(&self) -> bool {
         self.cfg.threads > 1
             && self.cfg.shards > 1
             && self.lookahead() > 0
             && self.sampler.is_none()
+            && self.faults.is_none()
+            && self.engine_err.is_none()
     }
 
     /// Drives every event at time ≤ `bound` through the parallel engine:
@@ -626,6 +673,7 @@ impl ClusterSession {
             local_slot: DisjointSlice::new(&mut self.local_slot),
             dispatch: self.cfg.dispatch,
             collect_events: self.events.is_enabled(),
+            test_panic: test_lane_panic(),
         };
         let mut merge = MergeState {
             log: &mut self.log,
@@ -646,11 +694,15 @@ impl ClusterSession {
         if std::env::var_os("PICOS_CLUSTER_FORCE_THREADS").is_none() {
             threads = threads.min(available_threads());
         }
-        if threads <= 1 {
-            run_inline(&mut lanes, &world, &mut merge, lookahead, bound);
+        let panic_note = if threads <= 1 {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_inline(&mut lanes, &world, &mut merge, lookahead, bound)
+            }))
+            .err()
+            .map(panic_message)
         } else {
-            run_threaded(&mut lanes, &world, &mut merge, lookahead, bound, threads);
-        }
+            run_threaded(&mut lanes, &world, &mut merge, lookahead, bound, threads)
+        };
         for lane in lanes {
             self.sys.push(lane.sys);
             self.workers.push(lane.workers);
@@ -660,11 +712,83 @@ impl ClusterSession {
             self.slot_at.push(lane.slot_at);
             self.exec_q.push(lane.exec_q);
         }
+        if let Some(detail) = panic_note {
+            // Lane state past the panic point is unspecified — even the
+            // parity advance below could trip an engine assert. Mark the
+            // session dead so no driver touches it again, and surface the
+            // typed error from `into_report`.
+            self.engine_err = Some(ClusterError::LanePanic { detail });
+            return;
+        }
         // Serial parity: every pump advances every shard core to the
         // current event time; lanes only advanced to their own last event.
         let t = self.t;
         for s in self.sys.iter_mut() {
             s.advance_to(t);
         }
+    }
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Lane id forced to panic on its first epoch (tests only; a
+    /// thread-local so parallel `cargo test` threads stay isolated).
+    static TEST_LANE_PANIC: std::cell::Cell<Option<u16>> =
+        const { std::cell::Cell::new(None) };
+}
+
+#[cfg(test)]
+fn test_lane_panic() -> Option<u16> {
+    TEST_LANE_PANIC.with(|c| c.get())
+}
+
+#[cfg(not(test))]
+fn test_lane_panic() -> Option<u16> {
+    None
+}
+
+#[cfg(test)]
+mod panic_tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::system::run_cluster;
+    use picos_trace::gen;
+
+    #[test]
+    fn lane_panic_surfaces_as_typed_error_not_hang() {
+        // Force real OS threads so the barrier/poison path is exercised
+        // even on a one-core machine (same caveat as the epoch-loop test:
+        // the env var only selects the threaded loop).
+        std::env::set_var("PICOS_CLUSTER_FORCE_THREADS", "1");
+        TEST_LANE_PANIC.with(|c| c.set(Some(3)));
+        let tr = gen::stream(gen::StreamConfig::heavy(200));
+        let cfg = ClusterConfig::balanced(4, 8).with_threads(4);
+        let got = run_cluster(&tr, &cfg);
+        TEST_LANE_PANIC.with(|c| c.set(None));
+        std::env::remove_var("PICOS_CLUSTER_FORCE_THREADS");
+        match got {
+            Err(ClusterError::LanePanic { detail }) => {
+                assert!(
+                    detail.contains("injected test panic in lane 3"),
+                    "panic message must survive: {detail}"
+                );
+            }
+            other => panic!("expected LanePanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_lane_panic_is_caught_too() {
+        TEST_LANE_PANIC.with(|c| c.set(Some(0)));
+        let tr = gen::stream(gen::StreamConfig::heavy(150));
+        // threads > available cores on CI boxes falls back to the inline
+        // epoch loop (no FORCE env), covering the catch there.
+        let cfg = ClusterConfig::balanced(2, 4).with_threads(2);
+        let got = run_cluster(&tr, &cfg);
+        TEST_LANE_PANIC.with(|c| c.set(None));
+        assert!(
+            matches!(got, Err(ClusterError::LanePanic { .. })),
+            "expected LanePanic, got {got:?}"
+        );
     }
 }

@@ -72,6 +72,24 @@ impl Workers {
             _ => None,
         }
     }
+
+    /// Fail-stops one worker (fault injection): capacity shrinks by one
+    /// permanently. A busy worker dies first — its in-flight task is
+    /// returned (with the TM slot it still holds) so the caller can
+    /// re-execute it; with no task running an idle worker dies and `None`
+    /// is returned. The earliest-completing task is the deterministic
+    /// victim. A no-op returning `None` once capacity is exhausted.
+    pub fn fail_one(&mut self) -> Option<(u32, SlotRef)> {
+        if let Some(Reverse((_, task, slot))) = self.heap.pop() {
+            self.total -= 1;
+            return Some((task, slot));
+        }
+        if self.total > 0 && self.idle > 0 {
+            self.total -= 1;
+            self.idle -= 1;
+        }
+        None
+    }
 }
 
 /// Messages crossing the AXI bus.
@@ -151,11 +169,19 @@ impl<T> Link<T> {
     /// Queues a message of `words` payload words at time `t`; the link is
     /// occupied for one `occupancy` per flit. Returns the slot-end time.
     pub fn send_words(&mut self, t: u64, msg: T, words: usize) -> u64 {
+        self.send_words_delayed(t, msg, words, 0)
+    }
+
+    /// Like [`Link::send_words`], but the delivery ages `extra` cycles on
+    /// top of the model latency (fault-injection jitter). Occupancy — and
+    /// therefore every later message's slot — is unchanged: with
+    /// `extra == 0` this is exactly `send_words`.
+    pub fn send_words_delayed(&mut self, t: u64, msg: T, words: usize, extra: u64) -> u64 {
         let s = self.free_at.max(t);
         self.free_at = s + self.model.occupancy * self.model.flits(words);
         self.seq += 1;
         self.deliveries.push(Reverse(LinkEv {
-            at: self.free_at + self.model.latency,
+            at: self.free_at + self.model.latency + extra,
             seq: self.seq,
             msg,
         }));

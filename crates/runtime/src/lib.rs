@@ -34,6 +34,7 @@
 
 mod cost;
 mod depmap;
+mod journal;
 pub mod par;
 mod perfect;
 mod report;
@@ -42,6 +43,7 @@ mod simrt;
 
 pub use cost::NanosCostModel;
 pub use depmap::SoftwareDeps;
+pub use journal::{replay_journal, JournaledSession};
 pub use perfect::{perfect_schedule, PerfectSession};
 pub use report::ExecReport;
 pub use session::{

@@ -472,6 +472,19 @@ impl ScheduleLog {
         at + dur
     }
 
+    /// Re-records a task whose earlier execution was abandoned (fail-stop
+    /// fault recovery): replaces its start/end and moves its entry to the
+    /// back of the execution order — the re-execution is the one that
+    /// really ran, and a restart is always the task's latest start, so the
+    /// order stays topological. Returns the new end.
+    pub fn rebegin(&mut self, task: u32, at: u64, dur: u64) -> u64 {
+        self.start[task as usize] = at;
+        self.end[task as usize] = at + dur;
+        self.order.retain(|&x| x != task);
+        self.order.push(task);
+        at + dur
+    }
+
     /// Finalizes the log into an [`ExecReport`] under an engine label.
     pub fn into_report(self, engine: &str, workers: usize) -> ExecReport {
         ExecReport {

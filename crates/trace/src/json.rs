@@ -59,7 +59,7 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     out.push_str(&json_escape(s));
     out.push('"');
@@ -71,6 +71,89 @@ fn dir_name(d: Direction) -> &'static str {
         Direction::Out => "out",
         Direction::InOut => "inout",
     }
+}
+
+/// Encodes one task descriptor as a JSON object (shared by the trace
+/// format and the session journal, which must agree on the task shape).
+pub(crate) fn task_to_json(out: &mut String, t: &TaskDescriptor) {
+    out.push_str(&format!(
+        "{{\"id\":{},\"kernel\":{},\"duration\":{},\"deps\":[",
+        t.id.raw(),
+        t.kernel.0,
+        t.duration
+    ));
+    for (j, d) in t.deps.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"addr\":{},\"dir\":\"{}\"}}",
+            d.addr,
+            dir_name(d.dir)
+        ));
+    }
+    out.push_str("]}");
+}
+
+/// Decodes one task descriptor from its parsed JSON object. `i` labels
+/// errors ("task {i} ..."); the caller checks id ordering and kernel-table
+/// bounds where those constraints apply.
+pub(crate) fn task_from_value(tv: &Value, i: usize) -> Result<TaskDescriptor, JsonError> {
+    let Value::Obj(t) = tv else {
+        return Err(bad(format!("task {i} must be an object")));
+    };
+    let id = as_u64(
+        t.get("id").ok_or_else(|| bad("task missing id"))?,
+        "task id",
+    )?;
+    if id > u32::MAX as u64 {
+        return Err(bad(format!("task {i} id {id} exceeds 32 bits")));
+    }
+    let kernel = as_u64(t.get("kernel").unwrap_or(&Value::Int(0)), "task kernel")?;
+    if kernel > u16::MAX as u64 {
+        return Err(bad(format!("task {i} kernel {kernel} out of range")));
+    }
+    let duration = as_u64(
+        t.get("duration")
+            .ok_or_else(|| bad("task missing duration"))?,
+        "task duration",
+    )?;
+    let mut deps = Vec::new();
+    for dv in as_arr(t.get("deps"), "task deps")? {
+        let Value::Obj(d) = dv else {
+            return Err(bad(format!("dependence of task {i} must be an object")));
+        };
+        let addr = as_u64(
+            d.get("addr").ok_or_else(|| bad("dep missing addr"))?,
+            "dep addr",
+        )?;
+        let dir = match as_str(
+            d.get("dir").ok_or_else(|| bad("dep missing dir"))?,
+            "dep dir",
+        )? {
+            "in" => Direction::In,
+            "out" => Direction::Out,
+            "inout" => Direction::InOut,
+            other => return Err(bad(format!("unknown dependence direction '{other}'"))),
+        };
+        deps.push(Dependence::new(addr, dir));
+    }
+    if deps.len() > crate::task::MAX_DEPS_PER_TASK {
+        return Err(bad(format!(
+            "task {i} has {} dependences, hardware limit is {}",
+            deps.len(),
+            crate::task::MAX_DEPS_PER_TASK
+        )));
+    }
+    // TaskDescriptor::new re-merges duplicate addresses, which is a
+    // no-op for encoder-produced JSON and a sanitizer for hand-written
+    // inputs.
+    Ok(TaskDescriptor::new(
+        TaskId::new(id as u32),
+        KernelClass(kernel as u16),
+        deps,
+        duration,
+    ))
 }
 
 /// Encodes a trace to a JSON string.
@@ -98,23 +181,7 @@ pub(crate) fn trace_to_json(tr: &Trace) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"id\":{},\"kernel\":{},\"duration\":{},\"deps\":[",
-            t.id.raw(),
-            t.kernel.0,
-            t.duration
-        ));
-        for (j, d) in t.deps.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"addr\":{},\"dir\":\"{}\"}}",
-                d.addr,
-                dir_name(d.dir)
-            ));
-        }
-        out.push_str("]}");
+        task_to_json(&mut out, t);
     }
     out.push_str("],\"barriers\":[");
     for (i, b) in tr.barriers().iter().enumerate() {
@@ -136,7 +203,7 @@ pub(crate) fn trace_to_json(tr: &Trace) -> String {
 /// through `f64` would silently round addresses above 2^53 — dependence
 /// addresses are full 64-bit byte addresses.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Int(u64),
@@ -335,7 +402,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse_value(s: &str) -> Result<Value, JsonError> {
+pub(crate) fn parse_value(s: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -348,14 +415,14 @@ fn parse_value(s: &str) -> Result<Value, JsonError> {
     Ok(v)
 }
 
-fn bad(message: impl Into<String>) -> JsonError {
+pub(crate) fn bad(message: impl Into<String>) -> JsonError {
     JsonError {
         message: message.into(),
         offset: 0,
     }
 }
 
-fn as_u64(v: &Value, what: &str) -> Result<u64, JsonError> {
+pub(crate) fn as_u64(v: &Value, what: &str) -> Result<u64, JsonError> {
     match v {
         Value::Int(n) => Ok(*n),
         _ => Err(bad(format!("{what} must be a non-negative integer"))),
@@ -369,14 +436,14 @@ fn as_opt_u64(v: Option<&Value>, what: &str) -> Result<Option<u64>, JsonError> {
     }
 }
 
-fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, JsonError> {
+pub(crate) fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, JsonError> {
     match v {
         Value::Str(s) => Ok(s),
         _ => Err(bad(format!("{what} must be a string"))),
     }
 }
 
-fn as_arr<'v>(v: Option<&'v Value>, what: &str) -> Result<&'v [Value], JsonError> {
+pub(crate) fn as_arr<'v>(v: Option<&'v Value>, what: &str) -> Result<&'v [Value], JsonError> {
     match v {
         Some(Value::Arr(items)) => Ok(items),
         None => Err(bad(format!("missing field {what}"))),
@@ -409,61 +476,20 @@ pub(crate) fn trace_from_json(s: &str) -> Result<Trace, JsonError> {
 
     let mut tasks = Vec::new();
     for (i, tv) in as_arr(top.get("tasks"), "tasks")?.iter().enumerate() {
-        let Value::Obj(t) = tv else {
-            return Err(bad(format!("task {i} must be an object")));
-        };
-        let id = as_u64(
-            t.get("id").ok_or_else(|| bad("task missing id"))?,
-            "task id",
-        )?;
-        if id != i as u64 {
-            return Err(bad(format!("task {i} has out-of-order id {id}")));
-        }
-        let kernel = as_u64(t.get("kernel").unwrap_or(&Value::Int(0)), "task kernel")? as usize;
-        if kernel >= kernel_names.len() {
-            return Err(bad(format!("task {i} kernel {kernel} out of range")));
-        }
-        let duration = as_u64(
-            t.get("duration")
-                .ok_or_else(|| bad("task missing duration"))?,
-            "task duration",
-        )?;
-        let mut deps = Vec::new();
-        for dv in as_arr(t.get("deps"), "task deps")? {
-            let Value::Obj(d) = dv else {
-                return Err(bad(format!("dependence of task {i} must be an object")));
-            };
-            let addr = as_u64(
-                d.get("addr").ok_or_else(|| bad("dep missing addr"))?,
-                "dep addr",
-            )?;
-            let dir = match as_str(
-                d.get("dir").ok_or_else(|| bad("dep missing dir"))?,
-                "dep dir",
-            )? {
-                "in" => Direction::In,
-                "out" => Direction::Out,
-                "inout" => Direction::InOut,
-                other => return Err(bad(format!("unknown dependence direction '{other}'"))),
-            };
-            deps.push(Dependence::new(addr, dir));
-        }
-        if deps.len() > crate::task::MAX_DEPS_PER_TASK {
+        let task = task_from_value(tv, i)?;
+        if task.id.index() != i {
             return Err(bad(format!(
-                "task {i} has {} dependences, hardware limit is {}",
-                deps.len(),
-                crate::task::MAX_DEPS_PER_TASK
+                "task {i} has out-of-order id {}",
+                task.id.raw()
             )));
         }
-        // TaskDescriptor::new re-merges duplicate addresses, which is a
-        // no-op for traces produced by `to_json` and a sanitizer for
-        // hand-written inputs.
-        tasks.push(TaskDescriptor::new(
-            TaskId::new(id as u32),
-            KernelClass(kernel as u16),
-            deps,
-            duration,
-        ));
+        if task.kernel.0 as usize >= kernel_names.len() {
+            return Err(bad(format!(
+                "task {i} kernel {} out of range",
+                task.kernel.0
+            )));
+        }
+        tasks.push(task);
     }
 
     let mut barriers = Vec::new();

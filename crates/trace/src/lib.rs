@@ -25,12 +25,14 @@
 
 pub mod gen;
 mod graph;
+mod journal;
 mod json;
 pub mod rng;
 mod task;
 mod trace;
 
 pub use graph::{ParallelismProfile, TaskGraph};
+pub use journal::{JournalOp, SessionJournal};
 pub use json::{json_escape, JsonError};
 pub use task::{Dependence, Direction, KernelClass, TaskDescriptor, TaskId, MAX_DEPS_PER_TASK};
 pub use trace::{Trace, TraceStats};

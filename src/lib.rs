@@ -67,7 +67,7 @@ pub mod prelude {
     // above (the HIL-flavoured wrapper re-exports the metrics-crate type).
     pub use picos_cluster::{
         home_shard, merged_stats, run_cluster, run_cluster_with_stats, ClusterConfig, ClusterError,
-        ShardPolicy,
+        FaultCounters, FaultPlan, ShardPause, ShardPolicy, WorkerFault,
     };
     pub use picos_core::{
         DmDesign, EngineError, FinishedReq, PicosConfig, PicosSystem, Timing, TsPolicy,
@@ -81,10 +81,12 @@ pub mod prelude {
     };
     pub use picos_resources::{full_picos_resources, table3, ResourceEstimate, XC7Z020};
     pub use picos_runtime::{
-        perfect_schedule, run_software, ExecReport, NanosCostModel, SwRuntimeConfig,
+        perfect_schedule, replay_journal, run_software, ExecReport, JournaledSession,
+        NanosCostModel, SwRuntimeConfig,
     };
     pub use picos_trace::gen;
     pub use picos_trace::{
-        Dependence, Direction, TaskDescriptor, TaskGraph, TaskId, Trace, TraceStats,
+        Dependence, Direction, JournalOp, SessionJournal, TaskDescriptor, TaskGraph, TaskId, Trace,
+        TraceStats,
     };
 }

@@ -104,6 +104,100 @@ fn invalid_config_rejected() {
     let _ = PicosSystem::new(cfg);
 }
 
+/// Cluster per-shard TM exhaustion: far more independent tasks than any
+/// shard's TM slots. Each shard's Gateway backpressures its own ingress,
+/// the Distributor keeps feeding as finishes drain slots, and the run
+/// completes with TM stalls on record.
+#[test]
+fn cluster_tm_exhaustion_stalls_and_recovers() {
+    let mut trace = Trace::new("cluster-tm-stress");
+    for _ in 0..1200 {
+        trace.push(KernelClass::GENERIC, [], 50_000);
+    }
+    let cfg = ClusterConfig::balanced(4, 8);
+    let (r, per_shard) = run_cluster_with_stats(&trace, &cfg).unwrap();
+    assert_eq!(r.order.len(), 1200);
+    let merged = merged_stats(&per_shard);
+    assert!(merged.tm_stalls > 0, "must have hit a shard's TM limit");
+    assert!(merged.peak_in_flight <= 256, "per-shard TM capacity holds");
+    r.validate(&trace).unwrap();
+}
+
+/// Cluster per-shard VM exhaustion: shrunken Dependence Memories force
+/// version stalls on every shard, but the sharded engine never wedges.
+#[test]
+fn cluster_vm_exhaustion_stalls_and_recovers() {
+    let mut picos = PicosConfig::balanced();
+    picos.vm_entries = 8;
+    let mut trace = Trace::new("cluster-vm-stress");
+    for i in 0..240u64 {
+        trace.push(
+            KernelClass::GENERIC,
+            [
+                Dependence::input(0x1000 + (i % 40) * 8),
+                Dependence::output(0x9000 + i * 8),
+            ],
+            5_000,
+        );
+    }
+    let cfg = ClusterConfig {
+        picos,
+        ..ClusterConfig::balanced(4, 8)
+    };
+    let (r, per_shard) = run_cluster_with_stats(&trace, &cfg).unwrap();
+    assert_eq!(r.order.len(), 240);
+    let merged = merged_stats(&per_shard);
+    assert!(merged.vm_stalls > 0, "must have hit a shard's VM limit");
+    assert!(merged.peak_vm_live <= 8, "per-shard VM capacity holds");
+    r.validate(&trace).unwrap();
+}
+
+/// Termination property: a random fault plan over a random trace must
+/// always terminate — either completing a valid schedule or surfacing a
+/// typed retry-exhaustion error. Never a hang, never a panic. Plans are
+/// drawn across the whole fault taxonomy: drop/dup/jitter rates, tight
+/// retry budgets, shard pauses and fail-stop worker faults.
+#[test]
+fn random_fault_plans_always_terminate() {
+    use picos_repro::trace::rng::SplitMix64;
+    for seed in 0..12u64 {
+        let mut rng = SplitMix64::new(0xFA017 ^ seed);
+        let tr = gen::random_trace(gen::RandomConfig::default(), seed);
+        let mut plan = FaultPlan::new(rng.next_u64())
+            .with_drop_rate(rng.f64() * 0.4)
+            .with_dup_rate(rng.f64() * 0.3)
+            .with_jitter(rng.f64() * 0.5, rng.range_u64(1, 64))
+            .with_link_timeout(rng.range_u64(32, 2048))
+            .with_max_retries(rng.range_u64(1, 6) as u32);
+        let shards = 4;
+        if rng.bool(0.5) {
+            let at = rng.range_u64(0, 40_000);
+            plan = plan.with_pause(
+                rng.range_u64(0, 3) as u16,
+                at,
+                at + rng.range_u64(1, 30_000),
+            );
+        }
+        if rng.bool(0.5) {
+            // One fault per shard at most: balanced(4, 8) gives every
+            // shard two workers, so one fail-stop still leaves one.
+            plan = plan.with_worker_fault(rng.range_u64(0, 3) as u16, rng.range_u64(0, 60_000));
+        }
+        let cfg = ClusterConfig::balanced(shards, 8).with_faults(plan.clone());
+        match run_cluster(&tr, &cfg) {
+            Ok(r) => {
+                assert_eq!(r.order.len(), tr.len(), "seed {seed}: tasks missing");
+                r.validate(&tr)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+            Err(ClusterError::LinkTimeout { attempts, .. }) => {
+                assert!(attempts >= 1, "seed {seed}: exhausted without retrying");
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other:?} under {plan:?}"),
+        }
+    }
+}
+
 /// The full-system driver completes even when the worker count far exceeds
 /// the available parallelism (idle workers are harmless).
 #[test]
