@@ -14,6 +14,7 @@ use crate::backends::BackendError;
 use picos_cluster::{merged_stats, ClusterSession};
 use picos_core::Stats;
 use picos_hil::HilSession;
+use picos_metrics::span::SpanLog;
 use picos_metrics::{MergeRule, MetricSet, Timeline};
 use picos_runtime::{ExecReport, PerfectSession, SoftwareSession};
 use std::fmt;
@@ -36,6 +37,14 @@ pub struct SessionOutput {
     pub stats: Option<Stats>,
     /// Cycle-windowed telemetry, when a timeline window was requested.
     pub timeline: Option<Timeline>,
+    /// Task-lifecycle span events, when the session was opened with
+    /// [`SessionConfig::trace_spans`]. Recording order (merged across
+    /// engine layers and simulation lanes): the analysis entry points —
+    /// the critical-path walker, the Perfetto exporter — are
+    /// order-insensitive, so the finish path does not pay for a sort;
+    /// call [`SpanLog::canonical_sort`] before comparing logs
+    /// byte-for-byte or relying on a deterministic event order.
+    pub spans: Option<SpanLog>,
     /// The run's counters under the unified metrics vocabulary.
     pub metrics: MetricSet,
 }
@@ -52,7 +61,11 @@ fn run_metrics(report: &ExecReport) -> MetricSet {
 
 /// Output of an engine without modelled hardware: schedule facts plus a
 /// schedule-derived worker-occupancy timeline when one was requested.
-fn plain_output(report: ExecReport, timeline_window: Option<u64>) -> SessionOutput {
+fn plain_output(
+    report: ExecReport,
+    timeline_window: Option<u64>,
+    spans: Option<SpanLog>,
+) -> SessionOutput {
     let timeline = timeline_window
         .map(|w| Timeline::from_schedule(w, &report.start, &report.end, report.makespan));
     let metrics = run_metrics(&report);
@@ -60,6 +73,7 @@ fn plain_output(report: ExecReport, timeline_window: Option<u64>) -> SessionOutp
         report,
         stats: None,
         timeline,
+        spans,
         metrics,
     }
 }
@@ -98,27 +112,29 @@ pub trait SimSession: SessionCore + Send + fmt::Debug {
 impl SimSession for PerfectSession {
     fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
         let window = self.timeline_window();
-        Ok(plain_output((*self).into_report(), window))
+        let (report, spans) = (*self).into_output();
+        Ok(plain_output(report, window, spans))
     }
 }
 
 impl SimSession for SoftwareSession {
     fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
         let window = self.timeline_window();
-        let report = (*self).into_report().map_err(BackendError::from)?;
-        Ok(plain_output(report, window))
+        let (report, spans) = (*self).into_output().map_err(BackendError::from)?;
+        Ok(plain_output(report, window, spans))
     }
 }
 
 impl SimSession for HilSession {
     fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
-        let (report, stats, timeline) = (*self).into_report_full().map_err(BackendError::from)?;
+        let (report, stats, timeline, spans) = (*self).into_output().map_err(BackendError::from)?;
         let mut metrics = run_metrics(&report);
         metrics.extend_scoped("core.", &stats.metric_set());
         Ok(SessionOutput {
             report,
             stats: Some(stats),
             timeline,
+            spans,
             metrics,
         })
     }
@@ -126,7 +142,7 @@ impl SimSession for HilSession {
 
 impl SimSession for ClusterSession {
     fn finish_full(self: Box<Self>) -> Result<SessionOutput, BackendError> {
-        let (report, per_shard, timeline, faults) =
+        let (report, per_shard, timeline, faults, spans) =
             (*self).into_output().map_err(BackendError::from)?;
         let mut metrics = run_metrics(&report);
         for (k, stats) in per_shard.iter().enumerate() {
@@ -147,6 +163,7 @@ impl SimSession for ClusterSession {
             report,
             stats: Some(merged),
             timeline,
+            spans,
             metrics,
         })
     }

@@ -14,9 +14,10 @@ use crate::session::SessionConfig;
 use picos_cluster::FaultPlan;
 use picos_core::{DmDesign, PicosConfig, TsPolicy};
 use picos_hil::LinkModel;
+use picos_metrics::span;
 use picos_metrics::Timeline;
 use picos_trace::gen::App;
-use picos_trace::{json_escape, Trace};
+use picos_trace::{json_escape, TaskGraph, TaskId, Trace};
 use std::fmt;
 use std::sync::Arc;
 
@@ -166,6 +167,11 @@ pub struct SweepRow {
     /// cycles over time; see [`SweepResult::timelines_csv`] for the
     /// long-format emit).
     pub timeline: Option<Timeline>,
+    /// Critical-path composition of the cell's makespan, when the sweep
+    /// was built with [`Sweep::critical_path`]: the compact
+    /// `category:cycles;...` rendering of
+    /// [`span::CriticalPath::compact`], whose cycles sum to the makespan.
+    pub critical_path: Option<String>,
     /// Error description when the cell failed or was skipped.
     pub error: Option<String>,
 }
@@ -218,12 +224,12 @@ impl SweepResult {
         let mut out = String::from(
             "workload,block_size,backend,workers,dm,instances,shards,threads,makespan,\
              sequential,speedup,dm_conflicts,vm_stalls,tm_stalls,drop_rate,link_drops,\
-             link_retries,error\n",
+             link_retries,critical_path,error\n",
         );
         let opt = |v: &Option<u64>| v.map_or(String::new(), |v| v.to_string());
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{}\n",
                 csv_field(&r.workload),
                 r.block_size.map_or(String::new(), |v| v.to_string()),
                 r.backend,
@@ -241,6 +247,7 @@ impl SweepResult {
                 r.drop_rate.map_or(String::new(), |v| format!("{v}")),
                 opt(&r.link_drops),
                 opt(&r.link_retries),
+                csv_field(r.critical_path.as_deref().unwrap_or("")),
                 csv_field(r.error.as_deref().unwrap_or("")),
             ));
         }
@@ -261,7 +268,8 @@ impl SweepResult {
                  \"threads\":{},\"makespan\":{},\
                  \"sequential\":{},\"speedup\":{:.6},\"dm_conflicts\":{},\
                  \"vm_stalls\":{},\"tm_stalls\":{},\"drop_rate\":{},\
-                 \"link_drops\":{},\"link_retries\":{},\"error\":{}}}",
+                 \"link_drops\":{},\"link_retries\":{},\"critical_path\":{},\
+                 \"error\":{}}}",
                 json_escape(&r.workload),
                 r.block_size.map_or("null".to_string(), |v| v.to_string()),
                 r.backend,
@@ -279,6 +287,9 @@ impl SweepResult {
                 r.drop_rate.map_or("null".to_string(), |v| format!("{v}")),
                 opt(&r.link_drops),
                 opt(&r.link_retries),
+                r.critical_path
+                    .as_deref()
+                    .map_or("null".to_string(), |c| format!("\"{}\"", json_escape(c))),
                 r.error
                     .as_deref()
                     .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e))),
@@ -372,6 +383,7 @@ pub struct Sweep {
     ts_policy: TsPolicy,
     link: LinkModel,
     timeline: Option<u64>,
+    critical_path: bool,
     threads: Option<usize>,
     cluster_threads: usize,
     faults: Vec<Option<FaultPlan>>,
@@ -391,6 +403,7 @@ impl Sweep {
             ts_policy: TsPolicy::Fifo,
             link: LinkModel::interconnect(),
             timeline: None,
+            critical_path: false,
             threads: None,
             cluster_threads: 1,
             faults: vec![None],
@@ -459,6 +472,16 @@ impl Sweep {
     /// counters are unchanged.
     pub fn timeline(mut self, window: u64) -> Self {
         self.timeline = Some(window);
+        self
+    }
+
+    /// Records task-lifecycle spans for every cell and attributes each
+    /// cell's makespan along its critical path, stored compactly on
+    /// [`SweepRow::critical_path`] (`category:cycles;...`, summing to the
+    /// makespan) and emitted in the `critical_path` column. Span tracing
+    /// is observation-only: makespans and counters are unchanged.
+    pub fn critical_path(mut self) -> Self {
+        self.critical_path = true;
         self
     }
 
@@ -590,7 +613,14 @@ impl Sweep {
             // Cells carry the index of their workload, so duplicate labels
             // can never resolve to the wrong trace.
             let trace = &self.workloads[cell.workload_index].trace;
-            let row = run_cell(cell, trace, self.ts_policy, self.link, self.timeline);
+            let row = run_cell(
+                cell,
+                trace,
+                self.ts_policy,
+                self.link,
+                self.timeline,
+                self.critical_path,
+            );
             if self.fail_fast && row.error.is_some() {
                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
             }
@@ -622,6 +652,7 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
         link_drops: None,
         link_retries: None,
         timeline: None,
+        critical_path: None,
         error: Some("skipped: an earlier cell failed (fail-fast)".into()),
     }
 }
@@ -632,6 +663,7 @@ fn run_cell(
     ts_policy: TsPolicy,
     link: LinkModel,
     timeline: Option<u64>,
+    critical_path: bool,
 ) -> SweepRow {
     let backend = cell
         .backend
@@ -645,6 +677,7 @@ fn run_cell(
     row.error = None;
     let cfg = SessionConfig {
         timeline_window: timeline,
+        trace_spans: critical_path,
         ..SessionConfig::batch()
     };
     match backend.run_with_telemetry(trace, cfg) {
@@ -661,6 +694,12 @@ fn run_cell(
             row.link_drops = out.metrics.value("faults.drops");
             row.link_retries = out.metrics.value("faults.retries");
             row.timeline = out.timeline;
+            if let Some(log) = &out.spans {
+                let g = TaskGraph::build(trace);
+                row.critical_path =
+                    span::critical_path(log, |t| g.preds(TaskId::new(t)).to_vec(), row.makespan)
+                        .map(|cp| cp.compact());
+            }
         }
         Err(e) => {
             row.sequential = trace.sequential_time();
@@ -827,6 +866,42 @@ mod tests {
     }
 
     #[test]
+    fn critical_path_column_sums_to_makespan_and_changes_nothing() {
+        let grid = || {
+            Sweep::over_apps([App::Cholesky], [256])
+                .workers([4])
+                .backends([
+                    BackendSpec::Perfect,
+                    BackendSpec::Picos(HilMode::HwOnly),
+                    BackendSpec::Cluster(2),
+                ])
+        };
+        let plain = grid().run();
+        let attributed = grid().critical_path().run();
+        assert_eq!(attributed.first_error(), None);
+        for (p, a) in plain.rows().iter().zip(attributed.rows()) {
+            // Span tracing is observation-only: the measured outcome of
+            // every cell is unchanged.
+            assert_eq!(p.makespan, a.makespan, "cell {}", a.backend);
+            assert_eq!(p.dm_conflicts, a.dm_conflicts);
+            assert!(p.critical_path.is_none());
+            // The composition is present and its cycles account for the
+            // whole makespan.
+            let compact = a.critical_path.as_deref().expect("composition recorded");
+            let total: u64 = compact
+                .split(';')
+                .map(|part| part.split_once(':').unwrap().1.parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(total, a.makespan, "cell {}", a.backend);
+        }
+        let csv = attributed.to_csv();
+        assert!(csv.lines().next().unwrap().contains(",critical_path,"));
+        assert!(attributed.to_json().contains("\"critical_path\":\""));
+        // Determinism: rerunning the attributed grid reproduces it.
+        assert_eq!(attributed, grid().critical_path().run());
+    }
+
+    #[test]
     fn cluster_threads_cap_at_shards_and_change_nothing_but_wall_clock() {
         let grid = |ct: usize| {
             Sweep::over_apps([App::SparseLu], [128])
@@ -926,7 +1001,7 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .ends_with("drop_rate,link_drops,link_retries,error"));
+            .ends_with("drop_rate,link_drops,link_retries,critical_path,error"));
         assert!(result.to_json().contains("\"drop_rate\":0.05"));
         // Determinism: the same faulted grid reruns identically.
         assert_eq!(result, grid().run());

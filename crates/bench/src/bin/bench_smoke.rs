@@ -18,7 +18,7 @@
 //!
 //! Knob: `BENCH_SMOKE_MS` — per-measurement sampling window (default 300).
 
-use picos_backend::{pace, BackendSpec, FaultPlan, Sweep, Workload};
+use picos_backend::{pace, BackendSpec, FaultPlan, SessionConfig, Sweep, Workload};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem};
 use picos_hil::HilMode;
 use picos_trace::gen::{self, App};
@@ -112,6 +112,85 @@ fn main() {
         std::hint::black_box(hw.run(&trace).expect("batch run completes"));
     });
     let batch_tasks_per_sec = batch_runs_per_sec * tasks;
+
+    // Span-recorder overhead guard: the same session-driven batch run with
+    // and without task-lifecycle span tracing attached, interleaved A/B
+    // like the timeline guard above. Tracing adds one preallocated-vec
+    // push per lifecycle event; the guard pins that the full spans-on run
+    // stays within 10% of spans-off throughput.
+    let batch_run = |spans: bool| {
+        let cfg = SessionConfig {
+            trace_spans: spans,
+            ..SessionConfig::batch()
+        };
+        let out = hw
+            .run_with_telemetry(&trace, cfg)
+            .expect("batch run completes");
+        std::hint::black_box(out.report.makespan);
+        std::hint::black_box(out.spans.map(|l| l.len()));
+    };
+    // Median-of-iterations per side (like the cluster A/B below): the
+    // 10% gate is tighter than host noise on a mean, medians are stable.
+    let mut span_times: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    {
+        batch_run(false);
+        batch_run(true);
+        let start = Instant::now();
+        while start.elapsed() < window * 2 || span_times[1].is_empty() {
+            for (side, spans) in [(0, false), (1, true)] {
+                let t0 = Instant::now();
+                batch_run(spans);
+                span_times[side].push(t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let [spans_off_tasks_per_sec, spans_on_tasks_per_sec] = span_times.map(|mut v| {
+        v.sort_unstable_by(f64::total_cmp);
+        tasks / v[v.len() / 2]
+    });
+
+    // Timeline-shape regression gate: one golden workload through the
+    // batch path with a coarse window attached, asserting the exact
+    // invariants of the sampled series (delta series reproduce their
+    // end-of-run counters; samples tile the run). Runs are deterministic,
+    // so a violation means the sampler or a probe site regressed.
+    {
+        let cfg = SessionConfig {
+            timeline_window: Some(65_536),
+            ..SessionConfig::batch()
+        };
+        let out = hw
+            .run_with_telemetry(&trace, cfg)
+            .expect("golden timeline run completes");
+        let tl = out.timeline.as_ref().expect("timeline was requested");
+        let stats = out.stats.as_ref().expect("picos backends report stats");
+        assert!(!tl.is_empty(), "golden run must produce samples");
+        assert_eq!(tl.sample(0).0, 0, "first window starts at cycle 0");
+        let column_sum = |suffix: &str| -> u64 {
+            let name = tl
+                .series()
+                .iter()
+                .map(|s| s.name.clone())
+                .find(|n| n.ends_with(suffix))
+                .unwrap_or_else(|| panic!("series *{suffix} must exist"));
+            tl.column(&name).expect("column exists").iter().sum()
+        };
+        assert_eq!(
+            column_sum("done.tasks"),
+            trace.len() as u64,
+            "done.tasks deltas must sum to the task count"
+        );
+        assert_eq!(
+            column_sum("busy.ts"),
+            stats.busy_ts,
+            "busy.ts deltas must reproduce the end-of-run counter"
+        );
+        assert_eq!(
+            column_sum("done.deps"),
+            stats.deps_processed,
+            "done.deps deltas must reproduce the end-of-run counter"
+        );
+    }
 
     // The streaming session at saturation: open-loop arrivals every cycle
     // against a bounded in-flight window, so admission backpressure and
@@ -218,6 +297,8 @@ fn main() {
          \"speedup_vs_baseline\": {:.2},\n  \
          \"metrics_off_tasks_per_sec\": {:.0},\n  \
          \"metrics_timeline_tasks_per_sec\": {:.0},\n  \
+         \"spans_off_tasks_per_sec\": {:.0},\n  \
+         \"spans_on_tasks_per_sec\": {:.0},\n  \
          \"batch_tasks_per_sec\": {:.0},\n  \
          \"session_tasks_per_sec\": {:.0},\n  \"sweep_cells\": {},\n  \
          \"sweep_cells_per_sec\": {:.1},\n  \"cluster_cells\": {},\n  \
@@ -231,6 +312,8 @@ fn main() {
         tasks_per_sec / BASELINE_TASKS_PER_SEC,
         metrics_off_tasks_per_sec,
         metrics_timeline_tasks_per_sec,
+        spans_off_tasks_per_sec,
+        spans_on_tasks_per_sec,
         batch_tasks_per_sec,
         session_tasks_per_sec,
         cells as u64,
@@ -265,6 +348,18 @@ fn main() {
             "FAIL: coarse-window timeline run {metrics_timeline_tasks_per_sec:.0} \
              tasks/s fell more than 10% below the probes-only \
              {metrics_off_tasks_per_sec:.0} tasks/s"
+        );
+        std::process::exit(1);
+    }
+    // CI assertion: attaching the span recorder must cost no more than 10%
+    // of batch throughput — the span layer's overhead contract (one branch
+    // per lifecycle site when detached, one preallocated push when
+    // attached). Interleaved A/B measurement keeps host noise symmetric.
+    if spans_on_tasks_per_sec < spans_off_tasks_per_sec * 0.9 {
+        eprintln!(
+            "FAIL: spans-on batch run {spans_on_tasks_per_sec:.0} tasks/s \
+             fell more than 10% below the spans-off \
+             {spans_off_tasks_per_sec:.0} tasks/s"
         );
         std::process::exit(1);
     }

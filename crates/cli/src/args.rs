@@ -14,19 +14,27 @@ pub struct Args {
     pub options: HashMap<String, String>,
 }
 
+/// Options that are boolean flags: present or absent, never consuming a
+/// value (they parse as `"true"`).
+const FLAGS: &[&str] = &["critical-path"];
+
 impl Args {
     /// Parses an iterator of arguments (without the program name).
     ///
     /// # Errors
     ///
-    /// Returns an error when no subcommand is present or a `--key` misses
-    /// its value.
+    /// Returns an error when no subcommand is present or a non-flag
+    /// `--key` misses its value.
     pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         let command = argv.next().ok_or_else(usage)?;
         let mut positional = Vec::new();
         let mut options = HashMap::new();
         while let Some(a) = argv.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if FLAGS.contains(&key) {
+                    options.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = argv
                     .next()
                     .ok_or_else(|| format!("option --{key} needs a value"))?;
@@ -96,9 +104,15 @@ commands:
        paced:   --paced <interarrival-cycles> [--window <in-flight cap>]
                 open-loop streaming session; prints offered vs achieved
                 rate and the backpressure ratio
-       telemetry: --timeline <window-cycles> attaches a cycle-windowed
-                sampler (per-unit busy cycles, queue/memory occupancy);
+       telemetry: --timeline <window-cycles|auto> attaches a cycle-windowed
+                sampler (per-unit busy cycles, queue/memory occupancy;
+                `auto` picks a power-of-two window from the workload size);
                 emit with --metrics-json <path> and/or --metrics-csv <path>
+       spans:   --trace-out <file> records task-lifecycle spans and writes
+                a Chrome Trace Event / Perfetto JSON trace of the run
+                (open in ui.perfetto.dev); --critical-path walks the spans
+                backward from the last finish and prints the makespan
+                attributed by category (exec, dispatch, queueing, link...)
   sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
        [--threads <n>] [--out results.csv]      cells run in parallel
        [--shards <n>] [--link-latency <c>]      (cluster cells)
@@ -108,6 +122,9 @@ commands:
        [--timeline <w>]                         per-cell telemetry; with
                                                 --out also writes
                                                 <out>.timeline.csv
+       [--critical-path]                        per-cell makespan
+                                                attribution in the
+                                                critical_path column
   resources [--dm <design>] [--instances <n>]   FPGA cost estimate
   apps                                          list available generators
   engines                                       list available backends
@@ -141,6 +158,17 @@ mod tests {
     #[test]
     fn missing_value_is_error() {
         assert!(parse(&["run", "--workers"]).is_err());
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        // A flag at the end of the line, and one followed by a normal
+        // option: neither may consume the next token.
+        let a = parse(&["run", "t.json", "--critical-path"]).unwrap();
+        assert_eq!(a.options["critical-path"], "true");
+        let a = parse(&["run", "--critical-path", "--workers", "8"]).unwrap();
+        assert!(a.options.contains_key("critical-path"));
+        assert_eq!(a.opt("workers", 1usize).unwrap(), 8);
     }
 
     #[test]

@@ -12,9 +12,9 @@ use picos_backend::{pace, BackendSpec, ExecBackend, SessionConfig, Sweep, Worklo
 use picos_cluster::{FaultPlan, ShardPolicy};
 use picos_core::{DmDesign, PicosConfig, Stats, TsPolicy};
 use picos_hil::LinkModel;
-use picos_metrics::{MetricSet, Timeline};
+use picos_metrics::{span, MetricSet, Timeline};
 use picos_resources::{full_picos_resources, XC7Z020};
-use picos_trace::{gen, Trace};
+use picos_trace::{gen, TaskGraph, TaskId, Trace};
 use std::sync::Arc;
 
 fn main() {
@@ -250,6 +250,23 @@ fn build_backend(a: &Args) -> Result<Box<dyn ExecBackend>, String> {
         .build())
 }
 
+/// The `--timeline` sampling window: an explicit cycle count wins;
+/// `auto` derives a power-of-two window from the workload's size
+/// (sequential time spread over the workers, targeting ~256 samples).
+fn timeline_window(a: &Args, trace: &Trace, workers: usize) -> Result<Option<u64>, String> {
+    match a.options.get("timeline").map(String::as_str) {
+        None => Ok(None),
+        Some("auto") => {
+            let estimate = trace.sequential_time() / workers.max(1) as u64;
+            Ok(Some(span::auto_window(estimate, 256)))
+        }
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("invalid value for --timeline: {v} (cycles or `auto`)")),
+    }
+}
+
 /// An optional `--key <u64>` option.
 fn opt_u64(a: &Args, key: &str) -> Result<Option<u64>, String> {
     match a.options.get(key) {
@@ -337,11 +354,14 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     if a.options.contains_key("window") {
         return Err("--window only applies to paced runs (add --paced <interarrival>)".into());
     }
+    let trace_out = a.options.get("trace-out");
+    let want_cp = a.options.contains_key("critical-path");
     let cfg = SessionConfig {
-        timeline_window: opt_u64(a, "timeline")?,
+        timeline_window: timeline_window(a, &trace, backend.workers())?,
+        trace_spans: trace_out.is_some() || want_cp,
         ..SessionConfig::batch()
     };
-    let out = backend
+    let mut out = backend
         .run_with_telemetry(&trace, cfg)
         .map_err(|e| e.to_string())?;
     note_stats(&out.stats);
@@ -354,6 +374,32 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         out.report.speedup(),
         backend.workers()
     );
+    if let Some(log) = out.spans.as_mut() {
+        // Sessions return spans in recording order; sort here so the
+        // exported trace is deterministic across thread counts.
+        log.canonical_sort();
+        let g = TaskGraph::build(&trace);
+        if want_cp {
+            let cp = span::critical_path(
+                log,
+                |t| g.preds(TaskId::new(t)).to_vec(),
+                out.report.makespan,
+            )
+            .ok_or("critical path: the span log records no finished task")?;
+            print!("{}", cp.table());
+        }
+        if let Some(path) = trace_out {
+            let mut edges = Vec::with_capacity(g.num_edges());
+            for t in 0..trace.len() as u32 {
+                for &s in g.succs(TaskId::new(t)) {
+                    edges.push((t, s));
+                }
+            }
+            std::fs::write(path, span::to_perfetto_json(log, &edges))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}: {} span events", log.len());
+        }
+    }
     emit_metrics(
         a,
         &out.report.engine,
@@ -368,6 +414,9 @@ fn cmd_run(a: &Args) -> Result<(), String> {
 /// workload into a streaming session at an open-loop rate of one task per
 /// `interarrival` cycles, with an optional in-flight admission window.
 fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(), String> {
+    if a.options.contains_key("trace-out") || a.options.contains_key("critical-path") {
+        return Err("--trace-out/--critical-path apply to batch runs only (drop --paced)".into());
+    }
     let interarrival = a.opt("paced", 100u64)?;
     let window = match a.options.get("window") {
         Some(v) => Some(
@@ -377,8 +426,9 @@ fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(
         None => None,
     };
     let source = pace::PacedTrace::new(trace, interarrival);
-    let r = pace::run_paced_with_telemetry(backend, source, window, opt_u64(a, "timeline")?)
-        .map_err(|e| e.to_string())?;
+    let tl = timeline_window(a, trace, backend.workers())?;
+    let r =
+        pace::run_paced_with_telemetry(backend, source, window, tl).map_err(|e| e.to_string())?;
     note_stats(&r.stats);
     note_faults(&r.metrics);
     r.report.validate(trace)?;
@@ -437,6 +487,9 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     }
     if let Some(w) = opt_u64(a, "timeline")? {
         sweep = sweep.timeline(w);
+    }
+    if a.options.contains_key("critical-path") {
+        sweep = sweep.critical_path();
     }
     let result = sweep.run();
     println!("engine          workers  speedup  makespan");

@@ -419,7 +419,8 @@ impl<P: Clone> FaultState<P> {
     /// Sends `msg` from shard `from` to shard `to` under the fault layer:
     /// assigns a packet id, draws the drop/jitter fate (only when the
     /// matching rate is nonzero — zero-rate plans never touch the RNG),
-    /// possibly duplicates, and registers the retry deadline.
+    /// possibly duplicates, and registers the retry deadline. Returns the
+    /// assigned packet id (0 on the untracked path, like a plain send).
     pub(crate) fn send(
         &mut self,
         t: u64,
@@ -428,7 +429,7 @@ impl<P: Clone> FaultState<P> {
         msg: P,
         words: usize,
         links: &mut [Link<Packet<P>>],
-    ) {
+    ) -> u32 {
         if !self.track {
             // No fault can lose, duplicate or defer this message, so its
             // ack would clear the retry deadline in the very pump that
@@ -441,7 +442,7 @@ impl<P: Clone> FaultState<P> {
                 0
             };
             links[to as usize].send_words_delayed(t, Packet::plain(msg), words, extra);
-            return;
+            return 0;
         }
         self.next_id += 1;
         let id = self.next_id;
@@ -462,6 +463,7 @@ impl<P: Clone> FaultState<P> {
         }
         self.deadlines.insert((p.deadline, id));
         self.pending.insert(id, p);
+        id
     }
 
     /// One physical transmission of a pending message: draws this copy's

@@ -37,6 +37,7 @@ use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
 use crate::fault::{FaultCounters, FaultPlan, FaultState, Packet};
 use picos_core::{FinishedReq, PicosSystem, SlotRef, Stats};
 use picos_hil::Link;
+use picos_metrics::span::{SpanKind, SpanLog};
 use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
 use picos_runtime::session::{
     feed_trace, Admission, EventLog, EventLoopCore, Ingest, ScheduleLog, SessionConfig,
@@ -59,6 +60,17 @@ enum ClusterMsg {
     Finish { task: u32 },
 }
 
+impl ClusterMsg {
+    /// The task this message is about, for span annotation.
+    fn task(&self) -> u32 {
+        match self {
+            ClusterMsg::Register { task, .. }
+            | ClusterMsg::Ready { task }
+            | ClusterMsg::Finish { task } => *task,
+        }
+    }
+}
+
 fn min_next(cands: impl IntoIterator<Item = Option<u64>>) -> Option<u64> {
     cands.into_iter().flatten().min()
 }
@@ -72,6 +84,7 @@ pub type ClusterOutput = (
     Vec<Stats>,
     Option<Timeline>,
     Option<FaultCounters>,
+    Option<SpanLog>,
 );
 
 /// A resumable cluster stepper: shards ingest dependence-list fragments as
@@ -126,6 +139,13 @@ pub struct ClusterSession {
     /// occupancy); each shard's core sampler rides inside its
     /// [`PicosSystem`]. `None` keeps every clock move sampling-free.
     sampler: Option<WindowSampler>,
+    /// Driver-side lifecycle span recorder (submit, dispatch, start,
+    /// finish, interconnect traffic, faults); each shard core's own probe
+    /// rides inside its [`PicosSystem`] and is merged at finish. In
+    /// parallel drives the lanes record into their own logs with the same
+    /// cycle stamps, so the canonically sorted result is thread-count
+    /// independent. Observation-only.
+    spans: Option<SpanLog>,
     /// The attached fault layer (ack/retry protocol, fault draws, pause
     /// deferral, worker-fault schedule), or `None` for the plain engine.
     faults: Option<Box<FaultState<ClusterMsg>>>,
@@ -182,6 +202,12 @@ impl ClusterSession {
             .clone()
             .filter(FaultPlan::is_active)
             .map(|p| Box::new(FaultState::new(p, k)));
+        let spans = session.trace_spans.then(|| {
+            for (s, shard) in sys.iter_mut().enumerate() {
+                shard.attach_spans(s as u16);
+            }
+            SpanLog::new()
+        });
         Ok(ClusterSession {
             sys,
             workers: (0..k)
@@ -211,6 +237,7 @@ impl ClusterSession {
             events: EventLog::new(session.collect_events),
             link_sent: vec![0; k],
             sampler,
+            spans,
             faults,
             restarts: HashSet::new(),
             engine_err: None,
@@ -321,6 +348,10 @@ impl ClusterSession {
             self.log.begin(task, st, dur)
         };
         self.events.push(SimEvent::TaskStarted { task, at: st });
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::Dispatched, self.t, s as u16, task, 0);
+            log.record(SpanKind::Started, st, s as u16, task, 0);
+        }
         self.workers[s].start(end, task, slot);
     }
 
@@ -335,11 +366,16 @@ impl ClusterSession {
         words: usize,
     ) {
         self.link_sent[to] += 1;
-        match faults.as_mut() {
+        let task = msg.task();
+        let id = match faults.as_mut() {
             Some(f) => f.send(self.t, from as u16, to as u16, msg, words, &mut self.links),
             None => {
                 self.links[to].send_words(self.t, Packet::plain(msg), words);
+                0
             }
+        };
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::MsgSend, self.t, from as u16, task, id);
         }
         self.events.push(SimEvent::ShardMsg {
             from: from as u16,
@@ -350,8 +386,12 @@ impl ClusterSession {
 
     /// Handles one delivered interconnect message at shard `s` — the
     /// shared body behind fresh link deliveries and pause-released
-    /// deferrals.
-    fn deliver(&mut self, s: usize, msg: ClusterMsg) {
+    /// deferrals. `pkt_id` is the delivered wire packet's id (0 for plain
+    /// packets), forwarded to the message's delivery span.
+    fn deliver(&mut self, s: usize, msg: ClusterMsg, pkt_id: u32) {
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::MsgDeliver, self.t, s as u16, msg.task(), pkt_id);
+        }
         match msg {
             ClusterMsg::Register { task, deps } => {
                 self.arrived[s].insert(task, deps);
@@ -392,7 +432,12 @@ impl ClusterSession {
     /// Like [`ClusterSession::into_report_full`], and also returns the
     /// final fault-protocol counters when an *active* [`FaultPlan`] is
     /// attached (`None` for fault-free sessions and zero-fault plans, whose
-    /// runs are bit-identical to no plan at all).
+    /// runs are bit-identical to no plan at all) plus the run's lifecycle
+    /// [`SpanLog`] when the session was opened with span tracing: driver
+    /// events merged with every shard core's probe events, in recording
+    /// order. Serial and parallel drives record the same event *multiset*
+    /// in different interleavings; [`SpanLog::canonical_sort`] makes the
+    /// logs bit-equal for any thread count.
     ///
     /// # Errors
     ///
@@ -413,7 +458,7 @@ impl ClusterSession {
     pub fn into_report_full(
         self,
     ) -> Result<(ExecReport, Vec<Stats>, Option<Timeline>), ClusterError> {
-        self.finish_parts().map(|(r, s, tl, _)| (r, s, tl))
+        self.finish_parts().map(|(r, s, tl, _, _)| (r, s, tl))
     }
 
     fn finish_parts(mut self) -> Result<ClusterOutput, ClusterError> {
@@ -471,11 +516,20 @@ impl ClusterSession {
             None => None,
         };
         let fault_counters = self.fault_counters();
+        let mut spans = self.spans.take();
+        if let Some(log) = spans.as_mut() {
+            for shard in self.sys.iter_mut() {
+                if let Some(core) = shard.take_spans() {
+                    log.extend_from(&core);
+                }
+            }
+        }
         Ok((
             self.log.into_report("cluster", self.cfg.workers),
             stats,
             timeline,
             fault_counters,
+            spans,
         ))
     }
 }
@@ -503,11 +557,17 @@ impl EventLoopCore for ClusterSession {
                     self.restarts.insert(task);
                     self.exec_q[s].push_back(task);
                     f.note_recovery();
+                    if let Some(log) = &mut self.spans {
+                        log.record(SpanKind::Fault, t, sh, task, 0);
+                    }
                 }
             }
             for (from, to) in f.pump_retries(t, &mut self.links) {
                 self.link_sent[to as usize] += 1;
                 self.events.push(SimEvent::ShardMsg { from, to, at: t });
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::MsgRetry, t, from, u32::MAX, 0);
+                }
             }
         }
         // Worker completions: notify the local shard now, remote fragment
@@ -524,6 +584,9 @@ impl EventLoopCore for ClusterSession {
                 }
                 self.ingest.finished += 1;
                 self.events.push(SimEvent::TaskFinished { task, at: t });
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::Finished, t, s as u16, task, 0);
+                }
                 self.touched[s] = true;
             }
         }
@@ -533,19 +596,21 @@ impl EventLoopCore for ClusterSession {
         for s in 0..k {
             if let Some(f) = faults.as_mut() {
                 while let Some(pkt) = f.pop_deferred(s, t) {
+                    let id = pkt.id;
                     if let Some(msg) = f.receive(s, t, pkt) {
-                        self.deliver(s, msg);
+                        self.deliver(s, msg, id);
                     }
                 }
             }
             while let Some(pkt) = self.links[s].pop_delivery_at(t) {
+                let id = pkt.id;
                 match faults.as_mut() {
                     Some(f) => {
                         if let Some(msg) = f.receive(s, t, pkt) {
-                            self.deliver(s, msg);
+                            self.deliver(s, msg, id);
                         }
                     }
-                    None => self.deliver(s, pkt.msg),
+                    None => self.deliver(s, pkt.msg, id),
                 }
             }
         }
@@ -683,6 +748,15 @@ impl SessionCore for ClusterSession {
         let id = self.ingest.admit() as usize;
         self.log.admit(task.duration);
         self.plan_task(id, task);
+        if let Some(log) = &mut self.spans {
+            log.record(
+                SpanKind::Submitted,
+                self.t,
+                self.placement[id],
+                id as u32,
+                0,
+            );
+        }
         self.frag_total.push(1 + self.remote[id].len() as u8);
         self.frag_ready.push(0);
         self.local_popped.push(false);

@@ -58,6 +58,7 @@ use crate::config::ClusterError;
 use crate::fault::Packet;
 use picos_core::{FinishedReq, PicosSystem, SlotRef};
 use picos_hil::Link;
+use picos_metrics::span::{SpanKind, SpanLog};
 use picos_runtime::par::{available_threads, DisjointSlice, PhaseCell, SpinBarrier};
 use picos_runtime::session::{EventLog, EventLoopCore, ScheduleLog, SimEvent};
 use picos_trace::{Dependence, TaskId};
@@ -139,6 +140,10 @@ struct Lane {
     outbox: Vec<OutMsg>,
     starts: Vec<StartRec>,
     events: Vec<EvRec>,
+    /// Lane-local span recorder (present iff the session records spans).
+    /// Lanes stamp the same absolute cycles the serial pump would, so the
+    /// concatenated, canonically sorted log is thread-count independent.
+    spans: Option<SpanLog>,
     /// Completions this epoch (summed into `Ingest::finished` at merge).
     finished: usize,
     /// Last local event time processed (the global clock is their max).
@@ -246,6 +251,10 @@ impl Lane {
             SimEvent::TaskStarted { task, at: start },
             w,
         );
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::Dispatched, t, self.id, task, 0);
+            log.record(SpanKind::Started, start, self.id, task, 0);
+        }
         self.workers.start(start + dur, task, slot);
     }
 
@@ -280,6 +289,9 @@ impl Lane {
                     },
                     w,
                 );
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::MsgSend, t, s, task, 0);
+                }
             }
             self.finished += 1;
             self.event(
@@ -289,12 +301,23 @@ impl Lane {
                 SimEvent::TaskFinished { task, at: t },
                 w,
             );
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Finished, t, s, task, 0);
+            }
             touched = true;
         }
         // Interconnect deliveries (sent at least one epoch ago). The
         // parallel engine only ever runs without a fault layer, so every
         // packet is plain and unwraps directly.
         while let Some(pkt) = self.link.pop_delivery_at(t) {
+            if let Some(log) = &mut self.spans {
+                let task = match &pkt.msg {
+                    ClusterMsg::Register { task, .. }
+                    | ClusterMsg::Ready { task }
+                    | ClusterMsg::Finish { task } => *task,
+                };
+                log.record(SpanKind::MsgDeliver, t, s, task, pkt.id);
+            }
             match pkt.msg {
                 ClusterMsg::Register { task, deps } => {
                     self.arrived.insert(task, deps);
@@ -372,6 +395,9 @@ impl Lane {
                     },
                     w,
                 );
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::MsgSend, t, s, task, 0);
+                }
                 continue;
             }
             // SAFETY (all three cells): placement-lane-owned.
@@ -658,6 +684,7 @@ impl ClusterSession {
                 outbox: Vec::new(),
                 starts: Vec::new(),
                 events: Vec::new(),
+                spans: self.spans.as_ref().map(|_| SpanLog::new()),
                 finished: 0,
                 now: self.t,
                 seq: 0,
@@ -711,6 +738,9 @@ impl ClusterSession {
             self.arrived.push(lane.arrived);
             self.slot_at.push(lane.slot_at);
             self.exec_q.push(lane.exec_q);
+            if let (Some(log), Some(lane_log)) = (self.spans.as_mut(), lane.spans) {
+                log.extend_from(&lane_log);
+            }
         }
         if let Some(detail) = panic_note {
             // Lane state past the panic point is unspecified — even the

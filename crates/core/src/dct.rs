@@ -11,6 +11,7 @@
 use crate::config::Timing;
 use crate::dm::{Dm, DmAccess};
 use crate::msg::{DepFinMsg, NewDepMsg, ResolveKind, TrsMsg, VmRef};
+use crate::stats::{hist_bucket, DM_CHAIN_BOUNDS};
 use crate::vm::{Vm, VmEntry};
 use crate::Cycle;
 
@@ -42,6 +43,7 @@ pub struct Dct {
     pub vm: Vm,
     deps_processed: u64,
     wakes_sent: u64,
+    chain_hist: [u64; DM_CHAIN_BOUNDS.len() + 1],
 }
 
 impl Dct {
@@ -53,6 +55,7 @@ impl Dct {
             vm,
             deps_processed: 0,
             wakes_sent: 0,
+            chain_hist: [0; DM_CHAIN_BOUNDS.len() + 1],
         }
     }
 
@@ -69,6 +72,17 @@ impl Dct {
     /// Wake packets sent to TRS instances.
     pub fn wakes_sent(&self) -> u64 {
         self.wakes_sent
+    }
+
+    /// DM version-chain depth observed after each successful
+    /// registration, bucketed by [`DM_CHAIN_BOUNDS`].
+    pub fn chain_hist(&self) -> &[u64; DM_CHAIN_BOUNDS.len() + 1] {
+        &self.chain_hist
+    }
+
+    #[inline]
+    fn observe_chain(&mut self, len: u32) {
+        self.chain_hist[hist_bucket(&DM_CHAIN_BOUNDS, u64::from(len))] += 1;
     }
 
     /// Handles a new dependence (N5).
@@ -155,6 +169,7 @@ impl Dct {
                         },
                     });
                 }
+                self.observe_chain(self.dm.chain_len(slot));
             }
             None => {
                 // First arrival for this address: needs a DM way + a VM
@@ -191,6 +206,7 @@ impl Dct {
                         kind: ResolveKind::Ready,
                     },
                 });
+                self.observe_chain(self.dm.chain_len(slot));
             }
         }
         self.deps_processed += 1;

@@ -221,6 +221,12 @@ impl Dm {
         self.at(slot).vm_tail
     }
 
+    /// Number of live versions chained on the entry (the paper's
+    /// dependence-chain depth for this address).
+    pub fn chain_len(&self, slot: DmSlot) -> u32 {
+        self.at(slot).live_versions
+    }
+
     /// The oldest live version of the entry.
     pub fn head(&self, slot: DmSlot) -> VmRef {
         self.at(slot).vm_head

@@ -49,10 +49,11 @@ use crate::dm::Dm;
 use crate::msg::{
     ArbMsg, DepFinMsg, FinishedReq, NewDepMsg, NewTaskReq, ReadyTask, SlotRef, TrsMsg,
 };
-use crate::stats::Stats;
+use crate::stats::{hist_bucket, Stats, TRS_WAKE_BOUNDS};
 use crate::trs::{Trs, TrsEmit};
 use crate::vm::Vm;
 use crate::Cycle;
+use picos_metrics::span::{SpanKind, SpanLog};
 use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
 use picos_trace::{Dependence, TaskId, Trace};
 use std::cmp::Reverse;
@@ -159,6 +160,21 @@ impl<T: Copy> Fifo<T> {
     }
 }
 
+/// Span recorder state: the log plus the slot bookkeeping that turns
+/// slot-addressed unit events back into task-addressed lifecycle events
+/// (`NewDepMsg` carries the TM slot, not the task). Exists only while
+/// tracing is attached — every probe site pays one `Option` branch when it
+/// is not, the same contract as the [`WindowSampler`].
+#[derive(Debug)]
+struct SpanProbe {
+    log: SpanLog,
+    shard: u16,
+    /// Task occupying each TM slot (dense `trs * tm_entries + entry`).
+    slot_task: Vec<u32>,
+    /// Dependences of the slot's task still awaiting DM registration.
+    slot_left: Vec<u8>,
+}
+
 /// Gateway new-task port: either idle or forwarding the dependences of the
 /// task it just dispatched (N4 happens one dependence per `gw_dep` cycles).
 #[derive(Debug)]
@@ -249,6 +265,19 @@ pub struct PicosSystem {
     /// engine maintains anyway, and time advancement pays exactly one
     /// branch to see that no sampler is attached.
     sampler: Option<WindowSampler>,
+
+    /// Optional task-lifecycle span recorder, same contract as `sampler`.
+    spans: Option<SpanProbe>,
+
+    // Blocked-on-whom wait attribution (always on, plain counters): when
+    // a port first observes a block the cycle is latched; the wait is
+    // charged when the head finally goes through.
+    gw_blocked_at: Cycle,
+    dct_dm_blocked_at: Vec<Cycle>,
+    dct_vm_blocked_at: Vec<Cycle>,
+    /// Delivery cycle of the last slot-addressed TRS input per TM slot:
+    /// the start of the wake-to-ready latency histogram observation.
+    slot_in_at: Vec<Cycle>,
 }
 
 /// Wheel size for a configuration: a power of two strictly larger than the
@@ -366,6 +395,11 @@ impl PicosSystem {
             in_flight: 0,
             stats: Stats::default(),
             sampler: None,
+            spans: None,
+            gw_blocked_at: 0,
+            dct_dm_blocked_at: vec![0; cfg.num_dct],
+            dct_vm_blocked_at: vec![0; cfg.num_dct],
+            slot_in_at: vec![0; cfg.num_trs * cfg.tm_entries],
             cfg,
         }
     }
@@ -390,6 +424,9 @@ impl PicosSystem {
             SeriesSpec::delta("stall.vm"),
             SeriesSpec::delta("done.tasks"),
             SeriesSpec::delta("done.deps"),
+            SeriesSpec::delta("wait.gw_tm"),
+            SeriesSpec::delta("wait.dct_dm"),
+            SeriesSpec::delta("wait.dct_vm"),
         ]
     }
 
@@ -412,6 +449,9 @@ impl PicosSystem {
         out[13] = self.dct.iter().map(|d| d.vm.stalls()).sum();
         out[14] = self.stats.tasks_completed;
         out[15] = self.dct.iter().map(Dct::deps_processed).sum();
+        out[16] = self.stats.gw_wait_tm;
+        out[17] = self.stats.dct_wait_dm;
+        out[18] = self.stats.dct_wait_vm;
     }
 
     /// Attaches a cycle-windowed telemetry sampler: from now on, every
@@ -433,6 +473,39 @@ impl PicosSystem {
     pub fn take_timeline(&mut self) -> Option<Timeline> {
         let sampler = self.sampler.take()?;
         Some(sampler.finish(self.now, |out| self.probe(out)))
+    }
+
+    /// Attaches a task-lifecycle span recorder tagged with `shard` (0 for
+    /// single-system engines). From now on the engine records
+    /// [`SpanKind::DepsRegistered`] (per task, when its last dependence
+    /// registers with the DM), [`SpanKind::LastDepReleased`] and
+    /// [`SpanKind::Ready`]. Observation-only: the schedule, event order
+    /// and every counter are bit-identical with and without the recorder.
+    pub fn attach_spans(&mut self, shard: u16) {
+        let slots = self.cfg.num_trs * self.cfg.tm_entries;
+        self.spans = Some(SpanProbe {
+            log: SpanLog::with_capacity(4 * slots),
+            shard,
+            slot_task: vec![0; slots],
+            slot_left: vec![0; slots],
+        });
+    }
+
+    /// Detaches the span recorder and returns its log (recording order;
+    /// callers canonicalize). `None` when none was attached.
+    pub fn take_spans(&mut self) -> Option<SpanLog> {
+        self.spans.take().map(|p| p.log)
+    }
+
+    /// Whether a span recorder is attached.
+    pub fn spans_attached(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Dense index of a TM slot (spans and wake-latency bookkeeping).
+    #[inline]
+    fn slot_key(&self, slot: SlotRef) -> usize {
+        slot.trs as usize * self.cfg.tm_entries + slot.entry as usize
     }
 
     /// Current simulation time.
@@ -577,6 +650,11 @@ impl PicosSystem {
         s.peak_in_flight = self.trs.iter().map(|t| t.tm.peak_live()).sum();
         s.peak_dm_live = self.dct.iter().map(|d| d.dm.peak_live()).sum();
         s.peak_vm_live = self.dct.iter().map(|d| d.vm.peak_live()).sum();
+        for d in &self.dct {
+            for (k, v) in d.chain_hist().iter().enumerate() {
+                s.dm_chain_hist[k] += v;
+            }
+        }
         s
     }
 
@@ -874,6 +952,17 @@ impl PicosSystem {
             // batch sooner, so it takes the queue path.
             Delivery::Trs(i, m) => {
                 let i = i as usize;
+                // Latch the delivery cycle of slot-addressed inputs: the
+                // observation start of the wake-to-ready histogram.
+                match m {
+                    TrsMsg::NewTask { slot, .. }
+                    | TrsMsg::Resolve { slot, .. }
+                    | TrsMsg::Wake { slot, .. } => {
+                        let key = self.slot_key(slot);
+                        self.slot_in_at[key] = self.now;
+                    }
+                    TrsMsg::Finished { .. } => {}
+                }
                 if !matches!(m, TrsMsg::Finished { .. })
                     && self.now >= self.trs_busy[i]
                     && self.trs_q[i].is_empty()
@@ -930,6 +1019,10 @@ impl PicosSystem {
                 }
             }
             Delivery::ReadyOut(rt) => {
+                if let Some(p) = &mut self.spans {
+                    p.log
+                        .record(SpanKind::Ready, rt.ready_at, p.shard, rt.task.raw(), 0);
+                }
                 self.ready_buf.push_back(rt);
                 self.stats.peak_ready = self.stats.peak_ready.max(self.ready_buf.len());
             }
@@ -964,9 +1057,13 @@ impl PicosSystem {
                     if !self.gw_blocked_counted {
                         self.stats.tm_stalls += 1;
                         self.gw_blocked_counted = true;
+                        self.gw_blocked_at = self.now;
                     }
                     return;
                 };
+                if self.gw_blocked_counted {
+                    self.stats.gw_wait_tm += self.now - self.gw_blocked_at;
+                }
                 self.gw_blocked_counted = false;
                 self.rr_trs = (i + 1) % n;
                 let num_deps = front.deps.len() as u8;
@@ -981,6 +1078,17 @@ impl PicosSystem {
                 let done = self.now + self.cfg.timing.gw_task;
                 self.stats.busy_gw += self.cfg.timing.gw_task;
                 self.gw_new_busy = done;
+                if let Some(p) = &mut self.spans {
+                    let key = slot.trs as usize * self.cfg.tm_entries + slot.entry as usize;
+                    p.slot_task[key] = req.task.raw();
+                    p.slot_left[key] = num_deps;
+                    if num_deps == 0 {
+                        // No dependences to route: registration completes
+                        // with the Gateway's accept service itself.
+                        p.log
+                            .record(SpanKind::DepsRegistered, done, p.shard, req.task.raw(), 0);
+                    }
+                }
                 self.emit(
                     done + wire,
                     Delivery::Trs(
@@ -1077,6 +1185,15 @@ impl PicosSystem {
         for e in out.drain(..) {
             match e {
                 TrsEmit::ReadyToTs { task, slot } => {
+                    // Wake-to-ready latency: from the delivery of the input
+                    // that readied the slot to this service completing
+                    // (queueing at the TRS included).
+                    let lat = done - self.slot_in_at[self.slot_key(slot)];
+                    self.stats.trs_wake_hist[hist_bucket(&TRS_WAKE_BOUNDS, lat)] += 1;
+                    if let Some(p) = &mut self.spans {
+                        p.log
+                            .record(SpanKind::LastDepReleased, done, p.shard, task.raw(), 0);
+                    }
                     self.emit(done + wire, Delivery::Ts(task, slot));
                 }
                 TrsEmit::DepFinished { dct, msg } => {
@@ -1107,9 +1224,28 @@ impl PicosSystem {
         match self.dct[j].handle_new(&front, &self.cfg.timing, &mut out) {
             Ok(cost) => {
                 self.dct_new_q[j].pop();
+                // Charge the blocked-on-whom wait now that the head went
+                // through (the `*_counted` flags mark the first block; the
+                // latch below records when it was observed).
+                if front.conflict_counted {
+                    self.stats.dct_wait_dm += self.now - self.dct_dm_blocked_at[j];
+                }
+                if front.vm_stall_counted {
+                    self.stats.dct_wait_vm += self.now - self.dct_vm_blocked_at[j];
+                }
                 let done = self.now + cost;
                 self.stats.busy_dct += cost;
                 self.dct_new_busy[j] = done;
+                if let Some(p) = &mut self.spans {
+                    let key =
+                        front.slot.trs as usize * self.cfg.tm_entries + front.slot.entry as usize;
+                    p.slot_left[key] -= 1;
+                    if p.slot_left[key] == 0 {
+                        let task = p.slot_task[key];
+                        p.log
+                            .record(SpanKind::DepsRegistered, done, p.shard, task, 0);
+                    }
+                }
                 let wire = self.cfg.timing.wire;
                 for e in out.drain(..) {
                     self.emit(done + wire, Delivery::Arb(ArbMsg::ToTrs(e.trs, e.msg)));
@@ -1126,10 +1262,12 @@ impl PicosSystem {
                     DctBlocked::DmConflict if !head.conflict_counted => {
                         head.conflict_counted = true;
                         self.dct[j].dm.count_conflict();
+                        self.dct_dm_blocked_at[j] = self.now;
                     }
                     DctBlocked::VmFull if !head.vm_stall_counted => {
                         head.vm_stall_counted = true;
                         self.dct[j].vm.count_stall();
+                        self.dct_vm_blocked_at[j] = self.now;
                     }
                     _ => {}
                 }

@@ -8,6 +8,22 @@
 
 use picos_metrics::{MergeRule, MetricSet};
 
+/// Inclusive bucket bounds of the DM version-chain-length histogram
+/// (chain depth observed after each successful dependence registration).
+pub const DM_CHAIN_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Inclusive bucket bounds of the TRS wake-to-ready latency histogram:
+/// cycles from the delivery of the message that ultimately readied a task
+/// to the TRS finishing the readiness service (queueing included).
+pub const TRS_WAKE_BOUNDS: [u64; 7] = [2, 4, 8, 16, 32, 64, 128];
+
+/// Bucket index of an observation under inclusive upper `bounds` (the
+/// last bucket is the overflow bucket).
+#[inline]
+pub fn hist_bucket(bounds: &[u64], v: u64) -> usize {
+    bounds.partition_point(|&b| b < v)
+}
+
 /// Counters and high-water marks collected by the engine.
 ///
 /// `dm_conflicts` is the paper's Table II metric: the number of dependences
@@ -48,6 +64,19 @@ pub struct Stats {
     pub busy_arb: u64,
     /// Busy cycles of the Task Scheduler.
     pub busy_ts: u64,
+    /// Cycles the Gateway's new-task port spent blocked on a free TM slot
+    /// (the blocked-on-whom refinement of the `tm_stalls` event count).
+    pub gw_wait_tm: u64,
+    /// Cycles DCT new-dependence queue heads spent blocked on a DM way.
+    pub dct_wait_dm: u64,
+    /// Cycles DCT new-dependence queue heads spent blocked on a VM entry.
+    pub dct_wait_vm: u64,
+    /// DM version-chain depth per registration, bucketed by
+    /// [`DM_CHAIN_BOUNDS`] (+1 overflow bucket).
+    pub dm_chain_hist: [u64; DM_CHAIN_BOUNDS.len() + 1],
+    /// TRS wake-to-ready latency per readied task, bucketed by
+    /// [`TRS_WAKE_BOUNDS`] (+1 overflow bucket).
+    pub trs_wake_hist: [u64; TRS_WAKE_BOUNDS.len() + 1],
 }
 
 /// Field accessor table: name, merge rule, getter, setter. One row per
@@ -64,7 +93,7 @@ impl Stats {
     /// merge rule. Totals (task/dependence counts, stalls, busy cycles)
     /// merge by sum; `peak_*` high-water marks merge by max — peaks
     /// observed on different shards at different times must not be added.
-    pub const FIELDS: [FieldRow; 17] = [
+    pub const FIELDS: [FieldRow; 20] = [
         (
             "tasks_submitted",
             MergeRule::Sum,
@@ -167,6 +196,24 @@ impl Stats {
             |s| s.busy_ts,
             |s, v| s.busy_ts = v,
         ),
+        (
+            "gw_wait_tm",
+            MergeRule::Sum,
+            |s| s.gw_wait_tm,
+            |s, v| s.gw_wait_tm = v,
+        ),
+        (
+            "dct_wait_dm",
+            MergeRule::Sum,
+            |s| s.dct_wait_dm,
+            |s, v| s.dct_wait_dm = v,
+        ),
+        (
+            "dct_wait_vm",
+            MergeRule::Sum,
+            |s| s.dct_wait_vm,
+            |s, v| s.dct_wait_vm = v,
+        ),
     ];
 
     /// Accumulates another instance's counters into `self` by each field's
@@ -183,6 +230,19 @@ impl Stats {
         for (_, rule, get, set) in Self::FIELDS {
             set(self, rule.apply(get(self), get(other)));
         }
+        self.merge_hists(other);
+    }
+
+    /// Histogram buckets are observation counts, so they sum under both
+    /// merge conventions (the [`FieldRow`] table is scalar-only; the
+    /// array-valued fields merge here).
+    fn merge_hists(&mut self, other: &Stats) {
+        for (a, b) in self.dm_chain_hist.iter_mut().zip(other.dm_chain_hist) {
+            *a += b;
+        }
+        for (a, b) in self.trs_wake_hist.iter_mut().zip(other.trs_wake_hist) {
+            *a += b;
+        }
     }
 
     /// Accumulates another instance element-wise, summing *every* field,
@@ -194,6 +254,7 @@ impl Stats {
         for (_, _, get, set) in Self::FIELDS {
             set(self, get(self) + get(other));
         }
+        self.merge_hists(other);
     }
 
     /// The registry view of these counters: one metric per field, under
@@ -212,6 +273,16 @@ impl Stats {
                 }
             }
         }
+        set.histogram_counts(
+            "dm_chain_len",
+            DM_CHAIN_BOUNDS.to_vec(),
+            self.dm_chain_hist.to_vec(),
+        );
+        set.histogram_counts(
+            "trs_wake_latency",
+            TRS_WAKE_BOUNDS.to_vec(),
+            self.trs_wake_hist.to_vec(),
+        );
         set
     }
 
@@ -306,7 +377,42 @@ mod tests {
         for (name, _, get, _) in Stats::FIELDS {
             assert_eq!(view.value(name), Some(get(&a)), "{name}");
         }
-        assert_eq!(view.len(), Stats::FIELDS.len());
+        assert_eq!(view.len(), Stats::FIELDS.len() + 2, "plus two histograms");
+    }
+
+    #[test]
+    fn histograms_sum_under_both_merges() {
+        let mut a = Stats::default();
+        a.dm_chain_hist[0] = 3;
+        a.trs_wake_hist[2] = 1;
+        let mut b = Stats::default();
+        b.dm_chain_hist[0] = 4;
+        b.trs_wake_hist[2] = 5;
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.dm_chain_hist[0], 7);
+        assert_eq!(m.trs_wake_hist[2], 6);
+        let mut s = a.clone();
+        s.merge_sum(&b);
+        assert_eq!(s.dm_chain_hist[0], 7);
+        // The registry view carries the same buckets.
+        let view = m.metric_set();
+        let picos_metrics::MetricValue::Histogram { bounds, counts } =
+            &view.get("dm_chain_len").expect("registered").value
+        else {
+            panic!("dm_chain_len must be a histogram");
+        };
+        assert_eq!(bounds, &DM_CHAIN_BOUNDS.to_vec());
+        assert_eq!(counts[0], 7);
+    }
+
+    #[test]
+    fn hist_bucket_respects_inclusive_bounds() {
+        assert_eq!(hist_bucket(&DM_CHAIN_BOUNDS, 1), 0);
+        assert_eq!(hist_bucket(&DM_CHAIN_BOUNDS, 2), 1);
+        assert_eq!(hist_bucket(&DM_CHAIN_BOUNDS, 3), 2);
+        assert_eq!(hist_bucket(&DM_CHAIN_BOUNDS, 32), 5);
+        assert_eq!(hist_bucket(&DM_CHAIN_BOUNDS, 33), 6, "overflow bucket");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::cost::HilCostModel;
 use crate::pool::{Bus, BusMsg, Workers};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem, SlotRef};
+use picos_metrics::span::{SpanKind, SpanLog};
 use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
 use picos_runtime::session::{
     feed_trace, Admission, EventLog, EventLoopCore, Ingest, ScheduleLog, SessionConfig,
@@ -167,6 +168,9 @@ pub struct HilSession {
     /// core's own sampler rides inside `sys`. `None` keeps every clock
     /// move sampling-free.
     sampler: Option<WindowSampler>,
+    /// Driver-side lifecycle span recorder; the core's own span probe
+    /// rides inside `sys` and is merged at finish. Observation-only.
+    spans: Option<SpanLog>,
 }
 
 impl HilSession {
@@ -191,6 +195,10 @@ impl HilSession {
             }
             WindowSampler::new(w, series)
         });
+        let spans = session.trace_spans.then(|| {
+            sys.attach_spans(0);
+            SpanLog::new()
+        });
         Ok(HilSession {
             sys,
             workers: Workers::new(cfg.workers),
@@ -209,6 +217,7 @@ impl HilSession {
             log: ScheduleLog::default(),
             events: EventLog::new(session.collect_events),
             sampler,
+            spans,
             mode,
             cfg,
         })
@@ -240,6 +249,9 @@ impl HilSession {
             });
             self.ingest.finished += 1;
             self.events.push(SimEvent::TaskFinished { task, at: t });
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Finished, t, 0, task, 0);
+            }
             touched = true;
         }
         // Pre-load every task the taskwait structure allows.
@@ -259,6 +271,10 @@ impl HilSession {
             let task = r.task.raw();
             let end = self.log.begin(task, st, self.tasks[r.task.index()].dur);
             self.events.push(SimEvent::TaskStarted { task, at: st });
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Dispatched, t, 0, task, 0);
+                log.record(SpanKind::Started, st, 0, task, 0);
+            }
             self.workers.start(end, task, r.slot);
         }
     }
@@ -272,6 +288,9 @@ impl HilSession {
             bus.send(t, BusMsg::Finish(task, slot));
             self.ingest.finished += 1;
             self.events.push(SimEvent::TaskFinished { task, at: t });
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Finished, t, 0, task, 0);
+            }
             touched = true;
         }
         while let Some(msg) = bus.pop_delivery_at(t) {
@@ -285,6 +304,9 @@ impl HilSession {
                 BusMsg::Ready(task, slot) => {
                     let end = self.log.begin(task, t, self.tasks[task as usize].dur);
                     self.events.push(SimEvent::TaskStarted { task, at: t });
+                    if let Some(log) = &mut self.spans {
+                        log.record(SpanKind::Started, t, 0, task, 0);
+                    }
                     self.workers.start(end, task, slot);
                     self.inflight_ready -= 1;
                 }
@@ -312,6 +334,9 @@ impl HilSession {
         while self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready {
             let r = self.sys.pop_ready().expect("ready_len checked");
             bus.send(t, BusMsg::Ready(r.task.raw(), r.slot));
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Dispatched, t, 0, r.task.raw(), 0);
+            }
             self.inflight_ready += 1;
         }
     }
@@ -325,6 +350,9 @@ impl HilSession {
             self.finish_q.push_back((task, slot));
             self.ingest.finished += 1;
             self.events.push(SimEvent::TaskFinished { task, at: t });
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Finished, t, 0, task, 0);
+            }
             touched = true;
         }
         while let Some(msg) = bus.pop_delivery_at(t) {
@@ -338,6 +366,9 @@ impl HilSession {
                 BusMsg::Ready(task, slot) => {
                     let end = self.log.begin(task, t, self.tasks[task as usize].dur);
                     self.events.push(SimEvent::TaskStarted { task, at: t });
+                    if let Some(log) = &mut self.spans {
+                        log.record(SpanKind::Started, t, 0, task, 0);
+                    }
                     self.workers.start(end, task, slot);
                     self.inflight_ready -= 1;
                 }
@@ -363,6 +394,9 @@ impl HilSession {
                 let r = self.sys.pop_ready().expect("ready_len checked");
                 let done = t + self.cfg.cost.arm_retrieve;
                 let slot_end = bus.send(done, BusMsg::Ready(r.task.raw(), r.slot));
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::Dispatched, done, 0, r.task.raw(), 0);
+                }
                 self.arm_free = slot_end + self.cfg.cost.arm_dispatch;
                 self.inflight_ready += 1;
             } else if self.ingest.feedable(self.next_feed, self.ingest.finished)
@@ -399,8 +433,34 @@ impl HilSession {
     ///
     /// See [`HilSession::into_report`].
     pub fn into_report_full(
-        mut self,
+        self,
     ) -> Result<(ExecReport, picos_core::Stats, Option<Timeline>), HilError> {
+        self.into_output().map(|(r, s, t, _)| (r, s, t))
+    }
+
+    /// Like [`HilSession::into_report_full`], and also returns the run's
+    /// lifecycle [`SpanLog`] when the session was opened with span
+    /// tracing: driver events (submit, dispatch, start, finish) merged
+    /// with the core's probe events, in recording order — consumers that
+    /// need the deterministic order call [`SpanLog::canonical_sort`]
+    /// (analysis entry points like the critical-path walker are
+    /// order-insensitive, so the hot finish path skips the sort).
+    ///
+    /// # Errors
+    ///
+    /// See [`HilSession::into_report`].
+    #[allow(clippy::type_complexity)]
+    pub fn into_output(
+        mut self,
+    ) -> Result<
+        (
+            ExecReport,
+            picos_core::Stats,
+            Option<Timeline>,
+            Option<SpanLog>,
+        ),
+        HilError,
+    > {
         self.drive_finish();
         let n = self.ingest.admitted;
         let clean = self.log.order.len() == n
@@ -429,11 +489,18 @@ impl HilSession {
             }
             None => None,
         };
+        let mut spans = self.spans.take();
+        if let Some(log) = spans.as_mut() {
+            if let Some(core) = self.sys.take_spans() {
+                log.extend_from(&core);
+            }
+        }
         Ok((
             self.log
                 .into_report(self.mode.engine_label(), self.cfg.workers),
             stats,
             timeline,
+            spans,
         ))
     }
 }
@@ -505,6 +572,9 @@ impl SessionCore for HilSession {
         }
         self.ingest.admit();
         self.log.admit(task.duration);
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::Submitted, self.t, 0, self.tasks.len() as u32, 0);
+        }
         self.tasks.push(TaskMeta {
             dur: task.duration,
             deps: task.deps.clone(),

@@ -38,6 +38,8 @@
 
 use std::fmt;
 
+pub mod span;
+
 /// How two values of the same metric combine when sets are merged.
 ///
 /// Monotone totals (busy cycles, stall counts, processed dependences) sum;
@@ -150,6 +152,29 @@ impl MetricSet {
             let i = bounds.partition_point(|&b| b < obs);
             counts[i] += 1;
         }
+        self.metrics.push(Metric {
+            name: name.into(),
+            value: MetricValue::Histogram { bounds, counts },
+            rule: MergeRule::Sum,
+        });
+        self
+    }
+
+    /// Registers a fixed-bucket histogram from already-bucketed counts
+    /// (the hot path tallies buckets directly; see
+    /// [`MetricSet::histogram`] for the raw-observation form).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counts` is not exactly one longer than `bounds`.
+    pub fn histogram_counts(
+        &mut self,
+        name: impl Into<String>,
+        bounds: Vec<u64>,
+        counts: Vec<u64>,
+    ) -> &mut Self {
+        assert_eq!(counts.len(), bounds.len() + 1, "one overflow bucket");
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
         self.metrics.push(Metric {
             name: name.into(),
             value: MetricValue::Histogram { bounds, counts },
@@ -273,7 +298,7 @@ fn num_array(v: &[u64]) -> String {
 
 /// Minimal JSON string escaping (metric/series names are controlled
 /// identifiers, but workload labels can be arbitrary).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -13,6 +13,7 @@ use crate::report::ExecReport;
 use crate::session::{
     feed_trace, Admission, EventLog, Ingest, ScheduleLog, SessionConfig, SessionCore, SimEvent,
 };
+use picos_metrics::span::{SpanKind, SpanLog};
 use picos_trace::{TaskDescriptor, TaskId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -45,6 +46,9 @@ pub struct PerfectSession {
     /// units to probe, so its timeline is derived from the finished
     /// schedule at `finish` time.
     timeline_window: Option<u64>,
+    /// Lifecycle span recorder, attached by [`SessionConfig::trace_spans`].
+    /// Observation-only: every record site is one branch when absent.
+    spans: Option<SpanLog>,
     /// Scratch for [`SoftwareDeps::finish_into`].
     newly: Vec<TaskId>,
 }
@@ -73,6 +77,7 @@ impl PerfectSession {
             log: ScheduleLog::default(),
             events: EventLog::new(cfg.collect_events),
             timeline_window: cfg.timeline_window,
+            spans: cfg.trace_spans.then(SpanLog::new),
             newly: Vec::new(),
         })
     }
@@ -105,6 +110,9 @@ impl PerfectSession {
                 task: id,
                 at: self.now,
             });
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Started, self.now, 0, id, 0);
+            }
             self.running.push(Reverse((end, id)));
             self.idle -= 1;
         }
@@ -121,6 +129,9 @@ impl PerfectSession {
         self.ingest.finished += 1;
         self.events
             .push(SimEvent::TaskFinished { task: id, at: fin });
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::Finished, fin, 0, id, 0);
+        }
         self.newly.clear();
         let mut newly = std::mem::take(&mut self.newly);
         self.deps.finish_into(TaskId::new(id), &mut newly);
@@ -145,11 +156,19 @@ impl PerfectSession {
     }
 
     /// Runs the session to quiescence and returns the schedule report.
-    pub fn into_report(mut self) -> ExecReport {
+    pub fn into_report(self) -> ExecReport {
+        self.into_output().0
+    }
+
+    /// Like [`PerfectSession::into_report`], and also returns the span
+    /// log (recording order) when the session was opened with
+    /// [`SessionConfig::trace_spans`].
+    pub fn into_output(mut self) -> (ExecReport, Option<SpanLog>) {
         self.pump();
         while self.fire_next() {}
         debug_assert!(self.pending.is_empty(), "gated tasks never released");
-        self.log.into_report("perfect", self.workers)
+        let spans = self.spans.take();
+        (self.log.into_report("perfect", self.workers), spans)
     }
 }
 
@@ -161,6 +180,9 @@ impl SessionCore for PerfectSession {
         let id = self.ingest.admit();
         self.durs.push(task.duration);
         self.log.admit(task.duration);
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::Submitted, self.now, 0, id, 0);
+        }
         let mut t = task.clone();
         t.id = TaskId::new(id);
         self.pending.push_back((id, t));

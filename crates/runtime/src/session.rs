@@ -89,6 +89,11 @@ pub struct SessionConfig {
     /// [`Timeline`](picos_metrics::Timeline). Attaching one is
     /// observation-only — it changes no cycle of the schedule.
     pub timeline_window: Option<u64>,
+    /// Whether to record task-lifecycle span events
+    /// ([`picos_metrics::span::SpanLog`]). Off by default; attaching the
+    /// recorder is observation-only — engines pay one branch per event
+    /// site and no cycle of the schedule changes.
+    pub trace_spans: bool,
 }
 
 impl SessionConfig {
@@ -118,6 +123,12 @@ impl SessionConfig {
     /// Sets the telemetry sampling window.
     pub fn with_timeline(mut self, timeline_window: u64) -> Self {
         self.timeline_window = Some(timeline_window);
+        self
+    }
+
+    /// Enables task-lifecycle span tracing.
+    pub fn with_spans(mut self) -> Self {
+        self.trace_spans = true;
         self
     }
 

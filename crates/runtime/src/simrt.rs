@@ -25,6 +25,7 @@ use crate::report::ExecReport;
 use crate::session::{
     feed_trace, Admission, EventLog, Ingest, ScheduleLog, SessionConfig, SessionCore, SimEvent,
 };
+use picos_metrics::span::{SpanKind, SpanLog};
 use picos_trace::{TaskDescriptor, TaskId, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -150,6 +151,9 @@ pub struct SoftwareSession {
     /// its worker pool, so its timeline is derived from the finished
     /// schedule at `finish` time.
     timeline_window: Option<u64>,
+    /// Lifecycle span recorder, attached by [`SessionConfig::trace_spans`].
+    /// Observation-only: every record site is one branch when absent.
+    spans: Option<SpanLog>,
     /// Scratch for [`SoftwareDeps::finish_into`].
     newly: Vec<TaskId>,
 }
@@ -191,6 +195,7 @@ impl SoftwareSession {
             log: ScheduleLog::default(),
             events: EventLog::new(session.collect_events),
             timeline_window: session.timeline_window,
+            spans: session.trace_spans.then(SpanLog::new),
             newly: Vec::new(),
         })
     }
@@ -263,10 +268,16 @@ impl SoftwareSession {
         match ev {
             Ev::MasterDone(i) => {
                 let is_ready = self.deps.submit(&self.tasks[i as usize]);
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::DepsRegistered, now, 0, i, 0);
+                }
                 let mut master_free = now;
                 if is_ready {
                     let t_enq = acquire(&mut self.lock_free, now, self.cfg.cost.enqueue);
                     self.ready_q.push_back(i);
+                    if let Some(log) = &mut self.spans {
+                        log.record(SpanKind::Ready, t_enq, 0, i, 0);
+                    }
                     self.wake_one(t_enq);
                     master_free = t_enq;
                 }
@@ -287,12 +298,18 @@ impl SoftwareSession {
                     let dur = self.tasks[task as usize].duration;
                     let t_end = self.log.begin(task, t_got, dur);
                     self.events.push(SimEvent::TaskStarted { task, at: t_got });
+                    if let Some(log) = &mut self.spans {
+                        log.record(SpanKind::Started, t_got, 0, task, w as u32);
+                    }
                     self.push_ev(t_end, Ev::TaskDone(w, task));
                 }
             }
             Ev::TaskDone(w, task) => {
                 self.ingest.finished += 1;
                 self.events.push(SimEvent::TaskFinished { task, at: now });
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::Finished, now, 0, task, w as u32);
+                }
                 let mut newly = std::mem::take(&mut self.newly);
                 newly.clear();
                 self.deps.finish_into(TaskId::new(task), &mut newly);
@@ -300,6 +317,9 @@ impl SoftwareSession {
                 for s in newly.drain(..) {
                     cur = acquire(&mut self.lock_free, cur, self.cfg.cost.release_per_succ);
                     self.ready_q.push_back(s.raw());
+                    if let Some(log) = &mut self.spans {
+                        log.record(SpanKind::Ready, cur, 0, s.raw(), 0);
+                    }
                     self.wake_one(cur);
                 }
                 self.newly = newly;
@@ -336,7 +356,18 @@ impl SoftwareSession {
     ///
     /// Returns [`SwError::Stuck`] if tasks remain unfinished (an engine
     /// bug).
-    pub fn into_report(mut self) -> Result<ExecReport, SwError> {
+    pub fn into_report(self) -> Result<ExecReport, SwError> {
+        self.into_output().map(|(r, _)| r)
+    }
+
+    /// Like [`SoftwareSession::into_report`], and also returns the span
+    /// log (recording order) when the session was opened with
+    /// [`SessionConfig::trace_spans`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SoftwareSession::into_report`].
+    pub fn into_output(mut self) -> Result<(ExecReport, Option<SpanLog>), SwError> {
         self.closed = true;
         if self.master == Master::Starved {
             let at = self.master_free.max(self.now);
@@ -349,7 +380,8 @@ impl SoftwareSession {
                 total: self.ingest.admitted,
             });
         }
-        Ok(self.log.into_report("nanos", self.cfg.workers))
+        let spans = self.spans.take();
+        Ok((self.log.into_report("nanos", self.cfg.workers), spans))
     }
 }
 
@@ -361,6 +393,9 @@ impl SessionCore for SoftwareSession {
         let id = self.ingest.admit();
         self.arrivals.push(self.now);
         self.log.admit(task.duration);
+        if let Some(log) = &mut self.spans {
+            log.record(SpanKind::Submitted, self.now, 0, id, 0);
+        }
         let mut t = task.clone();
         t.id = TaskId::new(id);
         self.tasks.push(t);

@@ -203,14 +203,55 @@ pub(crate) fn trace_to_json(tr: &Trace) -> String {
 /// through `f64` would silently round addresses above 2^53 — dependence
 /// addresses are full 64-bit byte addresses.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
+    /// JSON `null`.
     Null,
+    /// JSON `true` / `false`.
     Bool(bool),
+    /// A non-negative integer, kept exact.
     Int(u64),
+    /// Any other number (fraction, exponent or sign).
     Num(f64),
+    /// A string literal.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object (key order normalised).
     Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, when this value is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this value is a string.
+    pub fn as_string(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The exact integer, when this value is a non-negative integer.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -402,7 +443,17 @@ impl<'a> Parser<'a> {
     }
 }
 
-pub(crate) fn parse_value(s: &str) -> Result<Value, JsonError> {
+/// Parses one complete JSON document into a [`Value`] tree.
+///
+/// This is the workspace's only JSON reader (the build environment has no
+/// `serde`), so every in-tree JSON emitter — trace files, the session
+/// journal, the Perfetto span export — validates its output through this
+/// entry. Rejects trailing characters after the document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] locating the first malformed byte.
+pub fn parse_json(s: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -414,6 +465,8 @@ pub(crate) fn parse_value(s: &str) -> Result<Value, JsonError> {
     }
     Ok(v)
 }
+
+pub(crate) use parse_json as parse_value;
 
 pub(crate) fn bad(message: impl Into<String>) -> JsonError {
     JsonError {

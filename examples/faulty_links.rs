@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = ClusterConfig::balanced(4, workers).with_faults(plan);
         let mut session = ClusterSession::new(cfg, SessionConfig::batch())?;
         feed_trace(&mut session, &trace).expect("batch sessions never backpressure");
-        let (report, _, _, counters) = session.into_output()?;
+        let (report, _, _, counters, _) = session.into_output()?;
         report.validate(&trace)?;
         let c = counters.unwrap_or_default();
         println!(

@@ -76,6 +76,7 @@ pub mod prelude {
         run_hil, run_hil_with_stats, synthetic_metrics, HilConfig, HilCostModel, HilError, HilMode,
         Link, LinkModel, SyntheticMetrics, Workers,
     };
+    pub use picos_metrics::span;
     pub use picos_metrics::{
         MergeRule, Metric, MetricSet, MetricValue, SeriesKind, SeriesSpec, Timeline, WindowSampler,
     };
