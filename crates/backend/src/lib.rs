@@ -70,8 +70,8 @@ pub use backends::{
     PicosBackend, SoftwareBackend,
 };
 pub use pace::{
-    run_paced, run_paced_with_telemetry, ArrivalTrace, PaceReport, PacedTask, PacedTrace,
-    TraceSource,
+    run_paced, run_paced_full, run_paced_with_telemetry, ArrivalTrace, PaceReport, PacedTask,
+    PacedTrace, TraceSource,
 };
 pub use picos_cluster::{FaultCounters, FaultPlan, ShardPause, WorkerFault};
 pub use picos_metrics::{

@@ -12,6 +12,7 @@
 use crate::backends::{BackendError, ExecBackend};
 use crate::session::{Admission, SessionConfig};
 use picos_core::Stats;
+use picos_metrics::span::SpanLog;
 use picos_metrics::{MergeRule, MetricSet, SeriesSpec, Timeline, WindowSampler};
 use picos_runtime::ExecReport;
 use picos_trace::{TaskDescriptor, Trace};
@@ -154,6 +155,10 @@ pub struct PaceReport {
     /// vocabulary, including an in-flight occupancy histogram sampled at
     /// each arrival.
     pub metrics: MetricSet,
+    /// Task-lifecycle span events, when the run was opened with
+    /// [`SessionConfig::trace_spans`] (see [`run_paced_full`]). Recording
+    /// order, like a batch session's output.
+    pub spans: Option<SpanLog>,
 }
 
 impl PaceReport {
@@ -215,16 +220,37 @@ pub fn run_paced(
 /// See [`run_paced`].
 pub fn run_paced_with_telemetry(
     backend: &dyn ExecBackend,
-    mut source: impl TraceSource,
+    source: impl TraceSource,
     window: Option<usize>,
     timeline_window: Option<u64>,
 ) -> Result<PaceReport, BackendError> {
-    let mut session = backend.open_with(SessionConfig {
-        window,
-        timeline_window,
-        ..SessionConfig::batch()
-    })?;
-    let mut sampler = timeline_window.map(|w| {
+    run_paced_full(
+        backend,
+        source,
+        SessionConfig {
+            window,
+            timeline_window,
+            ..SessionConfig::batch()
+        },
+    )
+}
+
+/// The full-config paced driver: every [`SessionConfig`] knob applies to
+/// the open-loop session, including [`SessionConfig::trace_spans`] — a
+/// paced run records the same task-lifecycle spans as a batch session, so
+/// `--trace-out`/`--critical-path` work under pacing. The `window` field
+/// is the paced in-flight cap ([`run_paced`]'s `window` argument).
+///
+/// # Errors
+///
+/// See [`run_paced`].
+pub fn run_paced_full(
+    backend: &dyn ExecBackend,
+    mut source: impl TraceSource,
+    cfg: SessionConfig,
+) -> Result<PaceReport, BackendError> {
+    let mut session = backend.open_with(cfg)?;
+    let mut sampler = cfg.timeline_window.map(|w| {
         WindowSampler::new(
             w,
             vec![
@@ -318,6 +344,7 @@ pub fn run_paced_with_telemetry(
         last_arrival,
         timeline,
         metrics,
+        spans: out.spans,
     })
 }
 

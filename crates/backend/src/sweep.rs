@@ -94,6 +94,13 @@ impl SweepCell {
     pub fn picos_config(&self, ts_policy: TsPolicy) -> PicosConfig {
         PicosConfig::future(self.instances, self.dm).with_ts_policy(ts_policy)
     }
+
+    /// Whether this cell's backend has an interconnect to fault: the fault
+    /// axis is degenerate-collapsed for every other family, whose fault
+    /// columns therefore read an exact 0 rather than "not measured".
+    pub fn has_interconnect(&self) -> bool {
+        matches!(self.backend, BackendSpec::Cluster(_))
+    }
 }
 
 impl fmt::Display for SweepCell {
@@ -153,14 +160,17 @@ pub struct SweepRow {
     pub vm_stalls: Option<u64>,
     /// TM-capacity stalls (Picos backends only).
     pub tm_stalls: Option<u64>,
-    /// Link drop probability of the cell's fault plan (`None` when the
-    /// cell ran without one).
+    /// Link drop probability of the cell's fault plan. `Some(0.0)` for
+    /// interconnect-free backends (their fault axis is degenerate, so the
+    /// column is an exact zero); `None` only for a cluster cell that ran
+    /// without a plan.
     pub drop_rate: Option<f64>,
-    /// Interconnect messages dropped by fault injection (cells with an
-    /// active fault plan only).
+    /// Interconnect messages dropped by fault injection. `Some(0)` for
+    /// interconnect-free backends; `None` for a cluster cell without an
+    /// active plan (unmeasured, not zero).
     pub link_drops: Option<u64>,
-    /// Interconnect retransmissions by the retry protocol (cells with an
-    /// active fault plan only).
+    /// Interconnect retransmissions by the retry protocol; same presence
+    /// rules as [`SweepRow::link_drops`].
     pub link_retries: Option<u64>,
     /// Cycle-windowed telemetry of the cell's run, when the sweep was
     /// built with [`Sweep::timeline`] (in-flight occupancy, per-unit busy
@@ -647,10 +657,18 @@ fn skipped_row(cell: &SweepCell) -> SweepRow {
         vm_stalls: None,
         tm_stalls: None,
         // The plan is a grid coordinate, so its drop rate labels even
-        // errored/skipped rows; the counters are outcomes and stay empty.
-        drop_rate: cell.fault.as_ref().map(|p| p.drop_rate),
-        link_drops: None,
-        link_retries: None,
+        // errored/skipped rows; the counters are outcomes and stay empty
+        // for cluster cells until the run reports them. Backends without
+        // an interconnect collapse the whole fault axis, so their columns
+        // are the degenerate 0 the numeric CSV header implies — never an
+        // empty string.
+        drop_rate: if cell.has_interconnect() {
+            cell.fault.as_ref().map(|p| p.drop_rate)
+        } else {
+            Some(0.0)
+        },
+        link_drops: (!cell.has_interconnect()).then_some(0),
+        link_retries: (!cell.has_interconnect()).then_some(0),
         timeline: None,
         critical_path: None,
         error: Some("skipped: an earlier cell failed (fail-fast)".into()),
@@ -690,9 +708,14 @@ fn run_cell(
                 row.vm_stalls = Some(s.vm_stalls);
                 row.tm_stalls = Some(s.tm_stalls);
             }
-            // Present exactly when the cell ran under an active plan.
-            row.link_drops = out.metrics.value("faults.drops");
-            row.link_retries = out.metrics.value("faults.retries");
+            // Present exactly when the cell ran under an active plan;
+            // keep the degenerate 0 of interconnect-free backends.
+            if let Some(d) = out.metrics.value("faults.drops") {
+                row.link_drops = Some(d);
+            }
+            if let Some(r) = out.metrics.value("faults.retries") {
+                row.link_retries = Some(r);
+            }
             row.timeline = out.timeline;
             if let Some(log) = &out.spans {
                 let g = TaskGraph::build(trace);
@@ -1005,6 +1028,46 @@ mod tests {
         assert!(result.to_json().contains("\"drop_rate\":0.05"));
         // Determinism: the same faulted grid reruns identically.
         assert_eq!(result, grid().run());
+    }
+
+    #[test]
+    fn fault_columns_of_interconnect_free_backends_are_zero_not_empty() {
+        let result = Sweep::over_apps([App::SparseLu], [128])
+            .workers([4])
+            .backends([
+                BackendSpec::Perfect,
+                BackendSpec::Nanos,
+                BackendSpec::Cluster(2),
+            ])
+            .run();
+        for row in result.rows() {
+            assert!(row.error.is_none(), "{:?}", row.error);
+            if matches!(row.backend, BackendSpec::Cluster(_)) {
+                // No plan on a faultable backend: genuinely unmeasured.
+                assert_eq!(row.drop_rate, None);
+                assert_eq!(row.link_drops, None);
+                assert_eq!(row.link_retries, None);
+            } else {
+                // Degenerate-collapsed axis: an exact zero, never empty.
+                assert_eq!(row.drop_rate, Some(0.0));
+                assert_eq!(row.link_drops, Some(0));
+                assert_eq!(row.link_retries, Some(0));
+            }
+        }
+        // CSV shape: every row is exactly as wide as the header, and the
+        // fault cells of interconnect-free rows are the literal 0 the
+        // numeric header implies.
+        let csv = result.to_csv();
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let di = header.iter().position(|&h| h == "drop_rate").unwrap();
+        for (line, row) in lines.zip(result.rows()) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), header.len(), "ragged row: {line}");
+            if !matches!(row.backend, BackendSpec::Cluster(_)) {
+                assert_eq!(&fields[di..di + 3], ["0", "0", "0"], "row: {line}");
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Runs the `engine_throughput` workload (bare engine, instant workers),
 //! the batch backend path (now session-driven), the paced streaming
 //! driver at saturation, the `sweep_throughput` grid, and a
-//! cluster-backend grid, and the serial-vs-parallel cluster engine A/B
+//! cluster-backend grid, the serial-vs-parallel cluster engine A/B, and
+//! the multi-tenant serve-layer A/B (256 multiplexed stream tenants vs
+//! the same sessions solo)
 //! in a short fixed sampling window and emits `BENCH_engine.json` with
 //! tasks/sec and cells/sec, alongside the pinned pre-rewrite baseline,
 //! so the perf trajectory of the event core — and of the session API
@@ -18,9 +20,10 @@
 //!
 //! Knob: `BENCH_SMOKE_MS` — per-measurement sampling window (default 300).
 
-use picos_backend::{pace, BackendSpec, FaultPlan, SessionConfig, Sweep, Workload};
+use picos_backend::{feed_trace, pace, BackendSpec, FaultPlan, SessionConfig, Sweep, Workload};
 use picos_core::{FinishedReq, PicosConfig, PicosSystem};
 use picos_hil::HilMode;
+use picos_serve::{ServeConfig, Service, SubmitOutcome, TenantSpec};
 use picos_trace::gen::{self, App};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -287,6 +290,69 @@ fn main() {
             1.0 / v[v.len() / 2]
         });
 
+    // Serve-layer multiplexing tax: 256 stream tenants multiplexed behind
+    // one Service on one scheduler thread, against the same 256 sessions
+    // run solo back to back under the identical effective session config.
+    // The scheduler is invisible to the schedules (pinned by the serve
+    // conformance suite), so the A/B isolates the service's bookkeeping —
+    // registry lookups, admission checks, journaling, fair rounds — per
+    // session. Interleaved medians as above.
+    let serve_tenants = 256usize;
+    let serve_trace = gen::stream(gen::StreamConfig::heavy(24));
+    let serve_spec = TenantSpec::new(BackendSpec::Nanos, 2);
+    let serve_names: Vec<String> = (0..serve_tenants).map(|i| format!("b{i:03}")).collect();
+    let serve_tasks: Vec<_> = serve_trace.iter().collect();
+    let mux_run = || {
+        let mut svc = Service::new(ServeConfig::default()).expect("service starts");
+        for name in &serve_names {
+            svc.open(name, &serve_spec).expect("open tenant");
+            // The same buffer pre-sizing feed_trace gives a solo session.
+            svc.reserve(name, serve_trace.len()).expect("reserve");
+        }
+        // Clients submit in short bursts, interleaved across all tenants.
+        for chunk in serve_tasks.chunks(8) {
+            for name in &serve_names {
+                for task in chunk {
+                    while svc.submit(name, task).expect("submit") != SubmitOutcome::Accepted {
+                        svc.run_round();
+                    }
+                }
+            }
+        }
+        // LIFO close order: removing the newest tenant is a registry pop.
+        for name in serve_names.iter().rev() {
+            let out = svc.close(name).expect("close tenant");
+            std::hint::black_box(out.report.makespan);
+        }
+    };
+    let solo_cfg = serve_spec.effective_session_config(ServeConfig::default().default_quota);
+    let solo_run = || {
+        for _ in 0..serve_tenants {
+            let backend = serve_spec.build_backend();
+            let mut s = backend.open_with(solo_cfg).expect("open solo session");
+            feed_trace(&mut *s, &serve_trace).expect("solo feed");
+            let (r, _) = s.finish().expect("solo finish");
+            std::hint::black_box(r.makespan);
+        }
+    };
+    let mut serve_times: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    {
+        mux_run();
+        solo_run();
+        let start = Instant::now();
+        while start.elapsed() < window * 2 || serve_times[1].is_empty() {
+            for (side, run) in [(0, &mux_run as &dyn Fn()), (1, &solo_run)] {
+                let t0 = Instant::now();
+                run();
+                serve_times[side].push(t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let [serve_sessions_per_sec, serve_solo_sessions_per_sec] = serve_times.map(|mut v| {
+        v.sort_unstable_by(f64::total_cmp);
+        serve_tenants as f64 / v[v.len() / 2]
+    });
+
     let json = format!(
         "{{\n  \"workload\": \"sparselu128\",\n  \"tasks\": {},\n  \
          \"baseline_tasks_per_sec\": {:.0},\n  \
@@ -305,7 +371,10 @@ fn main() {
          \"cluster_cells_per_sec\": {:.1},\n  \
          \"cluster_serial4_cells_per_sec\": {:.1},\n  \
          \"cluster_par_cells_per_sec\": {:.1},\n  \
-         \"cluster_fault0_cells_per_sec\": {:.1}\n}}\n",
+         \"cluster_fault0_cells_per_sec\": {:.1},\n  \
+         \"serve_tenants\": {},\n  \
+         \"serve_sessions_per_sec\": {:.1},\n  \
+         \"serve_solo_sessions_per_sec\": {:.1}\n}}\n",
         tasks as u64,
         BASELINE_TASKS_PER_SEC,
         tasks_per_sec,
@@ -322,7 +391,10 @@ fn main() {
         cluster_cells_per_sec,
         cluster_serial4_cells_per_sec,
         cluster_par_cells_per_sec,
-        cluster_fault0_cells_per_sec
+        cluster_fault0_cells_per_sec,
+        serve_tenants,
+        serve_sessions_per_sec,
+        serve_solo_sessions_per_sec
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
@@ -385,6 +457,18 @@ fn main() {
             "FAIL: zero-fault 4-shard cluster {cluster_fault0_cells_per_sec:.1} \
              cells/s fell more than 3% below the plain serial engine's \
              {cluster_serial4_cells_per_sec:.1} cells/s"
+        );
+        std::process::exit(1);
+    }
+    // CI assertion: multiplexing 256 tenants behind the service must keep
+    // aggregate session throughput within 25% of the same sessions run
+    // solo — the serve layer's overhead contract (registry lookup +
+    // admission check per submit, fair rounds amortised across tenants).
+    if serve_sessions_per_sec < serve_solo_sessions_per_sec * 0.75 {
+        eprintln!(
+            "FAIL: multiplexed service {serve_sessions_per_sec:.1} sessions/s \
+             fell more than 25% below the solo reference's \
+             {serve_solo_sessions_per_sec:.1} sessions/s"
         );
         std::process::exit(1);
     }

@@ -16,7 +16,7 @@ pub struct Args {
 
 /// Options that are boolean flags: present or absent, never consuming a
 /// value (they parse as `"true"`).
-const FLAGS: &[&str] = &["critical-path"];
+const FLAGS: &[&str] = &["critical-path", "help"];
 
 impl Args {
     /// Parses an iterator of arguments (without the program name).
@@ -112,7 +112,8 @@ commands:
                 a Chrome Trace Event / Perfetto JSON trace of the run
                 (open in ui.perfetto.dev); --critical-path walks the spans
                 backward from the last finish and prints the makespan
-                attributed by category (exec, dispatch, queueing, link...)
+                attributed by category (exec, dispatch, queueing, link...);
+                both compose with --paced (spans of the streamed run)
   sweep <workload> --engine <e,e,...|all>       speedup vs workers (2..24),
        [--threads <n>] [--out results.csv]      cells run in parallel
        [--shards <n>] [--link-latency <c>]      (cluster cells)
@@ -125,6 +126,20 @@ commands:
        [--critical-path]                        per-cell makespan
                                                 attribution in the
                                                 critical_path column
+  serve [--addr <host:port>]                    multi-tenant session service:
+       [--journal-dir <dir>]                    thousands of live sessions
+       [--quota <n>] [--step-budget <n>]        multiplexed by a round-robin
+       [--max-tenants <n>] [--scrape-window <c>] fair scheduler, each tenant
+                                                journaled for bit-exact crash
+                                                recovery (--journal-dir).
+       protocol: line-delimited JSON over TCP — open / submit / barrier /
+                advance / drain-events / stats / scrape / close / shutdown;
+                `shutdown` triggers graceful exit (listener closed, in-flight
+                steps finished, journals flushed). --addr 127.0.0.1:0 binds
+                an ephemeral port and prints the resolved address.
+       --quota caps each tenant's accepted-but-unfinished tasks (admission
+                control above the session window); --step-budget is the
+                per-tenant step slice per scheduler round
   resources [--dm <design>] [--instances <n>]   FPGA cost estimate
   apps                                          list available generators
   engines                                       list available backends
@@ -169,6 +184,35 @@ mod tests {
         let a = parse(&["run", "--critical-path", "--workers", "8"]).unwrap();
         assert!(a.options.contains_key("critical-path"));
         assert_eq!(a.opt("workers", 1usize).unwrap(), 8);
+    }
+
+    #[test]
+    fn usage_covers_the_serve_subcommand() {
+        let u = usage();
+        assert!(
+            u.contains("serve [--addr <host:port>]"),
+            "serve line missing"
+        );
+        for opt in [
+            "--journal-dir",
+            "--quota",
+            "--step-budget",
+            "--max-tenants",
+            "--scrape-window",
+        ] {
+            assert!(u.contains(opt), "usage misses serve option {opt}");
+        }
+        for verb in ["submit", "barrier", "drain-events", "scrape", "shutdown"] {
+            assert!(u.contains(verb), "usage misses protocol verb {verb}");
+        }
+    }
+
+    #[test]
+    fn help_is_a_flag_not_an_option() {
+        // `picos serve --help` must parse (and later print usage) rather
+        // than die with "option --help needs a value".
+        let a = parse(&["serve", "--help"]).unwrap();
+        assert!(a.options.contains_key("help"));
     }
 
     #[test]

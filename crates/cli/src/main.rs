@@ -29,11 +29,18 @@ fn main() {
 }
 
 fn dispatch(a: &Args) -> Result<(), String> {
+    // `picos <command> --help` prints usage without running the command
+    // (notably: `picos serve --help` must not bind a socket).
+    if a.options.contains_key("help") {
+        println!("{}", usage());
+        return Ok(());
+    }
     match a.command.as_str() {
         "gen" => cmd_gen(a),
         "stats" => cmd_stats(a),
         "run" => cmd_run(a),
         "sweep" => cmd_sweep(a),
+        "serve" => cmd_serve(a),
         "resources" => cmd_resources(a),
         "apps" => {
             for app in gen::App::ALL {
@@ -345,6 +352,38 @@ fn note_stats(stats: &Option<Stats>) {
     }
 }
 
+/// Handles `--critical-path` / `--trace-out` for a finished run's span
+/// log — shared by the batch and paced run modes.
+fn emit_spans(
+    a: &Args,
+    trace: &Trace,
+    spans: Option<&mut span::SpanLog>,
+    makespan: u64,
+) -> Result<(), String> {
+    let Some(log) = spans else { return Ok(()) };
+    // Sessions return spans in recording order; sort here so the
+    // exported trace is deterministic across thread counts.
+    log.canonical_sort();
+    let g = TaskGraph::build(trace);
+    if a.options.contains_key("critical-path") {
+        let cp = span::critical_path(log, |t| g.preds(TaskId::new(t)).to_vec(), makespan)
+            .ok_or("critical path: the span log records no finished task")?;
+        print!("{}", cp.table());
+    }
+    if let Some(path) = a.options.get("trace-out") {
+        let mut edges = Vec::with_capacity(g.num_edges());
+        for t in 0..trace.len() as u32 {
+            for &s in g.succs(TaskId::new(t)) {
+                edges.push((t, s));
+            }
+        }
+        std::fs::write(path, span::to_perfetto_json(log, &edges))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}: {} span events", log.len());
+    }
+    Ok(())
+}
+
 fn cmd_run(a: &Args) -> Result<(), String> {
     let trace = load_workload(a, a.pos(0, "trace")?)?;
     let backend = build_backend(a)?;
@@ -374,32 +413,7 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         out.report.speedup(),
         backend.workers()
     );
-    if let Some(log) = out.spans.as_mut() {
-        // Sessions return spans in recording order; sort here so the
-        // exported trace is deterministic across thread counts.
-        log.canonical_sort();
-        let g = TaskGraph::build(&trace);
-        if want_cp {
-            let cp = span::critical_path(
-                log,
-                |t| g.preds(TaskId::new(t)).to_vec(),
-                out.report.makespan,
-            )
-            .ok_or("critical path: the span log records no finished task")?;
-            print!("{}", cp.table());
-        }
-        if let Some(path) = trace_out {
-            let mut edges = Vec::with_capacity(g.num_edges());
-            for t in 0..trace.len() as u32 {
-                for &s in g.succs(TaskId::new(t)) {
-                    edges.push((t, s));
-                }
-            }
-            std::fs::write(path, span::to_perfetto_json(log, &edges))
-                .map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!("wrote {path}: {} span events", log.len());
-        }
-    }
+    emit_spans(a, &trace, out.spans.as_mut(), out.report.makespan)?;
     emit_metrics(
         a,
         &out.report.engine,
@@ -414,9 +428,6 @@ fn cmd_run(a: &Args) -> Result<(), String> {
 /// workload into a streaming session at an open-loop rate of one task per
 /// `interarrival` cycles, with an optional in-flight admission window.
 fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(), String> {
-    if a.options.contains_key("trace-out") || a.options.contains_key("critical-path") {
-        return Err("--trace-out/--critical-path apply to batch runs only (drop --paced)".into());
-    }
     let interarrival = a.opt("paced", 100u64)?;
     let window = match a.options.get("window") {
         Some(v) => Some(
@@ -426,9 +437,13 @@ fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(
         None => None,
     };
     let source = pace::PacedTrace::new(trace, interarrival);
-    let tl = timeline_window(a, trace, backend.workers())?;
-    let r =
-        pace::run_paced_with_telemetry(backend, source, window, tl).map_err(|e| e.to_string())?;
+    let cfg = SessionConfig {
+        window,
+        timeline_window: timeline_window(a, trace, backend.workers())?,
+        trace_spans: a.options.contains_key("trace-out") || a.options.contains_key("critical-path"),
+        ..SessionConfig::batch()
+    };
+    let mut r = pace::run_paced_full(backend, source, cfg).map_err(|e| e.to_string())?;
     note_stats(&r.stats);
     note_faults(&r.metrics);
     r.report.validate(trace)?;
@@ -450,6 +465,7 @@ fn cmd_run_paced(a: &Args, trace: &Trace, backend: &dyn ExecBackend) -> Result<(
         r.backpressure_ratio() * 100.0,
         r.retries
     );
+    emit_spans(a, trace, r.spans.as_mut(), r.report.makespan)?;
     emit_metrics(
         a,
         &r.report.engine,
@@ -516,6 +532,32 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         None => Ok(()),
         Some(e) => Err(format!("sweep had failing cells: {e}")),
     }
+}
+
+/// `picos serve --addr <host:port>`: run the multi-tenant session service
+/// in the foreground until a `shutdown` protocol request arrives, then
+/// shut down gracefully (close listener, finish in-flight steps, flush
+/// journals).
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let d = picos_serve::ServeConfig::default();
+    let cfg = picos_serve::ServeConfig {
+        default_quota: a.opt("quota", d.default_quota)?,
+        step_budget: a.opt("step-budget", d.step_budget)?,
+        max_tenants: a.opt("max-tenants", d.max_tenants)?,
+        scrape_window: a.opt("scrape-window", d.scrape_window)?,
+        journal_dir: a.options.get("journal-dir").map(std::path::PathBuf::from),
+    };
+    let addr = a.opt("addr", "127.0.0.1:9119".to_string())?;
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Announce the resolved address (port 0 binds an ephemeral port) so
+    // drivers can connect; flush in case stdout is a pipe.
+    println!("picos-serve listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    picos_serve::serve_on(cfg, listener, &stop).map_err(|e| e.to_string())
 }
 
 fn cmd_resources(a: &Args) -> Result<(), String> {

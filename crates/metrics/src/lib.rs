@@ -670,6 +670,44 @@ impl WindowSampler {
         self.timeline.push_sample(start, end, &self.row);
     }
 
+    /// Like [`WindowSampler::advance`], but tolerant of sparse clocks:
+    /// when the span crosses more than `max_windows` boundaries, the run
+    /// of interior windows is elided (their gauges are constant and their
+    /// deltas zero — state only changes at simulation events) and the
+    /// sampler lands on the first boundary beyond `now`. Use where the
+    /// clock can leap arbitrarily far in one event (open-loop
+    /// `advance_to`); dense consumers that align windows across layers
+    /// ([`Timeline::stitch`]) should keep [`WindowSampler::advance`].
+    pub fn advance_sparse(&mut self, now: u64, max_windows: u64, probe: impl FnOnce(&mut [u64])) {
+        if now < self.next {
+            return;
+        }
+        probe(&mut self.scratch);
+        let mut emitted = 0u64;
+        while self.next <= now && emitted < max_windows {
+            self.emit(self.next - self.window, self.next);
+            self.next += self.window;
+            emitted += 1;
+        }
+        if self.next <= now {
+            let skipped = (now - self.next) / self.window + 1;
+            self.next += skipped * self.window;
+        }
+    }
+
+    /// Drains the samples accumulated so far into a [`Timeline`] without
+    /// finishing the sampler: boundaries due at `now` are emitted first,
+    /// then the collected samples are handed out and the sampler keeps
+    /// running from its current position (delta baselines are preserved,
+    /// so a later sample reports only activity since this drain). This is
+    /// the live-scrape path — a metrics endpoint can ship windows
+    /// mid-run while the session keeps its bit-exact schedule.
+    pub fn drain(&mut self, now: u64, probe: impl FnOnce(&mut [u64])) -> Timeline {
+        self.advance(now, probe);
+        let series = self.timeline.series.clone();
+        std::mem::replace(&mut self.timeline, Timeline::new(self.window, series))
+    }
+
     /// Finalizes the sampler at `end`: samples any boundaries still due,
     /// emits a final partial-window sample when `end` lies inside an open
     /// window, and returns the finished [`Timeline`].

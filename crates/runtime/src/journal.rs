@@ -112,6 +112,7 @@ impl<S: SessionCore> SessionCore for JournaledSession<S> {
     }
 
     fn reserve(&mut self, additional: usize) {
+        self.journal.reserve(additional);
         self.inner.reserve(additional)
     }
 }

@@ -198,6 +198,43 @@ pub trait SessionCore {
     }
 }
 
+/// Boxed sessions forward the whole ingest interface, so drivers that are
+/// generic over `S: SessionCore` (the journaling wrapper, the feed loops)
+/// work directly on `Box<dyn SimSession>`-shaped trait objects.
+impl<S: SessionCore + ?Sized> SessionCore for Box<S> {
+    fn submit(&mut self, task: &TaskDescriptor) -> Admission {
+        (**self).submit(task)
+    }
+
+    fn barrier(&mut self) {
+        (**self).barrier()
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        (**self).advance_to(cycle)
+    }
+
+    fn step(&mut self) -> bool {
+        (**self).step()
+    }
+
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        (**self).drain_events(out)
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        (**self).reserve(additional)
+    }
+}
+
 /// The driver shape shared by the event-loop sessions (HIL platform,
 /// cluster): a batch-loop body run at the current time ([`pump`]) plus
 /// the earliest pending internal event ([`next_time`]).

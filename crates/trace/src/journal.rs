@@ -64,6 +64,11 @@ impl SessionJournal {
         self.ops.push(JournalOp::Submit(task.clone()));
     }
 
+    /// Pre-sizes the journal for at least `additional` further ops.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ops.reserve(additional);
+    }
+
     /// Records a taskwait barrier.
     pub fn record_barrier(&mut self) {
         self.ops.push(JournalOp::Barrier);

@@ -74,8 +74,9 @@ fn dir_name(d: Direction) -> &'static str {
 }
 
 /// Encodes one task descriptor as a JSON object (shared by the trace
-/// format and the session journal, which must agree on the task shape).
-pub(crate) fn task_to_json(out: &mut String, t: &TaskDescriptor) {
+/// format, the session journal and the serve wire protocol, which must
+/// agree on the task shape).
+pub fn task_to_json(out: &mut String, t: &TaskDescriptor) {
     out.push_str(&format!(
         "{{\"id\":{},\"kernel\":{},\"duration\":{},\"deps\":[",
         t.id.raw(),
@@ -98,7 +99,7 @@ pub(crate) fn task_to_json(out: &mut String, t: &TaskDescriptor) {
 /// Decodes one task descriptor from its parsed JSON object. `i` labels
 /// errors ("task {i} ..."); the caller checks id ordering and kernel-table
 /// bounds where those constraints apply.
-pub(crate) fn task_from_value(tv: &Value, i: usize) -> Result<TaskDescriptor, JsonError> {
+pub fn task_from_value(tv: &Value, i: usize) -> Result<TaskDescriptor, JsonError> {
     let Value::Obj(t) = tv else {
         return Err(bad(format!("task {i} must be an object")));
     };

@@ -19,6 +19,9 @@
 //! * [`backend`] — the uniform [`ExecBackend`](picos_backend::ExecBackend)
 //!   trait over every engine plus the parallel experiment-sweep harness
 //!   ([`picos_backend`]).
+//! * [`serve`] — the multi-tenant simulation service: thousands of live
+//!   journaled sessions behind one fair scheduler, over TCP or in-process
+//!   ([`picos_serve`]).
 //! * [`resources`] — the FPGA resource model ([`picos_resources`]).
 //!
 //! The crate layering and the recipe for adding a new execution backend
@@ -53,6 +56,7 @@ pub use picos_hil as hil;
 pub use picos_metrics as metrics;
 pub use picos_resources as resources;
 pub use picos_runtime as runtime;
+pub use picos_serve as serve;
 pub use picos_trace as trace;
 
 /// Everything a typical experiment needs, importable in one line.
@@ -84,6 +88,9 @@ pub mod prelude {
     pub use picos_runtime::{
         perfect_schedule, replay_journal, run_software, ExecReport, JournaledSession,
         NanosCostModel, SwRuntimeConfig,
+    };
+    pub use picos_serve::{
+        ServeConfig, ServeError, ServeHandle, Service, SubmitOutcome, TenantSpec, TenantStats,
     };
     pub use picos_trace::gen;
     pub use picos_trace::{
