@@ -63,6 +63,7 @@ mod backends;
 pub mod pace;
 pub mod par;
 mod session;
+mod snap;
 mod sweep;
 
 pub use backends::{
@@ -81,4 +82,5 @@ pub use session::{
     feed_trace, Admission, FeedStall, SessionConfig, SessionCore, SessionOutput, SimEvent,
     SimSession,
 };
+pub use snap::Snapshot;
 pub use sweep::{Sweep, SweepCell, SweepResult, SweepRow, Workload};

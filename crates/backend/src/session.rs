@@ -17,6 +17,7 @@ use picos_hil::HilSession;
 use picos_metrics::span::SpanLog;
 use picos_metrics::{MergeRule, MetricSet, Timeline};
 use picos_runtime::{ExecReport, PerfectSession, SoftwareSession};
+use picos_trace::{SnapError, Value};
 use std::fmt;
 
 pub use picos_runtime::session::{
@@ -107,6 +108,29 @@ pub trait SimSession: SessionCore + Send + fmt::Debug {
     fn finish(self: Box<Self>) -> Result<(ExecReport, Option<Stats>), BackendError> {
         self.finish_full().map(|o| (o.report, o.stats))
     }
+
+    /// Serializes the session's complete dynamic state — engine tables,
+    /// clock, in-flight work, ingest window, schedule/event logs, attached
+    /// telemetry — through the in-tree JSON codec. The snapshot embeds a
+    /// configuration fingerprint, so it can only be restored into an
+    /// identically-configured session.
+    fn save_state(&self) -> Value;
+
+    /// Overwrites this session's dynamic state with a snapshot taken from
+    /// an identically-configured session ([`SimSession::save_state`]).
+    /// After a successful load, driving this session is bit-exact with
+    /// driving the snapshotted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on configuration mismatch or a malformed
+    /// snapshot; the session must then be discarded.
+    fn load_state(&mut self, v: &Value) -> Result<(), SnapError>;
+
+    /// Deep-copies the session into an independent boxed replica — the
+    /// cheap in-memory fork primitive. The replica shares no state with
+    /// the original; driving either leaves the other untouched.
+    fn fork_boxed(&self) -> Box<dyn SimSession>;
 }
 
 impl SimSession for PerfectSession {
@@ -115,6 +139,18 @@ impl SimSession for PerfectSession {
         let (report, spans) = (*self).into_output();
         Ok(plain_output(report, window, spans))
     }
+
+    fn save_state(&self) -> Value {
+        PerfectSession::save_state(self)
+    }
+
+    fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        PerfectSession::load_state(self, v)
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SimSession> {
+        Box::new(self.clone())
+    }
 }
 
 impl SimSession for SoftwareSession {
@@ -122,6 +158,18 @@ impl SimSession for SoftwareSession {
         let window = self.timeline_window();
         let (report, spans) = (*self).into_output().map_err(BackendError::from)?;
         Ok(plain_output(report, window, spans))
+    }
+
+    fn save_state(&self) -> Value {
+        SoftwareSession::save_state(self)
+    }
+
+    fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        SoftwareSession::load_state(self, v)
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SimSession> {
+        Box::new(self.clone())
     }
 }
 
@@ -137,6 +185,18 @@ impl SimSession for HilSession {
             spans,
             metrics,
         })
+    }
+
+    fn save_state(&self) -> Value {
+        HilSession::save_state(self)
+    }
+
+    fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        HilSession::load_state(self, v)
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SimSession> {
+        Box::new(self.clone())
     }
 }
 
@@ -166,5 +226,17 @@ impl SimSession for ClusterSession {
             spans,
             metrics,
         })
+    }
+
+    fn save_state(&self) -> Value {
+        ClusterSession::save_state(self)
+    }
+
+    fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        ClusterSession::load_state(self, v)
+    }
+
+    fn fork_boxed(&self) -> Box<dyn SimSession> {
+        Box::new(self.clone())
     }
 }

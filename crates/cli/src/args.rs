@@ -126,20 +126,39 @@ commands:
        [--critical-path]                        per-cell makespan
                                                 attribution in the
                                                 critical_path column
+  whatif <workload> [--axis dm|shards]          config search on a live
+       [--prefix <0..1>] [--workers <w>]        session: the first --prefix
+       [--engine <e>] [--dm <d>] [--shards <n>] fraction of the workload is
+                                                recorded into a journaled
+                                                live session, the session is
+                                                forked in memory for the
+                                                baseline, and one replica
+                                                per candidate DM design (or
+                                                cluster shard count) replays
+                                                the recorded arrival prefix;
+                                                every replica receives the
+                                                remaining suffix and the
+                                                projected makespans are
+                                                ranked (best config printed)
   serve [--addr <host:port>]                    multi-tenant session service:
        [--journal-dir <dir>]                    thousands of live sessions
        [--quota <n>] [--step-budget <n>]        multiplexed by a round-robin
        [--max-tenants <n>] [--scrape-window <c>] fair scheduler, each tenant
-                                                journaled for bit-exact crash
+       [--checkpoint-every <steps>]             journaled for bit-exact crash
                                                 recovery (--journal-dir).
        protocol: line-delimited JSON over TCP — open / submit / barrier /
-                advance / drain-events / stats / scrape / close / shutdown;
+                advance / drain-events / stats / scrape / checkpoint /
+                close / shutdown;
                 `shutdown` triggers graceful exit (listener closed, in-flight
                 steps finished, journals flushed). --addr 127.0.0.1:0 binds
                 an ephemeral port and prints the resolved address.
        --quota caps each tenant's accepted-but-unfinished tasks (admission
                 control above the session window); --step-budget is the
-                per-tenant step slice per scheduler round
+                per-tenant step slice per scheduler round;
+       --checkpoint-every persists a full engine snapshot per tenant every
+                N scheduler steps and truncates its journal to the
+                post-snapshot tail, so restart recovery replays a bounded
+                tail (snapshot + tail) instead of the whole history
   resources [--dm <design>] [--instances <n>]   FPGA cost estimate
   apps                                          list available generators
   engines                                       list available backends
@@ -199,11 +218,28 @@ mod tests {
             "--step-budget",
             "--max-tenants",
             "--scrape-window",
+            "--checkpoint-every",
         ] {
             assert!(u.contains(opt), "usage misses serve option {opt}");
         }
-        for verb in ["submit", "barrier", "drain-events", "scrape", "shutdown"] {
+        for verb in [
+            "submit",
+            "barrier",
+            "drain-events",
+            "scrape",
+            "checkpoint",
+            "shutdown",
+        ] {
             assert!(u.contains(verb), "usage misses protocol verb {verb}");
+        }
+    }
+
+    #[test]
+    fn usage_covers_the_whatif_subcommand() {
+        let u = usage();
+        assert!(u.contains("whatif <workload>"), "whatif line missing");
+        for opt in ["--axis dm|shards", "--prefix"] {
+            assert!(u.contains(opt), "usage misses whatif option {opt}");
         }
     }
 

@@ -8,12 +8,16 @@
 mod args;
 
 use args::{usage, Args};
-use picos_backend::{pace, BackendSpec, ExecBackend, SessionConfig, Sweep, Workload};
+use picos_backend::{
+    pace, Admission, BackendSpec, ExecBackend, SessionConfig, SessionCore, SimSession, Sweep,
+    Workload,
+};
 use picos_cluster::{FaultPlan, ShardPolicy};
 use picos_core::{DmDesign, PicosConfig, Stats, TsPolicy};
 use picos_hil::LinkModel;
 use picos_metrics::{span, MetricSet, Timeline};
 use picos_resources::{full_picos_resources, XC7Z020};
+use picos_runtime::{replay_journal, JournaledSession};
 use picos_trace::{gen, TaskGraph, TaskId, Trace};
 use std::sync::Arc;
 
@@ -40,6 +44,7 @@ fn dispatch(a: &Args) -> Result<(), String> {
         "stats" => cmd_stats(a),
         "run" => cmd_run(a),
         "sweep" => cmd_sweep(a),
+        "whatif" => cmd_whatif(a),
         "serve" => cmd_serve(a),
         "resources" => cmd_resources(a),
         "apps" => {
@@ -145,6 +150,15 @@ fn parse_dm(s: &str) -> Result<DmDesign, String> {
         "16way" => Ok(DmDesign::SixteenWay),
         "p8way" => Ok(DmDesign::PearsonEightWay),
         other => Err(format!("unknown DM design {other}")),
+    }
+}
+
+/// The CLI-facing name of a DM design (inverse of [`parse_dm`]).
+fn dm_name(d: DmDesign) -> &'static str {
+    match d {
+        DmDesign::EightWay => "8way",
+        DmDesign::SixteenWay => "16way",
+        DmDesign::PearsonEightWay => "p8way",
     }
 }
 
@@ -534,6 +548,171 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     }
 }
 
+/// Feeds `trace[range]` into a session, declaring the trace's taskwait
+/// barriers at their recorded positions and riding out backpressure with
+/// forced steps (batch sessions never push back; the loop is for windowed
+/// replicas).
+fn feed_range(
+    s: &mut dyn SessionCore,
+    trace: &Trace,
+    range: std::ops::Range<usize>,
+) -> Result<(), String> {
+    for i in range {
+        if trace.barriers().contains(&(i as u32)) {
+            s.barrier();
+        }
+        loop {
+            match s.submit(&trace.tasks()[i]) {
+                Admission::Accepted => break,
+                Admission::Backpressured => {
+                    if !s.step() {
+                        return Err(format!("session stalled feeding task {i}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One what-if candidate: a label and the backend that realizes it.
+struct WhatIfCandidate {
+    label: String,
+    backend: Box<dyn ExecBackend>,
+}
+
+/// `picos whatif <workload> --axis dm|shards`: config search on a *live*
+/// session. The workload's first `--prefix` fraction is fed into a
+/// journaled session (the recorded arrival prefix); the live session is
+/// then forked in memory for the baseline while one fresh replica per
+/// candidate config replays the recorded prefix; every replica receives
+/// the remaining suffix and the projected makespans are ranked. The live
+/// session itself is never consumed — a server could keep feeding it.
+fn cmd_whatif(a: &Args) -> Result<(), String> {
+    let trace = load_workload(a, a.pos(0, "trace")?)?;
+    if trace.is_empty() {
+        return Err("what-if needs a non-empty workload".into());
+    }
+    let workers = a.opt("workers", 12usize)?;
+    let frac = a.opt("prefix", 0.5f64)?;
+    if !(0.0..=1.0).contains(&frac) {
+        return Err(format!("--prefix must be in 0..=1, got {frac}"));
+    }
+    let cut = ((trace.len() as f64 * frac) as usize).min(trace.len());
+    let axis = a.opt("axis", "dm".to_string())?;
+    let base_cfg = picos_config(a)?;
+    let link = link_model(a)?;
+
+    // The live config plus the candidate axis, every cell through the
+    // same builder path as `picos run`.
+    let build = |spec: BackendSpec, cfg: &PicosConfig| {
+        spec.builder(workers).picos(cfg).link(Some(link)).build()
+    };
+    let (live_label, live_backend, candidates) = match axis.as_str() {
+        "dm" => {
+            let engine = engine_name(a)?;
+            let spec = BackendSpec::parse(&engine)
+                .ok_or_else(|| format!("unknown engine {engine}\n{}", usage()))?;
+            let candidates: Vec<WhatIfCandidate> = DmDesign::ALL
+                .into_iter()
+                .filter(|d| *d != base_cfg.dm_design)
+                .map(|d| {
+                    let cfg = PicosConfig {
+                        dm_design: d,
+                        ..base_cfg.clone()
+                    };
+                    WhatIfCandidate {
+                        label: format!("dm={}", dm_name(d)),
+                        backend: build(spec, &cfg),
+                    }
+                })
+                .collect();
+            (
+                format!("dm={}", dm_name(base_cfg.dm_design)),
+                build(spec, &base_cfg),
+                candidates,
+            )
+        }
+        "shards" => {
+            let base = a.opt("shards", 2usize)?;
+            let candidates: Vec<WhatIfCandidate> = [1usize, 2, 4, 8]
+                .into_iter()
+                .filter(|s| *s != base && *s <= workers)
+                .map(|s| WhatIfCandidate {
+                    label: format!("shards={s}"),
+                    backend: build(BackendSpec::Cluster(s), &base_cfg),
+                })
+                .collect();
+            (
+                format!("shards={base}"),
+                build(BackendSpec::Cluster(base), &base_cfg),
+                candidates,
+            )
+        }
+        other => return Err(format!("unknown what-if axis {other} (want dm or shards)")),
+    };
+
+    // The live session: journaled, so replicas can replay its arrivals.
+    let session = live_backend
+        .open_with(SessionConfig::batch())
+        .map_err(|e| e.to_string())?;
+    let mut live = JournaledSession::new(session);
+    feed_range(&mut live, &trace, 0..cut)?;
+    println!(
+        "what-if on {}: {} of {} tasks recorded into the live session ({live_label})",
+        trace.name,
+        cut,
+        trace.len()
+    );
+
+    // Baseline: fork the live session in memory and run it to the end.
+    let mut rows: Vec<(String, u64, f64)> = Vec::new();
+    let mut finish = |label: String, mut s: Box<dyn SimSession>| -> Result<(), String> {
+        feed_range(&mut *s, &trace, cut..trace.len())?;
+        let out = s.finish_full().map_err(|e| format!("{label}: {e}"))?;
+        rows.push((label, out.report.makespan, out.report.speedup()));
+        Ok(())
+    };
+    finish(format!("{live_label} (live)"), live.inner().fork_boxed())?;
+
+    // Each candidate replays the recorded prefix into a fresh replica.
+    for c in candidates {
+        let mut s = c
+            .backend
+            .open_with(SessionConfig::batch())
+            .map_err(|e| e.to_string())?;
+        replay_journal(&mut *s, live.journal()).map_err(|e| format!("{}: {e}", c.label))?;
+        finish(c.label, s)?;
+    }
+
+    let live_makespan = rows[0].1;
+    println!("config                 makespan   speedup   vs live");
+    for (label, makespan, speedup) in &rows {
+        let delta = if *makespan == live_makespan {
+            "      —".to_string()
+        } else {
+            format!(
+                "{:>+6.1}%",
+                (*makespan as f64 / live_makespan as f64 - 1.0) * 100.0
+            )
+        };
+        println!("{label:<20}  {makespan:>9}  {speedup:>8.2}  {delta}");
+    }
+    let (best_label, best_makespan, _) = rows
+        .iter()
+        .min_by_key(|(_, m, _)| *m)
+        .expect("at least the baseline row");
+    if *best_makespan < live_makespan {
+        println!(
+            "best: {best_label} — {:.1}% faster than the live config",
+            (1.0 - *best_makespan as f64 / live_makespan as f64) * 100.0
+        );
+    } else {
+        println!("best: the live config already wins");
+    }
+    Ok(())
+}
+
 /// `picos serve --addr <host:port>`: run the multi-tenant session service
 /// in the foreground until a `shutdown` protocol request arrives, then
 /// shut down gracefully (close listener, finish in-flight steps, flush
@@ -546,6 +725,10 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         max_tenants: a.opt("max-tenants", d.max_tenants)?,
         scrape_window: a.opt("scrape-window", d.scrape_window)?,
         journal_dir: a.options.get("journal-dir").map(std::path::PathBuf::from),
+        checkpoint_every: match a.options.get("checkpoint-every") {
+            Some(v) => Some(v.parse().map_err(|e| format!("--checkpoint-every: {e}"))?),
+            None => None,
+        },
     };
     let addr = a.opt("addr", "127.0.0.1:9119".to_string())?;
     let listener =

@@ -32,6 +32,7 @@
 //! is statement-for-statement the HW-only driver: cycle-identical.
 
 mod par_drive;
+mod snap;
 
 use crate::config::{home_shard, ClusterConfig, ClusterError, ShardPolicy};
 use crate::fault::{FaultCounters, FaultPlan, FaultState, Packet};
@@ -95,7 +96,12 @@ pub type ClusterOutput = (
 /// Feeding a whole trace and finishing is cycle-identical to
 /// [`run_cluster_with_stats`]; with one shard both are cycle-identical to
 /// the HW-only HIL driver.
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of the entire cluster — the in-memory fork
+/// primitive: a cloned session diverges freely without touching the
+/// original. [`ClusterSession::save_state`] /
+/// [`ClusterSession::load_state`] are the serialized equivalents.
+#[derive(Debug, Clone)]
 pub struct ClusterSession {
     cfg: ClusterConfig,
     sys: Vec<PicosSystem>,
@@ -1137,22 +1143,32 @@ mod tests {
     }
 
     #[test]
-    fn timed_sessions_fall_back_to_the_serial_engine() {
-        // The cluster sampler probes global state, so timed runs are
-        // serial regardless of the thread knob — and therefore identical.
-        let tr = gen::stream(gen::StreamConfig::heavy(200));
-        let run_timed = |threads: usize| {
-            let cfg = ClusterConfig::balanced(4, 8).with_threads(threads);
-            let mut s = ClusterSession::new(cfg, SessionConfig::timed(512)).unwrap();
-            feed_trace(&mut s, &tr).unwrap();
-            s.into_report_full().unwrap()
-        };
-        let (sr, ss, stl) = run_timed(1);
-        let (pr, ps, ptl) = run_timed(4);
-        assert_eq!(sr, pr);
-        assert_eq!(ss, ps);
-        let (stl, ptl) = (stl.expect("timed"), ptl.expect("timed"));
-        assert_eq!(stl, ptl, "attached timelines must match bit-for-bit");
+    fn timed_parallel_sessions_match_serial_bit_for_bit() {
+        // Sampler-attached sessions run the epoch engine too: every window
+        // boundary lands on an epoch-planning point, where the merged lane
+        // state equals the serial engine's — the stitched timeline must be
+        // bit-identical for any thread count and any window size (windows
+        // both smaller and larger than the interconnect lookahead).
+        let tr = gen::stream(gen::StreamConfig::heavy(300));
+        for window in [8u64, 64, 512] {
+            let run_timed = |threads: usize| {
+                let cfg = ClusterConfig::balanced(4, 8).with_threads(threads);
+                let mut s = ClusterSession::new(cfg, SessionConfig::timed(window)).unwrap();
+                feed_trace(&mut s, &tr).unwrap();
+                s.into_report_full().unwrap()
+            };
+            let (sr, ss, stl) = run_timed(1);
+            for threads in [2usize, 4] {
+                let (pr, ps, ptl) = run_timed(threads);
+                assert_eq!(sr, pr, "window {window}, {threads} threads");
+                assert_eq!(ss, ps, "window {window}, {threads} threads");
+                assert_eq!(
+                    stl.as_ref().expect("timed"),
+                    ptl.as_ref().expect("timed"),
+                    "window {window}, {threads} threads: timelines must match"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1181,5 +1197,160 @@ mod tests {
         // Per-shard counters count fragments, so they can exceed the task
         // count but must balance.
         assert_eq!(total.tasks_submitted, total.tasks_completed);
+    }
+
+    /// Feeds tasks `range` of the trace, honoring its taskwait barriers
+    /// and draining backpressure — the prefix-replay driver of the
+    /// snapshot tests.
+    fn feed_range(s: &mut ClusterSession, tr: &Trace, range: std::ops::Range<usize>) {
+        for i in range {
+            if tr.barriers().contains(&(i as u32)) {
+                s.barrier();
+            }
+            while s.submit(&tr.tasks()[i]) == Admission::Backpressured {
+                assert!(s.step(), "backpressured session must progress");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_equals_continuous() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let cfg = ClusterConfig::balanced(3, 9);
+        let scfg = SessionConfig::windowed(16).with_timeline(64).with_spans();
+        for pause in [0, 9, tr.len() / 2] {
+            let mut cont = ClusterSession::new(cfg.clone(), scfg).unwrap();
+            let mut live = ClusterSession::new(cfg.clone(), scfg).unwrap();
+            feed_range(&mut cont, &tr, 0..pause);
+            feed_range(&mut live, &tr, 0..pause);
+
+            // Snapshot through the JSON text codec, restore into a fresh
+            // identically-configured session.
+            let text = picos_trace::snap::value_to_json(&live.save_state());
+            let snap = picos_trace::snap::value_from_json(&text).unwrap();
+            let mut restored = ClusterSession::new(cfg.clone(), scfg).unwrap();
+            restored.load_state(&snap).unwrap();
+
+            feed_range(&mut cont, &tr, pause..tr.len());
+            feed_range(&mut restored, &tr, pause..tr.len());
+            let a = cont.into_output().unwrap();
+            let b = restored.into_output().unwrap();
+            assert_eq!(a, b, "pause {pause}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_equals_continuous_under_faults() {
+        // The fault layer's whole runtime state — RNG cursor, pending
+        // retries, dedup table, pause deferrals, worker-fault cursor,
+        // counters — must survive the roundtrip: any drift would change
+        // every later fault draw.
+        let tr = gen::stream(gen::StreamConfig::heavy(300));
+        let plan = FaultPlan::new(11)
+            .with_drop_rate(0.05)
+            .with_dup_rate(0.05)
+            .with_jitter(0.2, 8)
+            .with_pause(1, 400, 900)
+            .with_worker_fault(0, 700);
+        let mut cfg = ClusterConfig::balanced(3, 9);
+        cfg.faults = Some(plan);
+        let scfg = SessionConfig::windowed(16).with_timeline(64);
+        for pause in [0, tr.len() / 3, tr.len() - 1] {
+            let mut cont = ClusterSession::new(cfg.clone(), scfg).unwrap();
+            let mut live = ClusterSession::new(cfg.clone(), scfg).unwrap();
+            feed_range(&mut cont, &tr, 0..pause);
+            feed_range(&mut live, &tr, 0..pause);
+
+            let text = picos_trace::snap::value_to_json(&live.save_state());
+            let snap = picos_trace::snap::value_from_json(&text).unwrap();
+            let mut restored = ClusterSession::new(cfg.clone(), scfg).unwrap();
+            restored.load_state(&snap).unwrap();
+
+            feed_range(&mut cont, &tr, pause..tr.len());
+            feed_range(&mut restored, &tr, pause..tr.len());
+            let a = cont.into_output().unwrap();
+            let b = restored.into_output().unwrap();
+            assert_eq!(a, b, "pause {pause}");
+            let c = a.3.expect("active plan");
+            assert!(
+                c.drops + c.retries + c.redeliveries + c.recoveries > 0,
+                "the plan must actually inject faults for this to test anything"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_crosses_engine_thread_counts() {
+        // The fingerprint deliberately excludes the thread knob: parallel
+        // and serial engines are bit-identical, so a snapshot taken under
+        // one restores and continues under the other.
+        let tr = gen::stream(gen::StreamConfig::heavy(400));
+        let cut = tr.len() / 2;
+        let serial_cfg = ClusterConfig::balanced(4, 12);
+        let par_cfg = ClusterConfig::balanced(4, 12).with_threads(4);
+
+        let mut live = ClusterSession::new(par_cfg.clone(), SessionConfig::windowed(32)).unwrap();
+        feed_range(&mut live, &tr, 0..cut);
+        live.advance_to(live.now() + 1_000);
+        let snap = live.save_state();
+
+        let finish = |mut s: ClusterSession| {
+            feed_range(&mut s, &tr, cut..tr.len());
+            s.into_report().unwrap()
+        };
+        let mut into_serial = ClusterSession::new(serial_cfg, SessionConfig::windowed(32)).unwrap();
+        into_serial.load_state(&snap).unwrap();
+        let mut into_par = ClusterSession::new(par_cfg, SessionConfig::windowed(32)).unwrap();
+        into_par.load_state(&snap).unwrap();
+        assert_eq!(finish(into_serial), finish(into_par));
+    }
+
+    #[test]
+    fn fork_is_an_independent_replica() {
+        let tr = gen::stream(gen::StreamConfig::heavy(250));
+        let cfg = ClusterConfig::balanced(3, 9);
+        let mut orig = ClusterSession::new(cfg, SessionConfig::batch()).unwrap();
+        feed_range(&mut orig, &tr, 0..100);
+        let baseline = orig.save_state();
+
+        let mut fork = orig.clone();
+        feed_range(&mut fork, &tr, 100..tr.len());
+        let forked = fork.into_report().unwrap();
+
+        // Driving the fork to completion left the original untouched.
+        assert_eq!(
+            picos_trace::snap::value_to_json(&orig.save_state()),
+            picos_trace::snap::value_to_json(&baseline)
+        );
+        feed_range(&mut orig, &tr, 100..tr.len());
+        assert_eq!(orig.into_report().unwrap(), forked);
+    }
+
+    #[test]
+    fn snapshot_rejects_config_mismatch() {
+        let tr = gen::stream(gen::StreamConfig::heavy(60));
+        let mut live =
+            ClusterSession::new(ClusterConfig::balanced(3, 9), SessionConfig::batch()).unwrap();
+        feed_range(&mut live, &tr, 0..tr.len());
+        let snap = live.save_state();
+
+        // Different shard count: fingerprint mismatch.
+        let mut other =
+            ClusterSession::new(ClusterConfig::balanced(2, 8), SessionConfig::batch()).unwrap();
+        let err = other.load_state(&snap).unwrap_err().to_string();
+        assert!(err.contains("cluster config"), "got: {err}");
+
+        // Same cluster, different observation setup.
+        let mut timed =
+            ClusterSession::new(ClusterConfig::balanced(3, 9), SessionConfig::timed(64)).unwrap();
+        let err = timed.load_state(&snap).unwrap_err().to_string();
+        assert!(err.contains("sampler"), "got: {err}");
+
+        // Same cluster, different fault plan.
+        let mut faulted_cfg = ClusterConfig::balanced(3, 9);
+        faulted_cfg.faults = Some(FaultPlan::new(7).with_drop_rate(0.1));
+        let mut faulted = ClusterSession::new(faulted_cfg, SessionConfig::batch()).unwrap();
+        let err = faulted.load_state(&snap).unwrap_err().to_string();
+        assert!(err.contains("cluster config"), "got: {err}");
     }
 }

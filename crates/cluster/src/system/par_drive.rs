@@ -59,6 +59,7 @@ use crate::fault::Packet;
 use picos_core::{FinishedReq, PicosSystem, SlotRef};
 use picos_hil::Link;
 use picos_metrics::span::{SpanKind, SpanLog};
+use picos_metrics::WindowSampler;
 use picos_runtime::par::{available_threads, DisjointSlice, PhaseCell, SpinBarrier};
 use picos_runtime::session::{EventLog, EventLoopCore, ScheduleLog, SimEvent};
 use picos_trace::{Dependence, TaskId};
@@ -160,6 +161,15 @@ struct MergeState<'a> {
     link_sent: &'a mut [u64],
     finished: &'a mut usize,
     clock: &'a mut u64,
+    /// The cluster-level telemetry sampler, advanced at epoch *planning*
+    /// time: the merged global state there is exactly the state after
+    /// every event before the epoch's start, which is what the serial
+    /// engine's `set_clock` observes. Epoch ends are clamped to
+    /// [`WindowSampler::next_boundary`] so no boundary ever falls strictly
+    /// inside an epoch, where lanes would race past it unsampled.
+    sampler: Option<&'a mut WindowSampler>,
+    /// Per-shard worker capacity, for the occupancy probe.
+    caps: Vec<usize>,
     sends: Vec<OutMsg>,
     starts: Vec<StartRec>,
     evs: Vec<EvRec>,
@@ -433,12 +443,47 @@ impl Lane {
 /// Picks the next epoch window, or `None` when every lane is quiescent or
 /// past `bound`: start at the global minimum next event, end `lookahead`
 /// later (clamped so events exactly at `bound` still run).
-fn plan_epoch(lanes: &[Lane], lookahead: u64, bound: u64) -> Option<u64> {
+///
+/// Telemetry rides on the planning point. The serial engine samples every
+/// crossed window boundary in `set_clock`, *before* the pump at the new
+/// event time runs — i.e. each boundary observes the state after every
+/// event strictly before it. At planning time the merged global state is
+/// exactly that for `tmin` (lanes are reassembled, all sends replayed), so
+/// advancing the sampler to `tmin` here probes bit-identical values. The
+/// epoch end is then clamped to the next boundary, which keeps every
+/// future boundary on a planning point too.
+fn plan_epoch(lanes: &[Lane], m: &mut MergeState<'_>, lookahead: u64, bound: u64) -> Option<u64> {
     let tmin = lanes.iter().filter_map(Lane::next_time).min()?;
     if tmin > bound {
         return None;
     }
-    Some(tmin.saturating_add(lookahead).min(bound.saturating_add(1)))
+    let mut end = tmin.saturating_add(lookahead).min(bound.saturating_add(1));
+    if let Some(sampler) = m.sampler.as_deref_mut() {
+        if sampler.due(tmin) {
+            let (caps, link_sent) = (&m.caps, &*m.link_sent);
+            sampler.advance(tmin, |out| probe_lanes(lanes, caps, link_sent, out));
+        }
+        // `next_boundary() > tmin` always (advance leaves it strictly
+        // ahead), so the clamp never stalls the epoch loop.
+        end = end.min(sampler.next_boundary());
+    }
+    Some(end)
+}
+
+/// The cluster-level telemetry probe over lane-held state, in the exact
+/// series order of the serial `probe_cluster`: summed worker occupancy,
+/// then per-link flight count and cumulative traffic. The fault series
+/// never appear here — faulted sessions always run the serial engine.
+fn probe_lanes(lanes: &[Lane], caps: &[usize], link_sent: &[u64], out: &mut [u64]) {
+    out[0] = lanes
+        .iter()
+        .zip(caps)
+        .map(|(lane, &cap)| (cap - lane.workers.idle()) as u64)
+        .sum();
+    for (s, lane) in lanes.iter().enumerate() {
+        out[1 + 2 * s] = lane.link.in_flight() as u64;
+        out[2 + 2 * s] = link_sent[s];
+    }
 }
 
 /// Replays one epoch's buffered emissions in serial-pump order.
@@ -484,7 +529,7 @@ fn merge_epoch(lanes: &mut [Lane], m: &mut MergeState<'_>) {
 /// (or one configured thread) is effectively available. Identical results
 /// to the threaded loop: scheduling never influences what a lane computes.
 fn run_inline(lanes: &mut [Lane], world: &World<'_>, m: &mut MergeState<'_>, la: u64, bound: u64) {
-    while let Some(end) = plan_epoch(lanes, la, bound) {
+    while let Some(end) = plan_epoch(lanes, m, la, bound) {
         for lane in lanes.iter_mut() {
             lane.run_epoch(end, world);
         }
@@ -573,7 +618,7 @@ fn run_threaded(
                 let all = shared.as_mut_slice();
                 merge_epoch(all, m);
                 let c = ctl.get();
-                match plan_epoch(all, la, bound) {
+                match plan_epoch(all, m, la, bound) {
                     Some(end) => {
                         *c = Ctl { end, done: false };
                         false
@@ -618,21 +663,22 @@ impl ClusterSession {
     /// * more than one configured thread and more than one shard;
     /// * nonzero lookahead (a zero-cost interconnect leaves no safe
     ///   window);
-    /// * no telemetry sampler — the cluster's windowed series probe
-    ///   *global* state (summed worker occupancy, every link's flight
-    ///   count) at every boundary, an inherently serial observation, so
-    ///   timed sessions run the serial reference engine and "parallel
-    ///   equals serial with timelines attached" holds by construction;
     /// * no fault plan — the fault layer's ack/retry and pause bookkeeping
     ///   is global state threaded through every pump, so faulted sessions
     ///   run the serial reference engine (bit-identical by the same
     ///   conformance that pins the parallel engine);
     /// * no caught lane panic — a dead session must not be driven.
+    ///
+    /// A telemetry sampler does *not* force the serial engine: the
+    /// cluster's windowed series probe global state, but only ever at
+    /// window boundaries, and the epoch planner clamps every epoch to the
+    /// next boundary — so each boundary is observed at a planning point,
+    /// where the merged global state equals the serial engine's (see
+    /// [`plan_epoch`]).
     pub(super) fn par_eligible(&self) -> bool {
         self.cfg.threads > 1
             && self.cfg.shards > 1
             && self.lookahead() > 0
-            && self.sampler.is_none()
             && self.faults.is_none()
             && self.engine_err.is_none()
     }
@@ -702,12 +748,15 @@ impl ClusterSession {
             collect_events: self.events.is_enabled(),
             test_panic: test_lane_panic(),
         };
+        let caps: Vec<usize> = (0..k).map(|s| self.cfg.shard_workers(s)).collect();
         let mut merge = MergeState {
             log: &mut self.log,
             events: &mut self.events,
             link_sent: &mut self.link_sent,
             finished: &mut self.ingest.finished,
             clock: &mut self.t,
+            sampler: self.sampler.as_mut(),
+            caps,
             sends: Vec::new(),
             starts: Vec::new(),
             evs: Vec::new(),

@@ -279,6 +279,42 @@ impl Dct {
         self.vm.free(vm_ref.idx);
     }
 
+    /// Serializes the dynamic state: the DM, the VM and the instance
+    /// counters.
+    pub fn save_state(&self) -> picos_trace::Value {
+        use picos_trace::snap::Enc;
+        let mut e = Enc::new();
+        e.u64(self.id as u64)
+            .val(self.dm.save_state())
+            .val(self.vm.save_state())
+            .u64(self.deps_processed)
+            .u64(self.wakes_sent)
+            .u64s(self.chain_hist.iter().copied());
+        e.done()
+    }
+
+    /// Overwrites the dynamic state from [`Dct::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`picos_trace::SnapError`] on a malformed record or an
+    /// instance mismatch.
+    pub fn load_state(&mut self, v: &picos_trace::Value) -> Result<(), picos_trace::SnapError> {
+        use picos_trace::snap::{guard, Dec};
+        let mut d = Dec::new(v, "dct")?;
+        guard("dct id", d.u64()?, self.id as u64)?;
+        self.dm.load_state(d.val()?)?;
+        self.vm.load_state(d.val()?)?;
+        self.deps_processed = d.u64()?;
+        self.wakes_sent = d.u64()?;
+        let hist = d.u64s()?;
+        if hist.len() != self.chain_hist.len() {
+            return Err(picos_trace::SnapError::new("dct: histogram shape mismatch"));
+        }
+        self.chain_hist.copy_from_slice(&hist);
+        Ok(())
+    }
+
     /// Returns the wake a drained head version owes; used by the engine
     /// after consumer chains complete. (Helper for tests.)
     #[doc(hidden)]

@@ -55,7 +55,8 @@ use crate::vm::Vm;
 use crate::Cycle;
 use picos_metrics::span::{SpanKind, SpanLog};
 use picos_metrics::{SeriesSpec, Timeline, WindowSampler};
-use picos_trace::{Dependence, TaskId, Trace};
+use picos_trace::snap::{Dec, Enc, SnapError};
+use picos_trace::{Dependence, TaskId, Trace, Value};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
@@ -79,7 +80,7 @@ enum Delivery {
 }
 
 /// An event parked on the overflow heap (beyond the wheel horizon).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Ev {
     t: Cycle,
     seq: u64,
@@ -165,7 +166,7 @@ impl<T: Copy> Fifo<T> {
 /// (`NewDepMsg` carries the TM slot, not the task). Exists only while
 /// tracing is attached — every probe site pays one `Option` branch when it
 /// is not, the same contract as the [`WindowSampler`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SpanProbe {
     log: SpanLog,
     shard: u16,
@@ -177,7 +178,7 @@ struct SpanProbe {
 
 /// Gateway new-task port: either idle or forwarding the dependences of the
 /// task it just dispatched (N4 happens one dependence per `gw_dep` cycles).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum GwState {
     Idle,
     Dispatching {
@@ -188,7 +189,11 @@ enum GwState {
 }
 
 /// The complete Picos accelerator model.
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of the full dynamic state — the fork primitive
+/// of the snapshot subsystem (an ephemeral what-if replica shares nothing
+/// with its parent).
+#[derive(Debug, Clone)]
 pub struct PicosSystem {
     cfg: PicosConfig,
     now: Cycle,
@@ -1357,6 +1362,411 @@ impl PicosSystem {
     }
 }
 
+// ---------------------------------------------------------------- snapshots
+
+/// A delivery: one variant code, then that variant's fields.
+fn enc_delivery(e: &mut Enc, d: &Delivery) {
+    use crate::snap::*;
+    match d {
+        Delivery::Trs(i, m) => {
+            e.u64(0).u64(*i as u64);
+            enc_trs_msg(e, m);
+        }
+        Delivery::DctNew(i, m) => {
+            e.u64(1).u64(*i as u64);
+            enc_new_dep(e, m);
+        }
+        Delivery::DctFin(i, m) => {
+            e.u64(2).u64(*i as u64);
+            enc_dep_fin(e, *m);
+        }
+        Delivery::Arb(m) => {
+            e.u64(3);
+            enc_arb_msg(e, m);
+        }
+        Delivery::Ts(task, slot) => {
+            e.u64(4).u32(task.raw()).u64(slot_pack(*slot));
+        }
+        Delivery::ReadyOut(r) => {
+            e.u64(5)
+                .u32(r.task.raw())
+                .u64(slot_pack(r.slot))
+                .u64(r.ready_at);
+        }
+        Delivery::Wake(rank) => {
+            e.u64(6).u32(*rank);
+        }
+    }
+}
+
+fn dec_delivery(d: &mut Dec<'_>) -> Result<Delivery, SnapError> {
+    use crate::snap::*;
+    Ok(match d.u64()? {
+        0 => {
+            let i = d.u64()? as u8;
+            Delivery::Trs(i, dec_trs_msg(d)?)
+        }
+        1 => {
+            let i = d.u64()? as u8;
+            Delivery::DctNew(i, dec_new_dep(d)?)
+        }
+        2 => {
+            let i = d.u64()? as u8;
+            Delivery::DctFin(i, dec_dep_fin(d)?)
+        }
+        3 => Delivery::Arb(dec_arb_msg(d)?),
+        4 => Delivery::Ts(TaskId::new(d.u32()?), slot_unpack(d.u64()?)),
+        5 => Delivery::ReadyOut(ReadyTask {
+            task: TaskId::new(d.u32()?),
+            slot: slot_unpack(d.u64()?),
+            ready_at: d.u64()?,
+        }),
+        6 => Delivery::Wake(d.u32()?),
+        other => return Err(SnapError::new(format!("unknown delivery kind {other}"))),
+    })
+}
+
+fn enc_new_req(e: &mut Enc, r: &NewTaskReq) {
+    e.u32(r.task.raw()).seq(r.deps.iter(), |e, dep| {
+        crate::snap::enc_dep(e, *dep);
+    });
+}
+
+fn dec_new_req(d: &mut Dec<'_>) -> Result<NewTaskReq, SnapError> {
+    let task = TaskId::new(d.u32()?);
+    let deps = d.seq(crate::snap::dec_dep)?;
+    Ok(NewTaskReq {
+        task,
+        deps: deps.into(),
+    })
+}
+
+impl PicosSystem {
+    /// Serializes the complete dynamic state: the clock, the timing wheel
+    /// (events keyed by absolute time), the wake wheel, the overflow heap,
+    /// every queue, every unit table, the Gateway, telemetry and the
+    /// blocked-at latches. Config-derived structure is *not* recorded —
+    /// [`PicosSystem::load_state`] overwrites an identically configured
+    /// system, guarded by a config fingerprint.
+    pub fn save_state(&self) -> Value {
+        let mut e = Enc::new();
+        e.u64(crate::snap::config_fingerprint(&self.cfg))
+            .u64(self.now);
+        // Timing wheel: occupied slots as (absolute time, deliveries).
+        let size = self.wheel.len() as Cycle;
+        let abs = |slot: usize| -> Cycle {
+            self.now + ((slot as Cycle + size - (self.now & self.wheel_mask)) & self.wheel_mask)
+        };
+        let occupied = self
+            .wheel
+            .iter()
+            .enumerate()
+            .filter(|(_, evs)| !evs.is_empty());
+        e.seq(occupied, |e, (slot, evs)| {
+            e.u64(abs(slot)).seq(evs, enc_delivery);
+        });
+        let wakes = (0..self.wheel.len()).filter(|&slot| {
+            self.wake_wheel[slot * self.wake_words..(slot + 1) * self.wake_words]
+                .iter()
+                .any(|&w| w != 0)
+        });
+        e.seq(wakes, |e, slot| {
+            e.u64(abs(slot)).u64s(
+                self.wake_wheel[slot * self.wake_words..(slot + 1) * self.wake_words]
+                    .iter()
+                    .copied(),
+            );
+        });
+        let mut overflow: Vec<&Ev> = self.overflow.iter().map(|Reverse(ev)| ev).collect();
+        overflow.sort_by_key(|ev| (ev.t, ev.seq));
+        e.seq(overflow, |e, ev| {
+            e.u64(ev.t).u64(ev.seq);
+            enc_delivery(e, &ev.d);
+        });
+        e.u64(self.overflow_seq)
+            .u64(self.next_at)
+            .u64s(self.pending.iter().copied())
+            .seq(&self.ext_new, enc_new_req)
+            .seq(&self.ext_fin, |e, f| {
+                e.u32(f.task.raw()).u64(crate::snap::slot_pack(f.slot));
+            })
+            .seq(&self.ready_buf, |e, r| {
+                e.u32(r.task.raw())
+                    .u64(crate::snap::slot_pack(r.slot))
+                    .u64(r.ready_at);
+            })
+            .seq(&self.trs_q, |e, q| {
+                e.seq(&q.buf[q.head..], crate::snap::enc_trs_msg);
+            })
+            .seq(&self.dct_new_q, |e, q| {
+                e.seq(&q.buf[q.head..], crate::snap::enc_new_dep);
+            })
+            .seq(&self.dct_fin_q, |e, q| {
+                e.seq(&q.buf[q.head..], |e, m| crate::snap::enc_dep_fin(e, *m));
+            })
+            .seq(&self.arb_q.buf[self.arb_q.head..], |e, m| {
+                crate::snap::enc_arb_msg(e, m);
+            })
+            .seq(&self.ts_q.buf[self.ts_q.head..], |e, (task, slot)| {
+                e.u32(task.raw()).u64(crate::snap::slot_pack(*slot));
+            })
+            .val(Value::Arr(self.trs.iter().map(Trs::save_state).collect()))
+            .val(Value::Arr(self.dct.iter().map(Dct::save_state).collect()));
+        let mut gw = Enc::new();
+        match &self.gw_state {
+            GwState::Idle => {
+                gw.u64(0);
+            }
+            GwState::Dispatching { deps, slot, next } => {
+                gw.u64(1)
+                    .seq(deps.iter(), |e, dep| crate::snap::enc_dep(e, *dep))
+                    .u64(crate::snap::slot_pack(*slot))
+                    .usize(*next);
+            }
+        }
+        e.val(gw.done())
+            .bool(self.gw_blocked_counted)
+            .usize(self.rr_trs)
+            .u64(self.gw_new_busy)
+            .u64(self.gw_fin_busy)
+            .u64s(self.trs_busy.iter().copied())
+            .u64s(self.dct_new_busy.iter().copied())
+            .u64s(self.dct_fin_busy.iter().copied())
+            .u64(self.arb_busy)
+            .u64(self.ts_busy)
+            .usize(self.in_flight)
+            .val(self.stats.save_state())
+            .val(match &self.sampler {
+                Some(s) => s.save_state(),
+                None => Value::Null,
+            });
+        let spans = match &self.spans {
+            Some(p) => {
+                let mut se = Enc::new();
+                se.val(p.log.save_state())
+                    .u64(p.shard as u64)
+                    .u32s(p.slot_task.iter().copied())
+                    .u64s(p.slot_left.iter().map(|&b| b as u64));
+                se.done()
+            }
+            None => Value::Null,
+        };
+        e.val(spans)
+            .u64(self.gw_blocked_at)
+            .u64s(self.dct_dm_blocked_at.iter().copied())
+            .u64s(self.dct_vm_blocked_at.iter().copied())
+            .u64s(self.slot_in_at.iter().copied());
+        e.done()
+    }
+
+    /// Overwrites the dynamic state of an identically configured system
+    /// with the state recorded by [`PicosSystem::save_state`]. Continuing
+    /// from the restored state is bit-exact with continuing the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record or when the snapshot
+    /// was taken under a different configuration.
+    pub fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        use picos_trace::snap::guard;
+        let mut d = Dec::new(v, "picos")?;
+        guard(
+            "picos config",
+            d.u64()?,
+            crate::snap::config_fingerprint(&self.cfg),
+        )?;
+        let now = d.u64()?;
+        let wheel = d.seq(|d| {
+            let t = d.u64()?;
+            let evs = d.seq(dec_delivery)?;
+            Ok((t, evs))
+        })?;
+        let wakes = d.seq(|d| Ok((d.u64()?, d.u64s()?)))?;
+        let overflow = d.seq(|d| {
+            let t = d.u64()?;
+            let seq = d.u64()?;
+            let dv = dec_delivery(d)?;
+            Ok(Ev { t, seq, d: dv })
+        })?;
+        let overflow_seq = d.u64()?;
+        let next_at = d.u64()?;
+        let pending = d.u64s()?;
+        let ext_new = d.seq(dec_new_req)?;
+        let ext_fin = d.seq(|d| {
+            Ok(FinishedReq {
+                task: TaskId::new(d.u32()?),
+                slot: crate::snap::slot_unpack(d.u64()?),
+            })
+        })?;
+        let ready_buf = d.seq(|d| {
+            Ok(ReadyTask {
+                task: TaskId::new(d.u32()?),
+                slot: crate::snap::slot_unpack(d.u64()?),
+                ready_at: d.u64()?,
+            })
+        })?;
+        let trs_q = d.seq(|d| d.seq(crate::snap::dec_trs_msg))?;
+        let dct_new_q = d.seq(|d| d.seq(crate::snap::dec_new_dep))?;
+        let dct_fin_q = d.seq(|d| d.seq(crate::snap::dec_dep_fin))?;
+        let arb_q = d.seq(crate::snap::dec_arb_msg)?;
+        let ts_q = d.seq(|d| Ok((TaskId::new(d.u32()?), crate::snap::slot_unpack(d.u64()?))))?;
+        let trs_states = d
+            .val()?
+            .as_array()
+            .ok_or_else(|| SnapError::new("picos: TRS table is not an array"))?;
+        let dct_states = d
+            .val()?
+            .as_array()
+            .ok_or_else(|| SnapError::new("picos: DCT table is not an array"))?;
+        guard(
+            "picos num_trs",
+            trs_states.len() as u64,
+            self.trs.len() as u64,
+        )?;
+        guard(
+            "picos num_dct",
+            dct_states.len() as u64,
+            self.dct.len() as u64,
+        )?;
+        let gw_v = d.val()?;
+        let mut gd = Dec::new(gw_v, "gw")?;
+        let gw_state = match gd.u64()? {
+            0 => GwState::Idle,
+            1 => {
+                let deps = gd.seq(crate::snap::dec_dep)?;
+                GwState::Dispatching {
+                    deps: deps.into(),
+                    slot: crate::snap::slot_unpack(gd.u64()?),
+                    next: gd.usize()?,
+                }
+            }
+            other => return Err(SnapError::new(format!("unknown GW state {other}"))),
+        };
+        let gw_blocked_counted = d.bool()?;
+        let rr_trs = d.usize()?;
+        let gw_new_busy = d.u64()?;
+        let gw_fin_busy = d.u64()?;
+        let trs_busy = d.u64s()?;
+        let dct_new_busy = d.u64s()?;
+        let dct_fin_busy = d.u64s()?;
+        let arb_busy = d.u64()?;
+        let ts_busy = d.u64()?;
+        let in_flight = d.usize()?;
+        let stats = Stats::load_state(d.val()?)?;
+        let sampler = match d.val()? {
+            Value::Null => None,
+            v => Some(WindowSampler::load_state(v)?),
+        };
+        let spans = match d.val()? {
+            Value::Null => None,
+            v => {
+                let mut sd = Dec::new(v, "span probe")?;
+                let log = SpanLog::load_state(sd.val()?)?;
+                let shard = sd.u64()? as u16;
+                let slot_task = sd.u32s()?;
+                let slot_left: Vec<u8> = sd.u64s()?.into_iter().map(|v| v as u8).collect();
+                let slots = self.cfg.num_trs * self.cfg.tm_entries;
+                guard("span slots", slot_task.len() as u64, slots as u64)?;
+                Some(SpanProbe {
+                    log,
+                    shard,
+                    slot_task,
+                    slot_left,
+                })
+            }
+        };
+        let gw_blocked_at = d.u64()?;
+        let dct_dm_blocked_at = d.u64s()?;
+        let dct_vm_blocked_at = d.u64s()?;
+        let slot_in_at = d.u64s()?;
+        if pending.len() != self.pending.len()
+            || trs_busy.len() != self.trs_busy.len()
+            || dct_new_busy.len() != self.dct_new_busy.len()
+            || dct_fin_busy.len() != self.dct_fin_busy.len()
+            || dct_dm_blocked_at.len() != self.dct_dm_blocked_at.len()
+            || dct_vm_blocked_at.len() != self.dct_vm_blocked_at.len()
+            || slot_in_at.len() != self.slot_in_at.len()
+            || trs_q.len() != self.trs_q.len()
+            || dct_new_q.len() != self.dct_new_q.len()
+            || dct_fin_q.len() != self.dct_fin_q.len()
+        {
+            return Err(SnapError::new("picos: per-unit table shape mismatch"));
+        }
+        // All sections decoded — overwrite.
+        self.now = now;
+        for slot in &mut self.wheel {
+            slot.clear();
+        }
+        self.wheel_bits.iter_mut().for_each(|w| *w = 0);
+        self.wheel_len = 0;
+        for (t, evs) in wheel {
+            if t < now || t - now > self.wheel_mask {
+                return Err(SnapError::new("picos: wheel event outside horizon"));
+            }
+            let slot = (t & self.wheel_mask) as usize;
+            self.wheel_bits[slot / 64] |= 1u64 << (slot % 64);
+            self.wheel_len += evs.len();
+            self.wheel[slot] = evs;
+        }
+        self.wake_wheel.iter_mut().for_each(|w| *w = 0);
+        self.wake_bits.iter_mut().for_each(|w| *w = 0);
+        self.wake_slots = 0;
+        for (t, words) in wakes {
+            if t < now || t - now > self.wheel_mask || words.len() != self.wake_words {
+                return Err(SnapError::new("picos: wake slot outside horizon"));
+            }
+            let slot = (t & self.wheel_mask) as usize;
+            self.wake_bits[slot / 64] |= 1u64 << (slot % 64);
+            self.wake_slots += 1;
+            self.wake_wheel[slot * self.wake_words..(slot + 1) * self.wake_words]
+                .copy_from_slice(&words);
+        }
+        self.overflow = overflow.into_iter().map(Reverse).collect();
+        self.overflow_seq = overflow_seq;
+        self.next_at = next_at;
+        self.pending = pending;
+        self.ext_new = ext_new.into();
+        self.ext_fin = ext_fin.into();
+        self.ready_buf = ready_buf.into();
+        fn fifo<T: Copy>(buf: Vec<T>) -> Fifo<T> {
+            Fifo { buf, head: 0 }
+        }
+        self.trs_q = trs_q.into_iter().map(fifo).collect();
+        self.dct_new_q = dct_new_q.into_iter().map(fifo).collect();
+        self.dct_fin_q = dct_fin_q.into_iter().map(fifo).collect();
+        self.arb_q = Fifo {
+            buf: arb_q,
+            head: 0,
+        };
+        self.ts_q = Fifo { buf: ts_q, head: 0 };
+        for (t, v) in self.trs.iter_mut().zip(trs_states) {
+            t.load_state(v)?;
+        }
+        for (dc, v) in self.dct.iter_mut().zip(dct_states) {
+            dc.load_state(v)?;
+        }
+        self.gw_state = gw_state;
+        self.gw_blocked_counted = gw_blocked_counted;
+        self.rr_trs = rr_trs;
+        self.gw_new_busy = gw_new_busy;
+        self.gw_fin_busy = gw_fin_busy;
+        self.trs_busy = trs_busy;
+        self.dct_new_busy = dct_new_busy;
+        self.dct_fin_busy = dct_fin_busy;
+        self.arb_busy = arb_busy;
+        self.ts_busy = ts_busy;
+        self.in_flight = in_flight;
+        self.stats = stats;
+        self.sampler = sampler;
+        self.spans = spans;
+        self.gw_blocked_at = gw_blocked_at;
+        self.dct_dm_blocked_at = dct_dm_blocked_at;
+        self.dct_vm_blocked_at = dct_vm_blocked_at;
+        self.slot_in_at = slot_in_at;
+        Ok(())
+    }
+}
+
 /// Errors surfaced by the engine's convenience runners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineError {
@@ -1683,5 +2093,104 @@ mod tests {
         assert_eq!(order, vec![0, 1]);
         assert!(sys.is_quiescent());
         assert!(sys.now() > 20_000, "service times must be paid");
+    }
+
+    /// Drives a system to quiescence recording the execution order; the
+    /// continuation half of the restore==continuous checks.
+    fn finish_run(sys: &mut PicosSystem) -> Vec<u32> {
+        let mut order = Vec::new();
+        sys.run_to_quiescence(200_000_000, |r| {
+            order.push(r.task.raw());
+            Some(FinishedReq {
+                task: r.task,
+                slot: r.slot,
+            })
+        })
+        .expect("run must complete");
+        order
+    }
+
+    #[test]
+    fn snapshot_restore_equals_continuous() {
+        // Save mid-flight at several depths (with telemetry attached: the
+        // sampler cursor and span log are state too), restore into a fresh
+        // system, and require the continuations to be bit-identical —
+        // execution order, clock, stats, timeline and span log.
+        let tr = gen::synthetic(gen::Case::Case6);
+        for pause in [0u64, 137, 1_003, 20_011] {
+            let mut live = PicosSystem::new(PicosConfig::balanced());
+            live.attach_timeline(500);
+            live.attach_spans(3);
+            live.submit_all(&tr);
+            live.advance_to(pause);
+
+            let doc = live.save_state();
+            // Through the text codec, as the session snapshot does.
+            let text = picos_trace::snap::value_to_json(&doc);
+            let parsed = picos_trace::snap::value_from_json(&text).unwrap();
+            let mut restored = PicosSystem::new(PicosConfig::balanced());
+            restored.attach_timeline(500);
+            restored.attach_spans(3);
+            restored.load_state(&parsed).unwrap();
+
+            let a = finish_run(&mut live);
+            let b = finish_run(&mut restored);
+            assert_eq!(a, b, "pause={pause}: execution order diverged");
+            assert_eq!(live.now(), restored.now(), "pause={pause}");
+            assert_eq!(live.stats(), restored.stats(), "pause={pause}");
+            assert_eq!(
+                live.take_timeline(),
+                restored.take_timeline(),
+                "pause={pause}"
+            );
+            assert_eq!(live.take_spans(), restored.take_spans(), "pause={pause}");
+        }
+    }
+
+    #[test]
+    fn fork_is_an_independent_replica() {
+        // Clone mid-flight; the fork and the original must continue
+        // identically, and driving the fork must not disturb the original.
+        let tr = gen::synthetic(gen::Case::Case2);
+        let mut sys = PicosSystem::new(PicosConfig::balanced());
+        sys.submit_all(&tr);
+        sys.advance_to(2_000);
+        let mut fork = sys.clone();
+        let a = finish_run(&mut fork);
+        let before = sys.now();
+        let b = finish_run(&mut sys);
+        assert_eq!(before, 2_000, "original untouched while fork ran");
+        assert_eq!(a, b);
+        assert_eq!(fork.stats(), sys.stats());
+    }
+
+    #[test]
+    fn snapshot_restores_overflow_heap() {
+        // Huge timings park events beyond the wheel horizon; a snapshot
+        // taken then must carry the overflow heap exactly.
+        let mut cfg = PicosConfig::balanced();
+        cfg.timing.gw_task = 10_000;
+        cfg.timing.dct_dep = 9_000;
+        let mut tr = Trace::new("slowsnap");
+        let k = picos_trace::KernelClass::GENERIC;
+        tr.push(k, [picos_trace::Dependence::inout(0xA0)], 1);
+        tr.push(k, [picos_trace::Dependence::input(0xA0)], 1);
+        let mut live = PicosSystem::new(cfg.clone());
+        live.submit_all(&tr);
+        live.advance_to(500); // mid GW service: overflow is populated
+        let mut restored = PicosSystem::new(cfg);
+        restored.load_state(&live.save_state()).unwrap();
+        assert_eq!(finish_run(&mut live), finish_run(&mut restored));
+        assert_eq!(live.now(), restored.now());
+        assert_eq!(live.stats(), restored.stats());
+    }
+
+    #[test]
+    fn snapshot_rejects_config_mismatch() {
+        let sys = PicosSystem::new(PicosConfig::balanced());
+        let doc = sys.save_state();
+        let mut other = PicosSystem::new(PicosConfig::baseline(DmDesign::SixteenWay));
+        let err = other.load_state(&doc).unwrap_err();
+        assert!(err.message.contains("picos config"), "{err}");
     }
 }

@@ -38,6 +38,7 @@ mod dm;
 mod engine;
 mod msg;
 mod pearson;
+mod snap;
 mod stats;
 mod tm;
 mod trs;

@@ -92,6 +92,42 @@ impl Trs {
         self.early_wakes
     }
 
+    /// Serializes the dynamic state: the Task Memory, held early wakes and
+    /// the instance counters.
+    pub fn save_state(&self) -> picos_trace::Value {
+        use crate::snap::{slot_pack, vm_pack};
+        use picos_trace::snap::Enc;
+        let mut e = Enc::new();
+        e.u64(self.id as u64)
+            .val(self.tm.save_state())
+            .seq(&self.pending_wakes, |e, (slot, vm)| {
+                e.u64(slot_pack(*slot)).u64(vm_pack(*vm));
+            })
+            .u64(self.tasks_dispatched)
+            .u64(self.wakes_forwarded)
+            .u64(self.early_wakes);
+        e.done()
+    }
+
+    /// Overwrites the dynamic state from [`Trs::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`picos_trace::SnapError`] on a malformed record or an
+    /// instance mismatch.
+    pub fn load_state(&mut self, v: &picos_trace::Value) -> Result<(), picos_trace::SnapError> {
+        use crate::snap::{slot_unpack, vm_unpack};
+        use picos_trace::snap::{guard, Dec};
+        let mut d = Dec::new(v, "trs")?;
+        guard("trs id", d.u64()?, self.id as u64)?;
+        self.tm.load_state(d.val()?)?;
+        self.pending_wakes = d.seq(|d| Ok((slot_unpack(d.u64()?), vm_unpack(d.u64()?))))?;
+        self.tasks_dispatched = d.u64()?;
+        self.wakes_forwarded = d.u64()?;
+        self.early_wakes = d.u64()?;
+        Ok(())
+    }
+
     /// Satisfies the dependence of `slot` tracked by `vm`: marks it
     /// resolved, dispatches the task if complete, and follows the consumer
     /// chain backwards.

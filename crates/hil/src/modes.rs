@@ -25,7 +25,8 @@ use picos_runtime::session::{
     SessionCore, SimEvent,
 };
 use picos_runtime::ExecReport;
-use picos_trace::{Dependence, TaskDescriptor, TaskId, Trace};
+use picos_trace::snap::{Dec, Enc, SnapError};
+use picos_trace::{Dependence, TaskDescriptor, TaskId, Trace, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -78,6 +79,12 @@ pub struct HilConfig {
     pub workers: usize,
     /// Platform cost model.
     pub cost: HilCostModel,
+    /// Deterministic fail-stop schedule: at each cycle in this list one
+    /// worker fail-stops permanently ([`Workers::fail_one`]; the cluster
+    /// backend's fault taxonomy extended to the single-Picos platform). A
+    /// busy victim's in-flight task is re-executed on a surviving worker.
+    /// Must leave at least one survivor.
+    pub worker_faults: Vec<u64>,
 }
 
 impl HilConfig {
@@ -87,8 +94,45 @@ impl HilConfig {
             picos: PicosConfig::balanced(),
             workers,
             cost: HilCostModel::default(),
+            worker_faults: Vec::new(),
         }
     }
+
+    /// Adds a deterministic fail-stop worker-fault schedule (builder
+    /// style). Times are absolute cycles; order does not matter.
+    pub fn with_worker_faults(mut self, at: impl IntoIterator<Item = u64>) -> Self {
+        self.worker_faults = at.into_iter().collect();
+        self
+    }
+}
+
+/// Mixes the platform-level configuration into a fingerprint so a snapshot
+/// refuses to load into a differently-configured session (the Picos core's
+/// own config is guarded inside [`PicosSystem::load_state`]).
+fn hil_fingerprint(cfg: &HilConfig) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x100_0000_01b3)
+    }
+    let c = &cfg.cost;
+    let mut h = [
+        cfg.workers as u64,
+        c.dispatch,
+        c.axi_occupancy,
+        c.axi_latency,
+        c.axi_setup,
+        c.sr_queue as u64,
+        c.arm_startup,
+        c.arm_create,
+        c.arm_submit_base,
+        c.arm_submit_per_dep,
+        c.arm_retrieve,
+        c.arm_dispatch,
+        c.arm_finish,
+    ]
+    .into_iter()
+    .fold(0xcbf2_9ce4_8422_2325, mix);
+    h = mix(h, cfg.worker_faults.len() as u64);
+    cfg.worker_faults.iter().fold(h, |h, &t| mix(h, t))
 }
 
 /// Errors from a HIL run.
@@ -129,7 +173,7 @@ fn min_next(cands: &[Option<u64>]) -> Option<u64> {
 }
 
 /// What the platform needs to remember about an admitted task.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TaskMeta {
     dur: u64,
     deps: Arc<[Dependence]>,
@@ -144,7 +188,10 @@ struct TaskMeta {
 /// the two communication modes exactly as in the batch drivers), so a
 /// session fed a whole trace and finished is cycle-identical to
 /// [`run_hil`].
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of the full dynamic state — the fork primitive
+/// of the snapshot subsystem.
+#[derive(Debug, Clone)]
 pub struct HilSession {
     mode: HilMode,
     cfg: HilConfig,
@@ -161,6 +208,17 @@ pub struct HilSession {
     inflight_ready: usize,
     arm_free: u64,
     t: u64,
+    /// Fail-stop schedule (sorted copy of the config's), with the cursor
+    /// of the next pending fault.
+    faults: Vec<u64>,
+    fault_cursor: usize,
+    /// Tasks waiting for a surviving worker after a fail-stop: killed
+    /// in-flight tasks (`rerun == true`, re-executed with full duration,
+    /// keeping their TM slot) and ready deliveries whose reserved worker
+    /// died before they arrived (`rerun == false`).
+    restart_q: VecDeque<(u32, SlotRef, bool)>,
+    /// Deterministic task re-executions after fail-stop faults.
+    recoveries: u64,
     ingest: Ingest,
     log: ScheduleLog,
     events: EventLog,
@@ -185,7 +243,15 @@ impl HilSession {
         if cfg.workers == 0 {
             return Err("picos platform needs at least one worker".into());
         }
+        if cfg.worker_faults.len() >= cfg.workers {
+            return Err(format!(
+                "worker-fault schedule kills all {} workers; at least one must survive",
+                cfg.workers
+            ));
+        }
         session.validate()?;
+        let mut faults = cfg.worker_faults.clone();
+        faults.sort_unstable();
         let mut sys = PicosSystem::new(cfg.picos.clone());
         let sampler = session.timeline_window.map(|w| {
             sys.attach_timeline(w);
@@ -213,6 +279,10 @@ impl HilSession {
             inflight_ready: 0,
             arm_free: cfg.cost.arm_startup,
             t: 0,
+            faults,
+            fault_cursor: 0,
+            restart_q: VecDeque::new(),
+            recoveries: 0,
             ingest: Ingest::new(session.window),
             log: ScheduleLog::default(),
             events: EventLog::new(session.collect_events),
@@ -238,7 +308,62 @@ impl HilSession {
         self.ingest.feedable(self.next_feed, self.ingest.finished)
     }
 
+    /// Whether a communication mode may retrieve another ready task: one
+    /// idle worker must stay reserved for every in-flight `Ready` delivery
+    /// *and* every queued fault casualty, or a delivery could arrive with
+    /// nobody to run it.
+    fn can_retrieve(&self) -> bool {
+        self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready + self.restart_q.len()
+    }
+
+    /// Deterministic task re-executions after fail-stop worker faults.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Pops due fail-stop worker faults: the earliest-completing in-flight
+    /// task is the deterministic victim and joins the restart queue; with
+    /// nothing running an idle worker dies silently. Processed before
+    /// completions at the same cycle, matching the cluster backend.
+    fn pump_fault_kills(&mut self) {
+        while self.fault_cursor < self.faults.len() && self.faults[self.fault_cursor] <= self.t {
+            self.fault_cursor += 1;
+            if let Some((task, slot)) = self.workers.fail_one() {
+                self.restart_q.push_back((task, slot, true));
+                if let Some(log) = &mut self.spans {
+                    log.record(SpanKind::Fault, self.t, 0, task, 0);
+                }
+            }
+        }
+    }
+
+    /// Dispatches queued fault casualties onto surviving workers, ahead of
+    /// new ready tasks. A killed task keeps its TM slot — Picos never
+    /// observed the failure — and its re-execution replaces the original
+    /// schedule entry via [`ScheduleLog::rebegin`].
+    fn dispatch_restarts(&mut self) {
+        while self.workers.idle() > 0 {
+            let Some((task, slot, rerun)) = self.restart_q.pop_front() else {
+                break;
+            };
+            let st = self.t + self.cfg.cost.dispatch;
+            let dur = self.tasks[task as usize].dur;
+            let end = if rerun {
+                self.recoveries += 1;
+                self.log.rebegin(task, st, dur)
+            } else {
+                self.log.begin(task, st, dur)
+            };
+            self.events.push(SimEvent::TaskStarted { task, at: st });
+            if let Some(log) = &mut self.spans {
+                log.record(SpanKind::Started, st, 0, task, 0);
+            }
+            self.workers.start(end, task, slot);
+        }
+    }
+
     fn pump_hw_only(&mut self) {
+        self.pump_fault_kills();
         let t = self.t;
         self.sys.advance_to(t);
         let mut touched = false;
@@ -265,6 +390,7 @@ impl HilSession {
         if touched {
             self.sys.advance_to(t);
         }
+        self.dispatch_restarts();
         while self.workers.idle() > 0 {
             let Some(r) = self.sys.pop_ready() else { break };
             let st = t + self.cfg.cost.dispatch;
@@ -280,6 +406,7 @@ impl HilSession {
     }
 
     fn pump_hw_comm(&mut self) {
+        self.pump_fault_kills();
         let t = self.t;
         let bus = self.bus.as_mut().expect("HwComm has a bus");
         self.sys.advance_to(t);
@@ -302,13 +429,20 @@ impl HilSession {
                     self.newtasks_in_bus -= 1;
                 }
                 BusMsg::Ready(task, slot) => {
+                    self.inflight_ready -= 1;
+                    if self.workers.idle() == 0 {
+                        // The worker reserved for this delivery fail-stopped
+                        // while the message was in flight; queue behind the
+                        // other casualties.
+                        self.restart_q.push_back((task, slot, false));
+                        continue;
+                    }
                     let end = self.log.begin(task, t, self.tasks[task as usize].dur);
                     self.events.push(SimEvent::TaskStarted { task, at: t });
                     if let Some(log) = &mut self.spans {
                         log.record(SpanKind::Started, t, 0, task, 0);
                     }
                     self.workers.start(end, task, slot);
-                    self.inflight_ready -= 1;
                 }
                 BusMsg::Finish(task, slot) => {
                     self.sys.notify_finished(FinishedReq {
@@ -321,18 +455,21 @@ impl HilSession {
         if touched {
             self.sys.advance_to(t);
         }
+        self.dispatch_restarts();
         // Feed new tasks while the SR0 FIFO has room and the taskwait
         // structure allows.
         while self.ingest.feedable(self.next_feed, self.ingest.finished)
             && self.newtasks_in_bus + self.sys.pending_new() < self.cfg.cost.sr_queue
         {
+            let bus = self.bus.as_mut().expect("HwComm has a bus");
             bus.send(t, BusMsg::NewTask(self.next_feed as u32));
             self.newtasks_in_bus += 1;
             self.next_feed += 1;
         }
         // Retrieve ready tasks for free workers.
-        while self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready {
+        while self.can_retrieve() {
             let r = self.sys.pop_ready().expect("ready_len checked");
+            let bus = self.bus.as_mut().expect("HwComm has a bus");
             bus.send(t, BusMsg::Ready(r.task.raw(), r.slot));
             if let Some(log) = &mut self.spans {
                 log.record(SpanKind::Dispatched, t, 0, r.task.raw(), 0);
@@ -342,6 +479,7 @@ impl HilSession {
     }
 
     fn pump_full_system(&mut self) {
+        self.pump_fault_kills();
         let t = self.t;
         let bus = self.bus.as_mut().expect("FullSystem has a bus");
         self.sys.advance_to(t);
@@ -364,13 +502,20 @@ impl HilSession {
                     self.newtasks_in_bus -= 1;
                 }
                 BusMsg::Ready(task, slot) => {
+                    self.inflight_ready -= 1;
+                    if self.workers.idle() == 0 {
+                        // The worker reserved for this delivery fail-stopped
+                        // while the message was in flight; queue behind the
+                        // other casualties.
+                        self.restart_q.push_back((task, slot, false));
+                        continue;
+                    }
                     let end = self.log.begin(task, t, self.tasks[task as usize].dur);
                     self.events.push(SimEvent::TaskStarted { task, at: t });
                     if let Some(log) = &mut self.spans {
                         log.record(SpanKind::Started, t, 0, task, 0);
                     }
                     self.workers.start(end, task, slot);
-                    self.inflight_ready -= 1;
                 }
                 BusMsg::Finish(task, slot) => {
                     self.sys.notify_finished(FinishedReq {
@@ -383,6 +528,8 @@ impl HilSession {
         if touched {
             self.sys.advance_to(t);
         }
+        self.dispatch_restarts();
+        let bus = self.bus.as_mut().expect("FullSystem has a bus");
         // The ARM core is a serial resource; one action per free slot, with
         // finish forwarding first (it releases downstream resources), then
         // ready retrieval, then creation of the next task.
@@ -390,7 +537,9 @@ impl HilSession {
             if let Some((task, slot)) = self.finish_q.pop_front() {
                 let done = t + self.cfg.cost.arm_finish;
                 self.arm_free = bus.send(done, BusMsg::Finish(task, slot));
-            } else if self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready {
+            } else if self.sys.ready_len() > 0
+                && self.workers.idle() > self.inflight_ready + self.restart_q.len()
+            {
                 let r = self.sys.pop_ready().expect("ready_len checked");
                 let done = t + self.cfg.cost.arm_retrieve;
                 let slot_end = bus.send(done, BusMsg::Ready(r.task.raw(), r.slot));
@@ -467,6 +616,7 @@ impl HilSession {
             && self.sys.in_flight() == 0
             && self.bus.as_ref().is_none_or(|b| b.in_flight() == 0)
             && self.finish_q.is_empty()
+            && self.restart_q.is_empty()
             && !self.workers.busy()
             && self.next_feed == n;
         if !clean {
@@ -503,6 +653,180 @@ impl HilSession {
             spans,
         ))
     }
+
+    /// Serializes the full dynamic platform state.
+    /// [`HilSession::load_state`] overwrites an identically configured
+    /// session with it; [`Clone`] is the in-memory fork.
+    pub fn save_state(&self) -> Value {
+        let mut e = Enc::new();
+        e.u64(mode_code(self.mode))
+            .u64(hil_fingerprint(&self.cfg))
+            .bool(self.sampler.is_some())
+            .bool(self.spans.is_some())
+            .val(self.sys.save_state())
+            .val(self.workers.save_state())
+            .val(match &self.bus {
+                Some(bus) => bus.save_state_with(enc_bus_msg),
+                None => Value::Null,
+            })
+            .seq(self.tasks.iter(), |e, m| {
+                e.u64(m.dur).seq(m.deps.iter(), |e, d| {
+                    e.u64(d.addr).u64(picos_runtime::snap::dir_code(d.dir));
+                });
+            })
+            .usize(self.next_feed)
+            .seq(self.finish_q.iter(), |e, &(task, slot)| {
+                e.u32(task).u64(slot_pack(slot));
+            })
+            .usize(self.newtasks_in_bus)
+            .usize(self.inflight_ready)
+            .u64(self.arm_free)
+            .u64(self.t)
+            .usize(self.fault_cursor)
+            .seq(self.restart_q.iter(), |e, &(task, slot, rerun)| {
+                e.u32(task).u64(slot_pack(slot)).bool(rerun);
+            })
+            .u64(self.recoveries)
+            .val(self.ingest.save_state())
+            .val(self.log.save_state())
+            .val(self.events.save_state())
+            .val(match &self.sampler {
+                Some(s) => s.save_state(),
+                None => Value::Null,
+            })
+            .val(match &self.spans {
+                Some(s) => s.save_state(),
+                None => Value::Null,
+            });
+        e.done()
+    }
+
+    /// Overwrites this session's dynamic state with the state recorded by
+    /// [`HilSession::save_state`]. Continuing the restored session is
+    /// bit-exact with the session the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record or when the snapshot
+    /// was taken under a different mode, platform configuration or
+    /// observation setup.
+    pub fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        use picos_trace::snap::guard;
+        let mut d = Dec::new(v, "hil session")?;
+        guard("hil mode", d.u64()?, mode_code(self.mode))?;
+        guard("hil config", d.u64()?, hil_fingerprint(&self.cfg))?;
+        guard(
+            "hil sampler attached",
+            d.bool()? as u64,
+            self.sampler.is_some() as u64,
+        )?;
+        guard(
+            "hil spans attached",
+            d.bool()? as u64,
+            self.spans.is_some() as u64,
+        )?;
+        let sys = d.val()?;
+        let workers = d.val()?;
+        let bus = d.val()?;
+        let tasks = d.seq(|d| {
+            let dur = d.u64()?;
+            let deps: Vec<Dependence> = d.seq(|d| {
+                Ok(Dependence::new(
+                    d.u64()?,
+                    picos_runtime::snap::dir_from(d.u64()?)?,
+                ))
+            })?;
+            Ok(TaskMeta {
+                dur,
+                deps: deps.into(),
+            })
+        })?;
+        let next_feed = d.usize()?;
+        let finish_q: Vec<(u32, SlotRef)> = d.seq(|d| Ok((d.u32()?, slot_unpack(d.u64()?))))?;
+        let newtasks_in_bus = d.usize()?;
+        let inflight_ready = d.usize()?;
+        let arm_free = d.u64()?;
+        let t = d.u64()?;
+        let fault_cursor = d.usize()?;
+        let restart_q: Vec<(u32, SlotRef, bool)> =
+            d.seq(|d| Ok((d.u32()?, slot_unpack(d.u64()?), d.bool()?)))?;
+        if fault_cursor > self.faults.len() {
+            return Err(SnapError::new("hil session: fault cursor out of range"));
+        }
+        let recoveries = d.u64()?;
+        self.sys.load_state(sys)?;
+        self.workers.load_state(workers)?;
+        match (&mut self.bus, bus) {
+            (None, Value::Null) => {}
+            (Some(link), v) => link.load_state_with(v, dec_bus_msg)?,
+            (None, _) => return Err(SnapError::new("hil session: unexpected bus state")),
+        }
+        self.ingest.load_state(d.val()?)?;
+        self.log.load_state(d.val()?)?;
+        self.events.load_state(d.val()?)?;
+        self.sampler = match d.val()? {
+            Value::Null => None,
+            v => Some(WindowSampler::load_state(v)?),
+        };
+        self.spans = match d.val()? {
+            Value::Null => None,
+            v => Some(SpanLog::load_state(v)?),
+        };
+        self.tasks = tasks;
+        self.next_feed = next_feed;
+        self.finish_q = finish_q.into();
+        self.newtasks_in_bus = newtasks_in_bus;
+        self.inflight_ready = inflight_ready;
+        self.arm_free = arm_free;
+        self.t = t;
+        self.fault_cursor = fault_cursor;
+        self.restart_q = restart_q.into();
+        self.recoveries = recoveries;
+        Ok(())
+    }
+}
+
+/// Stable wire code of a [`HilMode`].
+fn mode_code(m: HilMode) -> u64 {
+    match m {
+        HilMode::HwOnly => 0,
+        HilMode::HwComm => 1,
+        HilMode::FullSystem => 2,
+    }
+}
+
+/// Packs a TM slot reference into one integer (`trs << 16 | entry`).
+fn slot_pack(s: SlotRef) -> u64 {
+    (s.trs as u64) << 16 | s.entry as u64
+}
+
+fn slot_unpack(v: u64) -> SlotRef {
+    SlotRef::new((v >> 16) as u8, (v & 0xFFFF) as u16)
+}
+
+/// Encodes one bus message (variant code first).
+fn enc_bus_msg(e: &mut Enc, m: &BusMsg) {
+    match *m {
+        BusMsg::NewTask(i) => {
+            e.u64(0).u32(i);
+        }
+        BusMsg::Ready(task, slot) => {
+            e.u64(1).u32(task).u64(slot_pack(slot));
+        }
+        BusMsg::Finish(task, slot) => {
+            e.u64(2).u32(task).u64(slot_pack(slot));
+        }
+    }
+}
+
+/// Decodes one bus message written by [`enc_bus_msg`].
+fn dec_bus_msg(d: &mut Dec) -> Result<BusMsg, SnapError> {
+    match d.u64()? {
+        0 => Ok(BusMsg::NewTask(d.u32()?)),
+        1 => Ok(BusMsg::Ready(d.u32()?, slot_unpack(d.u64()?))),
+        2 => Ok(BusMsg::Finish(d.u32()?, slot_unpack(d.u64()?))),
+        other => Err(SnapError::new(format!("unknown bus message code {other}"))),
+    }
 }
 
 impl EventLoopCore for HilSession {
@@ -518,24 +842,31 @@ impl EventLoopCore for HilSession {
         }
     }
 
-    /// Time of the next internal event: core, workers, bus and — in
-    /// Full-system mode — the pending ARM action.
+    /// Time of the next internal event: core, workers, bus, the next
+    /// scheduled worker fault and — in Full-system mode — the pending ARM
+    /// action.
     fn next_time(&self) -> Option<u64> {
         let bus_next = self.bus.as_ref().and_then(Bus::next_delivery);
         let arm_cand = if self.mode == HilMode::FullSystem {
             let arm_pending = !self.finish_q.is_empty()
-                || (self.sys.ready_len() > 0 && self.workers.idle() > self.inflight_ready)
+                || self.can_retrieve()
                 || (self.feed_ready()
                     && self.newtasks_in_bus + self.sys.pending_new() < self.cfg.cost.sr_queue);
             (arm_pending && self.arm_free > self.t).then_some(self.arm_free)
         } else {
             None
         };
+        let fault_cand = self
+            .faults
+            .get(self.fault_cursor)
+            .copied()
+            .filter(|&ft| ft > self.t);
         min_next(&[
             self.sys.next_event_time(),
             self.workers.next_done(),
             bus_next,
             arm_cand,
+            fault_cand,
         ])
     }
 
@@ -818,5 +1149,146 @@ mod tests {
             SessionConfig::batch()
         )
         .is_err());
+    }
+
+    #[test]
+    fn fault_schedule_killing_every_worker_is_rejected() {
+        let cfg = HilConfig::balanced(2).with_worker_faults([10, 20]);
+        let err = HilSession::new(HilMode::HwOnly, cfg, SessionConfig::batch()).unwrap_err();
+        assert!(err.contains("at least one must survive"), "{err}");
+    }
+
+    #[test]
+    fn worker_faults_complete_with_recoveries_in_every_mode() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        for mode in HilMode::ALL {
+            let base = HilConfig::balanced(6);
+            let healthy = run_hil(&tr, mode, &base).unwrap();
+            let cfg = base.clone().with_worker_faults([500, 2_000, 9_000]);
+            let mut s = HilSession::new(mode, cfg, SessionConfig::batch()).unwrap();
+            feed_trace(&mut s, &tr).unwrap();
+            let recoveries = s.recoveries();
+            let faulty = {
+                s.drive_finish();
+                let recov = s.recoveries();
+                assert!(recov >= recoveries);
+                let (r, _) = s.into_report().unwrap();
+                assert!(recov > 0, "{mode}: a busy victim must re-execute");
+                r
+            };
+            faulty
+                .validate(&tr)
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            assert!(
+                faulty.makespan >= healthy.makespan,
+                "{mode}: losing workers cannot speed the run up \
+                 ({} < {})",
+                faulty.makespan,
+                healthy.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn worker_faults_are_deterministic() {
+        let tr = gen::cholesky(gen::CholeskyConfig::paper(128));
+        let cfg = HilConfig::balanced(8).with_worker_faults([100, 3_000, 3_000, 12_000]);
+        for mode in HilMode::ALL {
+            let a = run_hil(&tr, mode, &cfg).unwrap();
+            let b = run_hil(&tr, mode, &cfg).unwrap();
+            assert_eq!(a, b, "{mode}");
+        }
+    }
+
+    fn feed_range(s: &mut HilSession, tr: &Trace, range: std::ops::Range<usize>) {
+        for i in range {
+            if tr.barriers().contains(&(i as u32)) {
+                s.barrier();
+            }
+            while s.submit(&tr.tasks()[i]) == Admission::Backpressured {
+                assert!(s.step(), "backpressured session must progress");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_equals_continuous() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let scfg = SessionConfig::windowed(16).with_timeline(64).with_spans();
+        for mode in HilMode::ALL {
+            let cfg = HilConfig::balanced(4).with_worker_faults([700]);
+            for pause in [0, 9, tr.len() / 2] {
+                let mut cont = HilSession::new(mode, cfg.clone(), scfg).unwrap();
+                let mut live = HilSession::new(mode, cfg.clone(), scfg).unwrap();
+                feed_range(&mut cont, &tr, 0..pause);
+                feed_range(&mut live, &tr, 0..pause);
+
+                // Snapshot through the JSON text codec, restore into a
+                // fresh identically-configured session.
+                let text = picos_trace::snap::value_to_json(&live.save_state());
+                let snap = picos_trace::snap::value_from_json(&text).unwrap();
+                let mut restored = HilSession::new(mode, cfg.clone(), scfg).unwrap();
+                restored.load_state(&snap).unwrap();
+
+                feed_range(&mut cont, &tr, pause..tr.len());
+                feed_range(&mut restored, &tr, pause..tr.len());
+                let a = cont.into_output().unwrap();
+                let b = restored.into_output().unwrap();
+                assert_eq!(a, b, "{mode} pause {pause}");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_is_an_independent_replica() {
+        let tr = gen::synthetic(gen::Case::Case5);
+        let cfg = HilConfig::balanced(4);
+        let mut orig =
+            HilSession::new(HilMode::FullSystem, cfg.clone(), SessionConfig::batch()).unwrap();
+        feed_range(&mut orig, &tr, 0..24);
+        let baseline = orig.save_state();
+
+        let mut fork = orig.clone();
+        feed_range(&mut fork, &tr, 24..tr.len());
+        let forked = fork.into_report().unwrap();
+
+        // Driving the fork to completion left the original untouched.
+        assert_eq!(
+            picos_trace::snap::value_to_json(&orig.save_state()),
+            picos_trace::snap::value_to_json(&baseline)
+        );
+        feed_range(&mut orig, &tr, 24..tr.len());
+        assert_eq!(orig.into_report().unwrap(), forked);
+    }
+
+    #[test]
+    fn snapshot_rejects_config_mismatch() {
+        let tr = gen::synthetic(gen::Case::Case1);
+        let mut a = HilSession::new(
+            HilMode::HwComm,
+            HilConfig::balanced(4),
+            SessionConfig::batch(),
+        )
+        .unwrap();
+        feed_range(&mut a, &tr, 0..tr.len().min(8));
+        let snap = a.save_state();
+
+        let mut wrong_mode = HilSession::new(
+            HilMode::HwOnly,
+            HilConfig::balanced(4),
+            SessionConfig::batch(),
+        )
+        .unwrap();
+        let err = wrong_mode.load_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("hil mode"), "{err}");
+
+        let mut wrong_cfg = HilSession::new(
+            HilMode::HwComm,
+            HilConfig::balanced(2),
+            SessionConfig::batch(),
+        )
+        .unwrap();
+        let err = wrong_cfg.load_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("hil config"), "{err}");
     }
 }

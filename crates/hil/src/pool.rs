@@ -9,11 +9,15 @@
 
 use crate::cost::LinkModel;
 use picos_core::SlotRef;
+use picos_trace::snap::{Dec, Enc, SnapError};
+use picos_trace::Value;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A pool of workers executing tasks for their trace duration.
-#[derive(Debug)]
+///
+/// Cloning is a deep copy — the fork primitive of the snapshot subsystem.
+#[derive(Debug, Clone)]
 pub struct Workers {
     heap: BinaryHeap<Reverse<(u64, u32, SlotRef)>>,
     idle: usize,
@@ -90,6 +94,49 @@ impl Workers {
         }
         None
     }
+
+    /// Serializes the pool (running tasks in ascending completion order,
+    /// plus the live capacity — fail-stop faults shrink it).
+    pub fn save_state(&self) -> Value {
+        let mut heap: Vec<(u64, u32, SlotRef)> = self.heap.iter().map(|r| r.0).collect();
+        heap.sort_unstable();
+        let mut e = Enc::new();
+        e.usize(self.total)
+            .usize(self.idle)
+            .seq(heap, |e, (end, task, slot)| {
+                e.u64(end)
+                    .u32(task)
+                    .u64(slot.trs as u64)
+                    .u64(slot.entry as u64);
+            });
+        e.done()
+    }
+
+    /// Overwrites the pool from [`Workers::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record or an inconsistent
+    /// occupancy (`running != total - idle`).
+    pub fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        let mut d = Dec::new(v, "workers")?;
+        let total = d.usize()?;
+        let idle = d.usize()?;
+        let heap = d.seq(|d| {
+            Ok((
+                d.u64()?,
+                d.u32()?,
+                SlotRef::new(d.u64()? as u8, d.u64()? as u16),
+            ))
+        })?;
+        if idle > total || heap.len() != total - idle {
+            return Err(SnapError::new("workers: occupancy mismatch"));
+        }
+        self.total = total;
+        self.idle = idle;
+        self.heap = heap.into_iter().map(Reverse).collect();
+        Ok(())
+    }
 }
 
 /// Messages crossing the AXI bus.
@@ -108,7 +155,7 @@ pub(crate) type Bus = Link<BusMsg>;
 
 /// A pending delivery; ordered by `(time, seq)` only, so the message type
 /// needs no ordering of its own.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LinkEv<T> {
     at: u64,
     seq: u64,
@@ -136,7 +183,7 @@ impl<T> Ord for LinkEv<T> {
 /// each occupying the link for its flit count times the model's occupancy
 /// and arriving `latency` cycles after its slot ends. Deliveries preserve
 /// send order among equal-time messages.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Link<T> {
     model: LinkModel,
     free_at: u64,
@@ -207,6 +254,59 @@ impl<T> Link<T> {
     /// Messages still in flight.
     pub fn in_flight(&self) -> usize {
         self.deliveries.len()
+    }
+
+    /// Serializes the link state (model as a restore guard, pending
+    /// deliveries in `(time, seq)` order), encoding each message with
+    /// `enc_msg`.
+    pub fn save_state_with(&self, enc_msg: impl Fn(&mut Enc, &T)) -> Value {
+        let mut evs: Vec<&LinkEv<T>> = self.deliveries.iter().map(|r| &r.0).collect();
+        evs.sort_unstable_by_key(|e| (e.at, e.seq));
+        let mut e = Enc::new();
+        e.u64(self.model.occupancy)
+            .u64(self.model.latency)
+            .u64(self.model.setup)
+            .usize(self.model.width)
+            .u64(self.free_at)
+            .u64(self.seq)
+            .seq(evs, |e, ev| {
+                e.u64(ev.at).u64(ev.seq);
+                enc_msg(e, &ev.msg);
+            });
+        e.done()
+    }
+
+    /// Overwrites the link from [`Link::save_state_with`] output, decoding
+    /// each message with `dec_msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record or when the snapshot was
+    /// taken under a different [`LinkModel`].
+    pub fn load_state_with(
+        &mut self,
+        v: &Value,
+        dec_msg: impl Fn(&mut Dec) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        use picos_trace::snap::guard;
+        let mut d = Dec::new(v, "link")?;
+        guard("link occupancy", d.u64()?, self.model.occupancy)?;
+        guard("link latency", d.u64()?, self.model.latency)?;
+        guard("link setup", d.u64()?, self.model.setup)?;
+        guard("link width", d.usize()? as u64, self.model.width as u64)?;
+        let free_at = d.u64()?;
+        let seq = d.u64()?;
+        let evs = d.seq(|d| {
+            Ok(LinkEv {
+                at: d.u64()?,
+                seq: d.u64()?,
+                msg: dec_msg(d)?,
+            })
+        })?;
+        self.free_at = free_at;
+        self.seq = seq;
+        self.deliveries = evs.into_iter().map(Reverse).collect();
+        Ok(())
     }
 }
 

@@ -38,6 +38,7 @@
 
 use std::fmt;
 
+pub mod snap;
 pub mod span;
 
 /// How two values of the same metric combine when sets are merged.
@@ -599,7 +600,7 @@ impl Timeline {
 /// when at least one window boundary is crossed, so an attached but idle
 /// sampler costs one comparison per clock move and an unattached layer
 /// (holding `Option<WindowSampler>::None`) costs one branch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WindowSampler {
     window: u64,
     /// Next window-end boundary to sample (absolute cycle).
@@ -639,6 +640,14 @@ impl WindowSampler {
     /// The sampling window, in cycles.
     pub fn window(&self) -> u64 {
         self.window
+    }
+
+    /// The next window boundary to sample (absolute cycle): after
+    /// [`WindowSampler::advance`]`(t, ..)` it is strictly greater than `t`.
+    /// Parallel engines clamp their synchronization windows to it so no
+    /// lane simulates past an unsampled boundary.
+    pub fn next_boundary(&self) -> u64 {
+        self.next
     }
 
     /// Advances the sampling clock to `now`. When one or more boundaries

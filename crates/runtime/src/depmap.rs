@@ -10,14 +10,14 @@
 use picos_trace::{TaskDescriptor, TaskId};
 use std::collections::HashMap;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct AddrState {
     last_writer: Option<u32>,
     readers: Vec<u32>,
 }
 
 /// Incremental software dependence tracker.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SoftwareDeps {
     addr: HashMap<u64, AddrState>,
     succs: Vec<Vec<u32>>,
@@ -130,6 +130,66 @@ impl SoftwareDeps {
     /// Unfinished-predecessor count of a submitted task.
     pub fn pending_preds(&self, task: TaskId) -> u32 {
         self.pred_remaining[task.index()]
+    }
+
+    /// Serializes the tracker. The address map is emitted in ascending
+    /// address order so the encoding is deterministic; reader lists keep
+    /// their arrival order (it feeds successor discovery order).
+    pub fn save_state(&self) -> picos_trace::Value {
+        use picos_trace::snap::Enc;
+        let mut addrs: Vec<(&u64, &AddrState)> = self.addr.iter().collect();
+        addrs.sort_unstable_by_key(|(a, _)| **a);
+        let mut e = Enc::new();
+        e.seq(addrs, |e, (a, st)| {
+            e.u64(*a)
+                .opt_u64(st.last_writer.map(u64::from))
+                .u32s(st.readers.iter().copied());
+        })
+        .seq(self.succs.iter(), |e, s| {
+            e.u32s(s.iter().copied());
+        })
+        .u32s(self.pred_remaining.iter().copied())
+        .bools(self.finished.iter().copied())
+        .bools(self.submitted.iter().copied())
+        .u64(self.map_ops);
+        e.done()
+    }
+
+    /// Overwrites the tracker from [`SoftwareDeps::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`picos_trace::SnapError`] on a malformed record.
+    pub fn load_state(&mut self, v: &picos_trace::Value) -> Result<(), picos_trace::SnapError> {
+        use picos_trace::snap::Dec;
+        let mut d = Dec::new(v, "software deps")?;
+        let addrs = d.seq(|d| {
+            Ok((
+                d.u64()?,
+                AddrState {
+                    last_writer: d.opt_u64()?.map(|w| w as u32),
+                    readers: d.u32s()?,
+                },
+            ))
+        })?;
+        let succs = d.seq(|d| d.u32s())?;
+        let pred_remaining = d.u32s()?;
+        let finished = d.bools()?;
+        let submitted = d.bools()?;
+        let map_ops = d.u64()?;
+        let n = succs.len();
+        if pred_remaining.len() != n || finished.len() != n || submitted.len() != n {
+            return Err(picos_trace::SnapError::new(
+                "software deps: per-task table length mismatch",
+            ));
+        }
+        self.addr = addrs.into_iter().collect();
+        self.succs = succs;
+        self.pred_remaining = pred_remaining;
+        self.finished = finished;
+        self.submitted = submitted;
+        self.map_ops = map_ops;
+        Ok(())
     }
 }
 

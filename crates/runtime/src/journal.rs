@@ -57,6 +57,14 @@ impl<S: SessionCore> JournaledSession<S> {
         }
     }
 
+    /// Resumes journaling over a recovered session: the wrapper adopts
+    /// `journal` (typically the snapshot-time tail kept by a checkpoint)
+    /// and appends new ops after it, so the persisted journal stays the
+    /// exact op suffix since the last snapshot.
+    pub fn from_parts(inner: S, journal: SessionJournal) -> Self {
+        JournaledSession { inner, journal }
+    }
+
     /// The journal recorded so far (persist with
     /// [`SessionJournal::to_json`] as often as the crash-recovery window
     /// requires).
@@ -64,9 +72,25 @@ impl<S: SessionCore> JournaledSession<S> {
         &self.journal
     }
 
+    /// Drops every recorded op up to (excluding) `from`, keeping the tail.
+    /// A checkpointer calls this right after persisting a snapshot taken
+    /// at journal cursor `from`: recovery becomes snapshot + tail replay,
+    /// and the journal stops growing without bound.
+    pub fn compact(&mut self, from: usize) {
+        self.journal = self.journal.tail(from);
+    }
+
     /// Read access to the wrapped session.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped session, **bypassing the journal**.
+    /// For state surgery that must not be recorded — restoring a snapshot
+    /// into a recovered session before replaying the journal tail. Do not
+    /// feed input through this: unjournaled ops are unrecoverable.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
     }
 
     /// Unwraps into the session and its journal (for finishing the run:
@@ -137,9 +161,32 @@ pub fn replay_journal<S: SessionCore + ?Sized>(
     session: &mut S,
     journal: &SessionJournal,
 ) -> Result<(), FeedStall> {
-    session.reserve(journal.submitted());
+    replay_journal_tail(session, journal, 0)
+}
+
+/// Replays the journal suffix starting at op index `from` — the
+/// checkpointed-recovery primitive: restore a session from a snapshot
+/// taken at journal cursor `from`, then replay only the tail recorded
+/// after it. `replay_journal` is the `from == 0` special case (recovery
+/// without a snapshot). Indexes past the end replay nothing.
+///
+/// # Errors
+///
+/// Returns [`FeedStall`] under the same conditions as [`replay_journal`];
+/// the reported task index counts submissions within the tail.
+pub fn replay_journal_tail<S: SessionCore + ?Sized>(
+    session: &mut S,
+    journal: &SessionJournal,
+    from: usize,
+) -> Result<(), FeedStall> {
+    let ops = &journal.ops()[from.min(journal.len())..];
+    session.reserve(
+        ops.iter()
+            .filter(|op| matches!(op, JournalOp::Submit(_)))
+            .count(),
+    );
     let mut submitted: u32 = 0;
-    for op in journal.ops() {
+    for op in ops {
         match op {
             JournalOp::Submit(task) => {
                 loop {
@@ -199,6 +246,58 @@ mod tests {
         let mut recovered = perfect(2, SessionConfig::windowed(3));
         replay_journal(&mut recovered, &journal).unwrap();
         assert_eq!(recovered.into_report(), original);
+    }
+
+    /// Rebuilds the first `n` ops of a journal as a standalone journal
+    /// (the state a checkpointer would have replayed into its snapshot).
+    fn prefix(journal: &SessionJournal, n: usize) -> SessionJournal {
+        let mut p = SessionJournal::new();
+        for op in &journal.ops()[..n] {
+            match op {
+                JournalOp::Submit(t) => p.record_submit(t),
+                JournalOp::Barrier => p.record_barrier(),
+                JournalOp::AdvanceTo(c) => p.record_advance_to(*c),
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn checkpoint_plus_tail_replay_equals_full_replay() {
+        let trace = gen::stream(gen::StreamConfig::heavy(50));
+        let mut live = JournaledSession::new(perfect(3, SessionConfig::windowed(8)));
+        feed_trace(&mut live, &trace).unwrap();
+        let (live, journal) = live.into_parts();
+        let original = live.into_report();
+
+        for cut in [0, 1, journal.len() / 2, journal.len()] {
+            // The checkpoint: state at op cursor `cut`, through JSON.
+            let mut pre = perfect(3, SessionConfig::windowed(8));
+            replay_journal(&mut pre, &prefix(&journal, cut)).unwrap();
+            let text = picos_trace::snap::value_to_json(&pre.save_state());
+            let snap = picos_trace::snap::value_from_json(&text).unwrap();
+            // The recovery: snapshot + tail replay only.
+            let mut rec = perfect(3, SessionConfig::windowed(8));
+            rec.load_state(&snap).unwrap();
+            replay_journal_tail(&mut rec, &journal, cut).unwrap();
+            assert_eq!(rec.into_report(), original, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn compact_keeps_only_the_tail() {
+        let trace = gen::stream(gen::StreamConfig::heavy(10));
+        let mut live = JournaledSession::new(perfect(2, SessionConfig::batch()));
+        feed_trace(&mut live, &trace).unwrap();
+        let cursor = live.journal().len();
+        live.compact(cursor);
+        assert!(live.journal().is_empty(), "checkpoint consumed the journal");
+        let extra = trace.tasks()[0].clone();
+        live.submit(&extra);
+        assert_eq!(live.journal().len(), 1, "tail keeps post-checkpoint ops");
+        // Past-the-end compaction is a no-op empty tail, not a panic.
+        live.compact(99);
+        assert!(live.journal().is_empty());
     }
 
     #[test]

@@ -40,10 +40,11 @@ mod perfect;
 mod report;
 pub mod session;
 mod simrt;
+pub mod snap;
 
 pub use cost::NanosCostModel;
 pub use depmap::SoftwareDeps;
-pub use journal::{replay_journal, JournaledSession};
+pub use journal::{replay_journal, replay_journal_tail, JournaledSession};
 pub use perfect::{perfect_schedule, PerfectSession};
 pub use report::ExecReport;
 pub use session::{

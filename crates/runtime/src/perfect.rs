@@ -25,7 +25,10 @@ use std::collections::{BinaryHeap, VecDeque};
 /// is the real incremental algorithm ([`SoftwareDeps`]) at zero cycle
 /// cost. Feeding a whole trace and finishing reproduces
 /// [`perfect_schedule`] bit-exactly.
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of the full dynamic state — the fork primitive
+/// of the snapshot subsystem.
+#[derive(Debug, Clone)]
 pub struct PerfectSession {
     workers: usize,
     idle: usize,
@@ -153,6 +156,92 @@ impl PerfectSession {
             Some(&(id, _)) => !self.ingest.feedable(id as usize, self.ingest.finished),
             None => false,
         }
+    }
+
+    /// Serializes the full dynamic state. Restore by opening a session
+    /// with the same configuration and calling
+    /// [`PerfectSession::load_state`].
+    pub fn save_state(&self) -> picos_trace::Value {
+        use picos_trace::snap::Enc;
+        let mut ready: Vec<u32> = self.ready.iter().map(|r| r.0).collect();
+        ready.sort_unstable();
+        let mut running: Vec<(u64, u32)> = self.running.iter().map(|r| r.0).collect();
+        running.sort_unstable();
+        let mut e = Enc::new();
+        e.usize(self.workers)
+            .opt_u64(self.timeline_window)
+            .bool(self.spans.is_some())
+            .usize(self.idle)
+            .u64(self.now)
+            .val(self.deps.save_state())
+            .seq(self.pending.iter(), |e, (id, t)| {
+                e.u32(*id);
+                crate::snap::enc_task(e, t);
+            })
+            .u32s(ready)
+            .seq(running, |e, (end, id)| {
+                e.u64(end).u32(id);
+            })
+            .u64s(self.durs.iter().copied())
+            .val(self.ingest.save_state())
+            .val(self.log.save_state())
+            .val(self.events.save_state())
+            .val(match &self.spans {
+                Some(s) => s.save_state(),
+                None => picos_trace::Value::Null,
+            });
+        e.done()
+    }
+
+    /// Overwrites the dynamic state from [`PerfectSession::save_state`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`picos_trace::SnapError`] on a malformed record or a
+    /// configuration mismatch (worker count, telemetry attachments,
+    /// in-flight window).
+    pub fn load_state(&mut self, v: &picos_trace::Value) -> Result<(), picos_trace::SnapError> {
+        use picos_trace::snap::{guard, Dec};
+        let mut d = Dec::new(v, "perfect session")?;
+        guard("perfect workers", d.usize()? as u64, self.workers as u64)?;
+        let window = d.opt_u64()?;
+        if window != self.timeline_window {
+            return Err(picos_trace::SnapError::new(
+                "perfect session: timeline window mismatch",
+            ));
+        }
+        guard(
+            "perfect spans attached",
+            d.bool()? as u64,
+            self.spans.is_some() as u64,
+        )?;
+        let idle = d.usize()?;
+        let now = d.u64()?;
+        let deps = d.val()?;
+        let pending = d.seq(|d| Ok((d.u32()?, crate::snap::dec_task(d)?)))?;
+        let ready = d.u32s()?;
+        let running = d.seq(|d| Ok((d.u64()?, d.u32()?)))?;
+        let durs = d.u64s()?;
+        let ingest = d.val()?;
+        let log = d.val()?;
+        let events = d.val()?;
+        let spans = d.val()?;
+        self.deps.load_state(deps)?;
+        self.ingest.load_state(ingest)?;
+        self.log.load_state(log)?;
+        self.events.load_state(events)?;
+        self.spans = match spans {
+            picos_trace::Value::Null => None,
+            v => Some(picos_metrics::span::SpanLog::load_state(v)?),
+        };
+        self.idle = idle;
+        self.now = now;
+        self.pending = pending.into();
+        self.ready = ready.into_iter().map(Reverse).collect();
+        self.running = running.into_iter().map(Reverse).collect();
+        self.durs = durs;
+        Ok(())
     }
 
     /// Runs the session to quiescence and returns the schedule report.
@@ -384,6 +473,76 @@ mod tests {
         let r = s.into_report();
         assert_eq!(r.start[0], 0);
         assert_eq!(r.start[1], 500, "second task arrived at cycle 500");
+    }
+
+    /// Feeds tasks `range` of the trace (with any taskwait gates at their
+    /// recorded positions), stepping through backpressure.
+    fn feed_range(s: &mut PerfectSession, tr: &Trace, range: std::ops::Range<usize>) {
+        for i in range {
+            if tr.barriers().contains(&(i as u32)) {
+                s.barrier();
+            }
+            while s.submit(&tr.tasks()[i]) == Admission::Backpressured {
+                assert!(s.step(), "backpressured session must progress");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_equals_continuous() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let cfg = SessionConfig {
+            trace_spans: true,
+            ..SessionConfig::windowed(16)
+        };
+        for pause in [0usize, 7, 40] {
+            let mut cont = PerfectSession::new(4, cfg).unwrap();
+            let mut live = PerfectSession::new(4, cfg).unwrap();
+            feed_range(&mut cont, &tr, 0..pause);
+            feed_range(&mut live, &tr, 0..pause);
+            // Snapshot through the JSON text form, restore into a fresh
+            // identically-configured session.
+            let text = picos_trace::snap::value_to_json(&live.save_state());
+            let v = picos_trace::snap::value_from_json(&text).unwrap();
+            let mut restored = PerfectSession::new(4, cfg).unwrap();
+            restored.load_state(&v).unwrap();
+            assert_eq!(restored.now(), live.now(), "pause {pause}");
+            feed_range(&mut cont, &tr, pause..tr.len());
+            feed_range(&mut restored, &tr, pause..tr.len());
+            let (rc, sc) = cont.into_output();
+            let (rr, sr) = restored.into_output();
+            assert_eq!(rc, rr, "pause {pause}: report diverged");
+            assert_eq!(sc, sr, "pause {pause}: span log diverged");
+        }
+    }
+
+    #[test]
+    fn fork_is_an_independent_replica() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let mut live = PerfectSession::new(2, SessionConfig::windowed(8)).unwrap();
+        feed_range(&mut live, &tr, 0..24);
+        let fork = live.clone();
+        // Drive the fork to completion; the original must be untouched.
+        let before_now = live.now();
+        let before_inflight = live.in_flight();
+        let mut fork = fork;
+        feed_range(&mut fork, &tr, 24..tr.len());
+        let rf = fork.into_report();
+        rf.validate(&tr).unwrap();
+        assert_eq!(live.now(), before_now);
+        assert_eq!(live.in_flight(), before_inflight);
+        feed_range(&mut live, &tr, 24..tr.len());
+        assert_eq!(live.into_report(), rf, "fork and original agree");
+    }
+
+    #[test]
+    fn snapshot_rejects_config_mismatch() {
+        let mut s = PerfectSession::new(4, SessionConfig::batch()).unwrap();
+        let snap = s.save_state();
+        let mut other = PerfectSession::new(2, SessionConfig::batch()).unwrap();
+        let err = other.load_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("perfect workers"), "{err}");
+        s.load_state(&snap).unwrap();
     }
 
     #[test]

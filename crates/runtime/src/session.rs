@@ -24,7 +24,8 @@
 //! window is full or its next task waits behind a taskwait — or closed.
 
 use crate::report::ExecReport;
-use picos_trace::{TaskDescriptor, Trace};
+use picos_trace::snap::{Dec, Enc};
+use picos_trace::{SnapError, TaskDescriptor, Trace, Value};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -385,7 +386,7 @@ pub fn feed_trace<S: SessionCore + ?Sized>(
 /// have finished before the engine may create it — exactly
 /// `Trace::creation_limit` expressed per task: `feedable(i, done)` iff
 /// `gates[i] <= done`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Ingest {
     /// Taskwait gate of each admitted task.
     pub gates: Vec<u32>,
@@ -444,11 +445,44 @@ impl Ingest {
     pub fn in_flight(&self) -> usize {
         self.admitted - self.finished
     }
+
+    /// Serializes the ingest state (window included, as a restore guard).
+    pub fn save_state(&self) -> Value {
+        let mut e = Enc::new();
+        e.opt_u64(self.window.map(|w| w as u64))
+            .u32s(self.gates.iter().copied())
+            .u32(self.cur_gate)
+            .usize(self.admitted)
+            .usize(self.finished);
+        e.done()
+    }
+
+    /// Overwrites the ingest state from [`Ingest::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record or when the snapshot
+    /// was taken under a different in-flight window.
+    pub fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        let mut d = Dec::new(v, "ingest")?;
+        let window = d.opt_u64()?.map(|w| w as usize);
+        if window != self.window {
+            return Err(SnapError::new(format!(
+                "ingest: window mismatch (snapshot {window:?}, session {:?})",
+                self.window
+            )));
+        }
+        self.gates = d.u32s()?;
+        self.cur_gate = d.u32()?;
+        self.admitted = d.usize()?;
+        self.finished = d.usize()?;
+        Ok(())
+    }
 }
 
 /// Shared event recorder: a no-op unless the session was opened with
 /// [`SessionConfig::collect_events`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     enabled: bool,
     q: VecDeque<SimEvent>,
@@ -481,11 +515,33 @@ impl EventLog {
     pub fn drain_into(&mut self, out: &mut Vec<SimEvent>) {
         out.extend(self.q.drain(..));
     }
+
+    /// Serializes the recorder: the enabled flag (a restore guard) and the
+    /// undrained queue.
+    pub fn save_state(&self) -> Value {
+        let mut e = Enc::new();
+        e.bool(self.enabled)
+            .seq(self.q.iter(), crate::snap::enc_event);
+        e.done()
+    }
+
+    /// Overwrites the recorder from [`EventLog::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record or an enabled-flag
+    /// mismatch.
+    pub fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        let mut d = Dec::new(v, "event log")?;
+        picos_trace::snap::guard("event log enabled", d.bool()? as u64, self.enabled as u64)?;
+        self.q = d.seq(crate::snap::dec_event)?.into();
+        Ok(())
+    }
 }
 
 /// Growable per-task schedule log shared by the sessions; finalizes into
 /// an [`ExecReport`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ScheduleLog {
     /// Per-task start cycles, indexed by dense id.
     pub start: Vec<u64>,
@@ -531,6 +587,36 @@ impl ScheduleLog {
         self.order.retain(|&x| x != task);
         self.order.push(task);
         at + dur
+    }
+
+    /// Serializes the schedule log.
+    pub fn save_state(&self) -> Value {
+        let mut e = Enc::new();
+        e.u64s(self.start.iter().copied())
+            .u64s(self.end.iter().copied())
+            .u32s(self.order.iter().copied())
+            .u64(self.sequential);
+        e.done()
+    }
+
+    /// Overwrites the schedule log from [`ScheduleLog::save_state`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed record.
+    pub fn load_state(&mut self, v: &Value) -> Result<(), SnapError> {
+        let mut d = Dec::new(v, "schedule log")?;
+        let start = d.u64s()?;
+        let end = d.u64s()?;
+        if start.len() != end.len() {
+            return Err(SnapError::new("schedule log: start/end length mismatch"));
+        }
+        self.start = start;
+        self.end = end;
+        self.order = d.u32s()?;
+        self.sequential = d.u64()?;
+        Ok(())
     }
 
     /// Finalizes the log into an [`ExecReport`] under an engine label.

@@ -117,12 +117,57 @@ fn acquire(lock_free: &mut u64, at: u64, hold: u64) -> u64 {
     s + hold
 }
 
+/// Mixes every timing-relevant configuration field into a fingerprint, so
+/// a snapshot refuses to load into a differently-configured session.
+fn cfg_fingerprint(cfg: &SwRuntimeConfig) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x100_0000_01b3)
+    }
+    let c = &cfg.cost;
+    [
+        cfg.workers as u64,
+        cfg.master_executes as u64,
+        c.create_base,
+        c.create_per_thread,
+        c.dep_base,
+        c.dep_per_thread,
+        c.enqueue,
+        c.dequeue_base,
+        c.dequeue_per_thread,
+        c.release_per_succ,
+    ]
+    .into_iter()
+    .fold(0xcbf2_9ce4_8422_2325, mix)
+}
+
+fn ev_code(ev: Ev) -> (u64, u64, u64) {
+    match ev {
+        Ev::MasterDone(i) => (0, i as u64, 0),
+        Ev::TryDequeue(w) => (1, w as u64, 0),
+        Ev::TaskDone(w, t) => (2, w as u64, t as u64),
+    }
+}
+
+fn ev_from(code: u64, a: u64, b: u64) -> Result<Ev, picos_trace::SnapError> {
+    match code {
+        0 => Ok(Ev::MasterDone(a as u32)),
+        1 => Ok(Ev::TryDequeue(a as usize)),
+        2 => Ok(Ev::TaskDone(a as usize, b as u32)),
+        other => Err(picos_trace::SnapError::new(format!(
+            "unknown software event code {other}"
+        ))),
+    }
+}
+
 /// An incremental session of the Nanos++ runtime model.
 ///
 /// Feeding a whole trace and finishing reproduces [`run_software`]
 /// bit-exactly; submitting after advancing the clock models tasks the
 /// program discovered late (open-loop arrival).
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of the full dynamic state — the fork primitive
+/// of the snapshot subsystem.
+#[derive(Debug, Clone)]
 pub struct SoftwareSession {
     cfg: SwRuntimeConfig,
     deps: SoftwareDeps,
@@ -348,6 +393,138 @@ impl SoftwareSession {
     /// Whether the next submission cannot be ingested right now.
     fn ingest_blocked(&self) -> bool {
         self.ingest.saturated() || matches!(self.master, Master::Parked(_))
+    }
+
+    /// Serializes the full dynamic state. Restore by opening a session
+    /// with the same configuration and calling
+    /// [`SoftwareSession::load_state`].
+    pub fn save_state(&self) -> picos_trace::Value {
+        use picos_trace::snap::Enc;
+        let mut heap: Vec<(u64, u64, Ev)> = self.heap.iter().map(|r| r.0).collect();
+        heap.sort_unstable();
+        let mut e = Enc::new();
+        e.u64(cfg_fingerprint(&self.cfg))
+            .opt_u64(self.timeline_window)
+            .bool(self.spans.is_some())
+            .val(self.deps.save_state())
+            .seq(heap, |e, (t, seq, ev)| {
+                let (code, a, b) = ev_code(ev);
+                e.u64(t).u64(seq).u64(code).u64(a).u64(b);
+            })
+            .u64(self.seq)
+            .u32s(self.ready_q.iter().copied())
+            .u64s(self.state.iter().map(|s| *s as u64))
+            .u64(self.lock_free)
+            .seq(self.tasks.iter(), crate::snap::enc_task)
+            .u64s(self.arrivals.iter().copied())
+            .usize(self.created);
+        match self.master {
+            Master::Busy => e.u64(0).u32(0),
+            Master::Starved => e.u64(1).u32(0),
+            Master::Parked(g) => e.u64(2).u32(g),
+        };
+        e.u64(self.master_free)
+            .bool(self.master_done)
+            .bool(self.closed)
+            .u64(self.now)
+            .val(self.ingest.save_state())
+            .val(self.log.save_state())
+            .val(self.events.save_state())
+            .val(match &self.spans {
+                Some(s) => s.save_state(),
+                None => picos_trace::Value::Null,
+            });
+        e.done()
+    }
+
+    /// Overwrites the dynamic state from [`SoftwareSession::save_state`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`picos_trace::SnapError`] on a malformed record or a
+    /// configuration mismatch (worker count, cost model, telemetry
+    /// attachments, in-flight window).
+    pub fn load_state(&mut self, v: &picos_trace::Value) -> Result<(), picos_trace::SnapError> {
+        use picos_trace::snap::{guard, Dec};
+        let mut d = Dec::new(v, "software session")?;
+        guard("nanos config", d.u64()?, cfg_fingerprint(&self.cfg))?;
+        let window = d.opt_u64()?;
+        if window != self.timeline_window {
+            return Err(picos_trace::SnapError::new(
+                "software session: timeline window mismatch",
+            ));
+        }
+        guard(
+            "nanos spans attached",
+            d.bool()? as u64,
+            self.spans.is_some() as u64,
+        )?;
+        let deps = d.val()?;
+        let heap = d.seq(|d| {
+            let (t, seq) = (d.u64()?, d.u64()?);
+            let (code, a, b) = (d.u64()?, d.u64()?, d.u64()?);
+            Ok((t, seq, ev_from(code, a, b)?))
+        })?;
+        let seq = d.u64()?;
+        let ready_q = d.u32s()?;
+        let state = d
+            .u64s()?
+            .into_iter()
+            .map(|c| match c {
+                0 => Ok(WorkerState::Parked),
+                1 => Ok(WorkerState::Scheduled),
+                2 => Ok(WorkerState::Running),
+                other => Err(picos_trace::SnapError::new(format!(
+                    "unknown worker state code {other}"
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if state.len() != self.cfg.workers {
+            return Err(picos_trace::SnapError::new(
+                "software session: worker table length mismatch",
+            ));
+        }
+        let lock_free = d.u64()?;
+        let tasks = d.seq(crate::snap::dec_task)?;
+        let arrivals = d.u64s()?;
+        let created = d.usize()?;
+        let master = match (d.u64()?, d.u32()?) {
+            (0, _) => Master::Busy,
+            (1, _) => Master::Starved,
+            (2, g) => Master::Parked(g),
+            (other, _) => {
+                return Err(picos_trace::SnapError::new(format!(
+                    "unknown master state code {other}"
+                )))
+            }
+        };
+        let master_free = d.u64()?;
+        let master_done = d.bool()?;
+        let closed = d.bool()?;
+        let now = d.u64()?;
+        self.deps.load_state(deps)?;
+        self.ingest.load_state(d.val()?)?;
+        self.log.load_state(d.val()?)?;
+        self.events.load_state(d.val()?)?;
+        self.spans = match d.val()? {
+            picos_trace::Value::Null => None,
+            v => Some(SpanLog::load_state(v)?),
+        };
+        self.heap = heap.into_iter().map(Reverse).collect();
+        self.seq = seq;
+        self.ready_q = ready_q.into();
+        self.state = state;
+        self.lock_free = lock_free;
+        self.tasks = tasks;
+        self.arrivals = arrivals;
+        self.created = created;
+        self.master = master;
+        self.master_free = master_free;
+        self.master_done = master_done;
+        self.closed = closed;
+        self.now = now;
+        Ok(())
     }
 
     /// Closes the session, runs it to quiescence and returns the report.
@@ -604,6 +781,81 @@ mod tests {
         let r = s.into_report().unwrap();
         assert_eq!(r.order.len(), 3);
         r.validate(&tr).unwrap();
+    }
+
+    /// Feeds tasks `range` of the trace (with any taskwait gates at their
+    /// recorded positions), stepping through backpressure.
+    fn feed_range(s: &mut SoftwareSession, tr: &picos_trace::Trace, range: std::ops::Range<usize>) {
+        for i in range {
+            if tr.barriers().contains(&(i as u32)) {
+                s.barrier();
+            }
+            while s.submit(&tr.tasks()[i]) == Admission::Backpressured {
+                assert!(s.step(), "backpressured session must progress");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_equals_continuous() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let scfg = SessionConfig {
+            trace_spans: true,
+            collect_events: true,
+            ..SessionConfig::windowed(16)
+        };
+        let cfg = SwRuntimeConfig::with_workers(4);
+        for pause in [0usize, 9, 33] {
+            let mut cont = SoftwareSession::new(cfg, scfg).unwrap();
+            let mut live = SoftwareSession::new(cfg, scfg).unwrap();
+            feed_range(&mut cont, &tr, 0..pause);
+            feed_range(&mut live, &tr, 0..pause);
+            let text = picos_trace::snap::value_to_json(&live.save_state());
+            let v = picos_trace::snap::value_from_json(&text).unwrap();
+            let mut restored = SoftwareSession::new(cfg, scfg).unwrap();
+            restored.load_state(&v).unwrap();
+            assert_eq!(restored.now(), live.now(), "pause {pause}");
+            assert_eq!(restored.in_flight(), live.in_flight(), "pause {pause}");
+            feed_range(&mut cont, &tr, pause..tr.len());
+            feed_range(&mut restored, &tr, pause..tr.len());
+            let mut ec = Vec::new();
+            let mut er = Vec::new();
+            cont.drain_events(&mut ec);
+            restored.drain_events(&mut er);
+            assert_eq!(ec, er, "pause {pause}: undrained events diverged");
+            let (rc, sc) = cont.into_output().unwrap();
+            let (rr, sr) = restored.into_output().unwrap();
+            assert_eq!(rc, rr, "pause {pause}: report diverged");
+            assert_eq!(sc, sr, "pause {pause}: span log diverged");
+        }
+    }
+
+    #[test]
+    fn fork_is_an_independent_replica() {
+        let tr = gen::sparselu(gen::SparseLuConfig::paper(128));
+        let cfg = SwRuntimeConfig::with_workers(4);
+        let mut live = SoftwareSession::new(cfg, SessionConfig::windowed(8)).unwrap();
+        feed_range(&mut live, &tr, 0..20);
+        let mut fork = live.clone();
+        let before_now = live.now();
+        feed_range(&mut fork, &tr, 20..tr.len());
+        let rf = fork.into_report().unwrap();
+        rf.validate(&tr).unwrap();
+        assert_eq!(live.now(), before_now, "fork must not disturb the original");
+        feed_range(&mut live, &tr, 20..tr.len());
+        assert_eq!(live.into_report().unwrap(), rf);
+    }
+
+    #[test]
+    fn snapshot_rejects_config_mismatch() {
+        let mut s =
+            SoftwareSession::new(SwRuntimeConfig::with_workers(4), SessionConfig::batch()).unwrap();
+        let snap = s.save_state();
+        let mut other =
+            SoftwareSession::new(SwRuntimeConfig::with_workers(2), SessionConfig::batch()).unwrap();
+        let err = other.load_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("nanos config"), "{err}");
+        s.load_state(&snap).unwrap();
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Shared snapshot codec helpers for the runtime sessions.
+//!
+//! Task descriptors and [`SimEvent`]s appear in several session snapshots
+//! (pending queues, event logs, the master's creation queue), so their
+//! positional encodings live here; each session type serializes its own
+//! fields next to its definition.
+
+use crate::session::SimEvent;
+use picos_trace::snap::{Dec, Enc, SnapError};
+use picos_trace::{Dependence, Direction, KernelClass, TaskDescriptor, TaskId};
+
+/// Stable wire code of a dependence direction.
+pub fn dir_code(d: Direction) -> u64 {
+    match d {
+        Direction::In => 0,
+        Direction::Out => 1,
+        Direction::InOut => 2,
+    }
+}
+
+/// Inverse of [`dir_code`].
+pub fn dir_from(c: u64) -> Result<Direction, SnapError> {
+    match c {
+        0 => Ok(Direction::In),
+        1 => Ok(Direction::Out),
+        2 => Ok(Direction::InOut),
+        other => Err(SnapError::new(format!("unknown direction code {other}"))),
+    }
+}
+
+/// Encodes a task descriptor: id, kernel, duration, dependence list.
+pub fn enc_task(e: &mut Enc, t: &TaskDescriptor) {
+    e.u32(t.id.raw())
+        .u64(t.kernel.0 as u64)
+        .u64(t.duration)
+        .seq(t.deps.iter(), |e, d| {
+            e.u64(d.addr).u64(dir_code(d.dir));
+        });
+}
+
+/// Decodes a task descriptor written by [`enc_task`]. The dependence list
+/// was merged at creation time, so it is rebuilt verbatim.
+pub fn dec_task(d: &mut Dec) -> Result<TaskDescriptor, SnapError> {
+    let id = d.u32()?;
+    let kernel = d.u16()?;
+    let duration = d.u64()?;
+    let deps: Vec<Dependence> = d.seq(|d| Ok(Dependence::new(d.u64()?, dir_from(d.u64()?)?)))?;
+    Ok(TaskDescriptor {
+        id: TaskId::new(id),
+        kernel: KernelClass(kernel),
+        deps: deps.into(),
+        duration,
+    })
+}
+
+/// Encodes one schedule event (variant code first).
+pub fn enc_event(e: &mut Enc, ev: &SimEvent) {
+    match *ev {
+        SimEvent::TaskStarted { task, at } => {
+            e.u64(0).u32(task).u64(at);
+        }
+        SimEvent::TaskFinished { task, at } => {
+            e.u64(1).u32(task).u64(at);
+        }
+        SimEvent::ShardMsg { from, to, at } => {
+            e.u64(2).u64(from as u64).u64(to as u64).u64(at);
+        }
+    }
+}
+
+/// Decodes one schedule event written by [`enc_event`].
+pub fn dec_event(d: &mut Dec) -> Result<SimEvent, SnapError> {
+    match d.u64()? {
+        0 => Ok(SimEvent::TaskStarted {
+            task: d.u32()?,
+            at: d.u64()?,
+        }),
+        1 => Ok(SimEvent::TaskFinished {
+            task: d.u32()?,
+            at: d.u64()?,
+        }),
+        2 => Ok(SimEvent::ShardMsg {
+            from: d.u16()?,
+            to: d.u16()?,
+            at: d.u64()?,
+        }),
+        other => Err(SnapError::new(format!("unknown event code {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_roundtrip() {
+        let t = TaskDescriptor::new(
+            TaskId::new(7),
+            KernelClass(3),
+            [Dependence::input(0x1000), Dependence::inout(u64::MAX - 63)],
+            12_345,
+        );
+        let mut e = Enc::new();
+        enc_task(&mut e, &t);
+        let v = e.done();
+        let mut d = Dec::new(&v, "task").unwrap();
+        assert_eq!(dec_task(&mut d).unwrap(), t);
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let evs = [
+            SimEvent::TaskStarted { task: 1, at: 2 },
+            SimEvent::TaskFinished { task: 3, at: 4 },
+            SimEvent::ShardMsg {
+                from: 5,
+                to: 6,
+                at: 7,
+            },
+        ];
+        for ev in evs {
+            let mut e = Enc::new();
+            enc_event(&mut e, &ev);
+            let v = e.done();
+            let mut d = Dec::new(&v, "event").unwrap();
+            assert_eq!(dec_event(&mut d).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        assert!(dir_from(3).is_err());
+    }
+}

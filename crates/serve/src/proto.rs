@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! request  = open | submit | barrier | advance | drain-events | stats
-//!          | scrape | close | shutdown
+//!          | scrape | checkpoint | close | shutdown
 //! open     = {"cmd":"open","tenant":NAME,"spec":SPEC}
 //! submit   = {"cmd":"submit","tenant":NAME,"task":TASK}
 //! barrier  = {"cmd":"barrier","tenant":NAME}
@@ -14,6 +14,7 @@
 //! drain    = {"cmd":"drain-events","tenant":NAME}
 //! stats    = {"cmd":"stats","tenant":NAME}
 //! scrape   = {"cmd":"scrape"}
+//! checkpnt = {"cmd":"checkpoint"} | {"cmd":"checkpoint","tenant":NAME}
 //! close    = {"cmd":"close","tenant":NAME}
 //! shutdown = {"cmd":"shutdown"}
 //!
@@ -73,6 +74,14 @@ pub enum Request {
     },
     /// Drain the service metrics snapshot.
     Scrape,
+    /// Checkpoint one tenant (or, without a tenant, every recoverable
+    /// one): persist an engine-state snapshot and truncate the journal to
+    /// the post-snapshot tail, so a restarted service recovers by
+    /// snapshot restore + tail replay.
+    Checkpoint {
+        /// Tenant to checkpoint; `None` checkpoints all.
+        tenant: Option<String>,
+    },
     /// Finish a tenant and return its run summary.
     Close {
         /// Tenant name.
@@ -122,6 +131,13 @@ impl Request {
                 )
             }
             Request::Scrape => "{\"cmd\":\"scrape\"}".to_string(),
+            Request::Checkpoint { tenant } => match tenant {
+                Some(t) => format!(
+                    "{{\"cmd\":\"checkpoint\",\"tenant\":\"{}\"}}",
+                    json_escape(t)
+                ),
+                None => "{\"cmd\":\"checkpoint\"}".to_string(),
+            },
             Request::Close { tenant } => {
                 format!(
                     "{{\"cmd\":\"close\",\"tenant\":\"{}\"}}",
@@ -181,6 +197,12 @@ impl Request {
             "drain-events" => Ok(Request::DrainEvents { tenant: tenant()? }),
             "stats" => Ok(Request::Stats { tenant: tenant()? }),
             "scrape" => Ok(Request::Scrape),
+            "checkpoint" => Ok(Request::Checkpoint {
+                tenant: obj
+                    .get("tenant")
+                    .and_then(Value::as_string)
+                    .map(str::to_string),
+            }),
             "close" => Ok(Request::Close { tenant: tenant()? }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command {other:?}")),
@@ -203,6 +225,8 @@ pub enum Response {
     Stats(TenantStats),
     /// Metrics snapshot.
     Scraped(Scrape),
+    /// Number of tenants checkpointed.
+    Checkpointed(u64),
     /// Run summary of a finished tenant: engine label, task count,
     /// makespan and the schedule digest (bit-exactness check without
     /// shipping the schedule).
@@ -261,6 +285,9 @@ impl Response {
             ),
             Response::Scraped(scrape) => {
                 format!("{{\"ok\":true,\"scrape\":{}}}", scrape.to_json())
+            }
+            Response::Checkpointed(n) => {
+                format!("{{\"ok\":true,\"checkpointed\":{n}}}")
             }
             Response::Closed {
                 engine,
@@ -370,6 +397,16 @@ impl ServeHandle {
                 Err(e) => Response::Err(e.to_string()),
             },
             Request::Scrape => Response::Scraped(self.service.scrape()),
+            Request::Checkpoint { tenant } => {
+                let result = match tenant {
+                    Some(t) => self.service.checkpoint(t).map(u64::from),
+                    None => self.service.checkpoint_all().map(|n| n as u64),
+                };
+                match result {
+                    Ok(n) => Response::Checkpointed(n),
+                    Err(e) => Response::Err(e.to_string()),
+                }
+            }
             Request::Close { tenant } => match self.service.close(tenant) {
                 Ok(out) => Response::closed(&out),
                 Err(e) => Response::Err(e.to_string()),

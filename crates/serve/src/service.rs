@@ -21,10 +21,10 @@
 
 use picos_backend::{
     Admission, BackendError, BackendSpec, ExecBackend, SessionConfig, SessionCore, SessionOutput,
-    SimEvent, SimSession,
+    SimEvent, SimSession, Snapshot,
 };
 use picos_metrics::{MergeRule, MetricSet, SeriesSpec, Timeline, WindowSampler};
-use picos_runtime::{replay_journal, JournaledSession};
+use picos_runtime::{replay_journal_tail, JournaledSession};
 use picos_trace::{json_escape, parse_json, SessionJournal, TaskDescriptor, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -225,6 +225,14 @@ pub struct ServeConfig {
     /// When set, journals and the tenant manifest are persisted here on
     /// [`Service::flush_journals`], and [`Service::new`] replays them.
     pub journal_dir: Option<PathBuf>,
+    /// Automatic checkpoint cadence, in scheduler steps: after this many
+    /// [`Service::run_round`] steps accumulate, every recoverable tenant
+    /// is checkpointed ([`Service::checkpoint_all`]) — snapshot persisted,
+    /// journal truncated to the post-snapshot tail — so restart recovery
+    /// replays a bounded tail instead of the tenant's whole history.
+    /// `None` (the default) checkpoints only on explicit request. Needs
+    /// [`ServeConfig::journal_dir`] to take effect.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -235,6 +243,7 @@ impl Default for ServeConfig {
             max_tenants: 4096,
             scrape_window: 1024,
             journal_dir: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -340,6 +349,12 @@ struct Tenant {
     recoverable: bool,
     session: TenantSession,
     sampler: WindowSampler,
+    /// Absolute index of the in-memory journal's first op: every op before
+    /// it has been folded into a persisted checkpoint snapshot and dropped.
+    /// Checkpoint cursors and journal files both speak absolute indices,
+    /// so recovery replays exactly the ops the snapshot does not cover —
+    /// even after a crash between the checkpoint and journal writes.
+    journal_base: u64,
     submitted: u64,
     rejected_window: u64,
     rejected_quota: u64,
@@ -458,12 +473,15 @@ pub struct Service {
     tenants: Vec<Box<Tenant>>,
     index: NameIndex,
     steps_scheduled: u64,
+    steps_since_checkpoint: u64,
     admission_rejections: u64,
     opened_total: u64,
     closed_total: u64,
     failed_total: u64,
     peak_tenants: u64,
+    checkpoints_total: u64,
     recovery_errors: Vec<(String, String)>,
+    checkpoint_errors: Vec<(String, String)>,
 }
 
 impl Service {
@@ -484,12 +502,15 @@ impl Service {
             tenants: Vec::new(),
             index: NameIndex::default(),
             steps_scheduled: 0,
+            steps_since_checkpoint: 0,
             admission_rejections: 0,
             opened_total: 0,
             closed_total: 0,
             failed_total: 0,
             peak_tenants: 0,
+            checkpoints_total: 0,
             recovery_errors: Vec::new(),
+            checkpoint_errors: Vec::new(),
         };
         if let Some(dir) = svc.cfg.journal_dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| ServeError::Io(e.to_string()))?;
@@ -604,6 +625,7 @@ impl Service {
             recoverable,
             session: JournaledSession::new(session),
             sampler,
+            journal_base: 0,
             submitted: 0,
             rejected_window: 0,
             rejected_quota: 0,
@@ -757,6 +779,21 @@ impl Service {
             }
         }
         self.steps_scheduled += total;
+        // Periodic checkpointing: once enough scheduler steps accumulate,
+        // snapshot every recoverable tenant and truncate its journal to
+        // the post-snapshot tail. A failing write is recorded (see
+        // [`Service::checkpoint_errors`]) and retried a full cadence
+        // later; it never takes the scheduler down.
+        if let (Some(every), Some(_)) = (self.cfg.checkpoint_every, &self.cfg.journal_dir) {
+            self.steps_since_checkpoint += total;
+            if self.steps_since_checkpoint >= every.max(1) {
+                self.steps_since_checkpoint = 0;
+                if let Err(e) = self.checkpoint_all() {
+                    self.checkpoint_errors
+                        .push(("<auto>".to_string(), e.to_string()));
+                }
+            }
+        }
         total
     }
 
@@ -771,6 +808,92 @@ impl Service {
             }
             total += n;
         }
+    }
+
+    /// Checkpoints one tenant: persists a full engine-state snapshot (with
+    /// the service-side counters and the absolute journal cursor), then
+    /// **compacts** — the in-memory journal drops every op the snapshot
+    /// covers and the persisted journal file is truncated to the (now
+    /// empty) tail, so it stops growing without bound. Restart recovery
+    /// becomes snapshot restore + tail replay instead of whole-history
+    /// replay.
+    ///
+    /// Returns `false` without writing for a tenant the manifest cannot
+    /// rebuild ([`Service::open_with`] backends) — a snapshot nobody can
+    /// reopen is dead weight.
+    ///
+    /// The two writes are crash-ordered by the absolute cursor: a crash
+    /// after the checkpoint lands but before the journal truncates leaves
+    /// a journal whose `base` is older than the cursor, and recovery
+    /// skips exactly the already-snapshotted prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`]; [`ServeError::Io`] when no journal
+    /// directory is configured or a write fails (the tenant keeps running
+    /// and its journal is **not** compacted).
+    pub fn checkpoint(&mut self, name: &str) -> Result<bool, ServeError> {
+        let i = self.idx(name)?;
+        self.checkpoint_at(i)
+    }
+
+    /// Checkpoints every recoverable tenant ([`Service::checkpoint`]);
+    /// returns how many were written.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on the first failing write; earlier tenants stay
+    /// checkpointed, later ones keep their journals intact.
+    pub fn checkpoint_all(&mut self) -> Result<usize, ServeError> {
+        let mut written = 0;
+        for i in 0..self.tenants.len() {
+            if self.checkpoint_at(i)? {
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Automatic-checkpoint failures (tenant, reason), oldest first.
+    pub fn checkpoint_errors(&self) -> &[(String, String)] {
+        &self.checkpoint_errors
+    }
+
+    fn checkpoint_at(&mut self, i: usize) -> Result<bool, ServeError> {
+        let Some(dir) = self.cfg.journal_dir.clone() else {
+            return Err(ServeError::Io(
+                "checkpoint needs a journal directory".into(),
+            ));
+        };
+        let t = &mut self.tenants[i];
+        if !t.recoverable {
+            return Ok(false);
+        }
+        let io = |e: std::io::Error| ServeError::Io(e.to_string());
+        let cursor = t.journal_base + t.session.journal().len() as u64;
+        let snap = Snapshot::capture(&**t.session.inner());
+        let ckpt = format!(
+            "{{\"v\":1,\"cursor\":{cursor},\"submitted\":{},\"rejected_window\":{},\
+             \"rejected_quota\":{},\"steps\":{},\"state\":{}}}",
+            t.submitted,
+            t.rejected_window,
+            t.rejected_quota,
+            t.steps,
+            snap.to_json()
+        );
+        std::fs::write(dir.join(format!("{}.checkpoint.json", t.name)), ckpt).map_err(io)?;
+        // Only after the snapshot is durable may the journal forget the
+        // ops it covers.
+        let len = t.session.journal().len();
+        t.session.compact(len);
+        t.journal_base = cursor;
+        std::fs::write(
+            dir.join(format!("{}.journal.json", t.name)),
+            journal_file_json(t.session.journal(), cursor),
+        )
+        .map_err(io)?;
+        self.checkpoints_total += 1;
+        Ok(true)
     }
 
     /// Closes a tenant: removes it from the registry (and its journal
@@ -798,6 +921,7 @@ impl Service {
         }
         if let Some(dir) = &self.cfg.journal_dir {
             let _ = std::fs::remove_file(dir.join(format!("{name}.journal.json")));
+            let _ = std::fs::remove_file(dir.join(format!("{name}.checkpoint.json")));
             let manifest = self.manifest_json();
             let _ = std::fs::write(dir.join("tenants.json"), manifest);
         }
@@ -839,7 +963,8 @@ impl Service {
             )
             .counter("serve.tenants_opened", self.opened_total, MergeRule::Sum)
             .counter("serve.tenants_closed", self.closed_total, MergeRule::Sum)
-            .counter("serve.tenants_failed", self.failed_total, MergeRule::Sum);
+            .counter("serve.tenants_failed", self.failed_total, MergeRule::Sum)
+            .counter("serve.checkpoints", self.checkpoints_total, MergeRule::Sum);
         let tenants = self
             .tenants
             .iter_mut()
@@ -886,7 +1011,8 @@ impl Service {
         let mut flushed = 0;
         for t in self.tenants.iter().filter(|t| t.recoverable) {
             let path = dir.join(format!("{}.journal.json", t.name));
-            std::fs::write(path, t.session.journal().to_json()).map_err(io)?;
+            std::fs::write(path, journal_file_json(t.session.journal(), t.journal_base))
+                .map_err(io)?;
             flushed += 1;
         }
         Ok(flushed)
@@ -919,9 +1045,12 @@ impl Service {
         Ok(())
     }
 
-    /// Reopens one tenant and replays its journal through the fresh
-    /// journaling wrapper — re-recording rebuilds the journal, so the
-    /// recovered tenant is immediately crash-recoverable again.
+    /// Reopens one tenant from its persisted state: restore the latest
+    /// checkpoint snapshot (when one exists), then replay only the journal
+    /// ops after the snapshot's absolute cursor — through the fresh
+    /// journaling wrapper, so the re-recorded tail keeps the recovered
+    /// tenant immediately crash-recoverable again. Without a checkpoint
+    /// this degrades to full-journal replay.
     fn recover_tenant(
         &mut self,
         dir: &std::path::Path,
@@ -932,23 +1061,115 @@ impl Service {
         let text = std::fs::read_to_string(&path).map_err(|e| ServeError::Io(e.to_string()))?;
         let journal = SessionJournal::from_json(&text)
             .map_err(|e| ServeError::Io(format!("journal {}: {e}", path.display())))?;
+        let base = journal_file_base(&text);
+        let checkpoint = read_checkpoint(&dir.join(format!("{name}.checkpoint.json")))?;
+        if checkpoint.is_none() && base > 0 {
+            return Err(ServeError::Io(format!(
+                "journal starts at op {base} but no checkpoint covers the prefix"
+            )));
+        }
         self.open(name, spec)?;
         let i = self.idx(name).expect("just opened");
-        if let Err(stall) = replay_journal(&mut self.tenants[i].session, &journal) {
+        let undo = |svc: &mut Service, reason: String| {
             // Drop the wedged tenant; isolation over partial state.
-            self.tenants.remove(i);
-            self.index.remove(name);
-            for v in self.index.values_mut() {
+            svc.tenants.remove(i);
+            svc.index.remove(name);
+            for v in svc.index.values_mut() {
                 if *v > i {
                     *v -= 1;
                 }
             }
-            return Err(ServeError::Io(format!("replay stalled: {stall}")));
+            ServeError::Io(reason)
+        };
+        let mut skip = 0usize;
+        if let Some(c) = checkpoint {
+            let t = &mut self.tenants[i];
+            if let Err(e) = c.state.restore(&mut **t.session.inner_mut()) {
+                return Err(undo(self, format!("checkpoint restore: {e}")));
+            }
+            t.journal_base = c.cursor;
+            t.submitted = c.submitted;
+            t.rejected_window = c.rejected_window;
+            t.rejected_quota = c.rejected_quota;
+            t.steps = c.steps;
+            // The journal file may predate the checkpoint (crash between
+            // the two writes): skip the ops the snapshot already covers.
+            skip = c.cursor.saturating_sub(base) as usize;
+        }
+        if let Err(stall) = replay_journal_tail(&mut self.tenants[i].session, &journal, skip) {
+            return Err(undo(self, format!("replay stalled: {stall}")));
         }
         let t = &mut self.tenants[i];
-        t.submitted = journal.submitted() as u64;
+        t.submitted += journal.tail(skip).submitted() as u64;
         Ok(())
     }
+}
+
+/// A parsed tenant checkpoint: the engine snapshot, the absolute journal
+/// cursor it was taken at, and the service-side counters.
+struct TenantCheckpoint {
+    cursor: u64,
+    submitted: u64,
+    rejected_window: u64,
+    rejected_quota: u64,
+    steps: u64,
+    state: Snapshot,
+}
+
+/// Reads and parses a tenant checkpoint file; `Ok(None)` when none exists.
+fn read_checkpoint(path: &std::path::Path) -> Result<Option<TenantCheckpoint>, ServeError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bad = |m: String| ServeError::Io(format!("checkpoint {}: {m}", path.display()));
+    let text = std::fs::read_to_string(path).map_err(|e| bad(e.to_string()))?;
+    let v = parse_json(&text).map_err(|e| bad(e.to_string()))?;
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| bad("must be a JSON object".into()))?;
+    let int = |key: &str| {
+        obj.get(key)
+            .and_then(Value::as_int)
+            .ok_or_else(|| bad(format!("needs integer \"{key}\"")))
+    };
+    let state = obj
+        .get("state")
+        .ok_or_else(|| bad("needs \"state\"".into()))?;
+    Ok(Some(TenantCheckpoint {
+        cursor: int("cursor")?,
+        submitted: int("submitted")?,
+        rejected_window: int("rejected_window")?,
+        rejected_quota: int("rejected_quota")?,
+        steps: int("steps")?,
+        state: Snapshot::from_value(state.clone()),
+    }))
+}
+
+/// Renders a journal for its per-tenant file: the journal's own versioned
+/// JSON with an extra `"base"` field — the absolute index of its first op
+/// (everything before it lives in the checkpoint snapshot). The journal
+/// codec ignores unknown fields, so the file still parses as a plain
+/// [`SessionJournal`].
+fn journal_file_json(journal: &SessionJournal, base: u64) -> String {
+    let body = journal.to_json();
+    debug_assert!(body.starts_with("{\"version\":1,"));
+    body.replacen(
+        "{\"version\":1,",
+        &format!("{{\"version\":1,\"base\":{base},"),
+        1,
+    )
+}
+
+/// The `"base"` of a persisted journal file; `0` when absent (a journal
+/// never compacted by a checkpoint).
+fn journal_file_base(text: &str) -> u64 {
+    parse_json(text)
+        .ok()
+        .and_then(|v| {
+            v.as_obj()
+                .and_then(|o| o.get("base").and_then(Value::as_int))
+        })
+        .unwrap_or(0)
 }
 
 /// Parses one `{"name":..., "spec":{...}}` manifest entry.

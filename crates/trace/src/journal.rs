@@ -94,6 +94,15 @@ impl SessionJournal {
         self.ops.is_empty()
     }
 
+    /// The journal suffix starting at op index `from` (a checkpoint
+    /// cursor), as its own journal. Indexes past the end yield an empty
+    /// journal.
+    pub fn tail(&self, from: usize) -> SessionJournal {
+        SessionJournal {
+            ops: self.ops[from.min(self.ops.len())..].to_vec(),
+        }
+    }
+
     /// Number of accepted submissions in the journal.
     pub fn submitted(&self) -> usize {
         self.ops

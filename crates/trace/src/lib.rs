@@ -28,11 +28,13 @@ mod graph;
 mod journal;
 mod json;
 pub mod rng;
+pub mod snap;
 mod task;
 mod trace;
 
 pub use graph::{ParallelismProfile, TaskGraph};
 pub use journal::{JournalOp, SessionJournal};
 pub use json::{json_escape, parse_json, task_from_value, task_to_json, JsonError, Value};
+pub use snap::SnapError;
 pub use task::{Dependence, Direction, KernelClass, TaskDescriptor, TaskId, MAX_DEPS_PER_TASK};
 pub use trace::{Trace, TraceStats};

@@ -21,6 +21,12 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The raw generator state, for snapshotting: [`SplitMix64::new`] with
+    /// this value resumes the sequence exactly where it left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -1,0 +1,519 @@
+//! Snapshot state codec: compact positional encoding over the in-tree
+//! JSON [`Value`].
+//!
+//! Every engine in the workspace is a deterministic state machine; the
+//! snapshot subsystem serializes their *dynamic* state (clocks, queues,
+//! tables, telemetry cursors) so a freshly built, identically configured
+//! session can be overwritten into a bit-exact copy of a live one.
+//! Config-derived structure (wheel dimensions, FIFO capacities, unit
+//! counts) is deliberately *not* encoded — the restoring side rebuilds it
+//! from the same config, and a [`guard`] fingerprint rejects mismatches.
+//!
+//! The encoding is positional: each struct serializes its fields in
+//! declaration order into a JSON array via [`Enc`], and decodes them in
+//! the same order via [`Dec`], which makes the per-field cost one line on
+//! each side and keeps the document compact. Top-level sections use
+//! labeled objects ([`obj`] / [`field`]) so whole-session snapshots stay
+//! navigable and versionable.
+//!
+//! All numbers ride [`Value::Int`], which keeps full 64-bit values exact
+//! (the JSON parser never routes integers through `f64`).
+
+use crate::json::{json_escape, parse_json, JsonError, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error from decoding a snapshot: a malformed document, a field of the
+/// wrong shape, or a config fingerprint mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError {
+    /// Human-readable description of the first problem encountered.
+    pub message: String,
+}
+
+impl SnapError {
+    /// A new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SnapError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<JsonError> for SnapError {
+    fn from(e: JsonError) -> Self {
+        SnapError::new(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------- rendering
+
+/// Renders a [`Value`] tree as compact JSON text — the inverse of
+/// [`parse_json`], shared by every snapshot writer.
+pub fn render_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Num(n) => out.push_str(&format!("{n}")),
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&json_escape(s));
+            out.push('"');
+        }
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(k));
+                out.push_str("\":");
+                render_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a [`Value`] to an owned JSON string.
+pub fn value_to_json(v: &Value) -> String {
+    let mut out = String::new();
+    render_value(v, &mut out);
+    out
+}
+
+/// Parses a snapshot document (JSON text) back into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`SnapError`] on malformed JSON.
+pub fn value_from_json(s: &str) -> Result<Value, SnapError> {
+    Ok(parse_json(s)?)
+}
+
+// ------------------------------------------------------------------ objects
+
+/// Builds a labeled object from `(key, value)` sections.
+pub fn obj<'a>(fields: impl IntoIterator<Item = (&'a str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// Looks a section up in a labeled object.
+///
+/// # Errors
+///
+/// Returns [`SnapError`] when `v` is not an object or lacks the field.
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, SnapError> {
+    v.as_obj()
+        .ok_or_else(|| SnapError::new(format!("expected an object holding '{name}'")))?
+        .get(name)
+        .ok_or_else(|| SnapError::new(format!("missing snapshot section '{name}'")))
+}
+
+/// Looks an optional section up in a labeled object (`None` when absent
+/// or JSON `null`).
+///
+/// # Errors
+///
+/// Returns [`SnapError`] when `v` is not an object.
+pub fn opt_field<'v>(v: &'v Value, name: &str) -> Result<Option<&'v Value>, SnapError> {
+    let m = v
+        .as_obj()
+        .ok_or_else(|| SnapError::new(format!("expected an object holding '{name}'")))?;
+    Ok(match m.get(name) {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v),
+    })
+}
+
+/// Checks a config fingerprint recorded at save time against the value the
+/// restoring side derives from its own config. Restore overwrites dynamic
+/// state only — structure must match, and a silent mismatch would corrupt
+/// the session instead of erroring.
+///
+/// # Errors
+///
+/// Returns [`SnapError`] naming the guard on mismatch.
+pub fn guard(name: &str, expected: u64, got: u64) -> Result<(), SnapError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(SnapError::new(format!(
+            "config mismatch on {name}: snapshot has {expected}, session has {got}"
+        )))
+    }
+}
+
+// ------------------------------------------------------------------ encoder
+
+/// Positional field encoder: push fields in declaration order, take the
+/// resulting [`Value::Arr`] with [`Enc::done`].
+#[derive(Debug, Default)]
+pub struct Enc {
+    items: Vec<Value>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Pushes a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.items.push(Value::Int(v));
+        self
+    }
+
+    /// Pushes a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Pushes a `usize`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Pushes a `bool`.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.items.push(Value::Bool(v));
+        self
+    }
+
+    /// Pushes a string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.items.push(Value::Str(v.to_string()));
+        self
+    }
+
+    /// Pushes an optional `u64` (`null` when absent).
+    pub fn opt_u64(&mut self, v: Option<u64>) -> &mut Self {
+        self.items.push(match v {
+            Some(n) => Value::Int(n),
+            None => Value::Null,
+        });
+        self
+    }
+
+    /// Pushes an already-encoded value.
+    pub fn val(&mut self, v: Value) -> &mut Self {
+        self.items.push(v);
+        self
+    }
+
+    /// Pushes a slice of `u64`s as one array.
+    pub fn u64s(&mut self, vs: impl IntoIterator<Item = u64>) -> &mut Self {
+        self.items
+            .push(Value::Arr(vs.into_iter().map(Value::Int).collect()));
+        self
+    }
+
+    /// Pushes a slice of `u32`s as one array.
+    pub fn u32s(&mut self, vs: impl IntoIterator<Item = u32>) -> &mut Self {
+        self.u64s(vs.into_iter().map(|v| v as u64))
+    }
+
+    /// Pushes a slice of `bool`s as one array.
+    pub fn bools(&mut self, vs: impl IntoIterator<Item = bool>) -> &mut Self {
+        self.items
+            .push(Value::Arr(vs.into_iter().map(Value::Bool).collect()));
+        self
+    }
+
+    /// Pushes a sequence of records, each encoded by `f` into its own
+    /// positional array.
+    pub fn seq<T>(
+        &mut self,
+        items: impl IntoIterator<Item = T>,
+        mut f: impl FnMut(&mut Enc, T),
+    ) -> &mut Self {
+        let encoded = items
+            .into_iter()
+            .map(|item| {
+                let mut e = Enc::new();
+                f(&mut e, item);
+                e.done()
+            })
+            .collect();
+        self.items.push(Value::Arr(encoded));
+        self
+    }
+
+    /// The encoded positional array.
+    pub fn done(self) -> Value {
+        Value::Arr(self.items)
+    }
+}
+
+// ------------------------------------------------------------------ decoder
+
+/// Positional field decoder: read fields back in the order [`Enc`] pushed
+/// them. Every accessor consumes one slot; running past the end or hitting
+/// the wrong shape errors with the record label.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    items: &'a [Value],
+    at: usize,
+    what: &'a str,
+}
+
+impl<'a> Dec<'a> {
+    /// Opens a positional record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] when `v` is not an array.
+    pub fn new(v: &'a Value, what: &'a str) -> Result<Self, SnapError> {
+        match v.as_array() {
+            Some(items) => Ok(Dec { items, at: 0, what }),
+            None => Err(SnapError::new(format!("{what}: expected a record array"))),
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a Value, SnapError> {
+        let v = self
+            .items
+            .get(self.at)
+            .ok_or_else(|| SnapError::new(format!("{}: record too short", self.what)))?;
+        self.at += 1;
+        Ok(v)
+    }
+
+    fn type_err<T>(&self, want: &str) -> Result<T, SnapError> {
+        Err(SnapError::new(format!(
+            "{}: field {} is not {want}",
+            self.what,
+            self.at - 1
+        )))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on exhaustion or shape mismatch (also below).
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        match self.next()? {
+            Value::Int(n) => Ok(*n),
+            _ => self.type_err("an integer"),
+        }
+    }
+
+    /// Reads a `u32`.
+    #[allow(missing_docs)]
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let v = self.u64()?;
+        u32::try_from(v)
+            .map_err(|_| SnapError::new(format!("{}: value {v} exceeds 32 bits", self.what)))
+    }
+
+    /// Reads a `u16`.
+    #[allow(missing_docs)]
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let v = self.u64()?;
+        u16::try_from(v)
+            .map_err(|_| SnapError::new(format!("{}: value {v} exceeds 16 bits", self.what)))
+    }
+
+    /// Reads a `usize`.
+    #[allow(missing_docs)]
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Reads a `bool`.
+    #[allow(missing_docs)]
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.next()? {
+            Value::Bool(b) => Ok(*b),
+            _ => self.type_err("a bool"),
+        }
+    }
+
+    /// Reads a string slice.
+    #[allow(missing_docs)]
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        match self.next()? {
+            Value::Str(s) => Ok(s),
+            _ => self.type_err("a string"),
+        }
+    }
+
+    /// Reads an optional `u64` (encoded as `null` when absent).
+    #[allow(missing_docs)]
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        match self.next()? {
+            Value::Null => Ok(None),
+            Value::Int(n) => Ok(Some(*n)),
+            _ => self.type_err("an optional integer"),
+        }
+    }
+
+    /// Reads a raw [`Value`] slot.
+    #[allow(missing_docs)]
+    pub fn val(&mut self) -> Result<&'a Value, SnapError> {
+        self.next()
+    }
+
+    /// Reads an array of `u64`s.
+    #[allow(missing_docs)]
+    pub fn u64s(&mut self) -> Result<Vec<u64>, SnapError> {
+        match self.next()? {
+            Value::Arr(items) => items
+                .iter()
+                .map(|v| {
+                    v.as_int().ok_or_else(|| {
+                        SnapError::new(format!("{}: non-integer in int array", self.what))
+                    })
+                })
+                .collect(),
+            _ => self.type_err("an int array"),
+        }
+    }
+
+    /// Reads an array of `u32`s.
+    #[allow(missing_docs)]
+    pub fn u32s(&mut self) -> Result<Vec<u32>, SnapError> {
+        self.u64s()?
+            .into_iter()
+            .map(|v| {
+                u32::try_from(v).map_err(|_| {
+                    SnapError::new(format!("{}: value {v} exceeds 32 bits", self.what))
+                })
+            })
+            .collect()
+    }
+
+    /// Reads an array of `bool`s.
+    #[allow(missing_docs)]
+    pub fn bools(&mut self) -> Result<Vec<bool>, SnapError> {
+        match self.next()? {
+            Value::Arr(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Bool(b) => Ok(*b),
+                    _ => Err(SnapError::new(format!(
+                        "{}: non-bool in bool array",
+                        self.what
+                    ))),
+                })
+                .collect(),
+            _ => self.type_err("a bool array"),
+        }
+    }
+
+    /// Reads a sequence of records, decoding each with `f` from its own
+    /// positional sub-record.
+    #[allow(missing_docs)]
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Dec<'a>) -> Result<T, SnapError>,
+    ) -> Result<Vec<T>, SnapError> {
+        let what = self.what;
+        match self.next()? {
+            Value::Arr(items) => items
+                .iter()
+                .map(|v| {
+                    let mut d = Dec::new(v, what)?;
+                    f(&mut d)
+                })
+                .collect(),
+            _ => self.type_err("a record sequence"),
+        }
+    }
+
+    /// Number of slots not yet consumed (0 when fully decoded — decoders
+    /// tolerate trailing slots so records can grow compatibly).
+    pub fn remaining(&self) -> usize {
+        self.items.len().saturating_sub(self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_roundtrips_through_the_parser() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX)
+            .bool(true)
+            .str("we\"ird\n")
+            .opt_u64(None)
+            .opt_u64(Some(7))
+            .u64s([1, 2, 3])
+            .seq([4u64, 5], |e, v| {
+                e.u64(v).bool(v % 2 == 0);
+            });
+        let v = obj([("version", Value::Int(1)), ("state", e.done())]);
+        let text = value_to_json(&v);
+        let back = value_from_json(&text).unwrap();
+        assert_eq!(v, back, "exact tree roundtrip, u64::MAX kept exact");
+    }
+
+    #[test]
+    fn decoder_reads_fields_in_order() {
+        let mut e = Enc::new();
+        e.u64(9).bool(false).str("x").u32s([3, 4]);
+        let v = e.done();
+        let mut d = Dec::new(&v, "t").unwrap();
+        assert_eq!(d.u64().unwrap(), 9);
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "x");
+        assert_eq!(d.u32s().unwrap(), vec![3, 4]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn decoder_errors_name_the_record() {
+        let v = Value::Arr(vec![Value::Bool(true)]);
+        let mut d = Dec::new(&v, "wheel").unwrap();
+        let err = d.u64().unwrap_err();
+        assert!(err.message.contains("wheel"), "{err}");
+        let err = d.u64().unwrap_err();
+        assert!(err.message.contains("record too short"), "{err}");
+    }
+
+    #[test]
+    fn guard_rejects_config_mismatch() {
+        assert!(guard("workers", 4, 4).is_ok());
+        let err = guard("workers", 4, 8).unwrap_err();
+        assert!(err.message.contains("workers"), "{err}");
+    }
+
+    #[test]
+    fn fields_and_sections() {
+        let v = obj([("a", Value::Int(1)), ("b", Value::Null)]);
+        assert_eq!(field(&v, "a").unwrap(), &Value::Int(1));
+        assert!(field(&v, "missing").is_err());
+        assert!(opt_field(&v, "b").unwrap().is_none());
+        assert!(opt_field(&v, "missing").unwrap().is_none());
+        assert_eq!(opt_field(&v, "a").unwrap(), Some(&Value::Int(1)));
+    }
+}

@@ -1,0 +1,107 @@
+//! What-if fork: configuration search on a *live* session.
+//!
+//! ```text
+//! cargo run --release --example whatif_fork
+//! ```
+//!
+//! A production session has been running for a while — its arrival
+//! prefix is recorded in its journal — and the question is whether a
+//! different Dependence Memory design would serve the rest of the
+//! workload better. Re-running a sweep from scratch answers that by
+//! re-simulating the whole history per candidate; the snapshot/fork
+//! subsystem answers it without disturbing the live session:
+//!
+//! 1. **Fork** the live session in memory (`SimSession::fork_boxed`):
+//!    the baseline replica runs the remaining workload to completion
+//!    while the original keeps accepting traffic.
+//! 2. **Replay** the recorded arrival prefix into one fresh replica per
+//!    candidate config (`replay_journal` over the live journal) — the
+//!    same primitive serve-crash recovery uses, so every replica starts
+//!    from the exact recorded history.
+//! 3. Rank the projected makespans and report the winner.
+//!
+//! The same flow is available from the command line as `picos whatif`.
+//! A snapshot JSON roundtrip (`Snapshot::capture` → `to_json` →
+//! `restore`) is also shown: it is the persistent sibling of the
+//! in-memory fork, and what a `picos-serve` tenant checkpoint writes.
+
+use picos_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The live session: full Picos platform, default DM design, with an
+    // open-loop stream workload half-ingested.
+    let trace = gen::stream(gen::StreamConfig::heavy(400));
+    let workers = 8;
+    let base_dm = DmDesign::PearsonEightWay;
+    let backend_for = |dm: DmDesign| {
+        BackendSpec::Picos(HilMode::FullSystem)
+            .builder(workers)
+            .picos(&PicosConfig::future(1, dm))
+            .build()
+    };
+    let backend = backend_for(base_dm);
+    let mut live = JournaledSession::new(backend.open_with(SessionConfig::batch())?);
+    let cut = trace.len() / 2;
+    for task in trace.iter().take(cut) {
+        assert_eq!(live.submit(task), Admission::Accepted);
+    }
+    println!(
+        "live session: {} of {} tasks ingested under dm={base_dm}",
+        cut,
+        trace.len()
+    );
+
+    // Snapshot roundtrip: full engine state through the JSON codec and
+    // back into a fresh session — bit-exact, as the conformance suite
+    // pins for every backend family.
+    let snap = Snapshot::capture(&**live.inner());
+    let json = snap.to_json();
+    let mut restored = backend.open_with(SessionConfig::batch())?;
+    Snapshot::from_json(&json)?.restore(&mut *restored)?;
+    println!(
+        "snapshot: {} bytes of JSON, restores to cycle {}",
+        json.len(),
+        restored.now()
+    );
+
+    // Every replica finishes the remaining suffix; the live session is
+    // never consumed.
+    let finish = |mut s: Box<dyn SimSession>| -> Result<u64, BackendError> {
+        for task in trace.iter().skip(cut) {
+            assert_eq!(s.submit(task), Admission::Accepted);
+        }
+        Ok(s.finish_full()?.report.makespan)
+    };
+
+    // Baseline: the in-memory fork of the live session.
+    let mut rows = vec![(base_dm, finish(live.inner().fork_boxed())?)];
+
+    // Candidates: fresh sessions per DM design, primed by replaying the
+    // live session's recorded arrival prefix.
+    for dm in DmDesign::ALL.into_iter().filter(|d| *d != base_dm) {
+        let mut replica = backend_for(dm).open_with(SessionConfig::batch())?;
+        replay_journal(&mut *replica, live.journal())?;
+        rows.push((dm, finish(replica)?));
+    }
+
+    println!("\n{:<12}  {:>12}", "dm design", "makespan");
+    for (dm, makespan) in &rows {
+        println!("{:<12}  {makespan:>12}", dm.to_string());
+    }
+    let (best, best_makespan) = rows.iter().min_by_key(|(_, m)| *m).expect("rows");
+    println!("\nbest for the remaining workload: dm={best} ({best_makespan} cycles)");
+
+    // The live session is still running and still journaled: feed it the
+    // rest and confirm it agrees with its own fork's projection.
+    for task in trace.iter().skip(cut) {
+        assert_eq!(live.submit(task), Admission::Accepted);
+    }
+    let (session, _journal) = live.into_parts();
+    let live_makespan = session.finish_full()?.report.makespan;
+    assert_eq!(
+        live_makespan, rows[0].1,
+        "the fork's projection must match the live session exactly"
+    );
+    println!("live session finished: {live_makespan} cycles (matches its fork)");
+    Ok(())
+}

@@ -64,8 +64,8 @@ pub mod prelude {
     pub use picos_backend::{
         feed_trace, run_paced, run_paced_with_telemetry, Admission, ArrivalTrace, BackendBuilder,
         BackendError, BackendSpec, ClusterBackend, ExecBackend, PaceReport, PacedTask, PacedTrace,
-        SessionConfig, SessionCore, SessionOutput, SimEvent, SimSession, Sweep, SweepResult,
-        SweepRow, Workload,
+        SessionConfig, SessionCore, SessionOutput, SimEvent, SimSession, Snapshot, Sweep,
+        SweepResult, SweepRow, Workload,
     };
     // `SyntheticMetrics` / `synthetic_metrics` come in through `picos_hil`
     // above (the HIL-flavoured wrapper re-exports the metrics-crate type).
@@ -86,8 +86,8 @@ pub mod prelude {
     };
     pub use picos_resources::{full_picos_resources, table3, ResourceEstimate, XC7Z020};
     pub use picos_runtime::{
-        perfect_schedule, replay_journal, run_software, ExecReport, JournaledSession,
-        NanosCostModel, SwRuntimeConfig,
+        perfect_schedule, replay_journal, replay_journal_tail, run_software, ExecReport,
+        JournaledSession, NanosCostModel, SwRuntimeConfig,
     };
     pub use picos_serve::{
         ServeConfig, ServeError, ServeHandle, Service, SubmitOutcome, TenantSpec, TenantStats,
